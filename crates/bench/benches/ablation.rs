@@ -1,0 +1,120 @@
+//! Ablation benches for the design choices called out in DESIGN.md §7:
+//! compression gate, backfill, priority-aging logbase, ratio model and
+//! rescheduling cadence. Each variant reports the average CCT it achieves
+//! on a fixed trace (Criterion measures the run; the CCT is printed once
+//! per variant so the quality axis is visible next to the cost axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use swallow_bench::scenario::{std_fabric, std_trace, StdScale};
+use swallow_fabric::engine::Reschedule;
+use swallow_fabric::view::CompressionSpec;
+use swallow_fabric::{units, Engine, SimConfig};
+use swallow_sched::{FvdfConfig, FvdfPolicy, ProfiledCompression};
+
+fn sim(
+    config: FvdfConfig,
+    compression: Arc<dyn CompressionSpec>,
+    reschedule: Reschedule,
+) -> f64 {
+    let bw = units::mbps(200.0);
+    let fabric = std_fabric(StdScale::Small, bw);
+    let trace = std_trace(StdScale::Small, bw, 0xAB1);
+    let mut policy = FvdfPolicy::with_config(config);
+    let res = Engine::new(
+        fabric,
+        trace,
+        SimConfig::default()
+            .with_slice(0.01)
+            .with_compression(compression)
+            .with_reschedule(reschedule),
+    )
+    .run(&mut policy);
+    assert!(res.all_complete());
+    res.avg_cct()
+}
+
+fn lz4_const() -> Arc<dyn CompressionSpec> {
+    Arc::new(ProfiledCompression::constant(swallow_compress::Table2::Lz4))
+}
+
+fn lz4_table3() -> Arc<dyn CompressionSpec> {
+    Arc::new(ProfiledCompression::new(
+        swallow_compress::Table2::Lz4.profile(),
+        swallow_compress::SizeRatioModel::table3(),
+    ))
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fvdf_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let variants: Vec<(&str, FvdfConfig, Arc<dyn CompressionSpec>, Reschedule)> = vec![
+        (
+            "default",
+            FvdfConfig::default(),
+            lz4_const(),
+            Reschedule::EverySlice,
+        ),
+        (
+            "no_compression",
+            FvdfConfig {
+                compression: false,
+                ..FvdfConfig::default()
+            },
+            lz4_const(),
+            Reschedule::EverySlice,
+        ),
+        (
+            "no_backfill",
+            FvdfConfig {
+                backfill: false,
+                ..FvdfConfig::default()
+            },
+            lz4_const(),
+            Reschedule::EverySlice,
+        ),
+        (
+            "no_aging",
+            FvdfConfig {
+                logbase: 1.0,
+                ..FvdfConfig::default()
+            },
+            lz4_const(),
+            Reschedule::EverySlice,
+        ),
+        (
+            "aggressive_aging",
+            FvdfConfig {
+                logbase: 2.0,
+                ..FvdfConfig::default()
+            },
+            lz4_const(),
+            Reschedule::EverySlice,
+        ),
+        (
+            "table3_ratio",
+            FvdfConfig::default(),
+            lz4_table3(),
+            Reschedule::EverySlice,
+        ),
+        (
+            "events_only",
+            FvdfConfig::default(),
+            lz4_const(),
+            Reschedule::EventsOnly,
+        ),
+    ];
+    for (name, cfg, comp, resched) in variants {
+        let cct = sim(cfg.clone(), comp.clone(), resched);
+        println!("ablation {name}: avg CCT = {cct:.2} s");
+        group.bench_function(BenchmarkId::new("variant", name), |b| {
+            b.iter(|| sim(cfg.clone(), comp.clone(), resched))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the `swz` codec (backs the Table II "ours" row).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use swallow_compress::apps::synthesize_with_ratio;
+use swallow_compress::codec::{compress, decompress};
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swz_compress");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(label, ratio) in &[("text_like", 0.25), ("mixed", 0.5), ("noisy", 0.85)] {
+        for &size in &[64 * 1024usize, 1024 * 1024] {
+            let data = synthesize_with_ratio(ratio, size, 0xBE);
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(
+                BenchmarkId::new(label, size),
+                &data,
+                |b, data| b.iter(|| compress(std::hint::black_box(data))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swz_decompress");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(label, ratio) in &[("text_like", 0.25), ("mixed", 0.5)] {
+        let size = 1024 * 1024;
+        let data = synthesize_with_ratio(ratio, size, 0xDE);
+        let frame = compress(&data);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new(label, size), &frame, |b, frame| {
+            b.iter(|| decompress(std::hint::black_box(frame)).expect("frame decodes"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches of policy allocation cost — the paper's "calculation
+//! pressure incurred by frequent rescheduling" (§IV-B1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swallow_fabric::cpu::CpuModel;
+use swallow_fabric::view::{ConstCompression, FabricView, FlowView};
+use swallow_fabric::Fabric;
+use swallow_sched::Algorithm;
+use swallow_workload::gen::{CoflowGen, GenConfig, Sizing};
+use swallow_workload::SizeDist;
+
+fn make_flows(num_coflows: usize, width: usize, nodes: usize) -> Vec<FlowView> {
+    let coflows = CoflowGen::new(GenConfig {
+        num_coflows,
+        num_nodes: nodes,
+        interarrival: SizeDist::Constant(0.0),
+        width: SizeDist::Constant(width as f64),
+        flow_size: SizeDist::Uniform { lo: 1e6, hi: 1e9 },
+        sizing: Sizing::PerCoflow { skew: 0.3 },
+        compressible_fraction: 1.0,
+        seed: 0xBE7,
+    })
+    .generate();
+    let mut flows: Vec<FlowView> = coflows
+        .iter()
+        .flat_map(|c| {
+            c.flows.iter().map(move |f| FlowView {
+                id: f.id,
+                coflow: c.id,
+                src: f.src,
+                dst: f.dst,
+                original_size: f.size,
+                raw: f.size,
+                compressed: 0.0,
+                arrival: c.arrival,
+                compressible: true,
+            })
+        })
+        .collect();
+    flows.sort_by_key(|f| f.id);
+    flows
+}
+
+fn bench_allocate(c: &mut Criterion) {
+    let nodes = 50;
+    let fabric = Fabric::uniform(nodes, 125e6);
+    let cpu = CpuModel::unconstrained(nodes, 8);
+    let comp = ConstCompression::new("lz4", 785e6, 0.6215);
+    let mut group = c.benchmark_group("policy_allocate");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &active in &[50usize, 200, 800] {
+        let flows = make_flows(active / 4, 4, nodes);
+        let view = FabricView {
+            now: 0.0,
+            slice: 0.01,
+            fabric: &fabric,
+            cpu: &cpu,
+            compression: &comp,
+            flows,
+        };
+        for alg in [
+            Algorithm::Fvdf,
+            Algorithm::Sebf,
+            Algorithm::Srtf,
+            Algorithm::Pff,
+            Algorithm::Wss,
+        ] {
+            group.bench_with_input(BenchmarkId::new(alg.name(), active), &view, |b, view| {
+                let mut policy = alg.make();
+                b.iter(|| policy.allocate(std::hint::black_box(view)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocate);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Fig. 1 — flow properties: the heavy-tailed size distribution.
+//!
+//! Paper: 89.49% of flows are smaller than 10 GB and most flows lie in
+//! `[10 MB, 10 GB]` (Fig. 1a); flows larger than 10 GB carry more than
+//! 93.03% of the traffic bytes (Fig. 1b).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use swallow_metrics::{Cdf, Table};
+use swallow_workload::gen::fig1_size_dist;
+
+/// Sampled statistics of the calibrated distribution.
+pub struct Fig1Result {
+    /// Fraction of flows below 10 GB (paper: 0.8949).
+    pub flows_below_10gb: f64,
+    /// Fraction of bytes from flows above 10 GB (paper: > 0.9303).
+    pub bytes_above_10gb: f64,
+    /// CDF-of-count series, log-spaced `(size, fraction)`.
+    pub count_cdf: Vec<(f64, f64)>,
+    /// CDF-of-bytes series, log-spaced `(size, byte fraction ≤ size)`.
+    pub bytes_cdf: Vec<(f64, f64)>,
+}
+
+/// Sample the generator and compute both CDFs.
+pub fn compute(samples: usize, seed: u64) -> Fig1Result {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes = fig1_size_dist().sample_n(&mut rng, samples);
+    let cdf = Cdf::new(sizes.clone());
+    let count_cdf = cdf.series_log(16);
+    let bytes_cdf = count_cdf
+        .iter()
+        .map(|&(x, _)| (x, 1.0 - cdf.mass_above(x)))
+        .collect();
+    Fig1Result {
+        flows_below_10gb: cdf.fraction_below(10e9),
+        bytes_above_10gb: cdf.mass_above(10e9),
+        count_cdf,
+        bytes_cdf,
+    }
+}
+
+/// Print the figure reproduction.
+pub fn run() {
+    let r = compute(200_000, 0xF161);
+    let mut t = Table::new(
+        "Fig 1 — flow properties (paper: 89.49% flows < 10 GB; >93.03% of bytes from flows > 10 GB)",
+        &["metric", "paper", "measured"],
+    );
+    t.row(&[
+        "flows below 10 GB".into(),
+        "89.49%".into(),
+        format!("{:.2}%", r.flows_below_10gb * 100.0),
+    ]);
+    t.row(&[
+        "bytes from flows > 10 GB".into(),
+        ">93.03%".into(),
+        format!("{:.2}%", r.bytes_above_10gb * 100.0),
+    ]);
+    println!("{t}");
+    let mut t = Table::new(
+        "Fig 1 CDF series (log-spaced)",
+        &["size", "CDF(flows)", "CDF(bytes)"],
+    );
+    for ((x, fc), (_, fb)) in r.count_cdf.iter().zip(r.bytes_cdf.iter()) {
+        t.row(&[
+            swallow_fabric::units::human_bytes(*x),
+            format!("{fc:.4}"),
+            format!("{fb:.4}"),
+        ]);
+    }
+    println!("{t}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginals_match_paper() {
+        let r = compute(100_000, 42);
+        assert!((r.flows_below_10gb - 0.8949).abs() < 0.02, "{}", r.flows_below_10gb);
+        assert!(r.bytes_above_10gb > 0.9303, "{}", r.bytes_above_10gb);
+    }
+
+    #[test]
+    fn cdf_series_monotone() {
+        let r = compute(20_000, 7);
+        assert!(r.count_cdf.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!(r.bytes_cdf.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-12));
+    }
+}

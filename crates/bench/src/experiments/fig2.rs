@@ -1,0 +1,92 @@
+//! Fig. 2 — CPU idle periods under gigabit vs megabit networks.
+//!
+//! Paper: running the workload on a 10 Gbps network leaves more than 30.77%
+//! of CPU time idle; at 100 Mbps the idle share exceeds 69.23%, because
+//! tasks shift from CPU-bound to I/O-bound while shuffles crawl.
+//!
+//! We reproduce the effect mechanically: executors alternate compute bursts
+//! (map/reduce tasks keep the CPU busy) and shuffle waits whose length is
+//! the shuffle bytes over the network bandwidth — slower networks stretch
+//! the blank (idle) periods exactly as in the paper's utilization records.
+
+use swallow_fabric::units;
+use swallow_fabric::CpuTrace;
+use swallow_metrics::Table;
+
+/// One simulated utilization record.
+pub struct Fig2Result {
+    /// Fraction of time below the 50%-utilization threshold.
+    pub idle_fraction: f64,
+    /// The trace itself for plotting.
+    pub trace: CpuTrace,
+    /// Horizon covered.
+    pub horizon: f64,
+}
+
+/// Build the utilization record for a given network bandwidth.
+///
+/// Each job cycle computes for `compute_secs`, then waits for a shuffle of
+/// `shuffle_bytes` at `bandwidth` (CPU ≈ idle while the network drains).
+pub fn compute(bandwidth: f64, seed_jitter: f64) -> Fig2Result {
+    let compute_secs = 2.0 + seed_jitter;
+    let shuffle_bytes = 2.0 * units::GB;
+    let wait_secs = shuffle_bytes / bandwidth;
+    let horizon = 40.0 * (compute_secs + wait_secs).max(4.0);
+    let trace = CpuTrace::bursty(0.92, compute_secs, 0.08, wait_secs, horizon);
+    Fig2Result {
+        idle_fraction: trace.idle_fraction(0.0, horizon, 0.5),
+        trace,
+        horizon,
+    }
+}
+
+/// Print the figure reproduction.
+pub fn run() {
+    let fast = compute(units::gbps(10.0), 0.0);
+    let slow = compute(units::mbps(100.0), 0.0);
+    let mut t = Table::new(
+        "Fig 2 — wasted (idle) CPU time vs network bandwidth",
+        &["bandwidth", "paper idle", "measured idle"],
+    );
+    t.row(&[
+        "10 Gbps".into(),
+        ">30.77%".into(),
+        format!("{:.2}%", fast.idle_fraction * 100.0),
+    ]);
+    t.row(&[
+        "100 Mbps".into(),
+        ">69.23%".into(),
+        format!("{:.2}%", slow.idle_fraction * 100.0),
+    ]);
+    println!("{t}");
+    // A coarse ASCII rendition of the records (one char ≈ horizon/60).
+    for (label, r) in [("10 Gbps", &fast), ("100 Mbps", &slow)] {
+        let cols = 60;
+        let line: String = (0..cols)
+            .map(|i| {
+                let t = r.horizon * i as f64 / cols as f64;
+                if r.trace.util_at(t) > 0.5 {
+                    '#'
+                } else {
+                    '.'
+                }
+            })
+            .collect();
+        println!("{label:>9} |{line}|");
+    }
+    println!("           (# = busy, . = idle; idle periods stretch as bandwidth shrinks)\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_grows_as_bandwidth_shrinks() {
+        let fast = compute(units::gbps(10.0), 0.0);
+        let slow = compute(units::mbps(100.0), 0.0);
+        assert!(fast.idle_fraction > 0.3077, "{}", fast.idle_fraction);
+        assert!(slow.idle_fraction > 0.6923, "{}", slow.idle_fraction);
+        assert!(slow.idle_fraction > fast.idle_fraction);
+    }
+}

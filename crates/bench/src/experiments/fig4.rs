@@ -1,0 +1,159 @@
+//! Fig. 3/4 — the motivation example.
+//!
+//! A 3×3 unit-capacity fabric carries coflow C1 = {4, 4, 2} and C2 = {2, 3}
+//! (data units). The paper reports, per algorithm, (average FCT, average
+//! CCT) in time units:
+//!
+//! | PFF | WSS | FIFO | PFP | SEBF | FVDF |
+//! |-----|-----|------|-----|------|------|
+//! | 4.6 / 5.5 | 5.2 / 6 | 4.4 / 5.5 | 3.8 / 5.5 | 4 / 4.5 | 2.8 / 3.25 |
+//!
+//! The exact flow placement is not printed in the paper; the
+//! `fig4_search` binary enumerates the shuffle-style placements and finds
+//! that `C1: 0→0 (4), 1→1 (4), 2→2 (2); C2: 0→0 (2), 2→2 (3)` reproduces
+//! PFF, WSS, PFP and SEBF *exactly* and FIFO within 0.2 time units (our
+//! strict head-of-line FIFO yields 4.6 instead of 4.4 average FCT).
+//!
+//! For FVDF the paper assumes a compression ratio of 47.59% and CPU idle
+//! windows at times 0–1 and 3–3.5 during which each coflow sheds 2 data
+//! units. We reproduce those assumptions with a bursty CPU trace and a
+//! constant-ratio compression spec.
+
+use std::sync::Arc;
+use swallow_fabric::view::ConstCompression;
+use swallow_fabric::{
+    Coflow, CpuModel, CpuTrace, Engine, Fabric, FlowSpec, Policy, SimConfig,
+};
+use swallow_metrics::Table;
+use swallow_sched::{Algorithm, FvdfPolicy};
+
+/// Paper-reported (algorithm, avg FCT, avg CCT).
+pub const PAPER: [(&str, f64, f64); 6] = [
+    ("PFF", 4.6, 5.5),
+    ("WSS", 5.2, 6.0),
+    ("FIFO", 4.4, 5.5),
+    ("PFP", 3.8, 5.5),
+    ("SEBF", 4.0, 4.5),
+    ("FVDF", 2.8, 3.25),
+];
+
+/// The recovered Fig. 3 placement.
+pub fn motivation_coflows() -> Vec<Coflow> {
+    vec![
+        Coflow::builder(0)
+            .flow(FlowSpec::new(0, 0, 0, 4.0))
+            .flow(FlowSpec::new(1, 1, 1, 4.0))
+            .flow(FlowSpec::new(2, 2, 2, 2.0))
+            .build(),
+        Coflow::builder(1)
+            .flow(FlowSpec::new(3, 0, 0, 2.0))
+            .flow(FlowSpec::new(4, 2, 2, 3.0))
+            .build(),
+    ]
+}
+
+/// The Fig. 4(f) CPU availability: idle (free for compression) during
+/// `[0, 1)` and `[3, 3.5)`, busy otherwise.
+pub fn fig4_cpu() -> CpuModel {
+    let trace = CpuTrace::from_points(vec![
+        (0.0, 0.0),
+        (1.0, 1.0),
+        (3.0, 0.0),
+        (3.5, 1.0),
+    ]);
+    CpuModel::uniform(3, 1, trace)
+}
+
+/// Run one algorithm on the scenario; FVDF gets the paper's compression
+/// assumptions (ratio 47.59%, CPU idle windows).
+pub fn run_one(name: &str) -> (f64, f64) {
+    let fabric = Fabric::uniform(3, 1.0);
+    let coflows = motivation_coflows();
+    let slice = 0.025;
+    let (config, mut policy): (SimConfig, Box<dyn Policy>) = if name == "FVDF" {
+        // Disposal speed R·(1−ξ) = 4 · 0.5241 ≈ 2.1 units/t.u. > B = 1, so
+        // the Eq. 3 gate opens whenever a core is idle.
+        let comp = Arc::new(ConstCompression::new("fig4", 4.0, 0.4759));
+        (
+            SimConfig::default()
+                .with_slice(slice)
+                .with_compression(comp)
+                .with_cpu(fig4_cpu()),
+            Box::new(FvdfPolicy::new()),
+        )
+    } else if name == "FIFO" {
+        // The motivation example's FIFO is the strict head-of-line variant
+        // (Fig. 4(c) shows C2 waiting even on idle ports).
+        (
+            SimConfig::default().with_slice(slice),
+            Box::new(swallow_sched::OrderedPolicy::fifo()),
+        )
+    } else {
+        let alg = Algorithm::parse(name).expect("known algorithm");
+        (SimConfig::default().with_slice(slice), alg.make())
+    };
+    let res = Engine::new(fabric, coflows, config).run(policy.as_mut());
+    assert!(res.all_complete(), "{name} must finish the example");
+    (res.avg_fct(), res.avg_cct())
+}
+
+/// Print the figure reproduction.
+pub fn run() {
+    let mut t = Table::new(
+        "Fig 4 — motivation example, 3×3 fabric (time units)",
+        &["algorithm", "paper FCT", "measured FCT", "paper CCT", "measured CCT"],
+    );
+    for (name, p_fct, p_cct) in PAPER {
+        let (fct, cct) = run_one(name);
+        t.row(&[
+            name.into(),
+            format!("{p_fct:.2}"),
+            format!("{fct:.2}"),
+            format!("{p_cct:.2}"),
+            format!("{cct:.2}"),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "placement (recovered by `paper`'s fig4_search bin): \
+         C1: 0→0 (4u), 1→1 (4u), 2→2 (2u); C2: 0→0 (2u), 2→2 (3u)\n"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pff_wss_pfp_sebf_match_exactly() {
+        for (name, fct, cct) in [
+            ("PFF", 4.6, 5.5),
+            ("WSS", 5.2, 6.0),
+            ("PFP", 3.8, 5.5),
+            ("SEBF", 4.0, 4.5),
+        ] {
+            let (m_fct, m_cct) = run_one(name);
+            assert!((m_fct - fct).abs() < 0.05, "{name} fct {m_fct} vs {fct}");
+            assert!((m_cct - cct).abs() < 0.05, "{name} cct {m_cct} vs {cct}");
+        }
+    }
+
+    #[test]
+    fn fifo_within_tolerance() {
+        let (fct, cct) = run_one("FIFO");
+        assert!((cct - 5.5).abs() < 0.05, "cct {cct}");
+        // Known 0.2 t.u. residual on FCT (see module docs).
+        assert!((fct - 4.4).abs() < 0.25, "fct {fct}");
+    }
+
+    #[test]
+    fn fvdf_beats_sebf_via_compression() {
+        let (fvdf_fct, fvdf_cct) = run_one("FVDF");
+        let (sebf_fct, sebf_cct) = run_one("SEBF");
+        assert!(fvdf_cct < sebf_cct, "{fvdf_cct} vs {sebf_cct}");
+        assert!(fvdf_fct < sebf_fct, "{fvdf_fct} vs {sebf_fct}");
+        // Paper reports 2.8 / 3.25; stay in that neighbourhood.
+        assert!(fvdf_cct < 4.0, "cct {fvdf_cct}");
+        assert!(fvdf_fct < 3.6, "fct {fvdf_fct}");
+    }
+}

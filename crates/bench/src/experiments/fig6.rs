@@ -1,0 +1,320 @@
+//! Fig. 6 — trace-driven simulation results.
+//!
+//! * (a) average-FCT improvement of FVDF over SRTF/FIFO/FAIR under three
+//!   trace variants (all flows, top 97%, top 95%); paper: up to 1.31×,
+//!   4.22× and 4.33× respectively.
+//! * (b) the same improvements split by flow-size class.
+//! * (c) the same improvements at three magnitudes of parallel flows.
+//! * (d) CDF of FCT: SRTF leads early, FVDF overtakes on the tail; paper
+//!   reports 24.67% accumulated time saved and a 1.33× completion-time win.
+//! * (e) CCT improvement of FVDF over six coflow schedulers across the
+//!   bandwidth ladder; paper: up to 1.62× over SEBF on megabit Ethernet,
+//!   1.39× on gigabit, converging at 10 Gbps, up to 1.85× in the poorest
+//!   network; plus Table VI absolute numbers.
+//! * (f) improvement over SEBF for each compression format of Table II.
+
+use crate::scenario::{
+    self, bandwidth_ladder, codec_spec, run_algorithm, scaled_fig1, DEFAULT_SLICE,
+};
+use swallow_compress::Table2;
+use swallow_fabric::{units, Fabric, SimResult};
+use swallow_metrics::{improvement, Cdf, Table};
+use swallow_sched::Algorithm;
+use swallow_workload::gen::{CoflowGen, GenConfig, Sizing};
+use swallow_workload::{SizeDist, Trace};
+
+fn flow_trace(bw: f64, num_coflows: usize, width: f64, seed: u64) -> Trace {
+    let coflows = CoflowGen::new(GenConfig {
+        num_coflows,
+        num_nodes: 24,
+        interarrival: SizeDist::Exp { mean: 1.0 },
+        width: SizeDist::Constant(width),
+        flow_size: scaled_fig1(bw),
+        sizing: Sizing::PerCoflow { skew: 0.3 },
+        compressible_fraction: 1.0,
+        seed,
+    })
+    .generate();
+    Trace::new("fig6", 24, coflows)
+}
+
+fn fct_of(alg: Algorithm, trace: &Trace, bw: f64) -> SimResult {
+    let fabric = Fabric::uniform(trace.num_nodes, bw);
+    run_algorithm(
+        alg,
+        &fabric,
+        &trace.coflows,
+        Some(scenario::lz4()),
+        DEFAULT_SLICE,
+    )
+}
+
+/// Fig. 6(a): FVDF's average-FCT improvement over SRTF/FIFO/FAIR for the
+/// full trace and the top-97%/95% variants.
+pub fn fig6a() {
+    let bw = units::mbps(400.0);
+    let full = flow_trace(bw, 80, 4.0, 0x6A);
+    let mut t = Table::new(
+        "Fig 6(a) — avg-FCT improvement of FVDF (paper: up to 1.31x/4.22x/4.33x over SRTF/FIFO/FAIR)",
+        &["trace", "vs SRTF", "vs FIFO", "vs FAIR"],
+    );
+    for (label, frac) in [("all flows", 1.0), ("97% flows", 0.97), ("95% flows", 0.95)] {
+        let trace = full.retain_top_fraction(frac);
+        let fvdf = fct_of(Algorithm::Fvdf, &trace, bw).avg_fct();
+        let srtf = fct_of(Algorithm::Srtf, &trace, bw).avg_fct();
+        let fifo = fct_of(Algorithm::Fifo, &trace, bw).avg_fct();
+        let fair = fct_of(Algorithm::Pff, &trace, bw).avg_fct();
+        t.row(&[
+            label.into(),
+            format!("{:.2}x", improvement(srtf, fvdf)),
+            format!("{:.2}x", improvement(fifo, fvdf)),
+            format!("{:.2}x", improvement(fair, fvdf)),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// Fig. 6(b): the same improvement split by flow-size class.
+pub fn fig6b() {
+    let bw = units::mbps(400.0);
+    let trace = flow_trace(bw, 80, 4.0, 0x6B);
+    // Class boundaries relative to the scaled distribution's body.
+    let body_hi = 100.0 * bw; // the "10 GB" analogue after scaling
+    let small_cut = body_hi * 1e-3;
+    let class_of = |size: f64| -> usize {
+        if size < small_cut {
+            0
+        } else if size < body_hi * 0.1 {
+            1
+        } else {
+            2
+        }
+    };
+    let runs: Vec<(Algorithm, SimResult)> = [
+        Algorithm::Fvdf,
+        Algorithm::Srtf,
+        Algorithm::Fifo,
+        Algorithm::Pff,
+    ]
+    .iter()
+    .map(|&a| (a, fct_of(a, &trace, bw)))
+    .collect();
+    let mut t = Table::new(
+        "Fig 6(b) — avg-FCT improvement of FVDF by flow size class (paper: largest gains on large flows vs FIFO/FAIR)",
+        &["size class", "vs SRTF", "vs FIFO", "vs FAIR"],
+    );
+    for (ci, label) in [(0usize, "small"), (1, "medium"), (2, "large")] {
+        let class_fct = |res: &SimResult| -> f64 {
+            let v: Vec<f64> = res
+                .flows
+                .iter()
+                .filter(|f| class_of(f.size) == ci)
+                .filter_map(|f| f.fct())
+                .collect();
+            swallow_metrics::mean(&v)
+        };
+        let fvdf = class_fct(&runs[0].1);
+        t.row(&[
+            label.into(),
+            format!("{:.2}x", improvement(class_fct(&runs[1].1), fvdf)),
+            format!("{:.2}x", improvement(class_fct(&runs[2].1), fvdf)),
+            format!("{:.2}x", improvement(class_fct(&runs[3].1), fvdf)),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// Fig. 6(c): improvements at different numbers of parallel flows.
+pub fn fig6c() {
+    let bw = units::mbps(400.0);
+    let mut t = Table::new(
+        "Fig 6(c) — avg-FCT improvement of FVDF vs number of parallel flows (paper: FVDF wins at all three magnitudes)",
+        &["parallel flows", "vs SRTF", "vs FIFO", "vs FAIR"],
+    );
+    for (coflows, width) in [(40usize, 2.0), (40, 5.0), (40, 10.0)] {
+        let trace = flow_trace(bw, coflows, width, 0x6C);
+        let fvdf = fct_of(Algorithm::Fvdf, &trace, bw).avg_fct();
+        let srtf = fct_of(Algorithm::Srtf, &trace, bw).avg_fct();
+        let fifo = fct_of(Algorithm::Fifo, &trace, bw).avg_fct();
+        let fair = fct_of(Algorithm::Pff, &trace, bw).avg_fct();
+        t.row(&[
+            format!("{}", coflows * width as usize),
+            format!("{:.2}x", improvement(srtf, fvdf)),
+            format!("{:.2}x", improvement(fifo, fvdf)),
+            format!("{:.2}x", improvement(fair, fvdf)),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// Fig. 6(d): the FCT CDF crossover between SRTF and FVDF.
+pub fn fig6d() {
+    let bw = units::mbps(400.0);
+    let trace = flow_trace(bw, 80, 4.0, 0x6D);
+    let mut t = Table::new(
+        "Fig 6(d) — CDF of FCT (paper: SRTF leads early, FVDF wins the tail; 24.67% accumulated time saved)",
+        &["quantile", "FVDF", "SRTF", "FIFO", "FAIR"],
+    );
+    let runs: Vec<(Algorithm, Cdf)> = [
+        Algorithm::Fvdf,
+        Algorithm::Srtf,
+        Algorithm::Fifo,
+        Algorithm::Pff,
+    ]
+    .iter()
+    .map(|&a| (a, Cdf::new(fct_of(a, &trace, bw).fct_values())))
+    .collect();
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+        let mut row = vec![format!("p{:.0}", q * 100.0)];
+        for (_, cdf) in &runs {
+            row.push(units::human_secs(cdf.quantile(q)));
+        }
+        t.row(&row);
+    }
+    println!("{t}");
+    // Accumulated (total) completion time saved by FVDF vs SRTF.
+    let total = |alg: Algorithm| -> f64 { fct_of(alg, &trace, bw).fct_values().iter().sum() };
+    let fvdf = total(Algorithm::Fvdf);
+    let srtf = total(Algorithm::Srtf);
+    println!(
+        "accumulated FCT saved vs SRTF: {:.2}% (paper: 24.67%); completion-time improvement {:.2}x (paper: up to 1.33x)\n",
+        (1.0 - fvdf / srtf) * 100.0,
+        srtf / fvdf
+    );
+}
+
+/// Fig. 6(e) + Table VI: CCT across the bandwidth ladder.
+pub fn fig6e() {
+    let algs = [
+        Algorithm::Fvdf,
+        Algorithm::Sebf,
+        Algorithm::Scf,
+        Algorithm::Ncf,
+        Algorithm::Lcf,
+        Algorithm::Pff,
+        Algorithm::Srtf,
+    ];
+    let mut t = Table::new(
+        "Fig 6(e) — FVDF CCT improvement vs bandwidth (paper: 1.62x over SEBF at 100 Mbps, 1.39x at 1 Gbps, ~1x at 10 Gbps)",
+        &["bandwidth", "vs SEBF", "vs SCF", "vs NCF", "vs LCF", "vs PFF", "vs PFP"],
+    );
+    let mut table6_rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for (label, bw) in bandwidth_ladder() {
+        let trace = flow_trace(bw, 60, 4.0, 0x6E);
+        let ccts: Vec<f64> = algs
+            .iter()
+            .map(|&a| fct_of(a, &trace, bw).avg_cct())
+            .collect();
+        let fvdf = ccts[0];
+        t.row(&[
+            label.clone(),
+            format!("{:.2}x", improvement(ccts[1], fvdf)),
+            format!("{:.2}x", improvement(ccts[2], fvdf)),
+            format!("{:.2}x", improvement(ccts[3], fvdf)),
+            format!("{:.2}x", improvement(ccts[4], fvdf)),
+            format!("{:.2}x", improvement(ccts[5], fvdf)),
+            format!("{:.2}x", improvement(ccts[6], fvdf)),
+        ]);
+        table6_rows.push((label, ccts));
+    }
+    println!("{t}");
+
+    // Table VI at the lowest bandwidth (the paper's headline condition).
+    let (label, ccts) = &table6_rows[0];
+    let mut t = Table::new(
+        format!("Table VI — avg CCT at {label} (paper order: FVDF < SEBF < SCF/NCF/LCF < PFF/FAIR < PFP)"),
+        &["algorithm", "avg CCT", "vs FVDF"],
+    );
+    for (alg, cct) in algs.iter().zip(ccts.iter()) {
+        t.row(&[
+            alg.name().into(),
+            units::human_secs(*cct),
+            format!("{:.2}x", cct / ccts[0]),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// Fig. 6(f): improvement over SEBF per compression format.
+pub fn fig6f() {
+    let bw = units::mbps(400.0);
+    let trace = flow_trace(bw, 60, 4.0, 0x6F);
+    let fabric = Fabric::uniform(trace.num_nodes, bw);
+    let sebf = run_algorithm(Algorithm::Sebf, &fabric, &trace.coflows, None, DEFAULT_SLICE);
+    let mut t = Table::new(
+        "Fig 6(f) — FVDF improvement over SEBF per codec (paper: FVDF exceeds SEBF under every format)",
+        &["codec", "FVDF avg CCT", "SEBF avg CCT", "improvement"],
+    );
+    for codec in Table2::ALL {
+        let res = run_algorithm(
+            Algorithm::Fvdf,
+            &fabric,
+            &trace.coflows,
+            Some(codec_spec(codec)),
+            DEFAULT_SLICE,
+        );
+        t.row(&[
+            codec.profile().name.clone(),
+            units::human_secs(res.avg_cct()),
+            units::human_secs(sebf.avg_cct()),
+            format!("{:.2}x", improvement(sebf.avg_cct(), res.avg_cct())),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// Run the whole figure.
+pub fn run() {
+    fig6a();
+    fig6b();
+    fig6c();
+    fig6d();
+    fig6e();
+    fig6f();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline orderings of Fig. 6 must hold on a small instance.
+    #[test]
+    fn fvdf_beats_baselines_on_fct() {
+        let bw = units::mbps(200.0);
+        let trace = flow_trace(bw, 25, 3.0, 1);
+        let fvdf = fct_of(Algorithm::Fvdf, &trace, bw);
+        let fifo = fct_of(Algorithm::Fifo, &trace, bw);
+        let fair = fct_of(Algorithm::Pff, &trace, bw);
+        assert!(fvdf.all_complete() && fifo.all_complete() && fair.all_complete());
+        assert!(fvdf.avg_fct() < fifo.avg_fct());
+        assert!(fvdf.avg_fct() < fair.avg_fct());
+    }
+
+    #[test]
+    fn fvdf_converges_to_sebf_at_10gbps() {
+        let bw = units::gbps(10.0);
+        let trace = flow_trace(bw, 25, 3.0, 2);
+        let fvdf = fct_of(Algorithm::Fvdf, &trace, bw);
+        // Compression never fires at 10 Gbps (Eq. 3), so no traffic drop.
+        assert!(fvdf.traffic_reduction() < 1e-9);
+    }
+
+    #[test]
+    fn fvdf_gains_grow_as_bandwidth_shrinks() {
+        let slow_bw = units::mbps(100.0);
+        let fast_bw = units::gbps(10.0);
+        let gain = |bw: f64| {
+            let trace = flow_trace(bw, 25, 3.0, 3);
+            let fvdf = fct_of(Algorithm::Fvdf, &trace, bw).avg_cct();
+            let sebf = fct_of(Algorithm::Sebf, &trace, bw).avg_cct();
+            sebf / fvdf
+        };
+        let slow_gain = gain(slow_bw);
+        let fast_gain = gain(fast_bw);
+        assert!(
+            slow_gain > fast_gain,
+            "gain at 100 Mbps ({slow_gain:.2}) should exceed gain at 10 Gbps ({fast_gain:.2})"
+        );
+        assert!(slow_gain > 1.1, "compression should matter at 100 Mbps");
+    }
+}

@@ -1,0 +1,216 @@
+//! Fig. 7 — results of the (simulated) realistic deployment.
+//!
+//! * (a) per-stage JCT improvement of Swallow over the SEBF baseline;
+//!   paper: shuffle stage up to 1.90×, result stage up to 2.12×, JCT
+//!   1.66× on average.
+//! * (b) + Table VII: traffic reduction at the three workload scales;
+//!   paper: 46.73% / 49.81% / 48.68% (48.41% on average).
+//! * (c) CDF of CCT for slice lengths from O(10 ms) to O(1 s); paper: CCT
+//!   grows with the slice, with >48.63% of coflows done by the deadline at
+//!   10 ms but only a few at 1 s.
+
+use crate::scenario::{self, run_algorithm, scaled_fig1};
+use swallow_cluster::{ClusterConfig, ClusterResult, ClusterSim, JobSpec};
+use swallow_compress::Table2;
+use swallow_fabric::{units, Fabric};
+use swallow_metrics::{improvement, Cdf, Table};
+use swallow_sched::Algorithm;
+use swallow_workload::gen::{CoflowGen, GenConfig, Sizing};
+use swallow_workload::SizeDist;
+
+fn cluster_jobs(total_bytes: f64, jobs: usize) -> Vec<JobSpec> {
+    (0..jobs)
+        .map(|i| JobSpec::sort_like(i as u64, i as f64 * 2.0, total_bytes / jobs as f64))
+        .collect()
+}
+
+fn run_cluster(compression: Option<Table2>, total_bytes: f64, nodes: usize) -> ClusterResult {
+    let cfg = ClusterConfig {
+        num_nodes: nodes,
+        link_bandwidth: units::gbps(1.0),
+        compression,
+        // The deployment's observed average reduction is 48.41% (Table
+        // VII), i.e. an effective wire ratio ≈ 0.52 across the HiBench mix.
+        ratio_override: Some(0.52),
+        algorithm: if compression.is_some() {
+            Algorithm::Fvdf
+        } else {
+            Algorithm::Sebf
+        },
+        ..ClusterConfig::default()
+    };
+    ClusterSim::new(cfg).run(&cluster_jobs(total_bytes, 8))
+}
+
+/// Fig. 7(a): stage-level improvements, Swallow vs no-compression SEBF.
+pub fn fig7a() {
+    let total = 40e9;
+    let with = run_cluster(Some(Table2::Lz4), total, 12);
+    let without = run_cluster(None, total, 12);
+    let mut t = Table::new(
+        "Fig 7(a) — per-stage improvement of Swallow (paper: shuffle up to 1.90x, result up to 2.12x, JCT 1.66x avg)",
+        &["stage", "without Swallow", "with Swallow", "improvement"],
+    );
+    type StageSel = fn(&swallow_cluster::JobRecord) -> swallow_cluster::StageWindow;
+    let rows: [(&str, StageSel); 4] = [
+        ("map", |j| j.map),
+        ("shuffle", |j| j.shuffle),
+        ("reduce", |j| j.reduce),
+        ("result", |j| j.result),
+    ];
+    for (label, f) in rows {
+        let a = without.avg_stage(f);
+        let b = with.avg_stage(f);
+        t.row(&[
+            label.into(),
+            units::human_secs(a),
+            units::human_secs(b),
+            format!("{:.2}x", improvement(a, b)),
+        ]);
+    }
+    t.row(&[
+        "JCT".into(),
+        units::human_secs(without.avg_jct()),
+        units::human_secs(with.avg_jct()),
+        format!("{:.2}x", improvement(without.avg_jct(), with.avg_jct())),
+    ]);
+    println!("{t}");
+}
+
+/// Fig. 7(b) + Table VII: traffic with and without Swallow.
+pub fn fig7b() {
+    let mut t = Table::new(
+        "Table VII / Fig 7(b) — data traffic (paper: 46.73% / 49.81% / 48.68% reduction; 48.41% avg)",
+        &["workload", "with Swallow", "without Swallow", "reduction"],
+    );
+    let mut reductions = Vec::new();
+    // (scale label, paper totals, per-app Table I ratio driving the run)
+    for (label, bytes, nodes, ratio) in [
+        ("large", 2.4e9, 8usize, 0.53),
+        ("huge", 25.7e9, 12, 0.50),
+        ("gigantic", 2.65e12, 20, 0.51),
+    ] {
+        let cfg = ClusterConfig {
+            num_nodes: nodes,
+            link_bandwidth: units::gbps(1.0),
+            compression: Some(Table2::Lz4),
+            ratio_override: Some(ratio),
+            algorithm: Algorithm::Fvdf,
+            ..ClusterConfig::default()
+        };
+        let res = ClusterSim::new(cfg).run(&cluster_jobs(bytes, 8));
+        let (wire, raw) = res.traffic();
+        let red = 1.0 - wire / raw;
+        reductions.push(red);
+        t.row(&[
+            label.into(),
+            units::human_bytes(wire),
+            units::human_bytes(raw),
+            format!("{:.2}%", red * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "average reduction: {:.2}% (paper: 48.41%)\n",
+        reductions.iter().sum::<f64>() / reductions.len() as f64 * 100.0
+    );
+}
+
+/// Fig. 7(c): CCT CDF vs slice length.
+pub fn fig7c() {
+    let bw = units::mbps(400.0);
+    let coflows = CoflowGen::new(GenConfig {
+        num_coflows: 60,
+        num_nodes: 24,
+        interarrival: SizeDist::Exp { mean: 1.0 },
+        width: SizeDist::Uniform { lo: 1.0, hi: 6.0 },
+        flow_size: scaled_fig1(bw),
+        sizing: Sizing::PerCoflow { skew: 0.3 },
+        compressible_fraction: 1.0,
+        seed: 0x7C,
+    })
+    .generate();
+    let fabric = Fabric::uniform(24, bw);
+    let slices = [0.01, 0.05, 0.1, 0.5, 1.0];
+    let mut t = Table::new(
+        "Fig 7(c) — CCT vs slice length (paper: CCT grows with slice; Swallow defaults to 0.01 s)",
+        &["slice", "avg CCT", "p50 CCT", "p90 CCT", "done by deadline"],
+    );
+    // Deadline: twice the 10 ms run's median completion time.
+    let mut deadline = 0.0;
+    for &slice in &slices {
+        let res = run_algorithm(
+            Algorithm::Fvdf,
+            &fabric,
+            &coflows,
+            Some(scenario::lz4()),
+            slice,
+        );
+        let cdf = Cdf::new(res.cct_values());
+        if deadline == 0.0 {
+            deadline = cdf.quantile(0.5) * 2.0;
+        }
+        t.row(&[
+            units::human_secs(slice),
+            units::human_secs(res.avg_cct()),
+            units::human_secs(cdf.quantile(0.5)),
+            units::human_secs(cdf.quantile(0.9)),
+            format!("{:.1}%", cdf.fraction_below(deadline) * 100.0),
+        ]);
+    }
+    println!("{t}");
+}
+
+/// Run the whole figure.
+pub fn run() {
+    fig7a();
+    fig7b();
+    fig7c();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swallow_improves_every_stage_it_touches() {
+        let with = run_cluster(Some(Table2::Lz4), 10e9, 8);
+        let without = run_cluster(None, 10e9, 8);
+        assert!(with.avg_stage(|j| j.shuffle) < without.avg_stage(|j| j.shuffle));
+        assert!(with.avg_stage(|j| j.result) < without.avg_stage(|j| j.result));
+        assert!(with.avg_jct() < without.avg_jct());
+    }
+
+    #[test]
+    fn traffic_reduction_tracks_ratio() {
+        let with = run_cluster(Some(Table2::Lz4), 10e9, 8);
+        let (wire, raw) = with.traffic();
+        assert!((wire / raw - 0.52).abs() < 0.05, "{}", wire / raw);
+    }
+
+    #[test]
+    fn longer_slices_do_not_shrink_cct() {
+        let bw = units::mbps(200.0);
+        let coflows = CoflowGen::new(GenConfig {
+            num_coflows: 15,
+            num_nodes: 12,
+            interarrival: SizeDist::Exp { mean: 1.0 },
+            width: SizeDist::Constant(3.0),
+            flow_size: scaled_fig1(bw),
+            sizing: Sizing::PerCoflow { skew: 0.3 },
+        compressible_fraction: 1.0,
+            seed: 9,
+        })
+        .generate();
+        let fabric = Fabric::uniform(12, bw);
+        let short = run_algorithm(Algorithm::Fvdf, &fabric, &coflows, Some(scenario::lz4()), 0.01);
+        let long = run_algorithm(Algorithm::Fvdf, &fabric, &coflows, Some(scenario::lz4()), 1.0);
+        assert!(short.all_complete() && long.all_complete());
+        assert!(
+            long.avg_cct() >= short.avg_cct() * 0.98,
+            "long-slice CCT {} vs short {}",
+            long.avg_cct(),
+            short.avg_cct()
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! One module per paper artifact. Every `run()` prints the measured values
+//! next to the paper-reported ones.
+
+pub mod ext;
+pub mod fig1;
+pub mod fig2;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod tables;

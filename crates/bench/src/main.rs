@@ -1,0 +1,76 @@
+//! The `paper` harness: regenerate every table and figure of the Swallow
+//! paper's evaluation.
+//!
+//! ```text
+//! paper <subcommand> [<subcommand> …]
+//!
+//!   fig1  fig2  fig4  fig6a fig6b fig6c fig6d fig6e fig6f
+//!   fig7a fig7b fig7c table1 table2 table3 table5 table8
+//!   all   — everything in paper order
+//! ```
+//!
+//! (`table6` is printed by `fig6e`, `table7` by `fig7b`.)
+
+use swallow_bench::experiments::{ext, fig1, fig2, fig4, fig6, fig7, tables};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: paper <cmd> [<cmd> …]\n\
+         cmds: fig1 fig2 fig4 fig6 fig6a fig6b fig6c fig6d fig6e fig6f\n\
+         \x20     fig7 fig7a fig7b fig7c table1 table2 table3 table5 table8\n\
+         \x20     ext ext1 ext2 ext3 ext4 ext5 all\n\
+         (table6 prints with fig6e, table7 with fig7b)"
+    );
+    std::process::exit(2);
+}
+
+fn dispatch(cmd: &str) {
+    match cmd {
+        "fig1" => fig1::run(),
+        "fig2" => fig2::run(),
+        "fig4" | "fig3" => fig4::run(),
+        "fig6" => fig6::run(),
+        "fig6a" => fig6::fig6a(),
+        "fig6b" => fig6::fig6b(),
+        "fig6c" => fig6::fig6c(),
+        "fig6d" => fig6::fig6d(),
+        "fig6e" | "table6" => fig6::fig6e(),
+        "fig6f" => fig6::fig6f(),
+        "fig7" => fig7::run(),
+        "fig7a" => fig7::fig7a(),
+        "fig7b" | "table7" => fig7::fig7b(),
+        "fig7c" => fig7::fig7c(),
+        "table1" => tables::table1(),
+        "table2" => tables::table2(),
+        "table3" => tables::table3(),
+        "table5" => tables::table5(),
+        "table8" => tables::table8(),
+        "tables" => tables::run_all(),
+        "ext" => ext::run(),
+        "ext1" => ext::ext_codec_selection(),
+        "ext2" => ext::ext_decompression(),
+        "ext3" => ext::ext_bounds(),
+        "ext4" => ext::ext_granularity(),
+        "ext5" => ext::ext_nonclairvoyant(),
+        "all" => {
+            for c in [
+                "fig1", "fig2", "fig4", "table1", "table2", "table3", "fig6a", "fig6b", "fig6c",
+                "fig6d", "fig6e", "fig6f", "table5", "fig7a", "fig7b", "fig7c", "table8", "ext",
+            ] {
+                println!("──────────────────────────────────────────── {c}");
+                dispatch(c);
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    for cmd in &args {
+        dispatch(cmd);
+    }
+}

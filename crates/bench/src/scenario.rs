@@ -1,0 +1,168 @@
+//! Shared workload scenarios for the experiment harness.
+//!
+//! The paper replays Spark shuffle traces we do not have; we generate
+//! synthetic ones whose flow-size distribution matches Fig. 1. Sizes are
+//! *scaled to the bandwidth under test* so the largest flows take O(100 s)
+//! of simulated time — improvement factors between algorithms are scale-free,
+//! so this keeps every harness run inside laptop budgets without changing
+//! who wins.
+
+use std::sync::Arc;
+use swallow_fabric::view::CompressionSpec;
+use swallow_fabric::{units, Coflow, Engine, Fabric, SimConfig, SimResult};
+use swallow_sched::Algorithm;
+use swallow_workload::gen::{fig1_size_dist_scaled, CoflowGen, GenConfig, Sizing};
+use swallow_workload::SizeDist;
+
+/// Workload scale presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StdScale {
+    /// Quick smoke runs (~seconds).
+    Small,
+    /// Default harness runs.
+    Medium,
+    /// Heavier sweeps.
+    Large,
+}
+
+impl StdScale {
+    /// `(num_coflows, num_nodes)` for the preset.
+    pub fn dims(self) -> (usize, usize) {
+        match self {
+            StdScale::Small => (20, 12),
+            StdScale::Medium => (60, 24),
+            StdScale::Large => (150, 40),
+        }
+    }
+}
+
+/// The default fabric for a scale at the given port bandwidth.
+pub fn std_fabric(scale: StdScale, bandwidth: f64) -> Fabric {
+    let (_, nodes) = scale.dims();
+    Fabric::uniform(nodes, bandwidth)
+}
+
+/// The Fig. 1 size distribution rescaled so the *body* of the distribution
+/// (10 MB–10 GB in the paper) transfers in 0.1–100 s at `bandwidth`:
+/// improvement factors between algorithms are scale-free, so this keeps
+/// harness runtimes bounded without changing who wins.
+pub fn scaled_fig1(bandwidth: f64) -> SizeDist {
+    fig1_size_dist_scaled((100.0 * bandwidth) / 10e9)
+}
+
+/// The default compression spec: LZ4 with its constant Table II parameters
+/// (785 MB/s, ξ = 62.15%) — Swallow's default codec. The size-dependent
+/// Table III curve is available via [`codec_spec`] and drives Fig. 6(f).
+pub fn lz4() -> Arc<dyn CompressionSpec> {
+    Arc::new(swallow_sched::ProfiledCompression::constant(
+        swallow_compress::Table2::Lz4,
+    ))
+}
+
+/// A compression spec for any Table II codec: its measured speed with the
+/// Table III ratio *shape* rescaled to the codec's asymptotic ratio.
+pub fn codec_spec(codec: swallow_compress::Table2) -> Arc<dyn CompressionSpec> {
+    Arc::new(swallow_sched::ProfiledCompression::size_dependent(codec))
+}
+
+/// A Fig. 1-shaped trace sized so the simulation horizon is O(100–1000 s)
+/// at `bandwidth` bytes/s.
+pub fn std_trace(scale: StdScale, bandwidth: f64, seed: u64) -> Vec<Coflow> {
+    let (coflows, nodes) = scale.dims();
+    let cfg = GenConfig {
+        num_coflows: coflows,
+        num_nodes: nodes,
+        interarrival: SizeDist::Exp { mean: 2.0 },
+        width: SizeDist::Uniform { lo: 1.0, hi: 8.0 },
+        flow_size: scaled_fig1(bandwidth),
+        sizing: Sizing::PerCoflow { skew: 0.3 },
+        compressible_fraction: 1.0,
+        seed,
+    };
+    CoflowGen::new(cfg).generate()
+}
+
+/// Run one algorithm over a trace and return its result.
+pub fn run_algorithm(
+    alg: Algorithm,
+    fabric: &Fabric,
+    coflows: &[Coflow],
+    compression: Option<Arc<dyn CompressionSpec>>,
+    slice: f64,
+) -> SimResult {
+    let mut config = SimConfig::default()
+        .with_slice(slice)
+        .with_reschedule(swallow_fabric::engine::Reschedule::EventsOnly);
+    if let Some(c) = compression {
+        config = config.with_compression(c);
+    }
+    let mut policy = alg.make();
+    Engine::new(fabric.clone(), coflows.to_vec(), config).run(policy.as_mut())
+}
+
+/// Run several algorithms over the same trace.
+pub fn run_algorithms(
+    algs: &[Algorithm],
+    fabric: &Fabric,
+    coflows: &[Coflow],
+    compression: Option<Arc<dyn CompressionSpec>>,
+    slice: f64,
+) -> Vec<(Algorithm, SimResult)> {
+    algs.iter()
+        .map(|&a| {
+            (
+                a,
+                run_algorithm(a, fabric, coflows, compression.clone(), slice),
+            )
+        })
+        .collect()
+}
+
+/// Default slice length: the paper's 10 ms.
+pub const DEFAULT_SLICE: f64 = 0.01;
+
+/// The 100 Mbps / 1 Gbps / 10 Gbps bandwidth ladder of §VI (bytes/s).
+pub fn bandwidth_ladder() -> Vec<(String, f64)> {
+    vec![
+        ("100 Mbps".into(), units::mbps(100.0)),
+        ("400 Mbps".into(), units::mbps(400.0)),
+        ("1 Gbps".into(), units::gbps(1.0)),
+        ("4 Gbps".into(), units::gbps(4.0)),
+        ("10 Gbps".into(), units::gbps(10.0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow_sched::ProfiledCompression;
+
+    #[test]
+    fn std_trace_is_deterministic_and_sized() {
+        let a = std_trace(StdScale::Small, units::mbps(100.0), 1);
+        let b = std_trace(StdScale::Small, units::mbps(100.0), 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn run_algorithm_completes_small_scale() {
+        let bw = units::mbps(100.0);
+        let fabric = std_fabric(StdScale::Small, bw);
+        let trace = std_trace(StdScale::Small, bw, 7);
+        let res = run_algorithm(Algorithm::Sebf, &fabric, &trace, None, DEFAULT_SLICE);
+        assert!(res.all_complete(), "SEBF left work unfinished");
+        let comp: Arc<dyn swallow_fabric::view::CompressionSpec> = Arc::new(
+            ProfiledCompression::constant(swallow_compress::Table2::Lz4),
+        );
+        let res = run_algorithm(
+            Algorithm::Fvdf,
+            &fabric,
+            &trace,
+            Some(comp),
+            DEFAULT_SLICE,
+        );
+        assert!(res.all_complete(), "FVDF left work unfinished");
+        assert!(res.traffic_reduction() > 0.2);
+    }
+}

@@ -1,0 +1,111 @@
+//! JVM garbage-collection time model.
+//!
+//! The paper's Table VIII shows that enabling coflow compression shrinks GC
+//! pauses in both map and reduce stages, because the shuffle buffers (and
+//! the spill/merge churn they cause) are smaller. We model GC time per
+//! stage as `base + rate · heap_bytes`, where the heap pressure of a stage
+//! is its share of the (possibly compressed) shuffle data, with a
+//! super-linear penalty once the working set exceeds the executor heap —
+//! the regime responsible for the 19-minute reduce GC of the uncompressed
+//! gigantic workload.
+
+use serde::{Deserialize, Serialize};
+
+/// GC model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GcModel {
+    /// Constant per-stage GC overhead (seconds).
+    pub base: f64,
+    /// GC seconds per gigabyte of stage working set.
+    pub secs_per_gb: f64,
+    /// Executor heap size (bytes); beyond it GC goes super-linear.
+    pub heap_bytes: f64,
+    /// Multiplier applied to the excess beyond the heap.
+    pub thrash_factor: f64,
+}
+
+impl Default for GcModel {
+    fn default() -> Self {
+        Self {
+            base: 0.1,
+            secs_per_gb: 0.6,
+            heap_bytes: 8e9,
+            thrash_factor: 6.0,
+        }
+    }
+}
+
+impl GcModel {
+    /// GC seconds for a stage whose per-executor working set is `bytes`.
+    pub fn stage_gc(&self, bytes: f64) -> f64 {
+        let within = bytes.min(self.heap_bytes);
+        let excess = (bytes - self.heap_bytes).max(0.0);
+        self.base
+            + self.secs_per_gb * within / 1e9
+            + self.thrash_factor * self.secs_per_gb * excess / 1e9
+    }
+}
+
+/// GC outcome for a job (the paper quotes map/reduce separately).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GcReport {
+    /// Map-stage GC seconds.
+    pub map_secs: f64,
+    /// Reduce-stage GC seconds.
+    pub reduce_secs: f64,
+}
+
+impl GcReport {
+    /// Compute the report for a job moving `shuffle_bytes` (post-compression
+    /// wire bytes) across `num_maps`/`num_reduces` tasks.
+    pub fn for_job(
+        model: &GcModel,
+        shuffle_bytes: f64,
+        num_maps: usize,
+        num_reduces: usize,
+    ) -> Self {
+        // Mappers buffer their outgoing partitions; reducers hold the whole
+        // incoming partition plus merge structures (~2×), which is why
+        // reduce GC dominates in Table VIII.
+        let map_set = shuffle_bytes / num_maps.max(1) as f64;
+        let reduce_set = 2.0 * shuffle_bytes / num_reduces.max(1) as f64;
+        Self {
+            map_secs: model.stage_gc(map_set),
+            reduce_secs: model.stage_gc(reduce_set),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc_monotone_in_bytes() {
+        let m = GcModel::default();
+        assert!(m.stage_gc(1e9) < m.stage_gc(5e9));
+        assert!(m.stage_gc(5e9) < m.stage_gc(20e9));
+    }
+
+    #[test]
+    fn thrashing_kicks_in_beyond_heap() {
+        let m = GcModel::default();
+        let below = m.stage_gc(8e9) - m.stage_gc(7e9);
+        let above = m.stage_gc(17e9) - m.stage_gc(16e9);
+        assert!(
+            above > 3.0 * below,
+            "super-linear regime expected: {below} vs {above}"
+        );
+    }
+
+    #[test]
+    fn compression_shrinks_gc() {
+        let m = GcModel::default();
+        let raw = GcReport::for_job(&m, 25.7e9, 8, 8);
+        let compressed = GcReport::for_job(&m, 25.7e9 * 0.25, 8, 8);
+        assert!(compressed.map_secs < raw.map_secs);
+        assert!(compressed.reduce_secs < raw.reduce_secs);
+        // Reduce dominates map, as in Table VIII.
+        assert!(raw.reduce_secs > raw.map_secs);
+    }
+}

@@ -1,0 +1,108 @@
+//! Job descriptions and per-job outcome records.
+
+use crate::gc::GcReport;
+use serde::{Deserialize, Serialize};
+use swallow_compress::HibenchApp;
+
+/// A data-parallel job: map → shuffle → reduce → result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Job identifier (also the shuffle coflow's id).
+    pub id: u64,
+    /// Which HiBench application this models (fixes compressibility).
+    pub app: HibenchApp,
+    /// Submission time, seconds.
+    pub arrival: f64,
+    /// Number of map tasks.
+    pub num_maps: usize,
+    /// Number of reduce tasks.
+    pub num_reduces: usize,
+    /// Compute seconds per map task.
+    pub map_task_secs: f64,
+    /// Compute seconds per reduce task.
+    pub reduce_task_secs: f64,
+    /// Total shuffle bytes (the coflow's size, uncompressed).
+    pub shuffle_bytes: f64,
+    /// Output bytes written in the result stage (uncompressed).
+    pub output_bytes: f64,
+}
+
+impl JobSpec {
+    /// A Sort-like job with sensible task counts for an `n`-node cluster.
+    pub fn sort_like(id: u64, arrival: f64, shuffle_bytes: f64) -> Self {
+        Self {
+            id,
+            app: HibenchApp::Sort,
+            arrival,
+            num_maps: 8,
+            num_reduces: 8,
+            map_task_secs: 1.0,
+            reduce_task_secs: 1.0,
+            shuffle_bytes,
+            output_bytes: shuffle_bytes * 0.8,
+        }
+    }
+}
+
+/// A `[start, end)` window for one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageWindow {
+    /// Stage start time.
+    pub start: f64,
+    /// Stage end time.
+    pub end: f64,
+}
+
+impl StageWindow {
+    /// Stage duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Outcome of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job identifier.
+    pub id: u64,
+    /// Submission time.
+    pub arrival: f64,
+    /// Map stage window.
+    pub map: StageWindow,
+    /// Shuffle stage window (the coflow's lifetime).
+    pub shuffle: StageWindow,
+    /// Reduce stage window.
+    pub reduce: StageWindow,
+    /// Result-write stage window.
+    pub result: StageWindow,
+    /// Shuffle bytes that actually crossed the wire.
+    pub shuffle_wire_bytes: f64,
+    /// GC accounting for this job.
+    pub gc: GcReport,
+}
+
+impl JobRecord {
+    /// Job completion time (result end − arrival).
+    pub fn jct(&self) -> f64 {
+        self.result.end - self.arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_window_duration() {
+        let w = StageWindow { start: 2.0, end: 5.5 };
+        assert!((w.duration() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sort_like_defaults() {
+        let j = JobSpec::sort_like(1, 0.0, 1e9);
+        assert_eq!(j.app, HibenchApp::Sort);
+        assert_eq!(j.num_maps, 8);
+        assert!((j.output_bytes - 0.8e9).abs() < 1.0);
+    }
+}

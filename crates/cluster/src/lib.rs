@@ -1,0 +1,30 @@
+//! # swallow-cluster
+//!
+//! A Spark-like cluster model standing in for the paper's 100-VM deployment
+//! (§VI-B). A job runs the canonical stage pipeline
+//! **map → shuffle → reduce → result**:
+//!
+//! * map and reduce tasks occupy executor *slots* ([`slots::SlotScheduler`])
+//!   under Spark's FIFO or FAIR job scheduler;
+//! * the shuffle stage is a coflow pushed through the `swallow-fabric`
+//!   engine under any `swallow-sched` policy, with or without coflow
+//!   compression — this is where Swallow acts;
+//! * the result stage writes the (possibly compressed) output to storage at
+//!   disk bandwidth;
+//! * a calibrated GC model ([`gc`]) charges JVM garbage-collection time
+//!   proportional to the shuffle buffers each stage holds, reproducing the
+//!   Table VIII effect that compression shrinks GC pauses.
+//!
+//! [`throughput`] computes the paper's Table V job-throughput statistic from
+//! any fabric `SimResult`.
+
+pub mod gc;
+pub mod job;
+pub mod runner;
+pub mod slots;
+pub mod throughput;
+
+pub use gc::{GcModel, GcReport};
+pub use job::{JobRecord, JobSpec, StageWindow};
+pub use runner::{ClusterConfig, ClusterResult, ClusterSim, IterativeResult, JobSched};
+pub use throughput::{job_throughput, ThroughputReport};

@@ -1,0 +1,529 @@
+//! The cluster simulator: drives jobs through map → shuffle → reduce →
+//! result with any coflow scheduling policy on the shuffle stage.
+
+use crate::gc::{GcModel, GcReport};
+use crate::job::{JobRecord, JobSpec, StageWindow};
+use crate::slots::{SlotScheduler, TaskBatch, TaskOrder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use swallow_compress::Table2;
+use swallow_fabric::{Coflow, Engine, Fabric, FlowSpec, SimConfig, SimResult};
+use swallow_sched::{Algorithm, ProfiledCompression};
+
+/// Spark job scheduler flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobSched {
+    /// FIFO (Spark default).
+    Fifo,
+    /// FAIR.
+    Fair,
+}
+
+impl JobSched {
+    fn order(self) -> TaskOrder {
+        match self {
+            JobSched::Fifo => TaskOrder::Fifo,
+            JobSched::Fair => TaskOrder::Fair,
+        }
+    }
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Machines in the cluster.
+    pub num_nodes: usize,
+    /// Task slots per machine.
+    pub slots_per_node: usize,
+    /// Network port bandwidth, bytes/s.
+    pub link_bandwidth: f64,
+    /// Storage write bandwidth per reducer, bytes/s.
+    pub disk_bandwidth: f64,
+    /// Coflow scheduling policy on the shuffle stage.
+    pub algorithm: Algorithm,
+    /// Coflow compression codec (`None` disables compression entirely).
+    pub compression: Option<Table2>,
+    /// Override the codec's ratio with an application-specific one
+    /// (Table I), e.g. 0.2496 for Sort.
+    pub ratio_override: Option<f64>,
+    /// Spark job scheduler for task slots.
+    pub job_sched: JobSched,
+    /// Engine slice δ, seconds.
+    pub slice: f64,
+    /// GC model parameters.
+    pub gc: GcModel,
+    /// Placement seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            num_nodes: 20,
+            slots_per_node: 4,
+            link_bandwidth: swallow_fabric::units::gbps(1.0),
+            disk_bandwidth: 200e6,
+            algorithm: Algorithm::Fvdf,
+            compression: Some(Table2::Lz4),
+            ratio_override: None,
+            job_sched: JobSched::Fifo,
+            slice: 0.01,
+            gc: GcModel::default(),
+            seed: 0xC1A5,
+        }
+    }
+}
+
+/// Everything one cluster run produces.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// Per-job outcomes, job-id ordered.
+    pub jobs: Vec<JobRecord>,
+    /// The raw shuffle-stage simulation result.
+    pub shuffle: SimResult,
+}
+
+impl ClusterResult {
+    /// Average job completion time.
+    pub fn avg_jct(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| j.jct()).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Average duration of a stage selected by `f`.
+    pub fn avg_stage(&self, f: impl Fn(&JobRecord) -> StageWindow) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| f(j).duration()).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Total `(wire, raw)` shuffle bytes — Table VII's traffic numbers.
+    pub fn traffic(&self) -> (f64, f64) {
+        let wire: f64 = self.jobs.iter().map(|j| j.shuffle_wire_bytes).sum();
+        let raw: f64 = self.shuffle.total_raw_bytes();
+        (wire, raw)
+    }
+}
+
+/// The cluster simulator.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    config: ClusterConfig,
+}
+
+impl ClusterSim {
+    /// Build a simulator.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.num_nodes >= 2, "need at least two machines");
+        assert!(config.slots_per_node >= 1, "need at least one slot");
+        Self { config }
+    }
+
+    /// Predicted compression ratio for a job under the current config (1.0
+    /// when compression is off or unprofitable per Eq. 3).
+    fn predicted_ratio(&self) -> f64 {
+        match self.config.compression {
+            None => 1.0,
+            Some(codec) => {
+                let profile = codec.profile();
+                let ratio = self.config.ratio_override.unwrap_or(profile.ratio);
+                // Eq. 3 with the application ratio.
+                if profile.compress_speed * (1.0 - ratio) > self.config.link_bandwidth {
+                    ratio
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Run the given jobs to completion.
+    pub fn run(&self, jobs: &[JobSpec]) -> ClusterResult {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let total_slots = cfg.num_nodes * cfg.slots_per_node;
+        let mut slots = SlotScheduler::new(total_slots, cfg.job_sched.order());
+        let predicted_ratio = self.predicted_ratio();
+
+        // ---- Map stage -------------------------------------------------
+        let mut sorted: Vec<&JobSpec> = jobs.iter().collect();
+        sorted.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
+        let map_batches: Vec<TaskBatch> = sorted
+            .iter()
+            .map(|j| TaskBatch {
+                job: j.id,
+                ready: j.arrival,
+                tasks: j.num_maps,
+                task_secs: j.map_task_secs,
+            })
+            .collect();
+        let map_ends: BTreeMap<u64, f64> = slots.run(&map_batches).into_iter().collect();
+
+        // Map-side GC (spill buffers shrink with compression) delays the
+        // shuffle readiness.
+        let mut gc_by_job: BTreeMap<u64, GcReport> = BTreeMap::new();
+        let mut shuffle_ready: BTreeMap<u64, f64> = BTreeMap::new();
+        for j in &sorted {
+            let wire_estimate = j.shuffle_bytes * predicted_ratio;
+            let gc = GcReport::for_job(&cfg.gc, wire_estimate, j.num_maps, j.num_reduces);
+            shuffle_ready.insert(j.id, map_ends[&j.id] + gc.map_secs);
+            gc_by_job.insert(j.id, gc);
+        }
+
+        // ---- Shuffle stage (the coflow simulation) ---------------------
+        let mut coflows: Vec<Coflow> = Vec::new();
+        let mut next_flow = 0u64;
+        for j in &sorted {
+            let per_flow = j.shuffle_bytes / (j.num_maps * j.num_reduces) as f64;
+            let base = rng.gen_range(0..cfg.num_nodes);
+            let mut b = Coflow::builder(j.id).arrival(shuffle_ready[&j.id]);
+            for m in 0..j.num_maps {
+                let src = ((base + m) % cfg.num_nodes) as u32;
+                for r in 0..j.num_reduces {
+                    let mut dst = ((base + j.num_maps + r) % cfg.num_nodes) as u32;
+                    if dst == src {
+                        dst = (dst + 1) % cfg.num_nodes as u32;
+                    }
+                    b = b.flow(FlowSpec::new(next_flow, src, dst, per_flow.max(1.0)));
+                    next_flow += 1;
+                }
+            }
+            coflows.push(b.build());
+        }
+        let fabric = Fabric::uniform(cfg.num_nodes, cfg.link_bandwidth);
+        let mut sim_config = SimConfig::default().with_slice(cfg.slice);
+        if let Some(codec) = cfg.compression {
+            let profile = codec.profile();
+            let ratio_model = match cfg.ratio_override {
+                Some(r) => swallow_compress::SizeRatioModel::constant(r),
+                None => swallow_compress::SizeRatioModel::constant(profile.ratio),
+            };
+            sim_config = sim_config
+                .with_compression(Arc::new(ProfiledCompression::new(profile, ratio_model)));
+        }
+        let mut policy = cfg.algorithm.make();
+        let shuffle = Engine::new(fabric, coflows, sim_config).run(policy.as_mut());
+
+        let mut shuffle_end: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut shuffle_wire: BTreeMap<u64, f64> = BTreeMap::new();
+        for c in &shuffle.coflows {
+            shuffle_end.insert(c.id.0, c.completed_at.unwrap_or(f64::INFINITY));
+        }
+        for f in &shuffle.flows {
+            *shuffle_wire.entry(f.coflow.0).or_default() += f.wire_bytes;
+        }
+
+        // ---- Reduce + result stages ------------------------------------
+        let reduce_batches: Vec<TaskBatch> = sorted
+            .iter()
+            .map(|j| TaskBatch {
+                job: j.id,
+                ready: shuffle_end[&j.id],
+                tasks: j.num_reduces,
+                task_secs: j.reduce_task_secs,
+            })
+            .collect();
+        let reduce_ends: BTreeMap<u64, f64> = slots.run(&reduce_batches).into_iter().collect();
+
+        let mut records = Vec::with_capacity(sorted.len());
+        for j in &sorted {
+            let wire = shuffle_wire.get(&j.id).copied().unwrap_or(0.0);
+            // Reduce GC charged on the actual received (wire) bytes.
+            let gc_actual =
+                GcReport::for_job(&cfg.gc, wire, j.num_maps, j.num_reduces);
+            let gc = GcReport {
+                map_secs: gc_by_job[&j.id].map_secs,
+                reduce_secs: gc_actual.reduce_secs,
+            };
+            let reduce_end = reduce_ends[&j.id] + gc.reduce_secs;
+            // Result stage writes the (possibly compressed) output.
+            let out_bytes = j.output_bytes * predicted_ratio;
+            let write_secs = out_bytes / (cfg.disk_bandwidth * j.num_reduces.max(1) as f64);
+            records.push(JobRecord {
+                id: j.id,
+                arrival: j.arrival,
+                map: StageWindow {
+                    start: j.arrival,
+                    end: map_ends[&j.id],
+                },
+                shuffle: StageWindow {
+                    start: shuffle_ready[&j.id],
+                    end: shuffle_end[&j.id],
+                },
+                reduce: StageWindow {
+                    start: shuffle_end[&j.id],
+                    end: reduce_end,
+                },
+                result: StageWindow {
+                    start: reduce_end,
+                    end: reduce_end + write_secs,
+                },
+                shuffle_wire_bytes: wire,
+                gc,
+            });
+        }
+        records.sort_by_key(|r| r.id);
+        ClusterResult {
+            jobs: records,
+            shuffle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow_fabric::units;
+
+    fn jobs(n: usize, shuffle_mb: f64) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| JobSpec::sort_like(i as u64, i as f64 * 2.0, shuffle_mb * units::MB))
+            .collect()
+    }
+
+    fn base_config() -> ClusterConfig {
+        ClusterConfig {
+            num_nodes: 8,
+            link_bandwidth: units::mbps(200.0),
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_orders_stages() {
+        let res = ClusterSim::new(base_config()).run(&jobs(3, 50.0));
+        assert_eq!(res.jobs.len(), 3);
+        for j in &res.jobs {
+            assert!(j.map.end >= j.map.start);
+            assert!(j.shuffle.start >= j.map.end);
+            assert!(j.shuffle.end >= j.shuffle.start);
+            assert!(j.reduce.end >= j.shuffle.end);
+            assert!(j.result.end >= j.result.start);
+            assert!(j.jct() > 0.0);
+        }
+    }
+
+    #[test]
+    fn compression_reduces_traffic_and_jct() {
+        let with = ClusterSim::new(base_config()).run(&jobs(4, 100.0));
+        let without = ClusterSim::new(ClusterConfig {
+            compression: None,
+            ..base_config()
+        })
+        .run(&jobs(4, 100.0));
+        let (w_wire, w_raw) = with.traffic();
+        let (n_wire, n_raw) = without.traffic();
+        assert!((w_raw - n_raw).abs() < 1.0);
+        assert!(w_wire < n_wire * 0.8, "wire {w_wire:e} vs {n_wire:e}");
+        assert!(
+            with.avg_jct() < without.avg_jct(),
+            "jct {} vs {}",
+            with.avg_jct(),
+            without.avg_jct()
+        );
+    }
+
+    #[test]
+    fn app_ratio_override_drives_traffic() {
+        let cfg = ClusterConfig {
+            ratio_override: Some(0.25),
+            ..base_config()
+        };
+        let res = ClusterSim::new(cfg).run(&jobs(2, 80.0));
+        let (wire, raw) = res.traffic();
+        assert!(
+            (wire / raw - 0.25).abs() < 0.05,
+            "observed ratio {}",
+            wire / raw
+        );
+    }
+
+    #[test]
+    fn compression_gate_disables_on_fast_network() {
+        // 10 Gbps beats every Table II codec → no reduction even though
+        // compression is configured.
+        let cfg = ClusterConfig {
+            link_bandwidth: units::gbps(10.0),
+            ..base_config()
+        };
+        let res = ClusterSim::new(cfg).run(&jobs(2, 50.0));
+        let (wire, raw) = res.traffic();
+        assert!((wire - raw).abs() < raw * 1e-6, "wire={wire} raw={raw}");
+    }
+
+    #[test]
+    fn gc_reported_and_smaller_with_compression() {
+        let with = ClusterSim::new(base_config()).run(&jobs(2, 400.0));
+        let without = ClusterSim::new(ClusterConfig {
+            compression: None,
+            ..base_config()
+        })
+        .run(&jobs(2, 400.0));
+        let g_w = with.jobs[0].gc;
+        let g_n = without.jobs[0].gc;
+        assert!(g_w.map_secs < g_n.map_secs);
+        assert!(g_w.reduce_secs < g_n.reduce_secs);
+    }
+
+    #[test]
+    fn fair_job_sched_runs() {
+        let cfg = ClusterConfig {
+            job_sched: JobSched::Fair,
+            ..base_config()
+        };
+        let res = ClusterSim::new(cfg).run(&jobs(3, 30.0));
+        assert_eq!(res.jobs.len(), 3);
+        assert!(res.avg_jct() > 0.0);
+    }
+}
+
+/// Outcome of an iterative (multi-round) run.
+#[derive(Debug, Clone)]
+pub struct IterativeResult {
+    /// One [`ClusterResult`] per round, in order.
+    pub per_round: Vec<ClusterResult>,
+    /// Per-job completion time across all rounds (final result end minus
+    /// original arrival), keyed by job id.
+    pub jct: BTreeMap<u64, f64>,
+}
+
+impl IterativeResult {
+    /// Average multi-round JCT.
+    pub fn avg_jct(&self) -> f64 {
+        if self.jct.is_empty() {
+            return 0.0;
+        }
+        self.jct.values().sum::<f64>() / self.jct.len() as f64
+    }
+
+    /// Total `(wire, raw)` shuffle bytes across all rounds.
+    pub fn traffic(&self) -> (f64, f64) {
+        let mut wire = 0.0;
+        let mut raw = 0.0;
+        for r in &self.per_round {
+            let (w, rw) = r.traffic();
+            wire += w;
+            raw += rw;
+        }
+        (wire, raw)
+    }
+}
+
+impl ClusterSim {
+    /// Run `rounds` chained map → shuffle → reduce → result iterations per
+    /// job — the PageRank/NWeight pattern from the paper's Table I, where
+    /// each iteration materializes its result and feeds the next round's
+    /// maps. Round `k`'s maps become ready when the job's round `k−1`
+    /// reduce finishes; jobs within one round contend for the fabric in a
+    /// shared coflow simulation. (Rounds of *different* jobs overlapping
+    /// across round boundaries is the one interaction this staging ignores.)
+    pub fn run_iterative(&self, jobs: &[JobSpec], rounds: usize) -> IterativeResult {
+        assert!(rounds >= 1, "need at least one round");
+        let mut current: Vec<JobSpec> = jobs.to_vec();
+        let mut per_round = Vec::with_capacity(rounds);
+        for round in 0..rounds {
+            // Keep coflow/flow ids disjoint across rounds.
+            let mut cfg = self.config.clone();
+            cfg.seed = cfg.seed.wrapping_add(round as u64 + 1);
+            let res = ClusterSim::new(cfg).run(&current);
+            if round + 1 < rounds {
+                current = current
+                    .iter()
+                    .map(|j| {
+                        let rec = res
+                            .jobs
+                            .iter()
+                            .find(|x| x.id == j.id)
+                            .expect("every job has a record");
+                        JobSpec {
+                            arrival: rec.result.end,
+                            ..j.clone()
+                        }
+                    })
+                    .collect();
+            }
+            per_round.push(res);
+        }
+        let last = per_round.last().expect("at least one round");
+        let jct = jobs
+            .iter()
+            .map(|j| {
+                let rec = last
+                    .jobs
+                    .iter()
+                    .find(|x| x.id == j.id)
+                    .expect("record exists");
+                (j.id, rec.result.end - j.arrival)
+            })
+            .collect();
+        IterativeResult { per_round, jct }
+    }
+}
+
+#[cfg(test)]
+mod iterative_tests {
+    use super::*;
+    use swallow_fabric::units;
+
+    fn jobs() -> Vec<JobSpec> {
+        (0..3)
+            .map(|i| JobSpec::sort_like(i, i as f64, 40.0 * units::MB))
+            .collect()
+    }
+
+    fn config() -> ClusterConfig {
+        ClusterConfig {
+            num_nodes: 8,
+            link_bandwidth: units::mbps(200.0),
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn more_rounds_take_longer() {
+        let sim = ClusterSim::new(config());
+        let one = sim.run_iterative(&jobs(), 1);
+        let three = sim.run_iterative(&jobs(), 3);
+        assert_eq!(one.per_round.len(), 1);
+        assert_eq!(three.per_round.len(), 3);
+        assert!(three.avg_jct() > 2.0 * one.avg_jct());
+        let (w1, r1) = one.traffic();
+        let (w3, r3) = three.traffic();
+        assert!((r3 - 3.0 * r1).abs() < r1 * 0.01);
+        assert!(w3 > w1);
+    }
+
+    #[test]
+    fn rounds_are_causally_ordered() {
+        let sim = ClusterSim::new(config());
+        let res = sim.run_iterative(&jobs(), 2);
+        for j in &jobs() {
+            let r0 = res.per_round[0].jobs.iter().find(|x| x.id == j.id).unwrap();
+            let r1 = res.per_round[1].jobs.iter().find(|x| x.id == j.id).unwrap();
+            assert!(
+                r1.map.start >= r0.result.end - 1e-9,
+                "round 2 started before round 1 finished"
+            );
+        }
+    }
+
+    #[test]
+    fn compression_helps_every_round() {
+        let with = ClusterSim::new(config()).run_iterative(&jobs(), 2);
+        let without = ClusterSim::new(ClusterConfig {
+            compression: None,
+            ..config()
+        })
+        .run_iterative(&jobs(), 2);
+        assert!(with.avg_jct() < without.avg_jct());
+        let (w_wire, _) = with.traffic();
+        let (n_wire, _) = without.traffic();
+        assert!(w_wire < n_wire);
+    }
+}

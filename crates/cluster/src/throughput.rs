@@ -1,0 +1,112 @@
+//! Job throughput accounting — the paper's Table V.
+//!
+//! The paper counts completed jobs (each a coflow of flows) cumulatively at
+//! the end of six 2000-second time units and reports the MAX/MIN/AVG
+//! per-second completion rates across the units.
+
+use serde::{Deserialize, Serialize};
+use swallow_fabric::SimResult;
+
+/// Table V-style throughput report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Length of one time unit, seconds.
+    pub unit_secs: f64,
+    /// Cumulative completed jobs by the end of each unit.
+    pub cumulative: Vec<usize>,
+    /// Highest per-second completion rate across units.
+    pub max_rate: f64,
+    /// Lowest per-second completion rate across units.
+    pub min_rate: f64,
+    /// Mean per-second completion rate across units.
+    pub avg_rate: f64,
+}
+
+/// Compute the throughput report from a simulation result. A "job" is a
+/// coflow; it counts once all of its flows have finished.
+pub fn job_throughput(result: &SimResult, unit_secs: f64, units: usize) -> ThroughputReport {
+    assert!(unit_secs > 0.0, "unit length must be positive");
+    assert!(units > 0, "need at least one unit");
+    let mut completions: Vec<f64> = result
+        .coflows
+        .iter()
+        .filter_map(|c| c.completed_at)
+        .collect();
+    completions.sort_by(f64::total_cmp);
+    let cumulative: Vec<usize> = (1..=units)
+        .map(|u| {
+            let t = u as f64 * unit_secs;
+            completions.partition_point(|&c| c <= t)
+        })
+        .collect();
+    let mut rates = Vec::with_capacity(units);
+    let mut prev = 0usize;
+    for &c in &cumulative {
+        rates.push((c - prev) as f64 / unit_secs);
+        prev = c;
+    }
+    let max_rate = rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min_rate = rates.iter().copied().fold(f64::INFINITY, f64::min);
+    let avg_rate = rates.iter().sum::<f64>() / rates.len() as f64;
+    ThroughputReport {
+        unit_secs,
+        cumulative,
+        max_rate,
+        min_rate,
+        avg_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow_fabric::{CoflowId, CoflowRecord};
+
+    fn result_with_completions(times: &[f64]) -> SimResult {
+        SimResult {
+            coflows: times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| CoflowRecord {
+                    id: CoflowId(i as u64),
+                    arrival: 0.0,
+                    completed_at: Some(t),
+                    total_bytes: 1.0,
+                    num_flows: 1,
+                })
+                .collect(),
+            ..SimResult::default()
+        }
+    }
+
+    #[test]
+    fn cumulative_counts_per_unit() {
+        let res = result_with_completions(&[0.5, 1.5, 1.9, 2.5, 9.0]);
+        let rep = job_throughput(&res, 1.0, 3);
+        assert_eq!(rep.cumulative, vec![1, 3, 4]);
+        assert!((rep.max_rate - 2.0).abs() < 1e-12);
+        assert!((rep.min_rate - 1.0).abs() < 1e-12);
+        assert!((rep.avg_rate - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_coflows_do_not_count() {
+        let mut res = result_with_completions(&[0.5]);
+        res.coflows.push(CoflowRecord {
+            id: CoflowId(99),
+            arrival: 0.0,
+            completed_at: None,
+            total_bytes: 1.0,
+            num_flows: 1,
+        });
+        let rep = job_throughput(&res, 1.0, 2);
+        assert_eq!(rep.cumulative, vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_result() {
+        let rep = job_throughput(&SimResult::default(), 2000.0, 6);
+        assert_eq!(rep.cumulative, vec![0; 6]);
+        assert_eq!(rep.avg_rate, 0.0);
+    }
+}

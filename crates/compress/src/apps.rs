@@ -1,0 +1,261 @@
+//! HiBench application compressibility — the paper's Table I.
+//!
+//! The authors sampled one shuffle block per application and recorded its
+//! compressed/uncompressed sizes. We carry those constants (they calibrate
+//! the workload generator) and provide synthetic payload generators whose
+//! *measured* `swz` ratio approximates each application's, so the runtime
+//! path can be exercised with realistic data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One Table I row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Application name as printed in the paper.
+    pub name: &'static str,
+    /// Compressed block size (bytes).
+    pub compressed: u64,
+    /// Uncompressed block size (bytes).
+    pub uncompressed: u64,
+}
+
+impl AppProfile {
+    /// Compression ratio (compressed / uncompressed), the paper's "Ratio".
+    pub fn ratio(&self) -> f64 {
+        self.compressed as f64 / self.uncompressed as f64
+    }
+}
+
+/// The eleven applications of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HibenchApp {
+    /// WordCount (micro benchmark).
+    Wordcount,
+    /// Sort.
+    Sort,
+    /// TeraSort.
+    Terasort,
+    /// Enhanced DFSIO.
+    EnhancedDfsio,
+    /// Logistic regression (ML).
+    LogisticRegression,
+    /// Latent Dirichlet Allocation.
+    Lda,
+    /// Support Vector Machine.
+    Svm,
+    /// Naive Bayes.
+    Bayes,
+    /// Random Forest.
+    RandomForest,
+    /// PageRank (websearch).
+    Pagerank,
+    /// NWeight (graph).
+    Nweight,
+}
+
+impl HibenchApp {
+    /// All applications in Table I order.
+    pub const ALL: [HibenchApp; 11] = [
+        HibenchApp::Wordcount,
+        HibenchApp::Sort,
+        HibenchApp::Terasort,
+        HibenchApp::EnhancedDfsio,
+        HibenchApp::LogisticRegression,
+        HibenchApp::Lda,
+        HibenchApp::Svm,
+        HibenchApp::Bayes,
+        HibenchApp::RandomForest,
+        HibenchApp::Pagerank,
+        HibenchApp::Nweight,
+    ];
+
+    /// Table I constants for this application.
+    pub fn profile(self) -> AppProfile {
+        match self {
+            HibenchApp::Wordcount => AppProfile {
+                name: "Wordcount",
+                compressed: 246_497,
+                uncompressed: 440_872,
+            },
+            HibenchApp::Sort => AppProfile {
+                name: "Sort",
+                compressed: 757_621_572,
+                uncompressed: 3_034_919_593,
+            },
+            HibenchApp::Terasort => AppProfile {
+                name: "Terasort",
+                compressed: 8_713_992_886,
+                uncompressed: 31_200_010_752,
+            },
+            HibenchApp::EnhancedDfsio => AppProfile {
+                name: "Enhanced DFSIO",
+                compressed: 354_606,
+                uncompressed: 1_868_846,
+            },
+            HibenchApp::LogisticRegression => AppProfile {
+                name: "Logistic Regression",
+                compressed: 5_077_091,
+                uncompressed: 6_757_608,
+            },
+            HibenchApp::Lda => AppProfile {
+                name: "Latent Dirichlet Allocation",
+                compressed: 515_454,
+                uncompressed: 754_677,
+            },
+            HibenchApp::Svm => AppProfile {
+                name: "Support Vector Machine",
+                compressed: 3_368,
+                uncompressed: 7_023,
+            },
+            HibenchApp::Bayes => AppProfile {
+                name: "Bayes",
+                compressed: 2_153_182,
+                uncompressed: 8_176_706,
+            },
+            HibenchApp::RandomForest => AppProfile {
+                name: "Random Forest",
+                compressed: 815_832,
+                uncompressed: 1_194_464,
+            },
+            HibenchApp::Pagerank => AppProfile {
+                name: "Pagerank",
+                compressed: 27_741_768,
+                uncompressed: 65_413_648,
+            },
+            HibenchApp::Nweight => AppProfile {
+                name: "NWeight",
+                compressed: 3_814_494,
+                uncompressed: 13_168_667,
+            },
+        }
+    }
+
+    /// Target compression ratio from Table I.
+    pub fn ratio(self) -> f64 {
+        self.profile().ratio()
+    }
+
+    /// Generate `len` bytes of synthetic shuffle data whose `swz`
+    /// compressibility approximates this application's Table I ratio.
+    pub fn synthesize(self, len: usize, seed: u64) -> Vec<u8> {
+        synthesize_with_ratio(self.ratio(), len, seed)
+    }
+}
+
+/// Generate `len` bytes whose `swz` compression ratio lands near
+/// `target_ratio`, by interleaving incompressible (random) chunks with
+/// highly-compressible (repeated-phrase) chunks in the right proportion.
+///
+/// A chunk of random bytes compresses to ≈ itself; a chunk of repeated text
+/// compresses to ≈ 0. Mixing a fraction `p` of random data therefore yields
+/// a ratio of ≈ `p`.
+pub fn synthesize_with_ratio(target_ratio: f64, len: usize, seed: u64) -> Vec<u8> {
+    assert!(
+        (0.0..=1.0).contains(&target_ratio),
+        "ratio must be in [0,1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len);
+    const CHUNK: usize = 512;
+    // Key/value-looking filler for the compressible part: long enough to be
+    // realistic, repetitive enough to compress to almost nothing.
+    const PHRASE: &[u8] = b"(key_0042,partition_007,value=aggregated_record) ";
+    while out.len() < len {
+        let remaining = len - out.len();
+        let chunk = CHUNK.min(remaining);
+        if rng.gen::<f64>() < target_ratio {
+            let start = out.len();
+            out.resize(start + chunk, 0);
+            rng.fill_bytes(&mut out[start..]);
+        } else {
+            let start = out.len();
+            while out.len() < len && out.len() - start < chunk {
+                let take = PHRASE.len().min(len - out.len());
+                out.extend_from_slice(&PHRASE[..take]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::measured_ratio;
+
+    #[test]
+    fn table1_ratios_match_paper_percentages() {
+        // Paper quotes: Wordcount 55.91%, Sort 24.96%, Terasort 27.93%,
+        // DFSIO 18.97%, LR 75.13%, LDA 68.30%, SVM 47.96%, Bayes 26.33%,
+        // RF 68.30%, Pagerank 42.41%, NWeight 28.97%.
+        let expect = [
+            (HibenchApp::Wordcount, 0.5591),
+            (HibenchApp::Sort, 0.2496),
+            (HibenchApp::Terasort, 0.2793),
+            (HibenchApp::EnhancedDfsio, 0.1897),
+            (HibenchApp::LogisticRegression, 0.7513),
+            (HibenchApp::Lda, 0.6830),
+            (HibenchApp::Svm, 0.4796),
+            (HibenchApp::Bayes, 0.2633),
+            (HibenchApp::RandomForest, 0.6830),
+            (HibenchApp::Pagerank, 0.4241),
+            (HibenchApp::Nweight, 0.2897),
+        ];
+        for (app, pct) in expect {
+            assert!(
+                (app.ratio() - pct).abs() < 5e-4,
+                "{:?}: {} vs {}",
+                app,
+                app.ratio(),
+                pct
+            );
+        }
+    }
+
+    #[test]
+    fn all_lists_eleven_apps() {
+        assert_eq!(HibenchApp::ALL.len(), 11);
+        let mut names: Vec<&str> = HibenchApp::ALL.iter().map(|a| a.profile().name).collect();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn synthesized_data_hits_target_ratio() {
+        for target in [0.2, 0.45, 0.7] {
+            let data = synthesize_with_ratio(target, 200_000, 7);
+            let measured = measured_ratio(&data);
+            assert!(
+                (measured - target).abs() < 0.10,
+                "target {target}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn synthesized_data_roundtrips() {
+        let data = HibenchApp::Pagerank.synthesize(50_000, 99);
+        assert_eq!(data.len(), 50_000);
+        let frame = crate::codec::compress(&data);
+        assert_eq!(crate::codec::decompress(&frame).unwrap(), data);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_per_seed() {
+        let a = synthesize_with_ratio(0.5, 10_000, 42);
+        let b = synthesize_with_ratio(0.5, 10_000, 42);
+        let c = synthesize_with_ratio(0.5, 10_000, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn extreme_targets() {
+        let zero = synthesize_with_ratio(0.0, 50_000, 1);
+        assert!(measured_ratio(&zero) < 0.1);
+        let one = synthesize_with_ratio(1.0, 50_000, 1);
+        assert!(measured_ratio(&one) > 0.9);
+    }
+}

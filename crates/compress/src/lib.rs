@@ -1,0 +1,33 @@
+//! # swallow-compress
+//!
+//! Everything Swallow knows about compression:
+//!
+//! * [`CodecProfile`] — the measured `(compression speed, decompression
+//!   speed, ratio)` triples of the paper's Table II (LZ4, LZO, Snappy, LZF,
+//!   Zstandard), which the FVDF scheduler consumes when deciding whether
+//!   `R·(1−ξ) > B` (Eq. 3);
+//! * [`SizeRatioModel`] — the size-dependent compression ratio of Table III
+//!   (small flows compress worse; the ratio converges to a constant as flows
+//!   grow);
+//! * [`codec`] — a real, dependency-free LZ77 block codec (`swz`) used by the
+//!   Swallow runtime's push/pull path, so the system moves genuinely
+//!   compressed bytes end-to-end;
+//! * [`estimator`] — a byte-entropy estimator that classifies payloads as
+//!   compressible or not (already-compressed data must force β = 0);
+//! * [`apps`] — the paper's Table I: shuffle-stage compressibility of eleven
+//!   HiBench applications, plus synthetic generators that produce data with
+//!   matching compressibility.
+
+pub mod apps;
+pub mod codec;
+pub mod estimator;
+pub mod profile;
+pub mod ratio;
+pub mod stream;
+
+pub use apps::{AppProfile, HibenchApp};
+pub use codec::{compress, compress_with, decompress, CodecError, Level};
+pub use estimator::{byte_entropy, estimate_ratio, is_compressible};
+pub use profile::{CodecProfile, Table2};
+pub use ratio::SizeRatioModel;
+pub use stream::{decompress_stream, StreamCompressor, StreamDecompressor};

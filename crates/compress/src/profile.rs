@@ -1,0 +1,159 @@
+//! Measured codec parameters — the paper's Table II.
+//!
+//! | Algorithm  | Compression | Decompression | Ratio  |
+//! |------------|-------------|---------------|--------|
+//! | LZ4        | 785 MB/s    | 2,601 MB/s    | 62.15% |
+//! | LZO        | 424 MB/s    | 560 MB/s      | 50.30% |
+//! | Snappy     | 327 MB/s    | 1,075 MB/s    | 48.19% |
+//! | LZF        | 251 MB/s    | 565 MB/s      | 48.14% |
+//! | Zstandard  | 330 MB/s    | 930 MB/s      | 34.77% |
+//!
+//! The paper's "ratio" is compressed/uncompressed size — *lower is better* —
+//! and equals ξ in Eq. (1). Speeds are input-side MB/s on one core.
+
+use serde::{Deserialize, Serialize};
+
+/// One codec's measured parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CodecProfile {
+    /// Display name ("LZ4", …).
+    pub name: String,
+    /// Input bytes consumed per second when compressing on one core.
+    pub compress_speed: f64,
+    /// Compressed bytes consumed per second when decompressing on one core.
+    pub decompress_speed: f64,
+    /// Asymptotic output ratio ξ = compressed/uncompressed, in [0, 1].
+    pub ratio: f64,
+}
+
+impl CodecProfile {
+    /// Construct a profile from MB/s figures and a percentage ratio, i.e.
+    /// exactly how Table II quotes them.
+    pub fn from_table_row(name: &str, comp_mb_s: f64, decomp_mb_s: f64, ratio_pct: f64) -> Self {
+        assert!(comp_mb_s > 0.0 && decomp_mb_s > 0.0, "speeds must be positive");
+        assert!((0.0..=100.0).contains(&ratio_pct), "ratio is a percentage");
+        Self {
+            name: name.to_string(),
+            compress_speed: comp_mb_s * 1e6,
+            decompress_speed: decomp_mb_s * 1e6,
+            ratio: ratio_pct / 100.0,
+        }
+    }
+
+    /// Effective volume-disposal speed `R·(1−ξ)` (left side of Eq. 3).
+    pub fn disposal_speed(&self) -> f64 {
+        self.compress_speed * (1.0 - self.ratio)
+    }
+
+    /// Whether compressing beats transmitting at bandwidth `b` bytes/s
+    /// (Eq. 3): `R·(1−ξ) > B`.
+    pub fn beats_bandwidth(&self, b: f64) -> bool {
+        self.disposal_speed() > b
+    }
+}
+
+/// The five rows of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Table2 {
+    /// LZ4 — the paper's (and Swallow's) default codec.
+    Lz4,
+    /// LZO.
+    Lzo,
+    /// Snappy.
+    Snappy,
+    /// LZF.
+    Lzf,
+    /// Zstandard.
+    Zstd,
+}
+
+impl Table2 {
+    /// All rows in paper order.
+    pub const ALL: [Table2; 5] = [
+        Table2::Lz4,
+        Table2::Lzo,
+        Table2::Snappy,
+        Table2::Lzf,
+        Table2::Zstd,
+    ];
+
+    /// The measured profile for this codec.
+    pub fn profile(self) -> CodecProfile {
+        match self {
+            Table2::Lz4 => CodecProfile::from_table_row("LZ4", 785.0, 2601.0, 62.15),
+            Table2::Lzo => CodecProfile::from_table_row("LZO", 424.0, 560.0, 50.30),
+            Table2::Snappy => CodecProfile::from_table_row("Snappy", 327.0, 1075.0, 48.19),
+            Table2::Lzf => CodecProfile::from_table_row("LZF", 251.0, 565.0, 48.14),
+            Table2::Zstd => CodecProfile::from_table_row("Zstandard", 330.0, 930.0, 34.77),
+        }
+    }
+
+    /// Parse a codec name case-insensitively.
+    pub fn parse(s: &str) -> Option<Table2> {
+        match s.to_ascii_lowercase().as_str() {
+            "lz4" => Some(Table2::Lz4),
+            "lzo" => Some(Table2::Lzo),
+            "snappy" => Some(Table2::Snappy),
+            "lzf" => Some(Table2::Lzf),
+            "zstd" | "zstandard" => Some(Table2::Zstd),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper() {
+        let lz4 = Table2::Lz4.profile();
+        assert_eq!(lz4.compress_speed, 785e6);
+        assert_eq!(lz4.decompress_speed, 2601e6);
+        assert!((lz4.ratio - 0.6215).abs() < 1e-12);
+        let zstd = Table2::Zstd.profile();
+        assert!((zstd.ratio - 0.3477).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq3_examples() {
+        let lz4 = Table2::Lz4.profile();
+        // R(1−ξ) = 785 MB/s · 0.3785 ≈ 297 MB/s.
+        assert!((lz4.disposal_speed() - 785e6 * (1.0 - 0.6215)).abs() < 1.0);
+        // Beats 100 Mbps (12.5 MB/s) and 1 Gbps (125 MB/s)…
+        assert!(lz4.beats_bandwidth(12.5e6));
+        assert!(lz4.beats_bandwidth(125e6));
+        // …but not 10 Gbps (1250 MB/s) — matching the paper's observation
+        // that Swallow disables compression when bandwidth is sufficient.
+        assert!(!lz4.beats_bandwidth(1250e6));
+    }
+
+    #[test]
+    fn every_table2_codec_loses_at_10gbps() {
+        for codec in Table2::ALL {
+            assert!(
+                !codec.profile().beats_bandwidth(1.25e9),
+                "{:?} should not beat 10 Gbps",
+                codec
+            );
+        }
+    }
+
+    #[test]
+    fn every_table2_codec_wins_at_100mbps() {
+        for codec in Table2::ALL {
+            assert!(
+                codec.profile().beats_bandwidth(12.5e6),
+                "{:?} should beat 100 Mbps",
+                codec
+            );
+        }
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Table2::parse("LZ4"), Some(Table2::Lz4));
+        assert_eq!(Table2::parse("zstandard"), Some(Table2::Zstd));
+        assert_eq!(Table2::parse("gzip"), None);
+    }
+}

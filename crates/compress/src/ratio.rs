@@ -1,0 +1,155 @@
+//! Size-dependent compression ratio — the paper's Table III.
+//!
+//! The authors observe (for the Sort workload) that the compression ratio
+//! *improves* (shrinks) as the flow grows and converges to a constant:
+//!
+//! | Input  | 10 KB | 50 KB | 100 KB | 1 MB  | 10 MB | 100 MB | 1 GB  | 10 GB |
+//! |--------|-------|-------|--------|-------|-------|--------|-------|-------|
+//! | Ratio  | 66.46%| 58.70%| 56.29% | 41.24%| 27.44%| 25.33% | 25.11%| 25.07%|
+//!
+//! [`SizeRatioModel`] interpolates these anchors log-linearly in flow size
+//! and rescales them to any codec's asymptotic ratio, so the same shape
+//! applies to LZ4, Snappy, etc.
+
+use serde::{Deserialize, Serialize};
+
+/// Table III anchors as `(size in bytes, ratio)`.
+pub const TABLE3_ANCHORS: [(f64, f64); 8] = [
+    (10e3, 0.6646),
+    (50e3, 0.5870),
+    (100e3, 0.5629),
+    (1e6, 0.4124),
+    (10e6, 0.2744),
+    (100e6, 0.2533),
+    (1e9, 0.2511),
+    (10e9, 0.2507),
+];
+
+/// A size → ratio curve anchored on Table III, optionally rescaled so its
+/// asymptote matches another codec's Table II ratio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeRatioModel {
+    /// `(size, ratio)` anchors, size-ascending.
+    anchors: Vec<(f64, f64)>,
+}
+
+impl SizeRatioModel {
+    /// The paper's Table III curve verbatim (asymptote ≈ 25.07%).
+    pub fn table3() -> Self {
+        Self {
+            anchors: TABLE3_ANCHORS.to_vec(),
+        }
+    }
+
+    /// Table III's *shape* rescaled so the large-flow asymptote equals
+    /// `target_ratio` (e.g. 0.6215 for LZ4 or 0.3477 for Zstandard). The
+    /// small-flow penalty (ratio → 1 as flows shrink) is preserved by
+    /// scaling the "excess over the asymptote" proportionally.
+    pub fn scaled_to(target_ratio: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&target_ratio),
+            "target ratio must be in [0,1]"
+        );
+        let base_inf = TABLE3_ANCHORS[TABLE3_ANCHORS.len() - 1].1;
+        // Scale excess-over-asymptote so that r(10 KB) keeps its relative
+        // distance between the asymptote and 1.0.
+        let base_span = 1.0 - base_inf;
+        let target_span = 1.0 - target_ratio;
+        let anchors = TABLE3_ANCHORS
+            .iter()
+            .map(|&(s, r)| {
+                let frac = (r - base_inf) / base_span;
+                (s, target_ratio + frac * target_span)
+            })
+            .collect();
+        Self { anchors }
+    }
+
+    /// A constant ratio regardless of size (the Table II abstraction).
+    pub fn constant(ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+        Self {
+            anchors: vec![(1.0, ratio)],
+        }
+    }
+
+    /// Compression ratio ξ for a flow of `size` bytes. Log-linear between
+    /// anchors, clamped at the ends.
+    pub fn ratio(&self, size: f64) -> f64 {
+        let a = &self.anchors;
+        if a.len() == 1 || size <= a[0].0 {
+            return a[0].1;
+        }
+        let last = a[a.len() - 1];
+        if size >= last.0 {
+            return last.1;
+        }
+        let i = a.partition_point(|&(s, _)| s <= size);
+        let (s0, r0) = a[i - 1];
+        let (s1, r1) = a[i];
+        let t = (size.ln() - s0.ln()) / (s1.ln() - s0.ln());
+        r0 + t * (r1 - r0)
+    }
+
+    /// Asymptotic ratio (largest anchor).
+    pub fn asymptote(&self) -> f64 {
+        self.anchors[self.anchors.len() - 1].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_reproduce_table3() {
+        let m = SizeRatioModel::table3();
+        for &(s, r) in &TABLE3_ANCHORS {
+            assert!((m.ratio(s) - r).abs() < 1e-12, "size {s}");
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_in_size() {
+        let m = SizeRatioModel::table3();
+        let sizes = [1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11];
+        for w in sizes.windows(2) {
+            assert!(
+                m.ratio(w[0]) >= m.ratio(w[1]) - 1e-12,
+                "ratio must not grow with size"
+            );
+        }
+    }
+
+    #[test]
+    fn clamps_outside_anchor_range() {
+        let m = SizeRatioModel::table3();
+        assert!((m.ratio(1.0) - 0.6646).abs() < 1e-12);
+        assert!((m.ratio(1e15) - 0.2507).abs() < 1e-12);
+        assert!((m.asymptote() - 0.2507).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_is_between_neighbours() {
+        let m = SizeRatioModel::table3();
+        let r = m.ratio(300e3); // between 100 KB (0.5629) and 1 MB (0.4124)
+        assert!(r < 0.5629 && r > 0.4124, "r={r}");
+    }
+
+    #[test]
+    fn scaled_preserves_shape() {
+        let m = SizeRatioModel::scaled_to(0.6215); // LZ4 asymptote
+        assert!((m.asymptote() - 0.6215).abs() < 1e-12);
+        // Small flows still compress worse than the asymptote.
+        assert!(m.ratio(10e3) > m.ratio(10e9));
+        // And never exceed 1.
+        assert!(m.ratio(1.0) <= 1.0);
+    }
+
+    #[test]
+    fn constant_model_ignores_size() {
+        let m = SizeRatioModel::constant(0.5);
+        assert_eq!(m.ratio(1.0), 0.5);
+        assert_eq!(m.ratio(1e12), 0.5);
+    }
+}

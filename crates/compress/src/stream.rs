@@ -1,0 +1,280 @@
+//! Streaming (chunked) compression on top of the `swz` block codec.
+//!
+//! Shuffle blocks can be hundreds of megabytes; a runtime cannot hold the
+//! whole frame in flight. The streaming layer cuts the input into
+//! independently-compressed chunks framed as
+//!
+//! ```text
+//! magic "SWZS" (4 bytes)
+//! repeated: chunk_len (u32 LE, length of the swz frame that follows)
+//!           swz frame
+//! terminator: chunk_len = 0
+//! ```
+//!
+//! Each chunk is a complete [`crate::codec`] frame with its own checksum,
+//! so corruption is localized and decompression can proceed chunk by chunk
+//! with O(chunk) memory. Independent chunks trade a little ratio (no
+//! cross-chunk matches) for bounded memory and pipelining — the same deal
+//! LZ4-frame and Zstandard frames make.
+
+use crate::codec::{self, CodecError, Level};
+use bytes::Bytes;
+
+const STREAM_MAGIC: &[u8; 4] = b"SWZS";
+/// Default chunk: 256 KiB, the classic frame-format sweet spot.
+pub const DEFAULT_CHUNK: usize = 256 * 1024;
+
+/// Incremental compressor. Feed bytes with [`StreamCompressor::write`],
+/// collect the framed output, and [`StreamCompressor::finish`] to emit the
+/// terminator.
+pub struct StreamCompressor {
+    level: Level,
+    chunk_size: usize,
+    buffer: Vec<u8>,
+    out: Vec<u8>,
+    finished: bool,
+}
+
+impl StreamCompressor {
+    /// Compressor with the default chunk size.
+    pub fn new(level: Level) -> Self {
+        Self::with_chunk_size(level, DEFAULT_CHUNK)
+    }
+
+    /// Compressor with an explicit chunk size (≥ 1).
+    pub fn with_chunk_size(level: Level, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Self {
+            level,
+            chunk_size,
+            buffer: Vec::with_capacity(chunk_size),
+            out: STREAM_MAGIC.to_vec(),
+            finished: false,
+        }
+    }
+
+    fn flush_chunk(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let frame = codec::compress_with(&self.buffer, self.level);
+        self.out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.out.extend_from_slice(&frame);
+        self.buffer.clear();
+    }
+
+    /// Append input bytes, compressing full chunks as they accumulate.
+    pub fn write(&mut self, mut data: &[u8]) {
+        assert!(!self.finished, "write after finish");
+        while !data.is_empty() {
+            let room = self.chunk_size - self.buffer.len();
+            let take = room.min(data.len());
+            self.buffer.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            if self.buffer.len() == self.chunk_size {
+                self.flush_chunk();
+            }
+        }
+    }
+
+    /// Flush the trailing partial chunk, emit the terminator and return the
+    /// complete stream.
+    pub fn finish(mut self) -> Bytes {
+        self.flush_chunk();
+        self.out.extend_from_slice(&0u32.to_le_bytes());
+        self.finished = true;
+        Bytes::from(self.out)
+    }
+}
+
+/// Decompress a complete stream produced by [`StreamCompressor`].
+pub fn decompress_stream(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
+    if stream.len() < 4 || &stream[0..4] != STREAM_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let mut pos = 4usize;
+    let mut out = Vec::new();
+    loop {
+        if pos + 4 > stream.len() {
+            return Err(CodecError::Truncated);
+        }
+        let len = u32::from_le_bytes([
+            stream[pos],
+            stream[pos + 1],
+            stream[pos + 2],
+            stream[pos + 3],
+        ]) as usize;
+        pos += 4;
+        if len == 0 {
+            return Ok(out);
+        }
+        if pos + len > stream.len() {
+            return Err(CodecError::Truncated);
+        }
+        out.extend(codec::decompress(&stream[pos..pos + len])?);
+        pos += len;
+    }
+}
+
+/// Incremental decompressor: feed stream bytes in arbitrary slices, collect
+/// decoded chunks as they complete.
+pub struct StreamDecompressor {
+    pending: Vec<u8>,
+    seen_magic: bool,
+    done: bool,
+}
+
+impl StreamDecompressor {
+    /// Fresh decompressor.
+    pub fn new() -> Self {
+        Self {
+            pending: Vec::new(),
+            seen_magic: false,
+            done: false,
+        }
+    }
+
+    /// Whether the stream terminator has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Feed more stream bytes; returns all payload bytes decoded by this
+    /// call (possibly empty while a chunk is still incomplete).
+    pub fn feed(&mut self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if self.done {
+            return Ok(Vec::new());
+        }
+        self.pending.extend_from_slice(data);
+        let mut decoded = Vec::new();
+        if !self.seen_magic {
+            if self.pending.len() < 4 {
+                return Ok(decoded);
+            }
+            if &self.pending[0..4] != STREAM_MAGIC {
+                return Err(CodecError::BadMagic);
+            }
+            self.pending.drain(0..4);
+            self.seen_magic = true;
+        }
+        loop {
+            if self.pending.len() < 4 {
+                return Ok(decoded);
+            }
+            let len = u32::from_le_bytes([
+                self.pending[0],
+                self.pending[1],
+                self.pending[2],
+                self.pending[3],
+            ]) as usize;
+            if len == 0 {
+                self.pending.drain(0..4);
+                self.done = true;
+                return Ok(decoded);
+            }
+            if self.pending.len() < 4 + len {
+                return Ok(decoded);
+            }
+            decoded.extend(codec::decompress(&self.pending[4..4 + len])?);
+            self.pending.drain(0..4 + len);
+        }
+    }
+}
+
+impl Default for StreamDecompressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::synthesize_with_ratio;
+
+    #[test]
+    fn roundtrip_one_shot() {
+        let data = synthesize_with_ratio(0.4, 800_000, 1);
+        let mut c = StreamCompressor::new(Level::Fast);
+        c.write(&data);
+        let stream = c.finish();
+        assert!(stream.len() < data.len());
+        assert_eq!(decompress_stream(&stream).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_many_small_writes() {
+        let data = synthesize_with_ratio(0.5, 300_000, 2);
+        let mut c = StreamCompressor::with_chunk_size(Level::Fast, 10_000);
+        for piece in data.chunks(777) {
+            c.write(piece);
+        }
+        let stream = c.finish();
+        assert_eq!(decompress_stream(&stream).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let c = StreamCompressor::new(Level::Fast);
+        let stream = c.finish();
+        assert_eq!(decompress_stream(&stream).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn incremental_decoder_matches_one_shot() {
+        let data = synthesize_with_ratio(0.35, 500_000, 3);
+        let mut c = StreamCompressor::with_chunk_size(Level::Fast, 64 * 1024);
+        c.write(&data);
+        let stream = c.finish();
+        let mut d = StreamDecompressor::new();
+        let mut out = Vec::new();
+        for piece in stream.chunks(4096) {
+            out.extend(d.feed(piece).unwrap());
+        }
+        assert!(d.is_done());
+        assert_eq!(out, data);
+        // Further feeds after the terminator are ignored.
+        assert!(d.feed(b"garbage").unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let data = synthesize_with_ratio(0.4, 100_000, 4);
+        let mut c = StreamCompressor::new(Level::Fast);
+        c.write(&data);
+        let stream = c.finish();
+        // Drop the terminator and some payload.
+        let cut = &stream[..stream.len() - 9];
+        assert!(matches!(
+            decompress_stream(cut),
+            Err(CodecError::Truncated) | Err(CodecError::BadVarint)
+        ));
+    }
+
+    #[test]
+    fn corrupt_chunk_reported_with_position_preserved() {
+        let data = synthesize_with_ratio(0.4, 200_000, 5);
+        let mut c = StreamCompressor::with_chunk_size(Level::Fast, 50_000);
+        c.write(&data);
+        let mut stream = c.finish().to_vec();
+        // Flip a byte inside the second chunk's payload.
+        let idx = stream.len() / 2;
+        stream[idx] ^= 0x55;
+        assert!(decompress_stream(&stream).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected_incrementally() {
+        let mut d = StreamDecompressor::new();
+        assert!(matches!(d.feed(b"NOPE"), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn high_level_streams_too() {
+        let data = synthesize_with_ratio(0.3, 150_000, 6);
+        let mut c = StreamCompressor::with_chunk_size(Level::High, 32 * 1024);
+        c.write(&data);
+        let stream = c.finish();
+        assert_eq!(decompress_stream(&stream).unwrap(), data);
+    }
+}

@@ -1,0 +1,483 @@
+//! `SwallowContext` — the Table IV programming API.
+//!
+//! | Method | Invoker (paper) | Here |
+//! |--------|-----------------|------|
+//! | `hook(executor) ⇒ Array[flowInfo]` | Driver | [`SwallowContext::hook`] |
+//! | `aggregate(Array[flowInfo]) ⇒ coflowInfo` | Driver | [`SwallowContext::aggregate`] |
+//! | `add(coflowInfo) ⇒ coflowRef` | Driver | [`SwallowContext::add`] |
+//! | `remove(coflowRef)` | Driver | [`SwallowContext::remove`] |
+//! | `scheduling(Array[coflowRef]) ⇒ schResult` | Driver | [`SwallowContext::scheduling`] |
+//! | `alloc(schResult)` | ClusterManager | [`SwallowContext::alloc`] |
+//! | `push(coflowRef, blockId, blockData)` | Sender | [`SwallowContext::push`] |
+//! | `pull(coflowRef, blockId) ⇒ blockData` | Receiver | [`SwallowContext::pull`] |
+//!
+//! The one extension over Table IV is [`SwallowContext::stage`], which plays
+//! the role of Spark's shuffle-write: it hands a task's output block to its
+//! executor so `hook()` has something to capture.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::config::SwallowConfig;
+use crate::master::Master;
+use crate::messages::{BlockId, CoflowInfo, CoflowRef, FlowInfo, SchResult, ToMaster, WorkerId};
+use crate::worker::Worker;
+use swallow_fabric::FlowId;
+
+/// Errors surfaced by the runtime API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Worker id out of range.
+    UnknownWorker(WorkerId),
+    /// No such coflow registered.
+    UnknownCoflow(CoflowRef),
+    /// The block is not part of the coflow or was never staged.
+    UnknownBlock(BlockId),
+    /// `pull` timed out waiting for the sender.
+    PullTimeout(BlockId),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownWorker(w) => write!(f, "unknown worker {w}"),
+            CoreError::UnknownCoflow(c) => write!(f, "unknown coflow {}", c.0),
+            CoreError::UnknownBlock(b) => write!(f, "unknown block {}", b.0),
+            CoreError::PullTimeout(b) => write!(f, "pull timed out waiting for block {}", b.0),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Outcome of one `push`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PushReport {
+    /// Raw payload bytes.
+    pub raw_bytes: u64,
+    /// Bytes that crossed the wire.
+    pub wire_bytes: u64,
+    /// Whether the block went compressed.
+    pub compressed: bool,
+    /// Wall-clock transfer duration.
+    pub duration: Duration,
+}
+
+struct Ctx {
+    config: SwallowConfig,
+    workers: Vec<Arc<Worker>>,
+    master: Mutex<Master>,
+    to_master_tx: Sender<ToMaster>,
+    to_master_rx: Receiver<ToMaster>,
+    current_sched: Mutex<SchResult>,
+    shutdown: Arc<AtomicBool>,
+    daemons: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_flow: AtomicU64,
+    next_block: AtomicU64,
+}
+
+/// Handle to a running Swallow runtime. Cheap to clone (the paper's
+/// `SwallowContext.getInstance()` singleton pattern maps to cloning, or to
+/// the process-wide [`SwallowContext::get_instance`]).
+#[derive(Clone)]
+pub struct SwallowContext {
+    inner: Arc<Ctx>,
+}
+
+/// Process-wide singleton backing [`SwallowContext::get_instance`].
+static INSTANCE: std::sync::OnceLock<SwallowContext> = std::sync::OnceLock::new();
+
+impl SwallowContext {
+    /// The §V-B singleton: `SwallowContext.getInstance()`. The first call
+    /// boots a runtime with the given configuration; later calls return the
+    /// same runtime and ignore the arguments.
+    pub fn get_instance(config: SwallowConfig, num_workers: usize) -> SwallowContext {
+        INSTANCE
+            .get_or_init(|| SwallowContext::new(config, num_workers))
+            .clone()
+    }
+
+    /// Boot a runtime with `num_workers` workers and start their daemons.
+    pub fn new(config: SwallowConfig, num_workers: usize) -> Self {
+        assert!(num_workers >= 2, "need at least two workers");
+        let (tx, rx) = unbounded();
+        let workers: Vec<Arc<Worker>> = (0..num_workers)
+            .map(|i| Arc::new(Worker::new(WorkerId(i as u32), &config)))
+            .collect();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut daemons = Vec::new();
+        for w in &workers {
+            daemons.push(w.spawn_daemon(tx.clone(), config.heartbeat, shutdown.clone()));
+        }
+        let master = Master::new(config.clone(), num_workers);
+        Self {
+            inner: Arc::new(Ctx {
+                config,
+                workers,
+                master: Mutex::new(master),
+                to_master_tx: tx,
+                to_master_rx: rx,
+                current_sched: Mutex::new(SchResult::default()),
+                shutdown,
+                daemons: Mutex::new(daemons),
+                next_flow: AtomicU64::new(1),
+                next_block: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &SwallowConfig {
+        &self.inner.config
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.inner.workers.len()
+    }
+
+    fn worker(&self, id: WorkerId) -> Result<&Arc<Worker>, CoreError> {
+        self.inner
+            .workers
+            .get(id.0 as usize)
+            .ok_or(CoreError::UnknownWorker(id))
+    }
+
+    /// Drain pending worker → master messages into the master's state.
+    fn drain_master(&self) {
+        let mut master = self.inner.master.lock();
+        while let Ok(msg) = self.inner.to_master_rx.try_recv() {
+            master.handle(msg);
+        }
+    }
+
+    /// Stage a task's shuffle output on `src`, destined for `dst`. Allocates
+    /// the flow/block ids and runs the compressibility gate. (Extension —
+    /// stands in for Spark's shuffle write.)
+    pub fn stage(&self, src: WorkerId, dst: WorkerId, data: Vec<u8>) -> BlockId {
+        let worker = self.worker(src).expect("valid source worker");
+        let flow = FlowId(self.inner.next_flow.fetch_add(1, Ordering::SeqCst));
+        let block = BlockId(self.inner.next_block.fetch_add(1, Ordering::SeqCst));
+        worker.stage(flow, block, dst, Bytes::from(data));
+        block
+    }
+
+    /// Table IV `hook`: capture the staged flows of one executor.
+    pub fn hook(&self, executor: WorkerId) -> Vec<FlowInfo> {
+        self.worker(executor)
+            .map(|w| w.hooked_flows())
+            .unwrap_or_default()
+    }
+
+    /// Table IV `aggregate`: merge flow information into a coflow.
+    pub fn aggregate(&self, flows: Vec<FlowInfo>) -> CoflowInfo {
+        CoflowInfo { flows }
+    }
+
+    /// Table IV `add`: register a coflow with the master.
+    pub fn add(&self, info: CoflowInfo) -> CoflowRef {
+        self.inner.master.lock().add(info)
+    }
+
+    /// Table IV `remove`: deregister and release the coflow's blocks.
+    pub fn remove(&self, coflow: CoflowRef) {
+        self.inner.master.lock().remove(coflow);
+        for w in &self.inner.workers {
+            w.store.remove_coflow(coflow);
+        }
+    }
+
+    /// Table IV `scheduling`: run FVDF over the given coflows.
+    pub fn scheduling(&self, refs: &[CoflowRef]) -> SchResult {
+        self.drain_master();
+        self.inner.master.lock().scheduling(refs)
+    }
+
+    /// Table IV `alloc`: install the scheduling result so subsequent pushes
+    /// follow its compression strategy and bandwidth assignment.
+    pub fn alloc(&self, sched: &SchResult) {
+        *self.inner.current_sched.lock() = sched.clone();
+    }
+
+    /// Table IV `push`: the sender transfers `block` to its receiver,
+    /// compressing when the installed schedule says so (or, absent an
+    /// installed decision for the flow, when the Eq. 3 gate holds).
+    pub fn push(&self, coflow: CoflowRef, block: BlockId) -> Result<PushReport, CoreError> {
+        let flow_info = self
+            .inner
+            .master
+            .lock()
+            .flow_of_block(coflow, block)
+            .ok_or(CoreError::UnknownBlock(block))?;
+        let src = self.worker(flow_info.src)?.clone();
+        let dst = self.worker(flow_info.dst)?.clone();
+        let staged = src
+            .take_staged(block)
+            .ok_or(CoreError::UnknownBlock(block))?;
+
+        let (beta, rate) = {
+            let sched = self.inner.current_sched.lock();
+            let beta = sched.compress.get(&flow_info.flow).copied().unwrap_or_else(|| {
+                self.inner.config.smart_compress
+                    && flow_info.compressible
+                    && self
+                        .inner
+                        .config
+                        .codec
+                        .profile()
+                        .beats_bandwidth(self.inner.config.link_bandwidth)
+            });
+            (beta, sched.rates.get(&flow_info.flow).copied())
+        };
+
+        let start = Instant::now();
+        let (wire, compressed) = src.push_block(&dst, coflow, staged, beta, rate);
+        let report = PushReport {
+            raw_bytes: flow_info.bytes,
+            wire_bytes: wire,
+            compressed,
+            duration: start.elapsed(),
+        };
+        let _ = self.inner.to_master_tx.send(ToMaster::TransferComplete {
+            coflow,
+            flow: flow_info.flow,
+            wire_bytes: wire,
+        });
+        Ok(report)
+    }
+
+    /// Table IV `pull`: the receiver fetches `block`, blocking (up to 30 s)
+    /// until the sender's push lands.
+    pub fn pull(&self, coflow: CoflowRef, block: BlockId) -> Result<Bytes, CoreError> {
+        self.pull_timeout(coflow, block, Duration::from_secs(30))
+    }
+
+    /// `pull` with an explicit timeout.
+    pub fn pull_timeout(
+        &self,
+        coflow: CoflowRef,
+        block: BlockId,
+        timeout: Duration,
+    ) -> Result<Bytes, CoreError> {
+        let flow_info = self
+            .inner
+            .master
+            .lock()
+            .flow_of_block(coflow, block)
+            .ok_or(CoreError::UnknownBlock(block))?;
+        let dst = self.worker(flow_info.dst)?;
+        dst.store
+            .wait_for(coflow, block, timeout)
+            .ok_or(CoreError::PullTimeout(block))
+    }
+
+    /// Whether every flow of the coflow has completed (callback-driven; the
+    /// paper's master marks the coflow completed when all flows report).
+    pub fn is_complete(&self, coflow: CoflowRef) -> bool {
+        self.drain_master();
+        self.inner.master.lock().is_complete(coflow)
+    }
+
+    /// `(wire_bytes, raw_bytes)` moved so far — the Table VII statistic.
+    pub fn traffic(&self) -> (u64, u64) {
+        self.drain_master();
+        self.inner.master.lock().traffic()
+    }
+
+    /// Latest heartbeat per worker.
+    pub fn cluster_status(&self) -> Vec<(WorkerId, f64)> {
+        self.drain_master();
+        self.inner
+            .master
+            .lock()
+            .cluster_status()
+            .iter()
+            .map(|(w, m)| (*w, m.cpu_util))
+            .collect()
+    }
+
+    /// Stop daemons and join them. Called automatically when the last clone
+    /// drops.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let mut daemons = self.inner.daemons.lock();
+        for d in daemons.drain(..) {
+            let _ = d.join();
+        }
+    }
+}
+
+impl Drop for Ctx {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for d in self.daemons.lock().drain(..) {
+            let _ = d.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> SwallowConfig {
+        SwallowConfig {
+            link_bandwidth: 20e6,
+            heartbeat: 0.01,
+            ..SwallowConfig::default()
+        }
+    }
+
+    fn compressible_payload(len: usize) -> Vec<u8> {
+        b"shuffle-record:key=value;"
+            .iter()
+            .copied()
+            .cycle()
+            .take(len)
+            .collect()
+    }
+
+    #[test]
+    fn full_table4_lifecycle() {
+        let ctx = SwallowContext::new(fast_config(), 3);
+        let b1 = ctx.stage(WorkerId(0), WorkerId(1), compressible_payload(50_000));
+        let b2 = ctx.stage(WorkerId(0), WorkerId(2), compressible_payload(30_000));
+        let flows = ctx.hook(WorkerId(0));
+        assert_eq!(flows.len(), 2);
+        let info = ctx.aggregate(flows);
+        assert_eq!(info.total_bytes(), 80_000);
+        let coflow = ctx.add(info);
+        let sched = ctx.scheduling(&[coflow]);
+        assert_eq!(sched.order, vec![coflow]);
+        ctx.alloc(&sched);
+        let r1 = ctx.push(coflow, b1).unwrap();
+        let r2 = ctx.push(coflow, b2).unwrap();
+        // 20 MB/s link, LZ4 gate holds → compressed on the wire.
+        assert!(r1.compressed && r2.compressed);
+        assert!(r1.wire_bytes < r1.raw_bytes / 2);
+        let d1 = ctx.pull(coflow, b1).unwrap();
+        assert_eq!(d1.len(), 50_000);
+        assert_eq!(&d1[..25], &compressible_payload(25)[..]);
+        assert!(ctx.is_complete(coflow));
+        let (wire, raw) = ctx.traffic();
+        assert_eq!(raw, 80_000);
+        assert!(wire < raw);
+        ctx.remove(coflow);
+        // After removal the block is gone and pull errors out.
+        assert_eq!(
+            ctx.pull_timeout(coflow, b1, Duration::from_millis(10)),
+            Err(CoreError::UnknownBlock(b1))
+        );
+        ctx.shutdown();
+    }
+
+    #[test]
+    fn smart_compress_off_ships_raw() {
+        let ctx = SwallowContext::new(fast_config().without_compression(), 2);
+        let b = ctx.stage(WorkerId(0), WorkerId(1), compressible_payload(40_000));
+        let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
+        let sched = ctx.scheduling(&[coflow]);
+        ctx.alloc(&sched);
+        let r = ctx.push(coflow, b).unwrap();
+        assert!(!r.compressed);
+        assert_eq!(r.wire_bytes, r.raw_bytes);
+        ctx.shutdown();
+    }
+
+    #[test]
+    fn pull_blocks_until_push_from_other_thread() {
+        let ctx = SwallowContext::new(fast_config(), 2);
+        let b = ctx.stage(WorkerId(0), WorkerId(1), compressible_payload(20_000));
+        let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
+        let puller = {
+            let ctx = ctx.clone();
+            std::thread::spawn(move || ctx.pull(coflow, b).unwrap())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        ctx.push(coflow, b).unwrap();
+        let data = puller.join().unwrap();
+        assert_eq!(data.len(), 20_000);
+        ctx.shutdown();
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let ctx = SwallowContext::new(fast_config(), 2);
+        assert!(matches!(
+            ctx.push(CoflowRef(99), BlockId(1)),
+            Err(CoreError::UnknownBlock(_))
+        ));
+        assert!(matches!(
+            ctx.pull_timeout(CoflowRef(99), BlockId(1), Duration::from_millis(5)),
+            Err(CoreError::UnknownBlock(_))
+        ));
+        ctx.shutdown();
+    }
+
+    #[test]
+    fn double_push_of_same_block_errors() {
+        let ctx = SwallowContext::new(fast_config(), 2);
+        let b = ctx.stage(WorkerId(0), WorkerId(1), compressible_payload(1_000));
+        let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
+        ctx.push(coflow, b).unwrap();
+        assert!(matches!(
+            ctx.push(coflow, b),
+            Err(CoreError::UnknownBlock(_))
+        ));
+        ctx.shutdown();
+    }
+
+    #[test]
+    fn get_instance_returns_one_runtime() {
+        let a = SwallowContext::get_instance(fast_config(), 3);
+        let b = SwallowContext::get_instance(fast_config().without_compression(), 5);
+        // Same underlying runtime: the second call's arguments are ignored.
+        assert_eq!(a.num_workers(), b.num_workers());
+        assert!(b.config().smart_compress, "first boot's config wins");
+        let block = a.stage(WorkerId(0), WorkerId(1), compressible_payload(1_000));
+        let coflow = a.add(a.aggregate(a.hook(WorkerId(0))));
+        b.push(coflow, block).unwrap();
+        assert!(a.is_complete(coflow));
+    }
+
+    #[test]
+    fn daemons_report_measurements() {
+        let ctx = SwallowContext::new(fast_config(), 2);
+        std::thread::sleep(Duration::from_millis(60));
+        let status = ctx.cluster_status();
+        assert_eq!(status.len(), 2, "both daemons should have reported");
+        ctx.shutdown();
+    }
+
+    #[test]
+    fn compression_speeds_up_transfers_end_to_end() {
+        // The motivating effect: same payload, same link, smart compression
+        // on vs off — the compressed run must finish faster.
+        let payload = compressible_payload(400_000);
+        let slow_link = SwallowConfig {
+            link_bandwidth: 2e6, // 2 MB/s → raw takes 0.2 s
+            ..fast_config()
+        };
+        let run = |cfg: SwallowConfig| -> Duration {
+            let ctx = SwallowContext::new(cfg, 2);
+            let b = ctx.stage(WorkerId(0), WorkerId(1), payload.clone());
+            let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
+            let sched = ctx.scheduling(&[coflow]);
+            ctx.alloc(&sched);
+            let r = ctx.push(coflow, b).unwrap();
+            ctx.shutdown();
+            r.duration
+        };
+        let with = run(slow_link.clone());
+        let without = run(slow_link.without_compression());
+        assert!(
+            with < without / 2,
+            "compressed {with:?} vs raw {without:?}"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! A blocking token-bucket rate limiter emulating a network port.
+//!
+//! Each worker owns one egress and one ingress bucket sized to the
+//! configured link bandwidth; a block transfer acquires its byte count from
+//! both, sleeping until the capacity is available. This turns "compressed
+//! blocks are smaller" into "compressed blocks transfer measurably faster" —
+//! the physical effect the whole paper builds on.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// A token bucket refilling at `rate` bytes per second.
+#[derive(Debug)]
+pub struct TokenBucket {
+    rate: f64,
+    /// The wall-clock instant up to which the port is already committed.
+    committed_until: Mutex<Instant>,
+}
+
+impl TokenBucket {
+    /// Bucket with the given refill rate (bytes/s).
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        Self {
+            rate,
+            committed_until: Mutex::new(Instant::now()),
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Reserve transmission of `bytes` and return the instant at which that
+    /// transmission completes. Does not sleep — composable across buckets.
+    pub fn reserve(&self, bytes: u64) -> Instant {
+        let dur = Duration::from_secs_f64(bytes as f64 / self.rate);
+        let mut until = self.committed_until.lock();
+        let start = (*until).max(Instant::now());
+        let done = start + dur;
+        *until = done;
+        done
+    }
+
+    /// Reserve and block until the transmission would have completed.
+    pub fn acquire(&self, bytes: u64) {
+        let done = self.reserve(bytes);
+        sleep_until(done);
+    }
+}
+
+/// Sleep until `deadline` (no-op if already past).
+pub fn sleep_until(deadline: Instant) {
+    let now = Instant::now();
+    if deadline > now {
+        std::thread::sleep(deadline - now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_paces_to_rate() {
+        let bucket = TokenBucket::new(1_000_000.0); // 1 MB/s
+        let start = Instant::now();
+        bucket.acquire(50_000); // 50 ms worth
+        bucket.acquire(50_000); // another 50 ms
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(elapsed >= 0.095, "too fast: {elapsed}");
+        assert!(elapsed < 0.5, "too slow: {elapsed}");
+    }
+
+    #[test]
+    fn reservations_are_serialized() {
+        let bucket = TokenBucket::new(1_000_000.0);
+        let a = bucket.reserve(100_000);
+        let b = bucket.reserve(100_000);
+        assert!(b >= a + Duration::from_millis(99));
+    }
+
+    #[test]
+    fn concurrent_acquires_share_the_port() {
+        use std::sync::Arc;
+        let bucket = Arc::new(TokenBucket::new(2_000_000.0));
+        let start = Instant::now();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = bucket.clone();
+                std::thread::spawn(move || b.acquire(50_000))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 4 × 50 KB at 2 MB/s = 100 ms total regardless of concurrency.
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(elapsed >= 0.095, "port oversubscribed: {elapsed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        TokenBucket::new(0.0);
+    }
+}

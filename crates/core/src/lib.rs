@@ -1,0 +1,50 @@
+//! # swallow-core
+//!
+//! The Swallow *system*: a master/worker runtime offering the programming
+//! API of the paper's Table IV. The original is embedded in Spark-2.2.0 and
+//! uses Akka for messaging and Kryo for serialization; this reproduction is
+//! an in-process, multi-threaded equivalent — crossbeam channels carry the
+//! messages, `serde` types describe them, and transfers move real bytes
+//! through rate-limited links with genuine `swz` compression on the push
+//! path. The substitution keeps every architectural element of §III/§V:
+//!
+//! * a **master** that aggregates coflow information, receives periodic
+//!   measurement heartbeats from worker daemons, and runs FVDF to produce
+//!   scheduling results (order, compression strategy, bandwidth);
+//! * **workers** that stage shuffle blocks, compress them when instructed
+//!   (`swallow.smartCompress`), and push/pull them through the emulated
+//!   fabric;
+//! * the **`SwallowContext`** facade with `hook`, `aggregate`, `add`,
+//!   `remove`, `scheduling`, `alloc`, `push` and `pull` — one method per
+//!   Table IV row.
+//!
+//! ```no_run
+//! use swallow_core::{SwallowConfig, SwallowContext, WorkerId};
+//!
+//! let ctx = SwallowContext::new(SwallowConfig::default(), 4);
+//! // Stage shuffle output on executor 0 destined for executor 1…
+//! let block = ctx.stage(WorkerId(0), WorkerId(1), b"intermediate data".to_vec());
+//! let flows = ctx.hook(WorkerId(0));
+//! let info = ctx.aggregate(flows);
+//! let coflow = ctx.add(info);
+//! let sched = ctx.scheduling(&[coflow]);
+//! ctx.alloc(&sched);
+//! ctx.push(coflow, block).unwrap();
+//! let data = ctx.pull(coflow, block).unwrap();
+//! assert_eq!(&data[..], b"intermediate data");
+//! ctx.remove(coflow);
+//! ```
+
+pub mod api;
+pub mod bucket;
+pub mod config;
+pub mod master;
+pub mod messages;
+pub mod shuffle;
+pub mod store;
+pub mod worker;
+
+pub use api::SwallowContext;
+pub use config::SwallowConfig;
+pub use messages::{BlockId, CoflowRef, FlowInfo, SchResult, WorkerId};
+pub use shuffle::{run_shuffle, ShuffleJob, ShuffleReport};

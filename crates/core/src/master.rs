@@ -1,0 +1,326 @@
+//! The Swallow master: coflow registry, measurement aggregation and FVDF
+//! scheduling decisions.
+
+use std::collections::BTreeMap;
+
+use crate::config::SwallowConfig;
+use crate::messages::{CoflowRef, FlowInfo, Measurement, SchResult, ToMaster, WorkerId};
+use swallow_compress::CodecProfile;
+use swallow_fabric::cpu::CpuModel;
+use swallow_fabric::view::{FabricView, FlowView};
+use swallow_fabric::{CoflowId, Fabric, FlowId, Policy};
+use swallow_sched::{FvdfPolicy, ProfiledCompression};
+
+use crate::messages::CoflowInfo;
+
+/// Tracked state of one registered coflow.
+#[derive(Debug, Clone)]
+struct CoflowState {
+    info: CoflowInfo,
+    /// Flows whose transfer has completed, with wire bytes.
+    done: BTreeMap<FlowId, u64>,
+}
+
+/// The master node (§III-B): aggregates coflow information and node
+/// measurements, and produces scheduling decisions.
+pub struct Master {
+    config: SwallowConfig,
+    num_workers: usize,
+    coflows: BTreeMap<CoflowRef, CoflowState>,
+    next_ref: u64,
+    /// Latest heartbeat per worker.
+    latest: BTreeMap<WorkerId, Measurement>,
+    policy: FvdfPolicy,
+    profile: CodecProfile,
+    /// Total wire bytes observed across all completed transfers.
+    wire_bytes: u64,
+    /// Total raw bytes across all registered coflows.
+    raw_bytes: u64,
+}
+
+impl Master {
+    /// Master for a cluster of `num_workers` workers.
+    pub fn new(config: SwallowConfig, num_workers: usize) -> Self {
+        let profile = config.codec.profile();
+        Self {
+            config,
+            num_workers,
+            coflows: BTreeMap::new(),
+            next_ref: 1,
+            latest: BTreeMap::new(),
+            policy: FvdfPolicy::new(),
+            profile,
+            wire_bytes: 0,
+            raw_bytes: 0,
+        }
+    }
+
+    /// Register an aggregated coflow; returns its reference handler.
+    pub fn add(&mut self, info: CoflowInfo) -> CoflowRef {
+        let r = CoflowRef(self.next_ref);
+        self.next_ref += 1;
+        self.raw_bytes += info.total_bytes();
+        // Drive the policy's priority-aging hook with a synthetic coflow.
+        let coflow = swallow_fabric::Coflow {
+            id: CoflowId(r.0),
+            arrival: 0.0,
+            flows: Vec::new(),
+        };
+        self.policy.on_arrival(&coflow, 0.0);
+        self.coflows.insert(
+            r,
+            CoflowState {
+                info,
+                done: BTreeMap::new(),
+            },
+        );
+        r
+    }
+
+    /// Deregister a coflow (Table IV `remove()`).
+    pub fn remove(&mut self, coflow: CoflowRef) -> bool {
+        let existed = self.coflows.remove(&coflow).is_some();
+        if existed {
+            self.policy.on_completion(CoflowId(coflow.0), 0.0);
+        }
+        existed
+    }
+
+    /// Look up the flow carrying `block` within `coflow`.
+    pub fn flow_of_block(
+        &self,
+        coflow: CoflowRef,
+        block: crate::messages::BlockId,
+    ) -> Option<FlowInfo> {
+        self.coflows
+            .get(&coflow)?
+            .info
+            .flows
+            .iter()
+            .find(|f| f.block == block)
+            .cloned()
+    }
+
+    /// Apply one message from a worker.
+    pub fn handle(&mut self, msg: ToMaster) {
+        match msg {
+            ToMaster::Measure(m) => {
+                self.latest.insert(m.worker, m);
+            }
+            ToMaster::TransferComplete {
+                coflow,
+                flow,
+                wire_bytes,
+            } => {
+                self.wire_bytes += wire_bytes;
+                if let Some(state) = self.coflows.get_mut(&coflow) {
+                    state.done.insert(flow, wire_bytes);
+                }
+            }
+        }
+    }
+
+    /// Whether every flow of `coflow` has completed its transfer.
+    pub fn is_complete(&self, coflow: CoflowRef) -> bool {
+        self.coflows
+            .get(&coflow)
+            .map(|s| s.done.len() == s.info.flows.len())
+            .unwrap_or(false)
+    }
+
+    /// Latest heartbeat per worker.
+    pub fn cluster_status(&self) -> &BTreeMap<WorkerId, Measurement> {
+        &self.latest
+    }
+
+    /// Total bytes that crossed the wire / total raw bytes registered.
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.wire_bytes, self.raw_bytes)
+    }
+
+    /// Run FVDF over the outstanding flows of the given coflows (Table IV
+    /// `scheduling()`), producing the service order, per-flow compression
+    /// strategy and bandwidth assignments.
+    pub fn scheduling(&mut self, refs: &[CoflowRef]) -> SchResult {
+        // Build a synthetic fabric view over the outstanding flows.
+        let fabric = Fabric::uniform(self.num_workers.max(2), self.config.link_bandwidth);
+        let cpu = CpuModel::unconstrained(self.num_workers.max(2), self.config.cores_per_worker);
+        let compression = ProfiledCompression::new(
+            self.profile.clone(),
+            swallow_compress::SizeRatioModel::constant(self.profile.ratio),
+        );
+        let mut flows: Vec<FlowView> = Vec::new();
+        for r in refs {
+            let Some(state) = self.coflows.get(r) else { continue };
+            for f in &state.info.flows {
+                if state.done.contains_key(&f.flow) {
+                    continue;
+                }
+                flows.push(FlowView {
+                    id: f.flow,
+                    coflow: CoflowId(r.0),
+                    src: swallow_fabric::NodeId(f.src.0),
+                    dst: swallow_fabric::NodeId(f.dst.0),
+                    original_size: f.bytes as f64,
+                    raw: f.bytes as f64,
+                    compressed: 0.0,
+                    arrival: 0.0,
+                    compressible: f.compressible,
+                });
+            }
+        }
+        flows.sort_by_key(|f| f.id);
+        let view = FabricView {
+            now: 0.0,
+            slice: self.config.slice,
+            fabric: &fabric,
+            cpu: &cpu,
+            compression: &compression,
+            flows,
+        };
+        let alloc = if self.config.smart_compress {
+            self.policy.allocate(&view)
+        } else {
+            let mut p = FvdfPolicy::without_compression();
+            p.allocate(&view)
+        };
+
+        // Fold the allocation into the Table IV result shape. The service
+        // order ranks coflows by their worst outstanding flow's expected
+        // completion (Eq. 8) under the allocation.
+        let mut result = SchResult::default();
+        let mut gammas: Vec<(CoflowRef, f64)> = Vec::new();
+        for r in refs {
+            let Some(state) = self.coflows.get(r) else { continue };
+            let mut gamma: f64 = 0.0;
+            for f in &state.info.flows {
+                if state.done.contains_key(&f.flow) {
+                    continue;
+                }
+                let cmd = alloc.get(f.flow);
+                result.compress.insert(f.flow, cmd.compress);
+                if cmd.rate > 0.0 {
+                    result.rates.insert(f.flow, cmd.rate);
+                    gamma = gamma.max(f.bytes as f64 / cmd.rate);
+                } else if cmd.compress {
+                    // Compression slice first; approximate with disposal
+                    // speed.
+                    let eff = self.profile.disposal_speed().max(1.0);
+                    gamma = gamma.max(f.bytes as f64 / eff);
+                } else {
+                    gamma = f64::INFINITY;
+                }
+            }
+            gammas.push((*r, gamma));
+        }
+        gammas.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        result.order = gammas.into_iter().map(|(r, _)| r).collect();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::BlockId;
+
+    fn flow(id: u64, src: u32, dst: u32, bytes: u64, compressible: bool) -> FlowInfo {
+        FlowInfo {
+            flow: FlowId(id),
+            block: BlockId(id),
+            src: WorkerId(src),
+            dst: WorkerId(dst),
+            bytes,
+            compressible,
+        }
+    }
+
+    #[test]
+    fn add_remove_lifecycle() {
+        let mut m = Master::new(SwallowConfig::default(), 4);
+        let r = m.add(CoflowInfo {
+            flows: vec![flow(1, 0, 1, 100, true)],
+        });
+        assert!(!m.is_complete(r));
+        assert!(m.flow_of_block(r, BlockId(1)).is_some());
+        assert!(m.flow_of_block(r, BlockId(9)).is_none());
+        m.handle(ToMaster::TransferComplete {
+            coflow: r,
+            flow: FlowId(1),
+            wire_bytes: 60,
+        });
+        assert!(m.is_complete(r));
+        assert_eq!(m.traffic(), (60, 100));
+        assert!(m.remove(r));
+        assert!(!m.remove(r));
+    }
+
+    #[test]
+    fn measurements_tracked_per_worker() {
+        let mut m = Master::new(SwallowConfig::default(), 2);
+        m.handle(ToMaster::Measure(Measurement {
+            worker: WorkerId(0),
+            at: 1.0,
+            cpu_util: 0.5,
+            bytes_sent: 10,
+            staged_blocks: 2,
+        }));
+        m.handle(ToMaster::Measure(Measurement {
+            worker: WorkerId(0),
+            at: 2.0,
+            cpu_util: 0.25,
+            bytes_sent: 20,
+            staged_blocks: 1,
+        }));
+        let status = m.cluster_status();
+        assert_eq!(status.len(), 1);
+        assert_eq!(status[&WorkerId(0)].at, 2.0);
+    }
+
+    #[test]
+    fn scheduling_orders_small_coflow_first_and_sets_beta() {
+        // 40 MB/s link: LZ4 disposal (297 MB/s) beats it → β = 1 for
+        // compressible flows.
+        let mut m = Master::new(SwallowConfig::default(), 4);
+        let big = m.add(CoflowInfo {
+            flows: vec![flow(1, 0, 1, 50_000_000, true)],
+        });
+        let small = m.add(CoflowInfo {
+            flows: vec![flow(2, 2, 3, 1_000_000, false)],
+        });
+        let sched = m.scheduling(&[big, small]);
+        assert_eq!(sched.order.len(), 2);
+        assert_eq!(sched.order[0], small, "{:?}", sched.order);
+        assert!(sched.compress[&FlowId(1)]);
+        assert!(!sched.compress[&FlowId(2)]); // incompressible
+        // The incompressible flow must have a transmission rate.
+        assert!(sched.rates[&FlowId(2)] > 0.0);
+    }
+
+    #[test]
+    fn scheduling_without_smart_compress_never_sets_beta() {
+        let mut m = Master::new(SwallowConfig::default().without_compression(), 4);
+        let r = m.add(CoflowInfo {
+            flows: vec![flow(1, 0, 1, 10_000_000, true)],
+        });
+        let sched = m.scheduling(&[r]);
+        assert!(!sched.compress[&FlowId(1)]);
+        assert!(sched.rates[&FlowId(1)] > 0.0);
+    }
+
+    #[test]
+    fn completed_flows_are_excluded_from_scheduling() {
+        let mut m = Master::new(SwallowConfig::default(), 4);
+        let r = m.add(CoflowInfo {
+            flows: vec![flow(1, 0, 1, 1000, true), flow(2, 1, 2, 1000, true)],
+        });
+        m.handle(ToMaster::TransferComplete {
+            coflow: r,
+            flow: FlowId(1),
+            wire_bytes: 500,
+        });
+        let sched = m.scheduling(&[r]);
+        assert!(!sched.compress.contains_key(&FlowId(1)));
+        assert!(sched.compress.contains_key(&FlowId(2)));
+    }
+}

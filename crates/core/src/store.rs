@@ -1,0 +1,123 @@
+//! Per-worker block storage with blocking `pull` semantics.
+//!
+//! A receiver may call `pull()` before the sender's `push()` lands; the
+//! paper decouples them in time ("senders and receivers are time-decoupled",
+//! §III-B). We block the puller on a condvar until the block arrives.
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crate::messages::{BlockId, CoflowRef};
+
+/// Received-block storage for one worker.
+#[derive(Debug, Default)]
+pub struct BlockStore {
+    blocks: Mutex<HashMap<(CoflowRef, BlockId), Bytes>>,
+    arrived: Condvar,
+}
+
+impl BlockStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a block and wake pullers.
+    pub fn put(&self, coflow: CoflowRef, block: BlockId, data: Bytes) {
+        self.blocks.lock().insert((coflow, block), data);
+        self.arrived.notify_all();
+    }
+
+    /// Non-blocking lookup.
+    pub fn get(&self, coflow: CoflowRef, block: BlockId) -> Option<Bytes> {
+        self.blocks.lock().get(&(coflow, block)).cloned()
+    }
+
+    /// Blocking lookup with timeout. Returns `None` on timeout.
+    pub fn wait_for(&self, coflow: CoflowRef, block: BlockId, timeout: Duration) -> Option<Bytes> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.blocks.lock();
+        loop {
+            if let Some(b) = guard.get(&(coflow, block)) {
+                return Some(b.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self
+                .arrived
+                .wait_until(&mut guard, deadline)
+                .timed_out()
+            {
+                return guard.get(&(coflow, block)).cloned();
+            }
+        }
+    }
+
+    /// Drop every block of a coflow (the `remove()` cleanup).
+    pub fn remove_coflow(&self, coflow: CoflowRef) -> usize {
+        let mut guard = self.blocks.lock();
+        let before = guard.len();
+        guard.retain(|(c, _), _| *c != coflow);
+        before - guard.len()
+    }
+
+    /// Number of stored blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.lock().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = BlockStore::new();
+        assert!(s.get(CoflowRef(1), BlockId(1)).is_none());
+        s.put(CoflowRef(1), BlockId(1), Bytes::from_static(b"abc"));
+        assert_eq!(s.get(CoflowRef(1), BlockId(1)).unwrap(), &b"abc"[..]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn wait_for_blocks_until_put() {
+        let s = Arc::new(BlockStore::new());
+        let s2 = s.clone();
+        let waiter = std::thread::spawn(move || {
+            s2.wait_for(CoflowRef(9), BlockId(9), Duration::from_secs(2))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        s.put(CoflowRef(9), BlockId(9), Bytes::from_static(b"late"));
+        let got = waiter.join().unwrap();
+        assert_eq!(got.unwrap(), &b"late"[..]);
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let s = BlockStore::new();
+        let got = s.wait_for(CoflowRef(1), BlockId(2), Duration::from_millis(30));
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn remove_coflow_drops_only_that_coflow() {
+        let s = BlockStore::new();
+        s.put(CoflowRef(1), BlockId(1), Bytes::from_static(b"a"));
+        s.put(CoflowRef(1), BlockId(2), Bytes::from_static(b"b"));
+        s.put(CoflowRef(2), BlockId(1), Bytes::from_static(b"c"));
+        assert_eq!(s.remove_coflow(CoflowRef(1)), 2);
+        assert_eq!(s.len(), 1);
+        assert!(s.get(CoflowRef(2), BlockId(1)).is_some());
+    }
+}

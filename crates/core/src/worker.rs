@@ -1,0 +1,292 @@
+//! Swallow workers: block staging, compression, rate-limited transfer and
+//! the measurement daemon.
+
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::bucket::{sleep_until, TokenBucket};
+use crate::config::SwallowConfig;
+use crate::messages::{BlockId, CoflowRef, FlowInfo, Measurement, ToMaster, WorkerId};
+use crate::store::BlockStore;
+use swallow_compress::{codec, is_compressible, stream};
+use swallow_fabric::FlowId;
+
+/// A staged outgoing block, captured by `hook()`.
+#[derive(Debug, Clone)]
+pub struct StagedBlock {
+    /// Flow metadata.
+    pub info: FlowInfo,
+    /// Raw payload.
+    pub data: Bytes,
+}
+
+/// One Swallow worker ("slaver" in the paper's wording).
+pub struct Worker {
+    id: WorkerId,
+    /// Blocks written by local tasks, awaiting scheduling.
+    staged: Mutex<Vec<StagedBlock>>,
+    /// Blocks received from peers.
+    pub(crate) store: BlockStore,
+    /// Egress port rate limiter.
+    egress: TokenBucket,
+    /// Ingress port rate limiter.
+    ingress: TokenBucket,
+    /// Cores currently busy compressing (for heartbeats).
+    compressing: AtomicUsize,
+    /// Bytes pushed since the last heartbeat.
+    sent_since_beat: AtomicU64,
+    cores: u32,
+}
+
+impl Worker {
+    /// Create a worker with ports sized from `config`.
+    pub fn new(id: WorkerId, config: &SwallowConfig) -> Self {
+        Self {
+            id,
+            staged: Mutex::new(Vec::new()),
+            store: BlockStore::new(),
+            egress: TokenBucket::new(config.link_bandwidth),
+            ingress: TokenBucket::new(config.link_bandwidth),
+            compressing: AtomicUsize::new(0),
+            sent_since_beat: AtomicU64::new(0),
+            cores: config.cores_per_worker,
+        }
+    }
+
+    /// This worker's id.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// Stage a block produced by a local task (the shuffle-write hook).
+    /// Runs the compressibility gate so `hook()` reports it per flow.
+    pub fn stage(&self, flow: FlowId, block: BlockId, dst: WorkerId, data: Bytes) -> FlowInfo {
+        let info = FlowInfo {
+            flow,
+            block,
+            src: self.id,
+            dst,
+            bytes: data.len() as u64,
+            compressible: is_compressible(&data),
+        };
+        self.staged.lock().push(StagedBlock {
+            info: info.clone(),
+            data,
+        });
+        info
+    }
+
+    /// Captured flow information for `hook()`.
+    pub fn hooked_flows(&self) -> Vec<FlowInfo> {
+        self.staged.lock().iter().map(|s| s.info.clone()).collect()
+    }
+
+    /// Take a staged block out for transmission.
+    pub fn take_staged(&self, block: BlockId) -> Option<StagedBlock> {
+        let mut staged = self.staged.lock();
+        let idx = staged.iter().position(|s| s.info.block == block)?;
+        Some(staged.swap_remove(idx))
+    }
+
+    /// Number of staged blocks.
+    pub fn staged_count(&self) -> usize {
+        self.staged.lock().len()
+    }
+
+    /// Execute a push decided by the scheduler: optionally compress, then
+    /// move the bytes through both rate-limited ports into `dst`'s store.
+    ///
+    /// Returns `(wire_bytes, compressed)`.
+    pub fn push_block(
+        &self,
+        dst: &Worker,
+        coflow: CoflowRef,
+        block: StagedBlock,
+        compress_it: bool,
+        rate_cap: Option<f64>,
+    ) -> (u64, bool) {
+        let (payload, compressed) = if compress_it {
+            self.compressing.fetch_add(1, Ordering::SeqCst);
+            // Large blocks go through the chunked stream format so memory
+            // stays O(chunk); small ones use a single swz frame.
+            let frame = if block.data.len() > stream::DEFAULT_CHUNK {
+                let mut c = stream::StreamCompressor::new(swallow_compress::Level::Fast);
+                c.write(&block.data);
+                c.finish()
+            } else {
+                codec::compress(&block.data)
+            };
+            self.compressing.fetch_sub(1, Ordering::SeqCst);
+            // Only ship compressed when it actually helps (swz can expand
+            // incompressible payloads slightly).
+            if frame.len() < block.data.len() {
+                (frame, true)
+            } else {
+                (block.data.clone(), false)
+            }
+        } else {
+            (block.data.clone(), false)
+        };
+
+        let wire = payload.len() as u64;
+        // Reserve both ports; the transfer completes when the slower one
+        // does (Eq. 2's min(Bs, Br) as a wall-clock fact). A per-flow rate
+        // cap from `alloc()` lengthens the reservation proportionally.
+        let egress_done = self.egress.reserve(wire);
+        let ingress_done = dst.ingress.reserve(wire);
+        let mut done = egress_done.max(ingress_done);
+        if let Some(cap) = rate_cap {
+            if cap > 0.0 && cap < self.egress.rate() {
+                let extra = wire as f64 / cap - wire as f64 / self.egress.rate();
+                done += std::time::Duration::from_secs_f64(extra.max(0.0));
+            }
+        }
+        sleep_until(done);
+
+        let stored = if compressed {
+            // Receiver decompresses on arrival (decompression is much
+            // faster than compression — Table II — so we fold it into the
+            // transfer). The frame magic distinguishes the two formats.
+            let decoded = if payload.starts_with(b"SWZS") {
+                stream::decompress_stream(&payload)
+            } else {
+                codec::decompress(&payload)
+            };
+            Bytes::from(decoded.expect("sender-produced frame decodes"))
+        } else {
+            payload
+        };
+        dst.store.put(coflow, block.info.block, stored);
+        self.sent_since_beat.fetch_add(wire, Ordering::Relaxed);
+        (wire, compressed)
+    }
+
+    /// Fraction of cores busy compressing right now.
+    pub fn cpu_util(&self) -> f64 {
+        self.compressing.load(Ordering::SeqCst) as f64 / self.cores as f64
+    }
+
+    /// Spawn the measurement daemon: heartbeats to the master until
+    /// `shutdown` flips. Returns the join handle.
+    pub fn spawn_daemon(
+        self: &Arc<Self>,
+        to_master: Sender<ToMaster>,
+        heartbeat: f64,
+        shutdown: Arc<AtomicBool>,
+    ) -> std::thread::JoinHandle<()> {
+        let worker = Arc::clone(self);
+        let start = Instant::now();
+        std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                let m = Measurement {
+                    worker: worker.id,
+                    at: start.elapsed().as_secs_f64(),
+                    cpu_util: worker.cpu_util(),
+                    bytes_sent: worker.sent_since_beat.swap(0, Ordering::Relaxed),
+                    staged_blocks: worker.staged_count(),
+                };
+                if to_master.send(ToMaster::Measure(m)).is_err() {
+                    break; // master is gone
+                }
+                std::thread::sleep(std::time::Duration::from_secs_f64(heartbeat));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SwallowConfig {
+        SwallowConfig::default().with_bandwidth(10e6) // 10 MB/s: fast tests
+    }
+
+    #[test]
+    fn stage_and_hook() {
+        let w = Worker::new(WorkerId(0), &cfg());
+        let info = w.stage(
+            FlowId(1),
+            BlockId(1),
+            WorkerId(1),
+            Bytes::from(vec![b'x'; 1000]),
+        );
+        assert_eq!(info.bytes, 1000);
+        assert!(info.compressible); // constant byte → very compressible
+        assert_eq!(w.hooked_flows().len(), 1);
+        assert_eq!(w.staged_count(), 1);
+        let taken = w.take_staged(BlockId(1)).unwrap();
+        assert_eq!(taken.info.flow, FlowId(1));
+        assert_eq!(w.staged_count(), 0);
+        assert!(w.take_staged(BlockId(1)).is_none());
+    }
+
+    #[test]
+    fn push_moves_bytes_and_compresses() {
+        let a = Worker::new(WorkerId(0), &cfg());
+        let b = Worker::new(WorkerId(1), &cfg());
+        let data = Bytes::from(b"hello hello hello hello ".repeat(200));
+        a.stage(FlowId(1), BlockId(7), WorkerId(1), data.clone());
+        let staged = a.take_staged(BlockId(7)).unwrap();
+        let (wire, compressed) = a.push_block(&b, CoflowRef(1), staged, true, None);
+        assert!(compressed);
+        assert!((wire as usize) < data.len() / 2);
+        let got = b.store.get(CoflowRef(1), BlockId(7)).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn incompressible_payload_ships_raw_even_with_beta() {
+        let a = Worker::new(WorkerId(0), &cfg());
+        let b = Worker::new(WorkerId(1), &cfg());
+        // Pseudo-random bytes: swz would expand them.
+        let mut x = 1u64;
+        let noise: Vec<u8> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 56) as u8
+            })
+            .collect();
+        let data = Bytes::from(noise);
+        a.stage(FlowId(2), BlockId(8), WorkerId(1), data.clone());
+        let staged = a.take_staged(BlockId(8)).unwrap();
+        assert!(!staged.info.compressible);
+        let (wire, compressed) = a.push_block(&b, CoflowRef(1), staged, true, None);
+        assert!(!compressed);
+        assert_eq!(wire as usize, data.len());
+        assert_eq!(b.store.get(CoflowRef(1), BlockId(8)).unwrap(), data);
+    }
+
+    #[test]
+    fn large_blocks_use_the_stream_format_transparently() {
+        let a = Worker::new(WorkerId(0), &cfg());
+        let b = Worker::new(WorkerId(1), &cfg());
+        // Over DEFAULT_CHUNK → streamed; content must round-trip exactly.
+        let data = Bytes::from(b"streaming chunked payload ".repeat(20_000));
+        assert!(data.len() > swallow_compress::stream::DEFAULT_CHUNK);
+        a.stage(FlowId(9), BlockId(99), WorkerId(1), data.clone());
+        let staged = a.take_staged(BlockId(99)).unwrap();
+        let (wire, compressed) = a.push_block(&b, CoflowRef(9), staged, true, None);
+        assert!(compressed);
+        assert!((wire as usize) < data.len() / 4);
+        assert_eq!(b.store.get(CoflowRef(9), BlockId(99)).unwrap(), data);
+    }
+
+    #[test]
+    fn rate_cap_slows_transfer() {
+        let a = Worker::new(WorkerId(0), &cfg());
+        let b = Worker::new(WorkerId(1), &cfg());
+        let data = Bytes::from(vec![0u8; 200_000]);
+        a.stage(FlowId(3), BlockId(9), WorkerId(1), data);
+        let staged = a.take_staged(BlockId(9)).unwrap();
+        let start = Instant::now();
+        // Cap at 1 MB/s: 200 KB raw → ≥ 0.2 s (uncompressed push).
+        a.push_block(&b, CoflowRef(1), staged, false, Some(1e6));
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(elapsed >= 0.18, "cap not applied: {elapsed}");
+    }
+}

@@ -1,0 +1,388 @@
+//! Rate allocations produced by scheduling policies, plus the shared
+//! feasibility and water-filling helpers every policy uses.
+
+use crate::ids::{FlowId, NodeId};
+use crate::port::Fabric;
+use crate::view::FabricView;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-flow command for the next slice: a transmission rate (bytes/s) and a
+/// compression decision (the paper's β).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowCommand {
+    /// Transmission rate in bytes/s. Ignored while `compress` is true (the
+    /// volume-disposal loop in Pseudocode 2 either compresses *or* transmits
+    /// a flow within one slice).
+    pub rate: f64,
+    /// β = 1: spend this slice compressing the flow's raw part.
+    pub compress: bool,
+}
+
+impl FlowCommand {
+    /// An idle command: no rate, no compression.
+    pub const IDLE: FlowCommand = FlowCommand {
+        rate: 0.0,
+        compress: false,
+    };
+
+    /// Pure transmission at `rate`.
+    pub fn transmit(rate: f64) -> Self {
+        Self {
+            rate,
+            compress: false,
+        }
+    }
+
+    /// Pure compression.
+    pub fn compressing() -> Self {
+        Self {
+            rate: 0.0,
+            compress: true,
+        }
+    }
+}
+
+/// The full scheduling decision for one slice.
+///
+/// Flows absent from the map are idle. A `BTreeMap` keeps iteration
+/// deterministic, which makes simulations reproducible byte-for-byte.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    commands: BTreeMap<FlowId, FlowCommand>,
+}
+
+impl Allocation {
+    /// An empty (all-idle) allocation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the command for a flow, replacing any previous one.
+    pub fn set(&mut self, flow: FlowId, cmd: FlowCommand) {
+        self.commands.insert(flow, cmd);
+    }
+
+    /// Command for `flow` (idle when unset).
+    pub fn get(&self, flow: FlowId) -> FlowCommand {
+        self.commands.get(&flow).copied().unwrap_or(FlowCommand::IDLE)
+    }
+
+    /// Iterate over explicitly commanded flows.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, FlowCommand)> + '_ {
+        self.commands.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Number of explicitly commanded flows.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// True when no flow is commanded.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Aggregate commanded rate at each sender egress and receiver ingress.
+    pub fn port_loads(&self, view: &FabricView<'_>) -> (BTreeMap<NodeId, f64>, BTreeMap<NodeId, f64>) {
+        let mut egress: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let mut ingress: BTreeMap<NodeId, f64> = BTreeMap::new();
+        for (id, cmd) in self.iter() {
+            if cmd.compress || cmd.rate <= 0.0 {
+                continue;
+            }
+            if let Some(f) = view.flow(id) {
+                *egress.entry(f.src).or_default() += cmd.rate;
+                *ingress.entry(f.dst).or_default() += cmd.rate;
+            }
+        }
+        (egress, ingress)
+    }
+
+    /// Verify no port is oversubscribed (within a relative tolerance).
+    /// Returns the first violation as `(node, demanded, capacity)`.
+    pub fn check_feasible(&self, view: &FabricView<'_>) -> Result<(), (NodeId, f64, f64)> {
+        let (egress, ingress) = self.port_loads(view);
+        const TOL: f64 = 1.0 + 1e-6;
+        for (node, load) in &egress {
+            let cap = view.fabric.egress_cap(*node);
+            if *load > cap * TOL {
+                return Err((*node, *load, cap));
+            }
+        }
+        for (node, load) in &ingress {
+            let cap = view.fabric.ingress_cap(*node);
+            if *load > cap * TOL {
+                return Err((*node, *load, cap));
+            }
+        }
+        Ok(())
+    }
+
+    /// Proportionally scale down rates at any oversubscribed port so the
+    /// allocation becomes feasible. The engine applies this defensively so a
+    /// buggy policy degrades instead of creating bandwidth out of thin air.
+    pub fn clamp_to_capacity(&mut self, view: &FabricView<'_>) {
+        for _ in 0..4 {
+            let (egress, ingress) = self.port_loads(view);
+            let mut scale: BTreeMap<FlowId, f64> = BTreeMap::new();
+            for (id, cmd) in self.commands.iter() {
+                if cmd.compress || cmd.rate <= 0.0 {
+                    continue;
+                }
+                let Some(f) = view.flow(*id) else { continue };
+                let e_over = egress[&f.src] / view.fabric.egress_cap(f.src);
+                let i_over = ingress[&f.dst] / view.fabric.ingress_cap(f.dst);
+                let over = e_over.max(i_over);
+                if over > 1.0 {
+                    scale.insert(*id, 1.0 / over);
+                }
+            }
+            if scale.is_empty() {
+                return;
+            }
+            for (id, s) in scale {
+                if let Some(cmd) = self.commands.get_mut(&id) {
+                    cmd.rate *= s;
+                }
+            }
+        }
+    }
+}
+
+/// Max-min fair water-filling over the big switch: every demand gets the
+/// largest rate such that no sender egress or receiver ingress exceeds its
+/// capacity and rates are max-min fair.
+///
+/// `demands` are `(flow, src, dst)` triples; the return maps each flow to its
+/// fair rate. This is the core of PFF/FAIR and of work-conserving backfill.
+pub fn water_fill(fabric: &Fabric, demands: &[(FlowId, NodeId, NodeId)]) -> BTreeMap<FlowId, f64> {
+    let mut rates: BTreeMap<FlowId, f64> = demands.iter().map(|(f, _, _)| (*f, 0.0)).collect();
+    let mut frozen: BTreeMap<FlowId, bool> = demands.iter().map(|(f, _, _)| (*f, false)).collect();
+    let mut egress_left: BTreeMap<NodeId, f64> = BTreeMap::new();
+    let mut ingress_left: BTreeMap<NodeId, f64> = BTreeMap::new();
+    for (_, s, d) in demands {
+        egress_left.entry(*s).or_insert_with(|| fabric.egress_cap(*s));
+        ingress_left.entry(*d).or_insert_with(|| fabric.ingress_cap(*d));
+    }
+
+    loop {
+        // Count unfrozen flows at each port.
+        let mut e_cnt: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut i_cnt: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (f, s, d) in demands {
+            if !frozen[f] {
+                *e_cnt.entry(*s).or_default() += 1;
+                *i_cnt.entry(*d).or_default() += 1;
+            }
+        }
+        if e_cnt.is_empty() {
+            break;
+        }
+        // The binding port is the one with the smallest fair share.
+        let mut min_share = f64::INFINITY;
+        for (n, cnt) in &e_cnt {
+            min_share = min_share.min(egress_left[n] / *cnt as f64);
+        }
+        for (n, cnt) in &i_cnt {
+            min_share = min_share.min(ingress_left[n] / *cnt as f64);
+        }
+        if !min_share.is_finite() || min_share <= 0.0 {
+            break;
+        }
+        // Raise every unfrozen flow by the share; freeze flows at saturated
+        // ports.
+        for (f, s, d) in demands {
+            if frozen[f] {
+                continue;
+            }
+            *rates.get_mut(f).unwrap() += min_share;
+            *egress_left.get_mut(s).unwrap() -= min_share;
+            *ingress_left.get_mut(d).unwrap() -= min_share;
+        }
+        const EPS: f64 = 1e-9;
+        let saturated: Vec<NodeId> = egress_left
+            .iter()
+            .filter(|(n, left)| **left <= EPS * fabric.egress_cap(**n) && e_cnt.contains_key(*n))
+            .map(|(n, _)| *n)
+            .collect();
+        let saturated_in: Vec<NodeId> = ingress_left
+            .iter()
+            .filter(|(n, left)| **left <= EPS * fabric.ingress_cap(**n) && i_cnt.contains_key(*n))
+            .map(|(n, _)| *n)
+            .collect();
+        let mut any = false;
+        for (f, s, d) in demands {
+            if !frozen[f] && (saturated.contains(s) || saturated_in.contains(d)) {
+                frozen.insert(*f, true);
+                any = true;
+            }
+        }
+        if !any {
+            // All ports strictly below capacity would mean min_share was not
+            // binding; guard against infinite loops on pathological input.
+            break;
+        }
+        if frozen.values().all(|&v| v) {
+            break;
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn water_fill_single_port_shares_equally() {
+        let fabric = Fabric::uniform(3, 10.0);
+        // Two flows out of node 0 to distinct receivers: egress is binding.
+        let demands = vec![
+            (FlowId(1), NodeId(0), NodeId(1)),
+            (FlowId(2), NodeId(0), NodeId(2)),
+        ];
+        let rates = water_fill(&fabric, &demands);
+        assert!((rates[&FlowId(1)] - 5.0).abs() < 1e-9);
+        assert!((rates[&FlowId(2)] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_fill_max_min_not_just_equal() {
+        // Node 0 egress 10 shared by f1,f2; f2 also limited by receiver 2
+        // whose ingress is 2. Max-min: f2 = 2, f1 = 8.
+        let fabric = Fabric::new(vec![10.0, 10.0, 10.0], vec![10.0, 10.0, 2.0]);
+        let demands = vec![
+            (FlowId(1), NodeId(0), NodeId(1)),
+            (FlowId(2), NodeId(0), NodeId(2)),
+        ];
+        let rates = water_fill(&fabric, &demands);
+        assert!((rates[&FlowId(2)] - 2.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates[&FlowId(1)] - 8.0).abs() < 1e-9, "{rates:?}");
+    }
+
+    #[test]
+    fn water_fill_disjoint_flows_get_full_capacity() {
+        let fabric = Fabric::uniform(4, 7.0);
+        let demands = vec![
+            (FlowId(1), NodeId(0), NodeId(1)),
+            (FlowId(2), NodeId(2), NodeId(3)),
+        ];
+        let rates = water_fill(&fabric, &demands);
+        assert!((rates[&FlowId(1)] - 7.0).abs() < 1e-9);
+        assert!((rates[&FlowId(2)] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_fill_empty() {
+        let fabric = Fabric::uniform(2, 1.0);
+        assert!(water_fill(&fabric, &[]).is_empty());
+    }
+
+    #[test]
+    fn commands() {
+        let c = FlowCommand::transmit(5.0);
+        assert!(!c.compress);
+        assert_eq!(c.rate, 5.0);
+        let c = FlowCommand::compressing();
+        assert!(c.compress);
+        let mut a = Allocation::new();
+        assert!(a.is_empty());
+        a.set(FlowId(1), c);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(FlowId(1)), c);
+        assert_eq!(a.get(FlowId(9)), FlowCommand::IDLE);
+    }
+}
+
+#[cfg(test)]
+mod clamp_tests {
+    use super::*;
+    use crate::cpu::CpuModel;
+    use crate::view::{ConstCompression, FabricView, FlowView};
+    use crate::ids::CoflowId;
+
+    fn fixture(flows: Vec<FlowView>) -> (Fabric, CpuModel, ConstCompression, Vec<FlowView>) {
+        (
+            Fabric::uniform(3, 10.0),
+            CpuModel::unconstrained(3, 4),
+            ConstCompression::disabled(),
+            flows,
+        )
+    }
+
+    fn fv(id: u64, src: u32, dst: u32) -> FlowView {
+        FlowView {
+            id: FlowId(id),
+            coflow: CoflowId(0),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            original_size: 100.0,
+            raw: 100.0,
+            compressed: 0.0,
+            arrival: 0.0,
+            compressible: true,
+        }
+    }
+
+    #[test]
+    fn clamp_scales_down_oversubscribed_ports() {
+        let (fabric, cpu, comp, flows) = fixture(vec![fv(1, 0, 1), fv(2, 0, 2)]);
+        let view = FabricView {
+            now: 0.0,
+            slice: 0.01,
+            fabric: &fabric,
+            cpu: &cpu,
+            compression: &comp,
+            flows,
+        };
+        let mut alloc = Allocation::new();
+        alloc.set(FlowId(1), FlowCommand::transmit(8.0));
+        alloc.set(FlowId(2), FlowCommand::transmit(8.0)); // egress 0: 16 > 10
+        assert!(alloc.check_feasible(&view).is_err());
+        alloc.clamp_to_capacity(&view);
+        assert!(alloc.check_feasible(&view).is_ok());
+        // Proportional scale: both flows shrink by the same 10/16 factor.
+        let r1 = alloc.get(FlowId(1)).rate;
+        let r2 = alloc.get(FlowId(2)).rate;
+        assert!((r1 - r2).abs() < 1e-9);
+        assert!(r1 + r2 <= 10.0 + 1e-6);
+    }
+
+    #[test]
+    fn clamp_leaves_feasible_allocations_alone() {
+        let (fabric, cpu, comp, flows) = fixture(vec![fv(1, 0, 1)]);
+        let view = FabricView {
+            now: 0.0,
+            slice: 0.01,
+            fabric: &fabric,
+            cpu: &cpu,
+            compression: &comp,
+            flows,
+        };
+        let mut alloc = Allocation::new();
+        alloc.set(FlowId(1), FlowCommand::transmit(5.0));
+        alloc.clamp_to_capacity(&view);
+        assert_eq!(alloc.get(FlowId(1)).rate, 5.0);
+    }
+
+    #[test]
+    fn port_loads_ignore_compressing_flows() {
+        let (fabric, cpu, comp, flows) = fixture(vec![fv(1, 0, 1), fv(2, 0, 2)]);
+        let view = FabricView {
+            now: 0.0,
+            slice: 0.01,
+            fabric: &fabric,
+            cpu: &cpu,
+            compression: &comp,
+            flows,
+        };
+        let mut alloc = Allocation::new();
+        alloc.set(FlowId(1), FlowCommand::compressing());
+        alloc.set(FlowId(2), FlowCommand::transmit(4.0));
+        let (egress, ingress) = alloc.port_loads(&view);
+        assert_eq!(egress[&NodeId(0)], 4.0);
+        assert!(!ingress.contains_key(&NodeId(1)));
+        assert_eq!(ingress[&NodeId(2)], 4.0);
+    }
+}

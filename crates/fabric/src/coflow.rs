@@ -1,0 +1,204 @@
+//! Coflows: sets of flows that complete together (Chowdhury & Stoica's
+//! abstraction, adopted wholesale by the paper).
+
+use crate::flow::FlowSpec;
+use crate::ids::{CoflowId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A coflow as described in a trace: an arrival time plus its member flows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Coflow {
+    /// Unique coflow identifier.
+    pub id: CoflowId,
+    /// Arrival time in seconds since simulation start.
+    pub arrival: f64,
+    /// Member flows. A coflow completes when the last one finishes.
+    pub flows: Vec<FlowSpec>,
+}
+
+impl Coflow {
+    /// Start building a coflow with the given id.
+    pub fn builder(id: u64) -> CoflowBuilder {
+        CoflowBuilder {
+            id: CoflowId(id),
+            arrival: 0.0,
+            flows: Vec::new(),
+        }
+    }
+
+    /// Number of member flows ("width" in the coflow literature counts
+    /// distinct ports; we expose both).
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes across all member flows (the coflow's "size").
+    pub fn total_bytes(&self) -> f64 {
+        self.flows.iter().map(|f| f.size).sum()
+    }
+
+    /// Size of the largest member flow (the coflow's "length" in Varys
+    /// terminology; LCF orders by this).
+    pub fn length(&self) -> f64 {
+        self.flows.iter().map(|f| f.size).fold(0.0, f64::max)
+    }
+
+    /// Number of distinct (sender, receiver) ports touched — the coflow's
+    /// "width" in Varys terminology; NCF orders by this.
+    pub fn width(&self) -> usize {
+        let mut senders: Vec<NodeId> = self.flows.iter().map(|f| f.src).collect();
+        let mut receivers: Vec<NodeId> = self.flows.iter().map(|f| f.dst).collect();
+        senders.sort_unstable();
+        senders.dedup();
+        receivers.sort_unstable();
+        receivers.dedup();
+        senders.len().max(receivers.len())
+    }
+
+    /// Load placed on each sender egress port, as `(node, bytes)` pairs.
+    pub fn sender_loads(&self) -> Vec<(NodeId, f64)> {
+        accumulate(self.flows.iter().map(|f| (f.src, f.size)))
+    }
+
+    /// Load placed on each receiver ingress port.
+    pub fn receiver_loads(&self) -> Vec<(NodeId, f64)> {
+        accumulate(self.flows.iter().map(|f| (f.dst, f.size)))
+    }
+
+    /// The *effective bottleneck* completion time of this coflow in
+    /// isolation on `fabric`-style uniform port capacity `cap` — the Γ used
+    /// by SEBF: `max(max_s load_s / cap, max_r load_r / cap)`.
+    pub fn bottleneck_time(&self, egress_cap: impl Fn(NodeId) -> f64, ingress_cap: impl Fn(NodeId) -> f64) -> f64 {
+        let send = self
+            .sender_loads()
+            .into_iter()
+            .map(|(n, b)| b / egress_cap(n))
+            .fold(0.0, f64::max);
+        let recv = self
+            .receiver_loads()
+            .into_iter()
+            .map(|(n, b)| b / ingress_cap(n))
+            .fold(0.0, f64::max);
+        send.max(recv)
+    }
+}
+
+fn accumulate(pairs: impl Iterator<Item = (NodeId, f64)>) -> Vec<(NodeId, f64)> {
+    let mut v: Vec<(NodeId, f64)> = Vec::new();
+    for (node, bytes) in pairs {
+        match v.iter_mut().find(|(n, _)| *n == node) {
+            Some((_, acc)) => *acc += bytes,
+            None => v.push((node, bytes)),
+        }
+    }
+    v.sort_by_key(|(n, _)| *n);
+    v
+}
+
+/// Fluent builder so traces and tests read naturally.
+#[derive(Debug, Clone)]
+pub struct CoflowBuilder {
+    id: CoflowId,
+    arrival: f64,
+    flows: Vec<FlowSpec>,
+}
+
+impl CoflowBuilder {
+    /// Set the arrival time (seconds).
+    pub fn arrival(mut self, t: f64) -> Self {
+        assert!(t >= 0.0, "arrival time must be non-negative");
+        self.arrival = t;
+        self
+    }
+
+    /// Add a member flow.
+    pub fn flow(mut self, spec: FlowSpec) -> Self {
+        self.flows.push(spec);
+        self
+    }
+
+    /// Add several member flows.
+    pub fn flows(mut self, specs: impl IntoIterator<Item = FlowSpec>) -> Self {
+        self.flows.extend(specs);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Coflow {
+        Coflow {
+            id: self.id,
+            arrival: self.arrival,
+            flows: self.flows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn motivation_c1() -> Coflow {
+        // C1 from the paper's Fig. 3: three flows of 4, 4 and 2 units.
+        Coflow::builder(1)
+            .arrival(0.0)
+            .flow(FlowSpec::new(1, 0, 0, 4.0))
+            .flow(FlowSpec::new(2, 1, 1, 4.0))
+            .flow(FlowSpec::new(3, 2, 2, 2.0))
+            .build()
+    }
+
+    #[test]
+    fn aggregates() {
+        let c = motivation_c1();
+        assert_eq!(c.num_flows(), 3);
+        assert_eq!(c.total_bytes(), 10.0);
+        assert_eq!(c.length(), 4.0);
+        assert_eq!(c.width(), 3);
+    }
+
+    #[test]
+    fn loads_accumulate_per_port() {
+        let c = Coflow::builder(2)
+            .flow(FlowSpec::new(1, 0, 1, 3.0))
+            .flow(FlowSpec::new(2, 0, 2, 5.0))
+            .build();
+        assert_eq!(c.sender_loads(), vec![(NodeId(0), 8.0)]);
+        assert_eq!(
+            c.receiver_loads(),
+            vec![(NodeId(1), 3.0), (NodeId(2), 5.0)]
+        );
+    }
+
+    #[test]
+    fn bottleneck_is_max_port_time() {
+        let c = Coflow::builder(3)
+            .flow(FlowSpec::new(1, 0, 1, 4.0))
+            .flow(FlowSpec::new(2, 0, 2, 4.0))
+            .build();
+        // Sender 0 carries 8 bytes; with capacity 2 B/s that is 4 s.
+        let t = c.bottleneck_time(|_| 2.0, |_| 2.0);
+        assert!((t - 4.0).abs() < 1e-12);
+        // Receiver-limited case.
+        let t = c.bottleneck_time(|_| 100.0, |_| 1.0);
+        assert!((t - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_counts_distinct_ports() {
+        let c = Coflow::builder(4)
+            .flow(FlowSpec::new(1, 0, 5, 1.0))
+            .flow(FlowSpec::new(2, 0, 6, 1.0))
+            .flow(FlowSpec::new(3, 0, 7, 1.0))
+            .build();
+        assert_eq!(c.width(), 3); // one sender, three receivers
+    }
+
+    #[test]
+    fn empty_coflow_has_zero_metrics() {
+        let c = Coflow::builder(9).build();
+        assert_eq!(c.total_bytes(), 0.0);
+        assert_eq!(c.length(), 0.0);
+        assert_eq!(c.width(), 0);
+        assert_eq!(c.bottleneck_time(|_| 1.0, |_| 1.0), 0.0);
+    }
+}

@@ -1,0 +1,1180 @@
+//! The slice-based simulation loop.
+//!
+//! Time is divided into slices of length δ (the paper's default is 10 ms;
+//! Fig. 7(c) studies the sensitivity). Within a slice every flow follows the
+//! [`crate::FlowCommand`] assigned at the last rescheduling point: either it
+//! compresses raw bytes on one CPU core of its sender, or it transmits at its
+//! allocated rate. Arrivals and completions are only *acted upon* at slice
+//! boundaries — exactly the quantization that makes long slices wasteful for
+//! small flows (§VI-A1) — although completion timestamps are interpolated
+//! within the slice so FCT statistics are not artificially quantized.
+
+use crate::alloc::{Allocation, FlowCommand};
+use crate::coflow::Coflow;
+use crate::cpu::CpuModel;
+use crate::event::{EventKind, EventLog};
+use crate::flow::FlowProgress;
+use crate::ids::{CoflowId, FlowId, NodeId};
+use crate::policy::Policy;
+use crate::port::Fabric;
+use crate::sample::{Sample, Timeline};
+use crate::view::{CompressionSpec, ConstCompression, FabricView, FlowView};
+use crate::VOLUME_EPS;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// When the engine re-invokes the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Reschedule {
+    /// Every slice boundary. Matches Pseudocode 3, where `VolumeDisposal`
+    /// (and with it the per-flow compression strategy) runs once per slice.
+    EverySlice,
+    /// Only at coflow arrivals, completions, and raw-exhaustion transitions —
+    /// the "preemption only occurs when new flows arrive or existing flows
+    /// complete" reading of §IV-A4. Cheaper, used for ablation.
+    EventsOnly,
+}
+
+/// Engine configuration.
+#[derive(Clone)]
+pub struct SimConfig {
+    /// Slice length δ in seconds.
+    pub slice: f64,
+    /// CPU model; defaults to an unconstrained cluster (compression always
+    /// admissible) sized to the fabric.
+    pub cpu: Option<CpuModel>,
+    /// Compression parameters; defaults to disabled (pure scheduling study).
+    pub compression: Arc<dyn CompressionSpec>,
+    /// Rescheduling cadence.
+    pub reschedule: Reschedule,
+    /// Timeline sampling interval in seconds (`None` disables sampling).
+    pub sample_interval: Option<f64>,
+    /// Safety horizon; the run aborts (with incomplete records) beyond this.
+    pub max_time: f64,
+    /// Record the event log.
+    pub record_events: bool,
+    /// Charge receiver-side decompression time against flow completion
+    /// (the paper omits it, citing Table II's speed asymmetry; enabling
+    /// this quantifies the omission).
+    pub model_decompression: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            slice: 0.01,
+            cpu: None,
+            compression: Arc::new(ConstCompression::disabled()),
+            reschedule: Reschedule::EverySlice,
+            sample_interval: None,
+            max_time: 1e7,
+            record_events: false,
+            model_decompression: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Set the slice length.
+    pub fn with_slice(mut self, slice: f64) -> Self {
+        assert!(slice > 0.0, "slice must be positive");
+        self.slice = slice;
+        self
+    }
+
+    /// Set the compression spec.
+    pub fn with_compression(mut self, spec: Arc<dyn CompressionSpec>) -> Self {
+        self.compression = spec;
+        self
+    }
+
+    /// Set the CPU model.
+    pub fn with_cpu(mut self, cpu: CpuModel) -> Self {
+        self.cpu = Some(cpu);
+        self
+    }
+
+    /// Enable event recording.
+    pub fn with_events(mut self) -> Self {
+        self.record_events = true;
+        self
+    }
+
+    /// Enable timeline sampling at `interval` seconds.
+    pub fn with_sampling(mut self, interval: f64) -> Self {
+        assert!(interval > 0.0, "sample interval must be positive");
+        self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Set the rescheduling cadence.
+    pub fn with_reschedule(mut self, r: Reschedule) -> Self {
+        self.reschedule = r;
+        self
+    }
+
+    /// Charge receiver-side decompression time on completion.
+    pub fn with_decompression_model(mut self) -> Self {
+        self.model_decompression = true;
+        self
+    }
+}
+
+/// Outcome for one flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Flow identifier.
+    pub id: FlowId,
+    /// Owning coflow.
+    pub coflow: CoflowId,
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Original raw size in bytes.
+    pub size: f64,
+    /// Arrival time of the owning coflow.
+    pub arrival: f64,
+    /// Completion time, `None` if the run aborted first.
+    pub completed_at: Option<f64>,
+    /// Bytes actually transmitted (compressed bytes count once).
+    pub wire_bytes: f64,
+    /// Raw bytes that went through the compressor.
+    pub compressed_input: f64,
+}
+
+impl FlowRecord {
+    /// Flow completion time (completion − arrival).
+    pub fn fct(&self) -> Option<f64> {
+        self.completed_at.map(|t| t - self.arrival)
+    }
+}
+
+/// Outcome for one coflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoflowRecord {
+    /// Coflow identifier.
+    pub id: CoflowId,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Completion time of the slowest flow, `None` if the run aborted first.
+    pub completed_at: Option<f64>,
+    /// Total raw bytes across member flows.
+    pub total_bytes: f64,
+    /// Member flow count.
+    pub num_flows: usize,
+}
+
+impl CoflowRecord {
+    /// Coflow completion time (completion − arrival).
+    pub fn cct(&self) -> Option<f64> {
+        self.completed_at.map(|t| t - self.arrival)
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Policy that produced this run.
+    pub policy: String,
+    /// Per-flow outcomes, in flow-id order.
+    pub flows: Vec<FlowRecord>,
+    /// Per-coflow outcomes, in completion order.
+    pub coflows: Vec<CoflowRecord>,
+    /// Timeline samples (empty unless sampling was enabled).
+    pub timeline: Timeline,
+    /// Event log (empty unless recording was enabled).
+    pub events: EventLog,
+    /// Time of the last completion (or the abort time).
+    pub makespan: f64,
+    /// Number of policy invocations.
+    pub reschedules: usize,
+}
+
+impl SimResult {
+    /// True when every flow completed within the horizon.
+    pub fn all_complete(&self) -> bool {
+        self.flows.iter().all(|f| f.completed_at.is_some())
+    }
+
+    /// FCT of every completed flow.
+    pub fn fct_values(&self) -> Vec<f64> {
+        self.flows.iter().filter_map(|f| f.fct()).collect()
+    }
+
+    /// CCT of every completed coflow.
+    pub fn cct_values(&self) -> Vec<f64> {
+        self.coflows.iter().filter_map(|c| c.cct()).collect()
+    }
+
+    /// Average flow completion time.
+    pub fn avg_fct(&self) -> f64 {
+        avg(&self.fct_values())
+    }
+
+    /// Average coflow completion time.
+    pub fn avg_cct(&self) -> f64 {
+        avg(&self.cct_values())
+    }
+
+    /// Total bytes put on the wire.
+    pub fn total_wire_bytes(&self) -> f64 {
+        self.flows.iter().map(|f| f.wire_bytes).sum()
+    }
+
+    /// Total raw bytes the trace asked to move.
+    pub fn total_raw_bytes(&self) -> f64 {
+        self.flows.iter().map(|f| f.size).sum()
+    }
+
+    /// Fraction of traffic removed by compression (Table VII's "Reduction").
+    pub fn traffic_reduction(&self) -> f64 {
+        let raw = self.total_raw_bytes();
+        if raw <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.total_wire_bytes() / raw
+    }
+}
+
+fn avg(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// The simulator.
+pub struct Engine {
+    fabric: Fabric,
+    cpu: CpuModel,
+    config: SimConfig,
+    /// Pending coflows sorted by arrival, latest first (pop from the back).
+    pending: Vec<Coflow>,
+    active: BTreeMap<FlowId, FlowProgress>,
+    coflow_meta: BTreeMap<CoflowId, CoflowMeta>,
+}
+
+struct CoflowMeta {
+    arrival: f64,
+    remaining: usize,
+    total_bytes: f64,
+    num_flows: usize,
+    last_completion: f64,
+}
+
+impl Engine {
+    /// Build an engine over `fabric` for the given trace.
+    ///
+    /// Panics if any flow references a node outside the fabric or if two
+    /// flows share an id.
+    pub fn new(fabric: Fabric, mut coflows: Vec<Coflow>, config: SimConfig) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for c in &coflows {
+            for f in &c.flows {
+                assert!(
+                    fabric.contains(f.src) && fabric.contains(f.dst),
+                    "flow {} references a node outside the fabric",
+                    f.id
+                );
+                assert!(seen.insert(f.id), "duplicate flow id {}", f.id);
+            }
+        }
+        coflows.sort_by(|a, b| b.arrival.total_cmp(&a.arrival));
+        let cpu = config
+            .cpu
+            .clone()
+            .unwrap_or_else(|| CpuModel::unconstrained(fabric.num_nodes(), 16));
+        assert_eq!(
+            cpu.num_nodes(),
+            fabric.num_nodes(),
+            "CPU model must cover every fabric node"
+        );
+        Self {
+            fabric,
+            cpu,
+            config,
+            pending: coflows,
+            active: BTreeMap::new(),
+            coflow_meta: BTreeMap::new(),
+        }
+    }
+
+    /// Run the trace to completion under `policy`.
+    pub fn run(mut self, policy: &mut dyn Policy) -> SimResult {
+        let delta = self.config.slice;
+        let mut now = 0.0f64;
+        let mut events = if self.config.record_events {
+            EventLog::recording()
+        } else {
+            EventLog::disabled()
+        };
+        let mut timeline = Timeline::default();
+        // First sample fires at t = 0 when sampling is enabled.
+        let mut next_sample = 0.0f64;
+        let mut alloc = Allocation::new();
+        let mut needs_schedule = true;
+        let mut reschedules = 0usize;
+        let mut stall_slices = 0u32;
+        let mut flow_records: BTreeMap<FlowId, FlowRecord> = BTreeMap::new();
+        let mut coflow_records: Vec<CoflowRecord> = Vec::new();
+        let mut makespan = 0.0f64;
+
+        while !self.active.is_empty() || !self.pending.is_empty() {
+            // Fast-forward over idle gaps: jump to the slice boundary at or
+            // after the next arrival.
+            if self.active.is_empty() {
+                let next = self.pending.last().map(|c| c.arrival).unwrap_or(now);
+                if next > now {
+                    now = (next / delta).ceil() * delta;
+                }
+            }
+
+            // Admit everything that has arrived by this boundary.
+            let mut admitted = false;
+            while self
+                .pending
+                .last()
+                .is_some_and(|c| c.arrival <= now + 1e-12)
+            {
+                let c = self.pending.pop().unwrap();
+                admitted = true;
+                events.push(now, EventKind::CoflowArrived(c.id));
+                policy.on_arrival(&c, now);
+                let mut live = 0usize;
+                for spec in &c.flows {
+                    let rec = FlowRecord {
+                        id: spec.id,
+                        coflow: c.id,
+                        src: spec.src,
+                        dst: spec.dst,
+                        size: spec.size,
+                        arrival: c.arrival,
+                        completed_at: None,
+                        wire_bytes: 0.0,
+                        compressed_input: 0.0,
+                    };
+                    let progress = FlowProgress::new(spec.clone(), c.id, c.arrival);
+                    if progress.is_complete() {
+                        // Zero-sized flows finish the moment they arrive.
+                        let mut rec = rec;
+                        rec.completed_at = Some(c.arrival);
+                        flow_records.insert(spec.id, rec);
+                        events.push(now, EventKind::FlowCompleted(spec.id));
+                    } else {
+                        flow_records.insert(spec.id, rec);
+                        self.active.insert(spec.id, progress);
+                        live += 1;
+                    }
+                }
+                if live == 0 {
+                    // Coflow with no (non-empty) flows completes on arrival.
+                    coflow_records.push(CoflowRecord {
+                        id: c.id,
+                        arrival: c.arrival,
+                        completed_at: Some(c.arrival.max(now.min(c.arrival))),
+                        total_bytes: c.total_bytes(),
+                        num_flows: c.flows.len(),
+                    });
+                    events.push(now, EventKind::CoflowCompleted(c.id));
+                    policy.on_completion(c.id, now);
+                    makespan = makespan.max(c.arrival);
+                } else {
+                    self.coflow_meta.insert(
+                        c.id,
+                        CoflowMeta {
+                            arrival: c.arrival,
+                            remaining: live,
+                            total_bytes: c.total_bytes(),
+                            num_flows: c.flows.len(),
+                            last_completion: 0.0,
+                        },
+                    );
+                }
+            }
+            needs_schedule |= admitted;
+            if self.active.is_empty() {
+                continue;
+            }
+
+            // Invoke the policy when due.
+            if needs_schedule || self.config.reschedule == Reschedule::EverySlice {
+                let view = self.view(now);
+                alloc = policy.allocate(&view);
+                alloc.clamp_to_capacity(&view);
+                self.enforce_cpu(&mut alloc, now);
+                self.apply_betas(&alloc, now, &mut events);
+                reschedules += 1;
+                events.push(now, EventKind::Rescheduled);
+                needs_schedule = false;
+            }
+
+            // Advance one slice of volume disposal.
+            let speed = self.config.compression.speed();
+            let mut progressed = false;
+            let mut completed: Vec<(FlowId, f64)> = Vec::new();
+            let mut raw_exhausted = false;
+            for (id, p) in self.active.iter_mut() {
+                let cmd = alloc.get(*id);
+                if cmd.compress {
+                    let ratio = self.config.compression.ratio(p.spec.size);
+                    let had_raw = p.raw > VOLUME_EPS;
+                    let consumed = p.compress_for(delta, speed, ratio);
+                    if consumed > 0.0 {
+                        progressed = true;
+                    }
+                    if had_raw && p.raw <= VOLUME_EPS {
+                        events.push(now + delta, EventKind::RawExhausted(*id));
+                        raw_exhausted = true;
+                    }
+                } else if cmd.rate > 0.0 {
+                    let eta = p.volume() / cmd.rate;
+                    let sent = p.transmit_for(delta, cmd.rate);
+                    if sent > 0.0 {
+                        progressed = true;
+                    }
+                    if p.is_complete() {
+                        completed.push((*id, now + eta.min(delta)));
+                    }
+                }
+            }
+
+            // Retire completed flows and coflows.
+            for (id, t) in completed {
+                let p = self.active.remove(&id).expect("completed flow is active");
+                // Receiver-side decompression happens off the network path;
+                // when modelled, it delays the flow's completion by the
+                // compressed bytes over the decompressor's speed.
+                let t = if self.config.model_decompression && p.compressed_input > 0.0 {
+                    let ratio = self.config.compression.ratio(p.spec.size);
+                    let compressed_bytes = p.compressed_input * ratio;
+                    t + compressed_bytes / self.config.compression.decompress_speed()
+                } else {
+                    t
+                };
+                let rec = flow_records.get_mut(&id).expect("record exists");
+                rec.completed_at = Some(t);
+                rec.wire_bytes = p.wire_bytes;
+                rec.compressed_input = p.compressed_input;
+                makespan = makespan.max(t);
+                events.push(t, EventKind::FlowCompleted(id));
+                let meta = self
+                    .coflow_meta
+                    .get_mut(&p.coflow)
+                    .expect("coflow meta exists");
+                meta.remaining -= 1;
+                meta.last_completion = meta.last_completion.max(t);
+                if meta.remaining == 0 {
+                    coflow_records.push(CoflowRecord {
+                        id: p.coflow,
+                        arrival: meta.arrival,
+                        completed_at: Some(meta.last_completion),
+                        total_bytes: meta.total_bytes,
+                        num_flows: meta.num_flows,
+                    });
+                    events.push(meta.last_completion, EventKind::CoflowCompleted(p.coflow));
+                    policy.on_completion(p.coflow, meta.last_completion);
+                    self.coflow_meta.remove(&p.coflow);
+                }
+                needs_schedule = true;
+            }
+            if raw_exhausted {
+                needs_schedule = true;
+            }
+
+            // Timeline sample (before advancing, attributed to this slice).
+            if let Some(interval) = self.config.sample_interval {
+                if now >= next_sample {
+                    timeline.push(self.sample(now, &alloc));
+                    next_sample = now + interval;
+                }
+            }
+
+            now += delta;
+
+            // Stall and horizon safety nets.
+            if !progressed && !admitted {
+                stall_slices += 1;
+                let blocked_forever = self.pending.is_empty() && stall_slices > 3;
+                if blocked_forever {
+                    events.push(now, EventKind::HorizonReached);
+                    break;
+                }
+            } else {
+                stall_slices = 0;
+            }
+            if now > self.config.max_time {
+                events.push(now, EventKind::HorizonReached);
+                break;
+            }
+        }
+
+        // Coflows still open at abort get recorded as incomplete.
+        for (id, meta) in &self.coflow_meta {
+            coflow_records.push(CoflowRecord {
+                id: *id,
+                arrival: meta.arrival,
+                completed_at: None,
+                total_bytes: meta.total_bytes,
+                num_flows: meta.num_flows,
+            });
+        }
+        // Flows still active at abort keep partial accounting.
+        for (id, p) in &self.active {
+            if let Some(rec) = flow_records.get_mut(id) {
+                rec.wire_bytes = p.wire_bytes;
+                rec.compressed_input = p.compressed_input;
+            }
+        }
+        coflow_records.sort_by(|a, b| {
+            a.completed_at
+                .unwrap_or(f64::INFINITY)
+                .total_cmp(&b.completed_at.unwrap_or(f64::INFINITY))
+        });
+
+        SimResult {
+            policy: policy.name().to_string(),
+            flows: flow_records.into_values().collect(),
+            coflows: coflow_records,
+            timeline,
+            events,
+            makespan,
+            reschedules,
+        }
+    }
+
+    fn view(&self, now: f64) -> FabricView<'_> {
+        let flows: Vec<FlowView> = self
+            .active
+            .values()
+            .filter(|p| !p.is_complete())
+            .map(FlowView::from_progress)
+            .collect();
+        FabricView {
+            now,
+            slice: self.config.slice,
+            fabric: &self.fabric,
+            cpu: &self.cpu,
+            compression: self.config.compression.as_ref(),
+            flows,
+        }
+    }
+
+    /// Limit compression commands per sender to the node's free cores; the
+    /// paper's compression strategy requires "CPU resources are enough"
+    /// (Pseudocode 1, line 4). Flows whose raw part is already exhausted
+    /// cannot usefully compress either.
+    fn enforce_cpu(&self, alloc: &mut Allocation, now: f64) {
+        let mut used: BTreeMap<NodeId, u32> = BTreeMap::new();
+        let mut downgrade: Vec<FlowId> = Vec::new();
+        for (id, cmd) in alloc.iter() {
+            if !cmd.compress {
+                continue;
+            }
+            let Some(p) = self.active.get(&id) else {
+                downgrade.push(id);
+                continue;
+            };
+            if p.raw <= VOLUME_EPS || !p.spec.compressible {
+                downgrade.push(id);
+                continue;
+            }
+            let node = p.spec.src;
+            let u = used.entry(node).or_default();
+            if *u >= self.cpu.free_cores(node, now) {
+                downgrade.push(id);
+            } else {
+                *u += 1;
+            }
+        }
+        for id in downgrade {
+            alloc.set(id, FlowCommand::IDLE);
+        }
+    }
+
+    fn apply_betas(&mut self, alloc: &Allocation, now: f64, events: &mut EventLog) {
+        for (id, p) in self.active.iter_mut() {
+            let new_beta = alloc.get(*id).compress;
+            if new_beta != p.beta {
+                let kind = if new_beta {
+                    EventKind::CompressionStarted(*id)
+                } else {
+                    EventKind::CompressionStopped(*id)
+                };
+                events.push(now, kind);
+                p.beta = new_beta;
+            }
+        }
+    }
+
+    fn sample(&self, now: f64, alloc: &Allocation) -> Sample {
+        let mut tx_rate = 0.0;
+        let mut compressing = 0usize;
+        let mut comp_cores: BTreeMap<NodeId, u32> = BTreeMap::new();
+        for (id, cmd) in alloc.iter() {
+            if !self.active.contains_key(&id) {
+                continue;
+            }
+            if cmd.compress {
+                compressing += 1;
+                let node = self.active[&id].spec.src;
+                *comp_cores.entry(node).or_default() += 1;
+            } else {
+                tx_rate += cmd.rate;
+            }
+        }
+        let n = self.fabric.num_nodes();
+        let mut total_cores = 0.0;
+        let mut busy_cores = 0.0;
+        for i in 0..n {
+            let node = NodeId(i as u32);
+            let cores = self.cpu.cores(node) as f64;
+            total_cores += cores;
+            busy_cores += self.cpu.background_util(node, now) * cores;
+            busy_cores += *comp_cores.get(&node).unwrap_or(&0) as f64;
+        }
+        let total_egress: f64 = (0..n).map(|i| self.fabric.egress_cap(NodeId(i as u32))).sum();
+        Sample {
+            time: now,
+            active_flows: self.active.len(),
+            cpu_util: (busy_cores / total_cores).min(1.0),
+            tx_rate,
+            net_util: (tx_rate / total_egress).min(1.0),
+            compressing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use crate::policy::FairSharePolicy;
+    use crate::units;
+
+    fn single_flow_trace(size: f64) -> Vec<Coflow> {
+        vec![Coflow::builder(0)
+            .arrival(0.0)
+            .flow(FlowSpec::new(0, 0, 1, size))
+            .build()]
+    }
+
+    #[test]
+    fn single_flow_fct_is_size_over_bandwidth() {
+        let fabric = Fabric::uniform(2, 100.0);
+        let engine = Engine::new(
+            fabric,
+            single_flow_trace(1000.0),
+            SimConfig::default().with_slice(0.1),
+        );
+        let res = engine.run(&mut FairSharePolicy);
+        assert!(res.all_complete());
+        // 1000 bytes at 100 B/s = 10 s.
+        assert!((res.avg_fct() - 10.0).abs() < 1e-6, "fct={}", res.avg_fct());
+        assert!((res.avg_cct() - 10.0).abs() < 1e-6);
+        assert!((res.makespan - 10.0).abs() < 1e-6);
+        assert!((res.total_wire_bytes() - 1000.0).abs() < 1e-6);
+        assert_eq!(res.traffic_reduction(), 0.0);
+    }
+
+    #[test]
+    fn two_flows_share_one_port_fairly() {
+        let fabric = Fabric::uniform(3, 100.0);
+        let coflows = vec![
+            Coflow::builder(0)
+                .flow(FlowSpec::new(0, 0, 1, 500.0))
+                .build(),
+            Coflow::builder(1)
+                .flow(FlowSpec::new(1, 0, 2, 1000.0))
+                .build(),
+        ];
+        let engine = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.05));
+        let res = engine.run(&mut FairSharePolicy);
+        assert!(res.all_complete());
+        // Fair share: both at 50 B/s until t=10 (f0 done), then f1 at 100.
+        // f1 remaining 500 at t=10 → done at 15.
+        let fct0 = res.flows[0].fct().unwrap();
+        let fct1 = res.flows[1].fct().unwrap();
+        assert!((fct0 - 10.0).abs() < 0.1, "fct0={fct0}");
+        assert!((fct1 - 15.0).abs() < 0.1, "fct1={fct1}");
+    }
+
+    #[test]
+    fn late_arrival_preempts_via_reschedule() {
+        let fabric = Fabric::uniform(3, 100.0);
+        let coflows = vec![
+            Coflow::builder(0)
+                .arrival(0.0)
+                .flow(FlowSpec::new(0, 0, 1, 1000.0))
+                .build(),
+            Coflow::builder(1)
+                .arrival(5.0)
+                .flow(FlowSpec::new(1, 0, 2, 100.0))
+                .build(),
+        ];
+        let engine = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.1));
+        let res = engine.run(&mut FairSharePolicy);
+        assert!(res.all_complete());
+        // f0 runs alone [0,5) at 100 B/s → 500 left; then shares at 50 B/s.
+        // f1 (100 bytes) done at 5 + 2 = 7; f0 then full rate: 500−100=400
+        // left at t=7 → done at 11.
+        let fct0 = res.flows[0].fct().unwrap();
+        let fct1 = res.flows[1].fct().unwrap();
+        assert!((fct1 - 2.0).abs() < 0.2, "fct1={fct1}");
+        assert!((fct0 - 11.0).abs() < 0.2, "fct0={fct0}");
+    }
+
+    #[test]
+    fn idle_gap_fast_forwards() {
+        let fabric = Fabric::uniform(2, 100.0);
+        let coflows = vec![Coflow::builder(0)
+            .arrival(1000.0)
+            .flow(FlowSpec::new(0, 0, 1, 100.0))
+            .build()];
+        let engine = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.01));
+        let res = engine.run(&mut FairSharePolicy);
+        assert!(res.all_complete());
+        // CCT is measured from the coflow's own arrival.
+        assert!((res.avg_cct() - 1.0).abs() < 0.05, "cct={}", res.avg_cct());
+        assert!((res.makespan - 1001.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_sized_flows_complete_instantly() {
+        let fabric = Fabric::uniform(2, 100.0);
+        let coflows = vec![Coflow::builder(0)
+            .arrival(0.0)
+            .flow(FlowSpec::new(0, 0, 1, 0.0))
+            .flow(FlowSpec::new(1, 0, 1, 100.0))
+            .build()];
+        let engine = Engine::new(fabric, coflows, SimConfig::default());
+        let res = engine.run(&mut FairSharePolicy);
+        assert!(res.all_complete());
+        assert_eq!(res.flows[0].fct().unwrap(), 0.0);
+        assert!(res.flows[1].fct().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn empty_coflow_completes_on_arrival() {
+        let fabric = Fabric::uniform(2, 100.0);
+        let coflows = vec![Coflow::builder(0).arrival(2.0).build()];
+        let engine = Engine::new(fabric, coflows, SimConfig::default());
+        let res = engine.run(&mut FairSharePolicy);
+        assert_eq!(res.coflows.len(), 1);
+        assert_eq!(res.coflows[0].cct(), Some(0.0));
+    }
+
+    #[test]
+    fn compression_policy_reduces_traffic() {
+        /// β=1 while raw remains, then transmit at full port rate.
+        struct CompressThenSend;
+        impl Policy for CompressThenSend {
+            fn name(&self) -> &str {
+                "compress-then-send"
+            }
+            fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
+                let mut a = Allocation::new();
+                for f in &view.flows {
+                    if f.raw > VOLUME_EPS && f.compressible {
+                        a.set(f.id, FlowCommand::compressing());
+                    } else {
+                        a.set(f.id, FlowCommand::transmit(view.min_port_cap(f)));
+                    }
+                }
+                a
+            }
+        }
+        let fabric = Fabric::uniform(2, 100.0);
+        // Compression: 1000 B/s input, ratio 0.5 → strictly beneficial.
+        let spec = Arc::new(ConstCompression::new("test", 1000.0, 0.5));
+        let engine = Engine::new(
+            fabric,
+            single_flow_trace(1000.0),
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_compression(spec)
+                .with_events(),
+        );
+        let res = engine.run(&mut CompressThenSend);
+        assert!(res.all_complete());
+        // 1000 raw compress to 500; only ~500 hit the wire.
+        assert!(
+            (res.total_wire_bytes() - 500.0).abs() < 5.0,
+            "wire={}",
+            res.total_wire_bytes()
+        );
+        assert!((res.traffic_reduction() - 0.5).abs() < 0.01);
+        // Compress takes 1 s, transmit 500/100 = 5 s → FCT ≈ 6 s, much
+        // better than the 10 s without compression.
+        let fct = res.avg_fct();
+        assert!((fct - 6.0).abs() < 0.1, "fct={fct}");
+        // Raw exhaustion must have been logged.
+        assert!(res
+            .events
+            .filter(|k| matches!(k, EventKind::RawExhausted(_)))
+            .next()
+            .is_some());
+    }
+
+    #[test]
+    fn cpu_limit_caps_concurrent_compression() {
+        struct CompressAll;
+        impl Policy for CompressAll {
+            fn name(&self) -> &str {
+                "compress-all"
+            }
+            fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
+                let mut a = Allocation::new();
+                for f in &view.flows {
+                    if f.raw > VOLUME_EPS {
+                        a.set(f.id, FlowCommand::compressing());
+                    } else {
+                        a.set(f.id, FlowCommand::transmit(10.0));
+                    }
+                }
+                a
+            }
+        }
+        let fabric = Fabric::uniform(2, 100.0);
+        // One core only: the two flows cannot both compress at once.
+        let cpu = CpuModel::unconstrained(2, 1);
+        let spec = Arc::new(ConstCompression::new("test", 100.0, 0.5));
+        let coflows = vec![Coflow::builder(0)
+            .flow(FlowSpec::new(0, 0, 1, 100.0))
+            .flow(FlowSpec::new(1, 0, 1, 100.0))
+            .build()];
+        let engine = Engine::new(
+            fabric,
+            coflows,
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_cpu(cpu)
+                .with_compression(spec),
+        );
+        let res = engine.run(&mut CompressAll);
+        assert!(res.all_complete());
+        // Serial compression (1 s each due to the single core) still ends
+        // with both flows compressed: wire bytes ≈ 100 total.
+        assert!(
+            (res.total_wire_bytes() - 100.0).abs() < 2.0,
+            "wire={}",
+            res.total_wire_bytes()
+        );
+    }
+
+    #[test]
+    fn stalled_policy_terminates() {
+        struct DoNothing;
+        impl Policy for DoNothing {
+            fn name(&self) -> &str {
+                "noop"
+            }
+            fn allocate(&mut self, _view: &FabricView<'_>) -> Allocation {
+                Allocation::new()
+            }
+        }
+        let fabric = Fabric::uniform(2, 100.0);
+        let engine = Engine::new(fabric, single_flow_trace(100.0), SimConfig::default());
+        let res = engine.run(&mut DoNothing);
+        assert!(!res.all_complete());
+        assert_eq!(res.coflows.len(), 1);
+        assert_eq!(res.coflows[0].completed_at, None);
+    }
+
+    #[test]
+    fn oversubscribed_allocation_is_clamped() {
+        struct Greedy;
+        impl Policy for Greedy {
+            fn name(&self) -> &str {
+                "greedy"
+            }
+            fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
+                let mut a = Allocation::new();
+                for f in &view.flows {
+                    // Demands 3× the port capacity in total.
+                    a.set(f.id, FlowCommand::transmit(view.min_port_cap(f)));
+                }
+                a
+            }
+        }
+        let fabric = Fabric::uniform(4, 90.0);
+        let coflows = vec![Coflow::builder(0)
+            .flow(FlowSpec::new(0, 0, 1, 300.0))
+            .flow(FlowSpec::new(1, 0, 2, 300.0))
+            .flow(FlowSpec::new(2, 0, 3, 300.0))
+            .build()];
+        let engine = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.1));
+        let res = engine.run(&mut Greedy);
+        assert!(res.all_complete());
+        // 900 bytes through one 90 B/s egress port can't beat 10 s.
+        assert!(res.makespan >= 10.0 - 1e-6, "makespan={}", res.makespan);
+    }
+
+    #[test]
+    fn events_only_reschedules_less() {
+        let fabric = Fabric::uniform(3, units::mbps(100.0));
+        let coflows = vec![
+            Coflow::builder(0)
+                .flow(FlowSpec::new(0, 0, 1, 10.0 * units::MB))
+                .build(),
+            Coflow::builder(1)
+                .arrival(0.5)
+                .flow(FlowSpec::new(1, 0, 2, 10.0 * units::MB))
+                .build(),
+        ];
+        let every = Engine::new(
+            fabric.clone(),
+            coflows.clone(),
+            SimConfig::default().with_slice(0.01),
+        )
+        .run(&mut FairSharePolicy);
+        let events_only = Engine::new(
+            fabric,
+            coflows,
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_reschedule(Reschedule::EventsOnly),
+        )
+        .run(&mut FairSharePolicy);
+        assert!(every.all_complete() && events_only.all_complete());
+        assert!(events_only.reschedules < every.reschedules);
+        // Same fluid trajectory → nearly identical FCTs.
+        assert!((every.avg_fct() - events_only.avg_fct()).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate flow id")]
+    fn duplicate_flow_ids_rejected() {
+        let fabric = Fabric::uniform(2, 1.0);
+        let coflows = vec![
+            Coflow::builder(0).flow(FlowSpec::new(0, 0, 1, 1.0)).build(),
+            Coflow::builder(1).flow(FlowSpec::new(0, 0, 1, 1.0)).build(),
+        ];
+        Engine::new(fabric, coflows, SimConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the fabric")]
+    fn out_of_range_node_rejected() {
+        let fabric = Fabric::uniform(2, 1.0);
+        let coflows = vec![Coflow::builder(0).flow(FlowSpec::new(0, 0, 5, 1.0)).build()];
+        Engine::new(fabric, coflows, SimConfig::default());
+    }
+}
+
+#[cfg(test)]
+mod decompression_tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use crate::view::FabricView;
+    use crate::VOLUME_EPS;
+
+    /// β=1 while raw remains, then full-rate transmit.
+    struct CompressThenSend;
+    impl Policy for CompressThenSend {
+        fn name(&self) -> &str {
+            "compress-then-send"
+        }
+        fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
+            let mut a = Allocation::new();
+            for f in &view.flows {
+                if f.raw > VOLUME_EPS {
+                    a.set(f.id, FlowCommand::compressing());
+                } else {
+                    a.set(f.id, FlowCommand::transmit(view.min_port_cap(f)));
+                }
+            }
+            a
+        }
+    }
+
+    /// A spec with an explicit (finite) decompression speed.
+    struct SlowDecomp;
+    impl CompressionSpec for SlowDecomp {
+        fn speed(&self) -> f64 {
+            1000.0
+        }
+        fn ratio(&self, _size: f64) -> f64 {
+            0.5
+        }
+        fn decompress_speed(&self) -> f64 {
+            50.0 // compressed bytes per second — pathologically slow
+        }
+    }
+
+    fn run(model: bool) -> SimResult {
+        let fabric = Fabric::uniform(2, 100.0);
+        let coflows = vec![Coflow::builder(0)
+            .flow(FlowSpec::new(0, 0, 1, 1000.0))
+            .build()];
+        let mut config = SimConfig::default()
+            .with_slice(0.01)
+            .with_compression(Arc::new(SlowDecomp));
+        if model {
+            config = config.with_decompression_model();
+        }
+        Engine::new(fabric, coflows, config).run(&mut CompressThenSend)
+    }
+
+    #[test]
+    fn decompression_penalty_is_charged_when_modelled() {
+        let without = run(false);
+        let with = run(true);
+        assert!(without.all_complete() && with.all_complete());
+        // 1000 raw compress to 500; decompressing 500 at 50 B/s adds 10 s.
+        let delta = with.avg_fct() - without.avg_fct();
+        assert!((delta - 10.0).abs() < 0.2, "delta={delta}");
+    }
+
+    #[test]
+    fn infinite_decompression_speed_is_free() {
+        // The default ConstCompression keeps the paper's omission: modelling
+        // costs nothing when decompress_speed is infinite.
+        let fabric = Fabric::uniform(2, 100.0);
+        let coflows = vec![Coflow::builder(0)
+            .flow(FlowSpec::new(0, 0, 1, 1000.0))
+            .build()];
+        let spec = Arc::new(ConstCompression::new("fast", 1000.0, 0.5));
+        let base = Engine::new(
+            fabric.clone(),
+            coflows.clone(),
+            SimConfig::default().with_slice(0.01).with_compression(spec.clone()),
+        )
+        .run(&mut CompressThenSend);
+        let modelled = Engine::new(
+            fabric,
+            coflows,
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_compression(spec)
+                .with_decompression_model(),
+        )
+        .run(&mut CompressThenSend);
+        assert!((base.avg_fct() - modelled.avg_fct()).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod instrumentation_tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use crate::policy::FairSharePolicy;
+
+    fn trace() -> Vec<Coflow> {
+        vec![
+            Coflow::builder(0)
+                .flow(FlowSpec::new(0, 0, 1, 500.0))
+                .build(),
+            Coflow::builder(1)
+                .arrival(2.0)
+                .flow(FlowSpec::new(1, 0, 2, 300.0))
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn timeline_sampling_records_utilization() {
+        let engine = Engine::new(
+            Fabric::uniform(3, 100.0),
+            trace(),
+            SimConfig::default().with_slice(0.05).with_sampling(0.5),
+        );
+        let res = engine.run(&mut FairSharePolicy);
+        assert!(res.all_complete());
+        let samples = res.timeline.samples();
+        assert!(!samples.is_empty());
+        // Sample times are increasing and within the run.
+        assert!(samples.windows(2).all(|w| w[0].time < w[1].time));
+        assert!(samples.last().unwrap().time <= res.makespan + 0.5);
+        // While both flows are active, net utilization out of node 0 is
+        // substantial (its egress is the bottleneck).
+        let busy = samples
+            .iter()
+            .filter(|s| s.time > 2.0 && s.time < 5.0)
+            .map(|s| s.net_util)
+            .fold(0.0, f64::max);
+        assert!(busy > 0.2, "net_util={busy}");
+        // No compressing flows in this run.
+        assert!(samples.iter().all(|s| s.compressing == 0));
+        assert!(res.timeline.mean_net_util() > 0.0);
+    }
+
+    #[test]
+    fn event_log_records_ordered_lifecycle() {
+        let engine = Engine::new(
+            Fabric::uniform(3, 100.0),
+            trace(),
+            SimConfig::default().with_slice(0.05).with_events(),
+        );
+        let res = engine.run(&mut FairSharePolicy);
+        let events = res.events.events();
+        assert!(!events.is_empty());
+        // Timestamps never decrease by more than a slice (completion events
+        // are interpolated inside the slice that detected them).
+        assert!(events.windows(2).all(|w| w[1].time >= w[0].time - 0.05 - 1e-9));
+        // Both coflows arrive and complete; arrivals precede completions.
+        let arr: Vec<_> = res
+            .events
+            .filter(|k| matches!(k, EventKind::CoflowArrived(_)))
+            .collect();
+        let done: Vec<_> = res
+            .events
+            .filter(|k| matches!(k, EventKind::CoflowCompleted(_)))
+            .collect();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(done.len(), 2);
+        assert!(arr[0].time <= done[0].time);
+        // Per-flow completions (2 of them) were also logged.
+        assert_eq!(
+            res.events
+                .filter(|k| matches!(k, EventKind::FlowCompleted(_)))
+                .count(),
+            2
+        );
+        assert!(res.events.reschedule_count() > 0);
+    }
+
+    #[test]
+    fn horizon_abort_leaves_partial_records() {
+        let engine = Engine::new(
+            Fabric::uniform(2, 1.0), // 500 B at 1 B/s would need 500 s
+            vec![Coflow::builder(0)
+                .flow(FlowSpec::new(0, 0, 1, 500.0))
+                .build()],
+            SimConfig {
+                max_time: 5.0,
+                ..SimConfig::default().with_slice(0.1).with_events()
+            },
+        );
+        let res = engine.run(&mut FairSharePolicy);
+        assert!(!res.all_complete());
+        assert_eq!(res.coflows.len(), 1);
+        assert_eq!(res.coflows[0].completed_at, None);
+        // Partial progress was preserved: ~5 s at 1 B/s.
+        let wire = res.flows[0].wire_bytes;
+        assert!(wire > 3.0 && wire < 7.0, "wire={wire}");
+        assert!(res
+            .events
+            .filter(|k| matches!(k, EventKind::HorizonReached))
+            .next()
+            .is_some());
+    }
+
+    #[test]
+    fn makespan_tracks_last_completion() {
+        let engine = Engine::new(
+            Fabric::uniform(3, 100.0),
+            trace(),
+            SimConfig::default().with_slice(0.01),
+        );
+        let res = engine.run(&mut FairSharePolicy);
+        let last = res
+            .flows
+            .iter()
+            .filter_map(|f| f.completed_at)
+            .fold(0.0, f64::max);
+        assert!((res.makespan - last).abs() < 1e-9);
+    }
+}

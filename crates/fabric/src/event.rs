@@ -1,0 +1,122 @@
+//! Simulation event log, mainly for tests, debugging and the CPU-utilization
+//! figure reproduction.
+
+use crate::ids::{CoflowId, FlowId};
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A coflow was admitted into the scheduler.
+    CoflowArrived(CoflowId),
+    /// All flows of a coflow finished.
+    CoflowCompleted(CoflowId),
+    /// A single flow finished.
+    FlowCompleted(FlowId),
+    /// A flow switched compression on (β 0 → 1).
+    CompressionStarted(FlowId),
+    /// A flow switched compression off (β 1 → 0).
+    CompressionStopped(FlowId),
+    /// A flow's raw part was fully compressed; remaining volume is all `D`.
+    RawExhausted(FlowId),
+    /// The policy was invoked.
+    Rescheduled,
+    /// The engine hit its safety horizon with work outstanding.
+    HorizonReached,
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulation time in seconds.
+    pub time: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Append-only event log. Recording can be disabled (the default for large
+/// sweeps) in which case pushes are no-ops.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    enabled: bool,
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// A log that records.
+    pub fn recording() -> Self {
+        Self {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// A log that drops everything.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    #[inline]
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        if self.enabled {
+            self.events.push(Event { time, kind });
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events matching a predicate.
+    pub fn filter<'a>(
+        &'a self,
+        mut pred: impl FnMut(&EventKind) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a Event> {
+        self.events.iter().filter(move |e| pred(&e.kind))
+    }
+
+    /// Count of reschedule invocations (the paper's "calculation pressure"
+    /// proxy when studying slice length).
+    pub fn reschedule_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Rescheduled))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_drops() {
+        let mut log = EventLog::disabled();
+        log.push(1.0, EventKind::Rescheduled);
+        assert!(log.events().is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn recording_log_keeps_order() {
+        let mut log = EventLog::recording();
+        log.push(0.0, EventKind::CoflowArrived(CoflowId(1)));
+        log.push(1.0, EventKind::Rescheduled);
+        log.push(2.0, EventKind::FlowCompleted(FlowId(7)));
+        log.push(2.0, EventKind::CoflowCompleted(CoflowId(1)));
+        assert_eq!(log.events().len(), 4);
+        assert_eq!(log.reschedule_count(), 1);
+        let completions: Vec<_> = log
+            .filter(|k| matches!(k, EventKind::CoflowCompleted(_)))
+            .collect();
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].time, 2.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! The big-switch fabric: per-machine ingress/egress port capacities.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Port capacities of an `n`-machine cluster attached to one non-blocking
+/// switch. The paper's Fig. 3 draws this as a `3×3` fabric: three ingress
+/// ("in") and three egress ("out") ports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fabric {
+    /// Egress (send) capacity per machine, bytes/s.
+    egress: Vec<f64>,
+    /// Ingress (receive) capacity per machine, bytes/s.
+    ingress: Vec<f64>,
+}
+
+impl Fabric {
+    /// A fabric of `n` machines with identical `cap` bytes/s in each
+    /// direction — the common experimental setting (100 Mbps – 10 Gbps).
+    pub fn uniform(n: usize, cap: f64) -> Self {
+        assert!(n > 0, "fabric needs at least one machine");
+        assert!(cap > 0.0, "port capacity must be positive");
+        Self {
+            egress: vec![cap; n],
+            ingress: vec![cap; n],
+        }
+    }
+
+    /// A fabric with explicit per-machine capacities.
+    pub fn new(egress: Vec<f64>, ingress: Vec<f64>) -> Self {
+        assert_eq!(egress.len(), ingress.len(), "port vectors must align");
+        assert!(!egress.is_empty(), "fabric needs at least one machine");
+        assert!(
+            egress.iter().chain(ingress.iter()).all(|&c| c > 0.0),
+            "port capacities must be positive"
+        );
+        Self { egress, ingress }
+    }
+
+    /// Number of machines.
+    pub fn num_nodes(&self) -> usize {
+        self.egress.len()
+    }
+
+    /// Egress capacity of `node`, bytes/s.
+    #[inline]
+    pub fn egress_cap(&self, node: NodeId) -> f64 {
+        self.egress[node.index()]
+    }
+
+    /// Ingress capacity of `node`, bytes/s.
+    #[inline]
+    pub fn ingress_cap(&self, node: NodeId) -> f64 {
+        self.ingress[node.index()]
+    }
+
+    /// Smallest port capacity anywhere in the fabric.
+    pub fn min_cap(&self) -> f64 {
+        self.egress
+            .iter()
+            .chain(self.ingress.iter())
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Check that `node` exists.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.index() < self.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fabric() {
+        let f = Fabric::uniform(3, 125e6);
+        assert_eq!(f.num_nodes(), 3);
+        assert_eq!(f.egress_cap(NodeId(2)), 125e6);
+        assert_eq!(f.ingress_cap(NodeId(0)), 125e6);
+        assert_eq!(f.min_cap(), 125e6);
+        assert!(f.contains(NodeId(2)));
+        assert!(!f.contains(NodeId(3)));
+    }
+
+    #[test]
+    fn heterogeneous_fabric() {
+        let f = Fabric::new(vec![10.0, 20.0], vec![5.0, 40.0]);
+        assert_eq!(f.egress_cap(NodeId(1)), 20.0);
+        assert_eq!(f.ingress_cap(NodeId(0)), 5.0);
+        assert_eq!(f.min_cap(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        Fabric::uniform(2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_ports_rejected() {
+        Fabric::new(vec![1.0], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Periodic timeline samples of cluster-wide utilization, used to reproduce
+//! the paper's Fig. 2 (CPU idle periods) and to sanity-check link usage.
+
+use serde::{Deserialize, Serialize};
+
+/// One timeline sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Sample time (seconds).
+    pub time: f64,
+    /// Number of incomplete flows at that instant.
+    pub active_flows: usize,
+    /// Cluster-average CPU utilization in [0, 1]: background load plus cores
+    /// occupied by compression tasks.
+    pub cpu_util: f64,
+    /// Aggregate commanded transmission rate, bytes/s.
+    pub tx_rate: f64,
+    /// Aggregate network utilization in [0, 1]: commanded rate over total
+    /// egress capacity.
+    pub net_util: f64,
+    /// Number of flows currently compressing.
+    pub compressing: usize,
+}
+
+/// A series of samples at a fixed interval.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    samples: Vec<Sample>,
+}
+
+impl Timeline {
+    /// Record a sample.
+    pub fn push(&mut self, s: Sample) {
+        self.samples.push(s);
+    }
+
+    /// All samples in order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// True when no samples were taken.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean CPU utilization across the recorded window.
+    pub fn mean_cpu_util(&self) -> f64 {
+        mean(self.samples.iter().map(|s| s.cpu_util))
+    }
+
+    /// Mean network utilization across the recorded window.
+    pub fn mean_net_util(&self) -> f64 {
+        mean(self.samples.iter().map(|s| s.net_util))
+    }
+
+    /// Fraction of samples whose CPU utilization is below `threshold` — the
+    /// "wasted CPU time" statistic of §II-B2.
+    pub fn cpu_idle_fraction(&self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let idle = self
+            .samples
+            .iter()
+            .filter(|s| s.cpu_util < threshold)
+            .count();
+        idle as f64 / self.samples.len() as f64
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in iter {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(time: f64, cpu: f64) -> Sample {
+        Sample {
+            time,
+            active_flows: 1,
+            cpu_util: cpu,
+            tx_rate: 0.0,
+            net_util: 0.0,
+            compressing: 0,
+        }
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = Timeline::default();
+        assert!(t.is_empty());
+        assert_eq!(t.mean_cpu_util(), 0.0);
+        assert_eq!(t.cpu_idle_fraction(0.5), 0.0);
+    }
+
+    #[test]
+    fn stats() {
+        let mut t = Timeline::default();
+        t.push(s(0.0, 0.2));
+        t.push(s(1.0, 0.8));
+        t.push(s(2.0, 0.2));
+        t.push(s(3.0, 0.2));
+        assert!((t.mean_cpu_util() - 0.35).abs() < 1e-12);
+        assert!((t.cpu_idle_fraction(0.5) - 0.75).abs() < 1e-12);
+    }
+}

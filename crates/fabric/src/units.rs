@@ -1,0 +1,94 @@
+//! Unit helpers.
+//!
+//! Sizes are `f64` bytes, times are `f64` seconds, and bandwidths are `f64`
+//! bytes per second throughout the workspace. The fluid-flow model needs
+//! fractional bytes anyway, and using one scalar type keeps the volume
+//! disposal arithmetic (paper Eq. 1–2) free of conversions.
+
+/// One kilobyte (10^3 bytes, matching the paper's decimal size labels).
+pub const KB: f64 = 1e3;
+/// One megabyte.
+pub const MB: f64 = 1e6;
+/// One gigabyte.
+pub const GB: f64 = 1e9;
+/// One terabyte.
+pub const TB: f64 = 1e12;
+
+/// Convert megabits per second into bytes per second.
+#[inline]
+pub fn mbps(v: f64) -> f64 {
+    v * 1e6 / 8.0
+}
+
+/// Convert gigabits per second into bytes per second.
+#[inline]
+pub fn gbps(v: f64) -> f64 {
+    v * 1e9 / 8.0
+}
+
+/// Convert megabytes per second into bytes per second (codec speeds in the
+/// paper's Table II are quoted in MB/s).
+#[inline]
+pub fn mb_per_s(v: f64) -> f64 {
+    v * 1e6
+}
+
+/// Milliseconds into seconds; the paper's default slice is 10 ms.
+#[inline]
+pub fn ms(v: f64) -> f64 {
+    v * 1e-3
+}
+
+/// Render a byte count with a human-readable suffix, e.g. `"1.28 GB"`.
+pub fn human_bytes(bytes: f64) -> String {
+    let abs = bytes.abs();
+    if abs >= TB {
+        format!("{:.2} TB", bytes / TB)
+    } else if abs >= GB {
+        format!("{:.2} GB", bytes / GB)
+    } else if abs >= MB {
+        format!("{:.2} MB", bytes / MB)
+    } else if abs >= KB {
+        format!("{:.2} KB", bytes / KB)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+/// Render a duration in seconds adaptively (`ms` below one second).
+pub fn human_secs(secs: f64) -> String {
+    if secs.abs() < 1.0 {
+        format!("{:.1} ms", secs * 1e3)
+    } else if secs.abs() < 120.0 {
+        format!("{secs:.2} s")
+    } else {
+        format!("{:.1} min", secs / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_conversions() {
+        assert_eq!(mbps(100.0), 12.5e6);
+        assert_eq!(gbps(10.0), 1.25e9);
+        assert_eq!(mb_per_s(785.0), 785e6);
+    }
+
+    #[test]
+    fn time_conversions() {
+        assert!((ms(10.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(human_bytes(2.4 * GB), "2.40 GB");
+        assert_eq!(human_bytes(1278.6 * MB), "1.28 GB");
+        assert_eq!(human_bytes(500.0), "500 B");
+        assert_eq!(human_secs(0.010), "10.0 ms");
+        assert_eq!(human_secs(3.5), "3.50 s");
+        assert_eq!(human_secs(600.0), "10.0 min");
+    }
+}

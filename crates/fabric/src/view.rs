@@ -1,0 +1,270 @@
+//! Read-only snapshot of the fabric handed to scheduling policies.
+
+use crate::cpu::CpuModel;
+use crate::flow::FlowProgress;
+use crate::ids::{CoflowId, FlowId, NodeId};
+use crate::port::Fabric;
+
+/// Compression capability as seen by the scheduler and applied by the
+/// engine: an input-side speed (bytes of raw data consumed per second on one
+/// core) and an output ratio (compressed size / original size) that may
+/// depend on the flow's original size, following the paper's Table III.
+pub trait CompressionSpec: Send + Sync {
+    /// Raw bytes consumed per second by one compression core.
+    fn speed(&self) -> f64;
+    /// Output ratio ξ ∈ [0, 1] for a flow whose original size is `size`.
+    fn ratio(&self, size: f64) -> f64;
+    /// Codec name for reports.
+    fn name(&self) -> &str {
+        "codec"
+    }
+    /// Compressed bytes consumed per second when decompressing on one core
+    /// at the receiver. The paper omits decompression cost because it is
+    /// much faster than compression (Table II); the default of infinity
+    /// encodes that omission, and the engine only charges it when
+    /// [`crate::SimConfig`]'s `model_decompression` is set.
+    fn decompress_speed(&self) -> f64 {
+        f64::INFINITY
+    }
+}
+
+/// A fixed `(speed, ratio)` pair, as in the paper's Table II rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstCompression {
+    /// Input speed in bytes/s.
+    pub speed: f64,
+    /// Output ratio ξ.
+    pub ratio: f64,
+    /// Display name.
+    pub label: String,
+}
+
+impl ConstCompression {
+    /// Build a constant-parameter compression spec.
+    pub fn new(label: impl Into<String>, speed: f64, ratio: f64) -> Self {
+        assert!(speed >= 0.0, "speed must be non-negative");
+        assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+        Self {
+            speed,
+            ratio,
+            label: label.into(),
+        }
+    }
+
+    /// A spec that disables compression entirely (speed 0).
+    pub fn disabled() -> Self {
+        Self::new("disabled", 0.0, 1.0)
+    }
+}
+
+impl CompressionSpec for ConstCompression {
+    fn speed(&self) -> f64 {
+        self.speed
+    }
+    fn ratio(&self, _size: f64) -> f64 {
+        self.ratio
+    }
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// One active flow as the policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowView {
+    /// Flow identifier.
+    pub id: FlowId,
+    /// Owning coflow.
+    pub coflow: CoflowId,
+    /// Sender machine.
+    pub src: NodeId,
+    /// Receiver machine.
+    pub dst: NodeId,
+    /// Original (raw) size in bytes.
+    pub original_size: f64,
+    /// Raw bytes still uncompressed and untransmitted (`d`).
+    pub raw: f64,
+    /// Compressed bytes awaiting transmission (`D`).
+    pub compressed: f64,
+    /// Arrival time of the owning coflow.
+    pub arrival: f64,
+    /// Whether the payload admits compression at all.
+    pub compressible: bool,
+}
+
+impl FlowView {
+    /// Remaining volume `V = d + D`.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.raw + self.compressed
+    }
+
+    pub(crate) fn from_progress(p: &FlowProgress) -> Self {
+        Self {
+            id: p.spec.id,
+            coflow: p.coflow,
+            src: p.spec.src,
+            dst: p.spec.dst,
+            original_size: p.spec.size,
+            raw: p.raw,
+            compressed: p.compressed,
+            arrival: p.arrival,
+            compressible: p.spec.compressible,
+        }
+    }
+}
+
+/// Everything a policy may consult when producing an [`crate::Allocation`].
+pub struct FabricView<'a> {
+    /// Current simulation time (slice boundary).
+    pub now: f64,
+    /// Slice length δ in seconds.
+    pub slice: f64,
+    /// Port capacities.
+    pub fabric: &'a Fabric,
+    /// CPU availability model.
+    pub cpu: &'a CpuModel,
+    /// Compression parameters in force.
+    pub compression: &'a dyn CompressionSpec,
+    /// All incomplete flows, sorted by flow id.
+    pub flows: Vec<FlowView>,
+}
+
+impl<'a> FabricView<'a> {
+    /// Look up one active flow.
+    pub fn flow(&self, id: FlowId) -> Option<&FlowView> {
+        self.flows
+            .binary_search_by_key(&id, |f| f.id)
+            .ok()
+            .map(|i| &self.flows[i])
+    }
+
+    /// Distinct active coflow ids, sorted.
+    pub fn coflow_ids(&self) -> Vec<CoflowId> {
+        let mut ids: Vec<CoflowId> = self.flows.iter().map(|f| f.coflow).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Active flows belonging to `coflow`.
+    pub fn coflow_flows(&self, coflow: CoflowId) -> impl Iterator<Item = &FlowView> {
+        self.flows.iter().filter(move |f| f.coflow == coflow)
+    }
+
+    /// Free compression cores on `node` right now.
+    pub fn free_cores(&self, node: NodeId) -> u32 {
+        self.cpu.free_cores(node, self.now)
+    }
+
+    /// The essential available bandwidth `B = min(Bs, Br)` for a flow (paper
+    /// Eq. 2), using full port capacities. Policies wanting the *residual*
+    /// bandwidth after higher-priority allocations compute that themselves.
+    pub fn min_port_cap(&self, flow: &FlowView) -> f64 {
+        self.fabric
+            .egress_cap(flow.src)
+            .min(self.fabric.ingress_cap(flow.dst))
+    }
+
+    /// The compression-benefit condition `R·(1−ξ) > B` (paper Eq. 3) for a
+    /// flow against bandwidth `b`.
+    pub fn compression_beneficial(&self, flow: &FlowView, b: f64) -> bool {
+        let r = self.compression.speed();
+        let xi = self.compression.ratio(flow.original_size);
+        r * (1.0 - xi) > b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coflow::Coflow;
+    use crate::flow::FlowSpec;
+
+    fn view_fixture<'a>(
+        fabric: &'a Fabric,
+        cpu: &'a CpuModel,
+        comp: &'a ConstCompression,
+        flows: Vec<FlowView>,
+    ) -> FabricView<'a> {
+        FabricView {
+            now: 0.0,
+            slice: 0.01,
+            fabric,
+            cpu,
+            compression: comp,
+            flows,
+        }
+    }
+
+    fn fv(id: u64, coflow: u64, src: u32, dst: u32, size: f64) -> FlowView {
+        FlowView {
+            id: FlowId(id),
+            coflow: CoflowId(coflow),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            original_size: size,
+            raw: size,
+            compressed: 0.0,
+            arrival: 0.0,
+            compressible: true,
+        }
+    }
+
+    #[test]
+    fn lookup_and_grouping() {
+        let fabric = Fabric::uniform(3, 10.0);
+        let cpu = CpuModel::unconstrained(3, 4);
+        let comp = ConstCompression::new("test", 100.0, 0.5);
+        let v = view_fixture(
+            &fabric,
+            &cpu,
+            &comp,
+            vec![fv(1, 1, 0, 1, 5.0), fv(2, 1, 0, 2, 3.0), fv(3, 2, 1, 2, 7.0)],
+        );
+        assert_eq!(v.flow(FlowId(2)).unwrap().original_size, 3.0);
+        assert!(v.flow(FlowId(9)).is_none());
+        assert_eq!(v.coflow_ids(), vec![CoflowId(1), CoflowId(2)]);
+        assert_eq!(v.coflow_flows(CoflowId(1)).count(), 2);
+    }
+
+    #[test]
+    fn eq3_gate() {
+        let fabric = Fabric::uniform(2, 10.0);
+        let cpu = CpuModel::unconstrained(2, 4);
+        // R = 100, ξ = 0.5 → R(1−ξ) = 50 > B = 10: compression wins.
+        let comp = ConstCompression::new("fast", 100.0, 0.5);
+        let v = view_fixture(&fabric, &cpu, &comp, vec![fv(1, 1, 0, 1, 5.0)]);
+        let f = v.flows[0];
+        assert!(v.compression_beneficial(&f, v.min_port_cap(&f)));
+        // R(1−ξ) = 5 < 10: transmission wins.
+        let comp = ConstCompression::new("slow", 10.0, 0.5);
+        let v = view_fixture(&fabric, &cpu, &comp, vec![fv(1, 1, 0, 1, 5.0)]);
+        let f = v.flows[0];
+        assert!(!v.compression_beneficial(&f, v.min_port_cap(&f)));
+    }
+
+    #[test]
+    fn const_compression_spec() {
+        let c = ConstCompression::new("lz4", 785e6, 0.6215);
+        assert_eq!(c.speed(), 785e6);
+        assert_eq!(c.ratio(1e9), 0.6215);
+        assert_eq!(c.name(), "lz4");
+        let d = ConstCompression::disabled();
+        assert_eq!(d.speed(), 0.0);
+    }
+
+    #[test]
+    fn flow_view_from_progress_carries_state() {
+        let mut p =
+            FlowProgress::new(FlowSpec::new(7, 1, 2, 100.0), CoflowId(3), 4.0);
+        p.compress_for(1.0, 10.0, 0.5);
+        let v = FlowView::from_progress(&p);
+        assert_eq!(v.id, FlowId(7));
+        assert_eq!(v.raw, 90.0);
+        assert_eq!(v.compressed, 5.0);
+        assert_eq!(v.arrival, 4.0);
+        assert!((v.volume() - 95.0).abs() < 1e-12);
+        let _ = Coflow::builder(0).build(); // silence unused import paths
+    }
+}

@@ -1,0 +1,14 @@
+//! # swallow-metrics
+//!
+//! Statistics and reporting shared by the experiment harness: empirical
+//! CDFs, percentiles, pairwise improvement factors ("FVDF speeds up CCT by
+//! 1.47× over SEBF") and aligned plain-text tables matching the paper's
+//! presentation.
+
+pub mod cdf;
+pub mod report;
+pub mod stats;
+
+pub use cdf::Cdf;
+pub use report::{improvement, Table};
+pub use stats::{jain_index, mean, percentile, summarize, Summary};

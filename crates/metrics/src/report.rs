@@ -1,0 +1,127 @@
+//! Report helpers: improvement factors and aligned text tables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's "A speeds up X by k× over B" factor: `baseline / ours`.
+/// Values above 1 mean `ours` is faster/smaller. Returns `f64::INFINITY`
+/// when `ours` is 0 and baseline positive; 1 when both are 0.
+pub fn improvement(baseline: f64, ours: f64) -> f64 {
+    if ours <= 0.0 {
+        if baseline <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        baseline / ours
+    }
+}
+
+/// A simple aligned text table, printed in the style of the paper's tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of displayable items.
+    pub fn row_display<T: fmt::Display>(&mut self, cells: &[T]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.header))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_semantics() {
+        assert_eq!(improvement(10.0, 5.0), 2.0);
+        assert_eq!(improvement(5.0, 10.0), 0.5);
+        assert_eq!(improvement(0.0, 0.0), 1.0);
+        assert_eq!(improvement(3.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["alg", "cct"]);
+        t.row(&["FVDF".into(), "79913".into()]);
+        t.row(&["SEBF".into(), "111809".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("FVDF"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + rule + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn row_display_converts() {
+        let mut t = Table::new("nums", &["a", "b"]);
+        t.row_display(&[1.5, 2.5]);
+        assert_eq!(t.num_rows(), 1);
+        assert!(t.to_string().contains("1.5"));
+    }
+}

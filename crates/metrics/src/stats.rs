@@ -1,0 +1,143 @@
+//! Basic descriptive statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Linear-interpolated percentile, `p ∈ [0, 100]`. Panics on empty input.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "p must be in [0,100]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let t = rank - lo as f64;
+        sorted[lo] * (1.0 - t) + sorted[hi] * t
+    }
+}
+
+/// Jain's fairness index of a sample: `(Σx)² / (n · Σx²)`, 1 for equal
+/// shares, `1/n` for a single winner. Used to compare PFF/WSS-style
+/// fairness against completion-time-optimal orderings. 0 for empty input.
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq <= 0.0 {
+        return 1.0; // all-zero allocations are (vacuously) fair
+    }
+    sum * sum / (values.len() as f64 * sq)
+}
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sum.
+    pub sum: f64,
+}
+
+/// Summarize a sample; all-zero summary for empty input.
+pub fn summarize(values: &[f64]) -> Summary {
+    if values.is_empty() {
+        return Summary {
+            count: 0,
+            mean: 0.0,
+            min: 0.0,
+            median: 0.0,
+            p95: 0.0,
+            max: 0.0,
+            sum: 0.0,
+        };
+    }
+    Summary {
+        count: values.len(),
+        mean: mean(values),
+        min: values.iter().copied().fold(f64::INFINITY, f64::min),
+        median: percentile(values, 50.0),
+        p95: percentile(values, 95.0),
+        max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        sum: values.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 50.0), 2.5);
+        // Order independence.
+        let shuffled = [3.0, 1.0, 4.0, 2.0];
+        assert_eq!(percentile(&shuffled, 50.0), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = summarize(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.sum, 9.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_index_extremes() {
+        assert_eq!(jain_index(&[]), 0.0);
+        assert_eq!(jain_index(&[5.0, 5.0, 5.0]), 1.0);
+        // Single winner among n=4 → 1/4.
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        let mid = jain_index(&[3.0, 1.0]);
+        assert!(mid > 0.5 && mid < 1.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = summarize(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Lower bounds from the concurrent-open-shop structure of coflow
+//! scheduling (§IV-A cites the NP-hardness of the problem; these bounds are
+//! the standard certificates used to sanity-check any heuristic).
+//!
+//! All bounds accept an optional compression ratio `xi` (compressed size /
+//! original size): with compression enabled, at best `xi · V` bytes must
+//! still cross the wire, so scaling volumes by `xi` keeps the bounds valid.
+
+use swallow_fabric::{Coflow, Fabric, NodeId};
+use std::collections::BTreeMap;
+
+/// The isolation (effective bottleneck) bound on one coflow's CCT: even
+/// alone on the fabric, its most-loaded port needs this long.
+pub fn isolation_cct_bound(coflow: &Coflow, fabric: &Fabric, xi: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&xi), "ratio must be in [0,1]");
+    coflow.bottleneck_time(|n| fabric.egress_cap(n), |n| fabric.ingress_cap(n)) * xi
+}
+
+/// Lower bound on the *average* CCT of a trace: the mean isolation bound
+/// (every coflow needs at least its own bottleneck time after arrival).
+pub fn avg_cct_bound(coflows: &[Coflow], fabric: &Fabric, xi: f64) -> f64 {
+    if coflows.is_empty() {
+        return 0.0;
+    }
+    coflows
+        .iter()
+        .map(|c| isolation_cct_bound(c, fabric, xi))
+        .sum::<f64>()
+        / coflows.len() as f64
+}
+
+/// Lower bound on the makespan: the most-loaded port must carry all of its
+/// bytes, starting no earlier than the first arrival; and no coflow can end
+/// before its own arrival plus isolation bound.
+pub fn makespan_bound(coflows: &[Coflow], fabric: &Fabric, xi: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&xi), "ratio must be in [0,1]");
+    let mut egress: BTreeMap<NodeId, f64> = BTreeMap::new();
+    let mut ingress: BTreeMap<NodeId, f64> = BTreeMap::new();
+    let mut first_arrival = f64::INFINITY;
+    let mut per_coflow = 0.0f64;
+    for c in coflows {
+        first_arrival = first_arrival.min(c.arrival);
+        per_coflow = per_coflow.max(c.arrival + isolation_cct_bound(c, fabric, xi));
+        for f in &c.flows {
+            *egress.entry(f.src).or_default() += f.size * xi;
+            *ingress.entry(f.dst).or_default() += f.size * xi;
+        }
+    }
+    if !first_arrival.is_finite() {
+        return 0.0;
+    }
+    let port_bound = egress
+        .iter()
+        .map(|(n, v)| v / fabric.egress_cap(*n))
+        .chain(ingress.iter().map(|(n, v)| v / fabric.ingress_cap(*n)))
+        .fold(0.0, f64::max);
+    (first_arrival + port_bound).max(per_coflow)
+}
+
+/// Lower bound on the average FCT: each flow needs at least
+/// `xi · size / min(Bs, Br)` after its arrival.
+pub fn avg_fct_bound(coflows: &[Coflow], fabric: &Fabric, xi: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&xi), "ratio must be in [0,1]");
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for c in coflows {
+        for f in &c.flows {
+            let b = fabric.egress_cap(f.src).min(fabric.ingress_cap(f.dst));
+            sum += f.size * xi / b;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow_fabric::{Engine, FlowSpec, SimConfig};
+
+    fn two_coflows() -> Vec<Coflow> {
+        vec![
+            Coflow::builder(0)
+                .flow(FlowSpec::new(0, 0, 1, 100.0))
+                .flow(FlowSpec::new(1, 0, 2, 50.0))
+                .build(),
+            Coflow::builder(1)
+                .arrival(1.0)
+                .flow(FlowSpec::new(2, 1, 2, 80.0))
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn isolation_bound_is_bottleneck() {
+        let fabric = Fabric::uniform(3, 10.0);
+        let coflows = two_coflows();
+        // Coflow 0: egress of node 0 carries 150 bytes at 10 B/s → 15 s.
+        assert!((isolation_cct_bound(&coflows[0], &fabric, 1.0) - 15.0).abs() < 1e-9);
+        // Compression at ξ = 0.5 halves it.
+        assert!((isolation_cct_bound(&coflows[0], &fabric, 0.5) - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_hold_for_actual_schedules() {
+        let fabric = Fabric::uniform(3, 10.0);
+        let coflows = two_coflows();
+        for alg in crate::registry::Algorithm::ALL {
+            let mut policy = alg.make();
+            let res = Engine::new(
+                fabric.clone(),
+                coflows.clone(),
+                SimConfig::default().with_slice(0.01),
+            )
+            .run(policy.as_mut());
+            assert!(res.all_complete());
+            let slack = 1e-6;
+            assert!(
+                res.avg_cct() + slack >= avg_cct_bound(&coflows, &fabric, 1.0),
+                "{}: avg CCT below bound",
+                alg.name()
+            );
+            assert!(
+                res.avg_fct() + slack >= avg_fct_bound(&coflows, &fabric, 1.0),
+                "{}: avg FCT below bound",
+                alg.name()
+            );
+            assert!(
+                res.makespan + slack >= makespan_bound(&coflows, &fabric, 1.0),
+                "{}: makespan below bound",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sebf_meets_makespan_bound_on_single_port_load() {
+        // All load on one port: any work-conserving schedule achieves the
+        // bound exactly.
+        let fabric = Fabric::uniform(2, 10.0);
+        let coflows = vec![
+            Coflow::builder(0).flow(FlowSpec::new(0, 0, 1, 60.0)).build(),
+            Coflow::builder(1).flow(FlowSpec::new(1, 0, 1, 40.0)).build(),
+        ];
+        let mut policy = crate::ordered::OrderedPolicy::sebf();
+        let res = Engine::new(
+            fabric.clone(),
+            coflows.clone(),
+            SimConfig::default().with_slice(0.01),
+        )
+        .run(&mut policy);
+        let bound = makespan_bound(&coflows, &fabric, 1.0);
+        assert!((res.makespan - bound).abs() < 0.05, "{} vs {bound}", res.makespan);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let fabric = Fabric::uniform(2, 1.0);
+        assert_eq!(avg_cct_bound(&[], &fabric, 1.0), 0.0);
+        assert_eq!(avg_fct_bound(&[], &fabric, 1.0), 0.0);
+        assert_eq!(makespan_bound(&[], &fabric, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn invalid_ratio_rejected() {
+        let fabric = Fabric::uniform(2, 1.0);
+        makespan_bound(&[], &fabric, 1.5);
+    }
+}

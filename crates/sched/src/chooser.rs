@@ -1,0 +1,172 @@
+//! Codec selection — the "algorithm selection" dimension of §III-A.
+//!
+//! Swallow ships several codecs (LZ4, Snappy, LZF, …) and §III-A lists
+//! *algorithm selection* among the decisions the scheduler owns. The
+//! per-byte disposal time of a flow that is first compressed and then
+//! transmitted is
+//!
+//! ```text
+//! t(c) = 1/R_c + ξ_c/B      (compress one byte, then ship ξ_c of it)
+//! ```
+//!
+//! versus `1/B` for shipping raw. [`select_codec`] picks the Table II codec
+//! minimizing `t(c)`, returning `None` when raw transmission wins — a strict
+//! generalization of the paper's single-codec Eq. 3 gate (for one codec,
+//! `t(c) < 1/B ⇔ R(1−ξ) > B · ξ⁻¹·…`; both reduce to "compress iff the
+//! network is slow enough").
+
+use swallow_compress::Table2;
+use swallow_fabric::view::CompressionSpec;
+
+/// Per-byte disposal time of `codec` at bandwidth `b` (bytes/s).
+pub fn per_byte_time(codec: Table2, b: f64) -> f64 {
+    assert!(b > 0.0, "bandwidth must be positive");
+    let p = codec.profile();
+    1.0 / p.compress_speed + p.ratio / b
+}
+
+/// The best Table II codec at bandwidth `b`, or `None` when raw
+/// transmission is faster than every codec.
+pub fn select_codec(b: f64) -> Option<Table2> {
+    assert!(b > 0.0, "bandwidth must be positive");
+    let raw = 1.0 / b;
+    Table2::ALL
+        .into_iter()
+        .map(|c| (c, per_byte_time(c, b)))
+        .filter(|&(_, t)| t < raw)
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(c, _)| c)
+}
+
+/// A [`CompressionSpec`] that fixes the best codec for a given bandwidth at
+/// construction time (the master re-creates it when measured bandwidth
+/// changes). Falls back to "disabled" when no codec wins.
+#[derive(Debug, Clone)]
+pub struct AdaptiveCompression {
+    chosen: Option<Table2>,
+    speed: f64,
+    ratio: f64,
+    label: String,
+}
+
+impl AdaptiveCompression {
+    /// Pick the best codec for bandwidth `b`.
+    pub fn for_bandwidth(b: f64) -> Self {
+        match select_codec(b) {
+            Some(codec) => {
+                let p = codec.profile();
+                Self {
+                    chosen: Some(codec),
+                    speed: p.compress_speed,
+                    ratio: p.ratio,
+                    label: format!("adaptive:{}", p.name),
+                }
+            }
+            None => Self {
+                chosen: None,
+                speed: 0.0,
+                ratio: 1.0,
+                label: "adaptive:off".to_string(),
+            },
+        }
+    }
+
+    /// Which codec was selected, if any.
+    pub fn chosen(&self) -> Option<Table2> {
+        self.chosen
+    }
+}
+
+impl CompressionSpec for AdaptiveCompression {
+    fn speed(&self) -> f64 {
+        self.speed
+    }
+    fn ratio(&self, _size: f64) -> f64 {
+        self.ratio
+    }
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow_fabric::units;
+
+    #[test]
+    fn slow_networks_prefer_strong_ratios() {
+        // At 100 Mbps the ξ/B term dominates → Zstandard (best ratio).
+        assert_eq!(select_codec(units::mbps(100.0)), Some(Table2::Zstd));
+    }
+
+    #[test]
+    fn fast_networks_prefer_fast_codecs_then_none() {
+        // At 10 Gbps even LZ4 loses to raw transmission.
+        assert_eq!(select_codec(units::gbps(10.0)), None);
+        // Somewhere in between, speed starts mattering; whatever wins must
+        // beat raw and every alternative.
+        for bw in [units::mbps(400.0), units::gbps(1.0), units::gbps(2.0)] {
+            if let Some(c) = select_codec(bw) {
+                let t = per_byte_time(c, bw);
+                assert!(t < 1.0 / bw);
+                for other in Table2::ALL {
+                    assert!(t <= per_byte_time(other, bw) + 1e-18);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_spec_behaves_like_chosen_codec() {
+        let a = AdaptiveCompression::for_bandwidth(units::mbps(100.0));
+        assert_eq!(a.chosen(), Some(Table2::Zstd));
+        assert_eq!(a.speed(), Table2::Zstd.profile().compress_speed);
+        assert!((a.ratio(1e9) - 0.3477).abs() < 1e-9);
+        assert_eq!(a.name(), "adaptive:Zstandard");
+        let off = AdaptiveCompression::for_bandwidth(units::gbps(10.0));
+        assert_eq!(off.chosen(), None);
+        assert_eq!(off.speed(), 0.0);
+        assert_eq!(off.name(), "adaptive:off");
+    }
+
+    #[test]
+    fn adaptive_beats_or_matches_every_fixed_codec_end_to_end() {
+        use crate::{FvdfPolicy, ProfiledCompression};
+        use std::sync::Arc;
+        use swallow_fabric::{Coflow, Engine, Fabric, FlowSpec, SimConfig};
+        let bw = units::mbps(100.0);
+        let coflows: Vec<Coflow> = (0..4)
+            .map(|i| {
+                Coflow::builder(i)
+                    .arrival(i as f64 * 0.5)
+                    .flow(FlowSpec::new(i, (i % 3) as u32, 3 + (i % 3) as u32, 40e6))
+                    .build()
+            })
+            .collect();
+        let run = |spec: Arc<dyn CompressionSpec>| -> f64 {
+            let mut p = FvdfPolicy::new();
+            Engine::new(
+                Fabric::uniform(6, bw),
+                coflows.clone(),
+                SimConfig::default().with_slice(0.01).with_compression(spec),
+            )
+            .run(&mut p)
+            .avg_cct()
+        };
+        let adaptive = run(Arc::new(AdaptiveCompression::for_bandwidth(bw)));
+        for codec in Table2::ALL {
+            let fixed = run(Arc::new(ProfiledCompression::constant(codec)));
+            assert!(
+                adaptive <= fixed * 1.02,
+                "adaptive {adaptive} worse than {codec:?} {fixed}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        select_codec(0.0);
+    }
+}

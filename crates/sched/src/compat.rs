@@ -1,0 +1,89 @@
+//! Bridge between the measured codec models (`swallow-compress`) and the
+//! fabric's [`CompressionSpec`] interface.
+
+use swallow_compress::{CodecProfile, SizeRatioModel, Table2};
+use swallow_fabric::view::CompressionSpec;
+
+/// A codec profile (Table II speed) combined with a ratio model — either the
+/// codec's constant Table II ratio or the Table III size-dependent curve
+/// rescaled to the codec's asymptote.
+#[derive(Debug, Clone)]
+pub struct ProfiledCompression {
+    profile: CodecProfile,
+    ratio_model: SizeRatioModel,
+}
+
+impl ProfiledCompression {
+    /// Codec with its constant Table II ratio.
+    pub fn constant(codec: Table2) -> Self {
+        let profile = codec.profile();
+        let ratio_model = SizeRatioModel::constant(profile.ratio);
+        Self {
+            profile,
+            ratio_model,
+        }
+    }
+
+    /// Codec with the Table III size-dependent curve rescaled so large flows
+    /// hit the codec's Table II ratio.
+    pub fn size_dependent(codec: Table2) -> Self {
+        let profile = codec.profile();
+        let ratio_model = SizeRatioModel::scaled_to(profile.ratio);
+        Self {
+            profile,
+            ratio_model,
+        }
+    }
+
+    /// Fully custom combination.
+    pub fn new(profile: CodecProfile, ratio_model: SizeRatioModel) -> Self {
+        Self {
+            profile,
+            ratio_model,
+        }
+    }
+
+    /// The underlying codec profile.
+    pub fn profile(&self) -> &CodecProfile {
+        &self.profile
+    }
+}
+
+impl CompressionSpec for ProfiledCompression {
+    fn speed(&self) -> f64 {
+        self.profile.compress_speed
+    }
+
+    fn ratio(&self, size: f64) -> f64 {
+        self.ratio_model.ratio(size)
+    }
+
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    fn decompress_speed(&self) -> f64 {
+        self.profile.decompress_speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_uses_table2_ratio_everywhere() {
+        let c = ProfiledCompression::constant(Table2::Lz4);
+        assert_eq!(c.speed(), 785e6);
+        assert!((c.ratio(1e3) - 0.6215).abs() < 1e-12);
+        assert!((c.ratio(1e12) - 0.6215).abs() < 1e-12);
+        assert_eq!(c.name(), "LZ4");
+    }
+
+    #[test]
+    fn size_dependent_penalizes_small_flows() {
+        let c = ProfiledCompression::size_dependent(Table2::Snappy);
+        assert!(c.ratio(10e3) > c.ratio(10e9));
+        assert!((c.ratio(1e12) - 0.4819).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,196 @@
+//! Flow-level baselines: PFF/FAIR, WSS and PFP/SRTF.
+
+use crate::util::{backfill, water_fill_weighted, Residual};
+use swallow_fabric::{Allocation, FabricView, FlowCommand, FlowId, NodeId, Policy};
+
+/// Per-Flow Fairness — max-min fair sharing among individual flows,
+/// coflow-oblivious. Spark's FAIR scheduler behaves this way at the network
+/// level, which is why the paper reports them together (Table VI "PFF/FAIR").
+#[derive(Debug, Clone, Default)]
+pub struct PffPolicy;
+
+impl Policy for PffPolicy {
+    fn name(&self) -> &str {
+        "PFF"
+    }
+
+    fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
+        let mut residual = Residual::new(view);
+        let demands: Vec<(FlowId, NodeId, NodeId, f64)> = view
+            .flows
+            .iter()
+            .map(|f| (f.id, f.src, f.dst, 1.0))
+            .collect();
+        let rates = water_fill_weighted(&mut residual, &demands);
+        let mut alloc = Allocation::new();
+        for (id, rate) in rates {
+            if rate > 0.0 {
+                alloc.set(id, FlowCommand::transmit(rate));
+            }
+        }
+        alloc
+    }
+}
+
+/// Weighted Shuffle Scheduling (Orchestra): fair sharing where each flow's
+/// weight is its remaining volume, so the flows of one shuffle tend to
+/// finish together. Improves CCT over naive fairness at the price of a
+/// worse average FCT — exactly the trade-off visible in the paper's Fig. 4(b).
+#[derive(Debug, Clone, Default)]
+pub struct WssPolicy;
+
+impl Policy for WssPolicy {
+    fn name(&self) -> &str {
+        "WSS"
+    }
+
+    fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
+        let mut residual = Residual::new(view);
+        let demands: Vec<(FlowId, NodeId, NodeId, f64)> = view
+            .flows
+            .iter()
+            .map(|f| (f.id, f.src, f.dst, f.volume().max(1e-9)))
+            .collect();
+        let rates = water_fill_weighted(&mut residual, &demands);
+        let mut alloc = Allocation::new();
+        for (id, rate) in rates {
+            if rate > 0.0 {
+                alloc.set(id, FlowCommand::transmit(rate));
+            }
+        }
+        alloc
+    }
+}
+
+/// Per-Flow Prioritization / Shortest-Remaining-Time-First: flows sorted by
+/// remaining volume, each served at the full residual path rate — the
+/// pFabric/PDQ ideal that is provably optimal for average FCT on a single
+/// link but coflow-oblivious (Fig. 4(d)).
+#[derive(Debug, Clone, Default)]
+pub struct SrtfPolicy;
+
+impl Policy for SrtfPolicy {
+    fn name(&self) -> &str {
+        "SRTF"
+    }
+
+    fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
+        let mut order: Vec<&swallow_fabric::FlowView> = view.flows.iter().collect();
+        order.sort_by(|a, b| a.volume().total_cmp(&b.volume()).then(a.id.cmp(&b.id)));
+        let mut residual = Residual::new(view);
+        let mut alloc = Allocation::new();
+        for f in order {
+            // A flow takes as much of the path as it can actually consume
+            // this slice; the volume/δ cap stops a nearly-finished flow from
+            // hogging bandwidth it cannot use.
+            let granted = residual.take(f.src, f.dst, f.volume() / view.slice.max(1e-12));
+            if granted > 0.0 {
+                alloc.set(f.id, FlowCommand::transmit(granted));
+            }
+        }
+        backfill(view, &mut alloc);
+        alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow_fabric::{Coflow, CoflowId, Engine, Fabric, FlowSpec, SimConfig};
+
+    fn trace_two_on_one_port() -> Vec<Coflow> {
+        vec![
+            Coflow::builder(0).flow(FlowSpec::new(0, 0, 1, 90.0)).build(),
+            Coflow::builder(1).flow(FlowSpec::new(1, 0, 2, 30.0)).build(),
+        ]
+    }
+
+    fn run(policy: &mut dyn Policy, coflows: Vec<Coflow>) -> swallow_fabric::SimResult {
+        Engine::new(
+            Fabric::uniform(3, 10.0),
+            coflows,
+            SimConfig::default().with_slice(0.01),
+        )
+        .run(policy)
+    }
+
+    #[test]
+    fn pff_shares_equally() {
+        let res = run(&mut PffPolicy, trace_two_on_one_port());
+        assert!(res.all_complete());
+        // Equal split 5/5: small (30) done at 6 s; big then full rate:
+        // 90−30=60 left at t=6 → done at 12 s.
+        let f1 = res.flows[1].fct().unwrap();
+        let f0 = res.flows[0].fct().unwrap();
+        assert!((f1 - 6.0).abs() < 0.1, "f1={f1}");
+        assert!((f0 - 12.0).abs() < 0.1, "f0={f0}");
+    }
+
+    #[test]
+    fn srtf_serves_shortest_first() {
+        let res = run(&mut SrtfPolicy, trace_two_on_one_port());
+        assert!(res.all_complete());
+        // Small first: 3 s; big then: 3 + 9 = 12 s.
+        let f1 = res.flows[1].fct().unwrap();
+        let f0 = res.flows[0].fct().unwrap();
+        assert!((f1 - 3.0).abs() < 0.1, "f1={f1}");
+        assert!((f0 - 12.0).abs() < 0.1, "f0={f0}");
+    }
+
+    #[test]
+    fn wss_weights_by_size_so_flows_finish_together() {
+        // One coflow with a 90 and a 30 through the same egress port: WSS
+        // gives 7.5 and 2.5 B/s → both finish at t = 12.
+        let coflows = vec![Coflow::builder(0)
+            .flow(FlowSpec::new(0, 0, 1, 90.0))
+            .flow(FlowSpec::new(1, 0, 2, 30.0))
+            .build()];
+        let res = run(&mut WssPolicy, coflows);
+        assert!(res.all_complete());
+        let f0 = res.flows[0].fct().unwrap();
+        let f1 = res.flows[1].fct().unwrap();
+        assert!((f0 - 12.0).abs() < 0.2, "f0={f0}");
+        assert!((f1 - 12.0).abs() < 0.2, "f1={f1}");
+    }
+
+    #[test]
+    fn srtf_beats_pff_on_avg_fct() {
+        let pff = run(&mut PffPolicy, trace_two_on_one_port());
+        let srtf = run(&mut SrtfPolicy, trace_two_on_one_port());
+        assert!(srtf.avg_fct() < pff.avg_fct());
+    }
+
+    #[test]
+    fn all_flowlevel_policies_are_feasible_and_complete() {
+        // Cross-traffic over 4 nodes exercises both port directions.
+        let coflows = vec![
+            Coflow::builder(0)
+                .flow(FlowSpec::new(0, 0, 2, 50.0))
+                .flow(FlowSpec::new(1, 1, 2, 70.0))
+                .build(),
+            Coflow::builder(1)
+                .arrival(1.0)
+                .flow(FlowSpec::new(2, 0, 3, 20.0))
+                .flow(FlowSpec::new(3, 1, 3, 10.0))
+                .build(),
+        ];
+        for policy in [
+            &mut PffPolicy as &mut dyn Policy,
+            &mut WssPolicy,
+            &mut SrtfPolicy,
+        ] {
+            let res = Engine::new(
+                Fabric::uniform(4, 10.0),
+                coflows.clone(),
+                SimConfig::default().with_slice(0.01),
+            )
+            .run(policy);
+            assert!(res.all_complete(), "{} did not finish", res.policy);
+            assert_eq!(res.coflows.len(), 2);
+            assert!(res
+                .coflows
+                .iter()
+                .all(|c| c.id == CoflowId(0) || c.id == CoflowId(1)));
+        }
+    }
+}

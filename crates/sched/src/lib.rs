@@ -1,0 +1,41 @@
+//! # swallow-sched
+//!
+//! Every scheduling policy the paper evaluates, implemented against
+//! [`swallow_fabric::Policy`]:
+//!
+//! | Paper name | Type | Module |
+//! |------------|------|--------|
+//! | **FVDF** (this paper) | coflow order by Γ_C (Eq. 7–8) + compression + aging | [`fvdf`] |
+//! | SEBF (Varys) | coflow order by effective bottleneck + MADD | [`ordered`] |
+//! | FIFO | coflow order by arrival + MADD | [`ordered`] |
+//! | SCF / NCF / LCF | coflow order by size / width / length + MADD | [`ordered`] |
+//! | PFF / FAIR | per-flow max-min fairness | [`flowlevel`] |
+//! | WSS (Orchestra) | size-weighted fair sharing | [`flowlevel`] |
+//! | PFP / SRTF | shortest remaining flow first | [`flowlevel`] |
+//!
+//! All policies are *work-conserving*: after their primary allocation, the
+//! leftover port capacity is backfilled max-min fairly ([`util::backfill`]),
+//! matching Varys's backfilling pass.
+//!
+//! [`compat::ProfiledCompression`] bridges `swallow-compress`'s measured
+//! codec profiles (Table II) and size-dependent ratio curves (Table III)
+//! into the fabric's [`swallow_fabric::view::CompressionSpec`].
+
+pub mod aalo;
+pub mod bounds;
+pub mod chooser;
+pub mod compat;
+pub mod flowlevel;
+pub mod fvdf;
+pub mod ordered;
+pub mod registry;
+pub mod util;
+
+pub use aalo::AaloPolicy;
+pub use bounds::{avg_cct_bound, avg_fct_bound, isolation_cct_bound, makespan_bound};
+pub use chooser::{select_codec, AdaptiveCompression};
+pub use compat::ProfiledCompression;
+pub use flowlevel::{PffPolicy, SrtfPolicy, WssPolicy};
+pub use fvdf::{FvdfConfig, FvdfPolicy, GateMode};
+pub use ordered::{CoflowOrder, OrderedPolicy, RateDiscipline};
+pub use registry::Algorithm;

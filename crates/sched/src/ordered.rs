@@ -1,0 +1,359 @@
+//! Ordering-based coflow schedulers: SEBF (Varys), FIFO, SCF, NCF, LCF.
+//!
+//! All of them share the same machinery — sort the active coflows by a key,
+//! give each coflow in order its MADD rates on the *residual* capacity
+//! (the minimum rates that finish all of its flows simultaneously at its
+//! residual bottleneck), then backfill leftovers — and differ only in the
+//! ordering key, exactly as in the Varys evaluation:
+//!
+//! * **SEBF** — smallest effective bottleneck (Γ on full port capacity);
+//! * **FIFO** — earliest arrival;
+//! * **SCF** — smallest remaining total bytes;
+//! * **NCF** — narrowest (fewest distinct ports);
+//! * **LCF** — least coflow length (smallest largest-flow).
+
+use crate::util::{madd_rates, ordered_backfill, Residual};
+use swallow_fabric::{
+    Allocation, CoflowId, FabricView, FlowCommand, FlowId, NodeId, Policy,
+};
+
+/// How a scheduled coflow's flows receive bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateDiscipline {
+    /// Varys MADD: the minimum rates finishing every flow of the coflow
+    /// simultaneously at its residual bottleneck.
+    Madd,
+    /// Greedy: each flow (shortest first) takes the full residual path rate.
+    /// This is the discipline visible in the paper's Fig. 4 Gantt charts.
+    Greedy,
+}
+
+/// Ordering keys for [`OrderedPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoflowOrder {
+    /// Smallest-Effective-Bottleneck-First (Varys).
+    Sebf,
+    /// First-In-First-Out by coflow arrival time.
+    Fifo,
+    /// Smallest-Coflow-First by remaining bytes.
+    Scf,
+    /// Narrowest-Coflow-First by width (distinct ports).
+    Ncf,
+    /// Least-Coflow-length-First by largest remaining flow.
+    Lcf,
+}
+
+impl CoflowOrder {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoflowOrder::Sebf => "SEBF",
+            CoflowOrder::Fifo => "FIFO",
+            CoflowOrder::Scf => "SCF",
+            CoflowOrder::Ncf => "NCF",
+            CoflowOrder::Lcf => "LCF",
+        }
+    }
+}
+
+/// A priority-ordered coflow scheduler with configurable rate discipline
+/// and Varys-style priority-ordered backfill.
+#[derive(Debug, Clone)]
+pub struct OrderedPolicy {
+    order: CoflowOrder,
+    discipline: RateDiscipline,
+    /// Exclusive service: only the highest-priority coflow receives
+    /// bandwidth, later ones wait even on idle ports. This is FIFO's
+    /// head-of-line blocking as drawn in Fig. 4(c).
+    exclusive: bool,
+}
+
+impl OrderedPolicy {
+    /// Scheduler with the given ordering key (MADD, work-conserving).
+    pub fn new(order: CoflowOrder) -> Self {
+        Self {
+            order,
+            discipline: RateDiscipline::Madd,
+            exclusive: false,
+        }
+    }
+
+    /// SEBF as configured in Varys (MADD + ordered backfill).
+    pub fn sebf() -> Self {
+        Self::new(CoflowOrder::Sebf)
+    }
+
+    /// FIFO baseline with head-of-line blocking: coflows run one at a time
+    /// in arrival order.
+    pub fn fifo() -> Self {
+        Self {
+            order: CoflowOrder::Fifo,
+            discipline: RateDiscipline::Greedy,
+            exclusive: true,
+        }
+    }
+
+    /// Work-conserving FIFO variant (arrival order, backfilled) — used in
+    /// ablations.
+    pub fn fifo_work_conserving() -> Self {
+        Self::new(CoflowOrder::Fifo)
+    }
+
+    /// Select the rate discipline.
+    pub fn with_discipline(mut self, discipline: RateDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    fn key(&self, view: &FabricView<'_>, coflow: CoflowId) -> f64 {
+        let flows: Vec<_> = view.coflow_flows(coflow).collect();
+        match self.order {
+            CoflowOrder::Sebf => {
+                // Effective bottleneck on the *full* port capacity, using
+                // remaining volumes (Varys recomputes Γ as flows progress).
+                let mut e: std::collections::BTreeMap<NodeId, f64> = Default::default();
+                let mut i: std::collections::BTreeMap<NodeId, f64> = Default::default();
+                for f in &flows {
+                    *e.entry(f.src).or_default() += f.volume();
+                    *i.entry(f.dst).or_default() += f.volume();
+                }
+                let send = e
+                    .iter()
+                    .map(|(n, v)| v / view.fabric.egress_cap(*n))
+                    .fold(0.0, f64::max);
+                let recv = i
+                    .iter()
+                    .map(|(n, v)| v / view.fabric.ingress_cap(*n))
+                    .fold(0.0, f64::max);
+                send.max(recv)
+            }
+            CoflowOrder::Fifo => flows
+                .iter()
+                .map(|f| f.arrival)
+                .fold(f64::INFINITY, f64::min),
+            CoflowOrder::Scf => flows.iter().map(|f| f.volume()).sum(),
+            CoflowOrder::Ncf => {
+                let mut srcs: Vec<NodeId> = flows.iter().map(|f| f.src).collect();
+                let mut dsts: Vec<NodeId> = flows.iter().map(|f| f.dst).collect();
+                srcs.sort_unstable();
+                srcs.dedup();
+                dsts.sort_unstable();
+                dsts.dedup();
+                srcs.len().max(dsts.len()) as f64
+            }
+            CoflowOrder::Lcf => flows.iter().map(|f| f.volume()).fold(0.0, f64::max),
+        }
+    }
+}
+
+impl Policy for OrderedPolicy {
+    fn name(&self) -> &str {
+        self.order.name()
+    }
+
+    fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
+        let mut coflows = view.coflow_ids();
+        // Sort by key; ties broken by coflow id for determinism.
+        coflows.sort_by(|a, b| {
+            self.key(view, *a)
+                .total_cmp(&self.key(view, *b))
+                .then(a.cmp(b))
+        });
+
+        let mut residual = Residual::new(view);
+        let mut alloc = Allocation::new();
+        // Flows in coflow-priority order, shortest first within a coflow —
+        // the order used for both greedy allocation and backfill.
+        let mut flow_order: Vec<FlowId> = Vec::new();
+        for cid in &coflows {
+            let mut flows: Vec<(FlowId, NodeId, NodeId, f64)> = view
+                .coflow_flows(*cid)
+                .map(|f| (f.id, f.src, f.dst, f.volume()))
+                .collect();
+            flows.sort_by(|a, b| a.3.total_cmp(&b.3).then(a.0.cmp(&b.0)));
+            flow_order.extend(flows.iter().map(|f| f.0));
+            match self.discipline {
+                RateDiscipline::Madd => {
+                    let (rates, gamma) = madd_rates(&residual, &flows);
+                    if !gamma.is_finite() {
+                        continue; // blocked behind higher-priority coflows
+                    }
+                    for ((id, rate), (_, src, dst, _)) in rates.iter().zip(flows.iter()) {
+                        let granted = residual.take(*src, *dst, *rate);
+                        if granted > 0.0 {
+                            alloc.set(*id, FlowCommand::transmit(granted));
+                        }
+                    }
+                }
+                RateDiscipline::Greedy => {
+                    for (id, src, dst, _) in &flows {
+                        let granted = residual.take(*src, *dst, f64::INFINITY);
+                        if granted > 0.0 {
+                            alloc.set(*id, FlowCommand::transmit(granted));
+                        }
+                    }
+                }
+            }
+            if self.exclusive {
+                break; // head-of-line blocking: later coflows wait
+            }
+        }
+        if !self.exclusive {
+            ordered_backfill(view, &mut alloc, &flow_order);
+        }
+        alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use swallow_fabric::view::ConstCompression;
+    use swallow_fabric::{Coflow, Engine, Fabric, FlowSpec, SimConfig};
+
+    /// Two coflows competing for one egress port: a small one (10 bytes)
+    /// arriving second and a big one (100 bytes) arriving first.
+    fn contended_trace() -> Vec<Coflow> {
+        vec![
+            Coflow::builder(0)
+                .arrival(0.0)
+                .flow(FlowSpec::new(0, 0, 1, 100.0))
+                .build(),
+            Coflow::builder(1)
+                .arrival(0.0)
+                .flow(FlowSpec::new(1, 0, 2, 10.0))
+                .build(),
+        ]
+    }
+
+    fn run(policy: &mut dyn Policy, coflows: Vec<Coflow>) -> swallow_fabric::SimResult {
+        let fabric = Fabric::uniform(3, 10.0);
+        Engine::new(
+            fabric,
+            coflows,
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_compression(Arc::new(ConstCompression::disabled())),
+        )
+        .run(policy)
+    }
+
+    #[test]
+    fn sebf_serves_small_coflow_first() {
+        let res = run(&mut OrderedPolicy::sebf(), contended_trace());
+        assert!(res.all_complete());
+        // Small coflow: 10 bytes at 10 B/s = 1 s; big waits then finishes at
+        // 11 s. Average CCT = 6 s (vs 10.5 with fair sharing).
+        let c1 = res.coflows.iter().find(|c| c.id == CoflowId(1)).unwrap();
+        let c0 = res.coflows.iter().find(|c| c.id == CoflowId(0)).unwrap();
+        assert!((c1.cct().unwrap() - 1.0).abs() < 0.05, "{:?}", c1.cct());
+        assert!((c0.cct().unwrap() - 11.0).abs() < 0.05, "{:?}", c0.cct());
+    }
+
+    #[test]
+    fn fifo_serves_arrival_order() {
+        let mut trace = contended_trace();
+        trace[1].arrival = 0.5; // small coflow arrives strictly later
+        let res = run(&mut OrderedPolicy::fifo(), trace);
+        assert!(res.all_complete());
+        let c0 = res.coflows.iter().find(|c| c.id == CoflowId(0)).unwrap();
+        let c1 = res.coflows.iter().find(|c| c.id == CoflowId(1)).unwrap();
+        // FIFO: big first (10 s), small waits → head-of-line blocking.
+        assert!((c0.cct().unwrap() - 10.0).abs() < 0.05);
+        assert!(c1.cct().unwrap() > 9.0, "small should be blocked: {:?}", c1.cct());
+    }
+
+    #[test]
+    fn scf_orders_by_total_bytes() {
+        // SCF must pick the 10-byte coflow first even if it arrived later.
+        let mut trace = contended_trace();
+        trace[1].arrival = 0.0;
+        let res = run(&mut OrderedPolicy::new(CoflowOrder::Scf), trace);
+        let c1 = res.coflows.iter().find(|c| c.id == CoflowId(1)).unwrap();
+        assert!((c1.cct().unwrap() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn ncf_prefers_narrow_coflow() {
+        // Wide coflow: 3 flows from node 0; narrow: 1 flow from node 0.
+        let coflows = vec![
+            Coflow::builder(0)
+                .flow(FlowSpec::new(0, 0, 1, 30.0))
+                .flow(FlowSpec::new(1, 0, 2, 30.0))
+                .flow(FlowSpec::new(2, 0, 3, 30.0))
+                .build(),
+            Coflow::builder(1).flow(FlowSpec::new(3, 0, 4, 30.0)).build(),
+        ];
+        let fabric = Fabric::uniform(5, 10.0);
+        let res = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.01))
+            .run(&mut OrderedPolicy::new(CoflowOrder::Ncf));
+        let narrow = res.coflows.iter().find(|c| c.id == CoflowId(1)).unwrap();
+        // Narrow (width 1) goes first: 30 bytes at 10 B/s = 3 s.
+        assert!((narrow.cct().unwrap() - 3.0).abs() < 0.05, "{:?}", narrow.cct());
+    }
+
+    #[test]
+    fn lcf_orders_by_longest_flow() {
+        // Coflow 0 length 50; coflow 1 length 20 (but larger total). LCF
+        // picks coflow 1 first.
+        let coflows = vec![
+            Coflow::builder(0).flow(FlowSpec::new(0, 0, 1, 50.0)).build(),
+            Coflow::builder(1)
+                .flow(FlowSpec::new(1, 0, 2, 20.0))
+                .flow(FlowSpec::new(2, 0, 3, 20.0))
+                .flow(FlowSpec::new(3, 0, 4, 20.0))
+                .build(),
+        ];
+        let fabric = Fabric::uniform(5, 10.0);
+        let res = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.01))
+            .run(&mut OrderedPolicy::new(CoflowOrder::Lcf));
+        let c1 = res.coflows.iter().find(|c| c.id == CoflowId(1)).unwrap();
+        // Coflow 1: 60 bytes through egress 0 at 10 B/s = 6 s.
+        assert!((c1.cct().unwrap() - 6.0).abs() < 0.1, "{:?}", c1.cct());
+    }
+
+    #[test]
+    fn work_conservation_backfills_idle_ports() {
+        // One active coflow on 0→1; port 2→3 idle. A second coflow on 2→3
+        // must run concurrently even though it sorts later.
+        let coflows = vec![
+            Coflow::builder(0).flow(FlowSpec::new(0, 0, 1, 100.0)).build(),
+            Coflow::builder(1).flow(FlowSpec::new(1, 2, 3, 100.0)).build(),
+        ];
+        let fabric = Fabric::uniform(4, 10.0);
+        let res = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.01))
+            .run(&mut OrderedPolicy::sebf());
+        assert!(res.all_complete());
+        for c in &res.coflows {
+            assert!((c.cct().unwrap() - 10.0).abs() < 0.05, "{:?}", c.cct());
+        }
+    }
+
+    #[test]
+    fn sebf_uses_bottleneck_not_total_size() {
+        // Coflow A: 2 parallel flows of 30 from different senders (Γ = 3).
+        // Coflow B: 1 flow of 40 (Γ = 4), total smaller than A's 60.
+        // SEBF must schedule A first; SCF would pick B.
+        let coflows = vec![
+            Coflow::builder(0)
+                .flow(FlowSpec::new(0, 0, 2, 30.0))
+                .flow(FlowSpec::new(1, 1, 3, 30.0))
+                .build(),
+            Coflow::builder(1).flow(FlowSpec::new(2, 0, 2, 40.0)).build(),
+        ];
+        let fabric = Fabric::uniform(4, 10.0);
+        let res = Engine::new(
+            fabric.clone(),
+            coflows.clone(),
+            SimConfig::default().with_slice(0.01),
+        )
+        .run(&mut OrderedPolicy::sebf());
+        let a = res.coflows.iter().find(|c| c.id == CoflowId(0)).unwrap();
+        assert!((a.cct().unwrap() - 3.0).abs() < 0.05, "SEBF: {:?}", a.cct());
+        let res = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.01))
+            .run(&mut OrderedPolicy::new(CoflowOrder::Scf));
+        let b = res.coflows.iter().find(|c| c.id == CoflowId(1)).unwrap();
+        assert!((b.cct().unwrap() - 4.0).abs() < 0.05, "SCF: {:?}", b.cct());
+    }
+}

@@ -1,0 +1,127 @@
+//! Name-based construction of every policy, for the experiment harness.
+
+use crate::flowlevel::{PffPolicy, SrtfPolicy, WssPolicy};
+use crate::fvdf::FvdfPolicy;
+use crate::ordered::{CoflowOrder, OrderedPolicy};
+use swallow_fabric::Policy;
+
+/// Every scheduling algorithm the evaluation compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The paper's FVDF (compression on).
+    Fvdf,
+    /// FVDF with compression disabled (scheduler-only ablation).
+    FvdfNoCompression,
+    /// Varys SEBF.
+    Sebf,
+    /// FIFO by coflow arrival.
+    Fifo,
+    /// Per-flow SRTF (the paper's PFP).
+    Srtf,
+    /// Per-flow fairness (the paper's PFF; Spark FAIR).
+    Pff,
+    /// Orchestra WSS.
+    Wss,
+    /// Smallest-coflow-first.
+    Scf,
+    /// Narrowest-coflow-first.
+    Ncf,
+    /// Least-length-coflow-first.
+    Lcf,
+}
+
+impl Algorithm {
+    /// Everything, in a stable order for reports.
+    pub const ALL: [Algorithm; 10] = [
+        Algorithm::Fvdf,
+        Algorithm::FvdfNoCompression,
+        Algorithm::Sebf,
+        Algorithm::Fifo,
+        Algorithm::Srtf,
+        Algorithm::Pff,
+        Algorithm::Wss,
+        Algorithm::Scf,
+        Algorithm::Ncf,
+        Algorithm::Lcf,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Fvdf => "FVDF",
+            Algorithm::FvdfNoCompression => "FVDF-nc",
+            Algorithm::Sebf => "SEBF",
+            Algorithm::Fifo => "FIFO",
+            Algorithm::Srtf => "SRTF",
+            Algorithm::Pff => "PFF/FAIR",
+            Algorithm::Wss => "WSS",
+            Algorithm::Scf => "SCF",
+            Algorithm::Ncf => "NCF",
+            Algorithm::Lcf => "LCF",
+        }
+    }
+
+    /// Instantiate a fresh policy.
+    pub fn make(self) -> Box<dyn Policy> {
+        match self {
+            Algorithm::Fvdf => Box::new(FvdfPolicy::new()),
+            Algorithm::FvdfNoCompression => Box::new(FvdfPolicy::without_compression()),
+            Algorithm::Sebf => Box::new(OrderedPolicy::sebf()),
+            // Work-conserving FIFO (per-port arrival-order queues, as in a
+            // shared Spark cluster). The strict head-of-line variant of the
+            // motivation example is `OrderedPolicy::fifo()`.
+            Algorithm::Fifo => Box::new(OrderedPolicy::fifo_work_conserving()),
+            Algorithm::Srtf => Box::new(SrtfPolicy),
+            Algorithm::Pff => Box::new(PffPolicy),
+            Algorithm::Wss => Box::new(WssPolicy),
+            Algorithm::Scf => Box::new(OrderedPolicy::new(CoflowOrder::Scf)),
+            Algorithm::Ncf => Box::new(OrderedPolicy::new(CoflowOrder::Ncf)),
+            Algorithm::Lcf => Box::new(OrderedPolicy::new(CoflowOrder::Lcf)),
+        }
+    }
+
+    /// Parse a name (case-insensitive; accepts the paper's synonyms "FAIR"
+    /// and "PFP").
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s.to_ascii_lowercase().as_str() {
+            "fvdf" | "swallow" => Some(Algorithm::Fvdf),
+            "fvdf-nc" | "fvdf_nc" => Some(Algorithm::FvdfNoCompression),
+            "sebf" | "varys" => Some(Algorithm::Sebf),
+            "fifo" => Some(Algorithm::Fifo),
+            "srtf" | "pfp" => Some(Algorithm::Srtf),
+            "pff" | "fair" => Some(Algorithm::Pff),
+            "wss" => Some(Algorithm::Wss),
+            "scf" => Some(Algorithm::Scf),
+            "ncf" => Some(Algorithm::Ncf),
+            "lcf" => Some(Algorithm::Lcf),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_synonyms() {
+        assert_eq!(Algorithm::parse("FAIR"), Some(Algorithm::Pff));
+        assert_eq!(Algorithm::parse("pfp"), Some(Algorithm::Srtf));
+        assert_eq!(Algorithm::parse("Varys"), Some(Algorithm::Sebf));
+        assert_eq!(Algorithm::parse("swallow"), Some(Algorithm::Fvdf));
+        assert_eq!(Algorithm::parse("unknown"), None);
+    }
+
+    #[test]
+    fn every_algorithm_constructs_and_names_are_unique() {
+        let mut names = Vec::new();
+        for a in Algorithm::ALL {
+            let p = a.make();
+            assert!(!p.name().is_empty());
+            names.push(a.name());
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Algorithm::ALL.len());
+    }
+}

@@ -1,0 +1,398 @@
+//! Shared building blocks: residual capacity tracking, weighted max-min
+//! water-filling, and the work-conserving backfill pass.
+
+use std::collections::BTreeMap;
+use swallow_fabric::{Allocation, FabricView, FlowCommand, FlowId, NodeId};
+
+/// Residual egress/ingress capacity during an allocation pass.
+#[derive(Debug, Clone)]
+pub struct Residual {
+    egress: Vec<f64>,
+    ingress: Vec<f64>,
+}
+
+impl Residual {
+    /// Start from the full port capacities of the fabric in `view`.
+    pub fn new(view: &FabricView<'_>) -> Self {
+        let n = view.fabric.num_nodes();
+        Self {
+            egress: (0..n)
+                .map(|i| view.fabric.egress_cap(NodeId(i as u32)))
+                .collect(),
+            ingress: (0..n)
+                .map(|i| view.fabric.ingress_cap(NodeId(i as u32)))
+                .collect(),
+        }
+    }
+
+    /// Bandwidth still available on the `src → dst` path.
+    pub fn available(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.egress[src.index()].min(self.ingress[dst.index()])
+    }
+
+    /// Reserve up to `rate` on the path; returns what was actually granted.
+    pub fn take(&mut self, src: NodeId, dst: NodeId, rate: f64) -> f64 {
+        let granted = rate.min(self.available(src, dst)).max(0.0);
+        self.egress[src.index()] -= granted;
+        self.ingress[dst.index()] -= granted;
+        granted
+    }
+
+    /// Residual egress at a node.
+    pub fn egress(&self, node: NodeId) -> f64 {
+        self.egress[node.index()]
+    }
+
+    /// Residual ingress at a node.
+    pub fn ingress(&self, node: NodeId) -> f64 {
+        self.ingress[node.index()]
+    }
+}
+
+/// Weighted max-min water-filling over explicit residual capacities.
+///
+/// Each demand is `(flow, src, dst, weight)`; rates grow proportionally to
+/// weights until a port saturates, flows through saturated ports freeze, and
+/// filling continues — the classic progressive-filling algorithm. Weights of
+/// 1 give ordinary max-min fairness (PFF); weights proportional to flow size
+/// give Orchestra's Weighted Shuffle Scheduling.
+pub fn water_fill_weighted(
+    residual: &mut Residual,
+    demands: &[(FlowId, NodeId, NodeId, f64)],
+) -> BTreeMap<FlowId, f64> {
+    let mut rates: BTreeMap<FlowId, f64> = demands.iter().map(|&(f, ..)| (f, 0.0)).collect();
+    let mut frozen: BTreeMap<FlowId, bool> =
+        demands.iter().map(|&(f, ..)| (f, false)).collect();
+    // Ignore non-positive weights entirely.
+    for &(f, _, _, w) in demands {
+        if w <= 0.0 {
+            frozen.insert(f, true);
+        }
+    }
+
+    for _round in 0..demands.len() + 1 {
+        // Sum of unfrozen weights per port.
+        let mut e_w: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let mut i_w: BTreeMap<NodeId, f64> = BTreeMap::new();
+        for &(f, s, d, w) in demands {
+            if !frozen[&f] {
+                *e_w.entry(s).or_default() += w;
+                *i_w.entry(d).or_default() += w;
+            }
+        }
+        if e_w.is_empty() {
+            break;
+        }
+        // Largest per-unit-weight increment before some port saturates.
+        let mut inc = f64::INFINITY;
+        for (n, w) in &e_w {
+            inc = inc.min(residual.egress(*n) / w);
+        }
+        for (n, w) in &i_w {
+            inc = inc.min(residual.ingress(*n) / w);
+        }
+        if !inc.is_finite() || inc <= 0.0 {
+            break;
+        }
+        for &(f, s, d, w) in demands {
+            if frozen[&f] {
+                continue;
+            }
+            let add = inc * w;
+            *rates.get_mut(&f).unwrap() += add;
+            residual.egress[s.index()] -= add;
+            residual.ingress[d.index()] -= add;
+        }
+        // Freeze flows touching saturated ports.
+        let mut any = false;
+        for &(f, s, d, _) in demands {
+            if frozen[&f] {
+                continue;
+            }
+            const EPS: f64 = 1e-9;
+            if residual.egress(s) <= EPS || residual.ingress(d) <= EPS {
+                frozen.insert(f, true);
+                any = true;
+            }
+        }
+        if !any || frozen.values().all(|&v| v) {
+            break;
+        }
+    }
+    rates
+}
+
+/// Priority-ordered backfill: walk flows in the given order and grant each
+/// non-compressing flow the full remaining capacity of its path. This is the
+/// Varys backfilling rule — leftover bandwidth goes to the *next coflow in
+/// the priority order*, not to an arbitrary fair share.
+pub fn ordered_backfill(
+    view: &FabricView<'_>,
+    alloc: &mut Allocation,
+    order: &[FlowId],
+) {
+    let mut residual = Residual::new(view);
+    for (id, cmd) in alloc.iter() {
+        if !cmd.compress && cmd.rate > 0.0 {
+            if let Some(f) = view.flow(id) {
+                residual.take(f.src, f.dst, cmd.rate);
+            }
+        }
+    }
+    for id in order {
+        let cmd = alloc.get(*id);
+        if cmd.compress {
+            continue;
+        }
+        let Some(f) = view.flow(*id) else { continue };
+        let extra = residual.take(f.src, f.dst, f64::INFINITY);
+        if extra > 0.0 {
+            alloc.set(*id, FlowCommand::transmit(cmd.rate + extra));
+        }
+    }
+}
+
+/// Work-conserving backfill: distribute the bandwidth left over after the
+/// primary allocation max-min fairly among all flows that are transmitting
+/// (or idle) — never to flows spending the slice compressing.
+pub fn backfill(view: &FabricView<'_>, alloc: &mut Allocation) {
+    let mut residual = Residual::new(view);
+    for (id, cmd) in alloc.iter() {
+        if !cmd.compress && cmd.rate > 0.0 {
+            if let Some(f) = view.flow(id) {
+                residual.take(f.src, f.dst, cmd.rate);
+            }
+        }
+    }
+    let demands: Vec<(FlowId, NodeId, NodeId, f64)> = view
+        .flows
+        .iter()
+        .filter(|f| !alloc.get(f.id).compress)
+        .map(|f| (f.id, f.src, f.dst, 1.0))
+        .collect();
+    let extra = water_fill_weighted(&mut residual, &demands);
+    for (id, add) in extra {
+        if add <= 0.0 {
+            continue;
+        }
+        let cur = alloc.get(id);
+        alloc.set(
+            id,
+            FlowCommand::transmit(cur.rate + add),
+        );
+    }
+}
+
+/// Remaining-volume-weighted MADD rates for one coflow on the residual
+/// capacity: the smallest per-flow rates that finish every flow at the
+/// coflow's residual bottleneck time Γ. Returns `(rates, gamma)`; `gamma` is
+/// `f64::INFINITY` when some needed port has no residual capacity.
+pub fn madd_rates(
+    residual: &Residual,
+    flows: &[(FlowId, NodeId, NodeId, f64)],
+) -> (Vec<(FlowId, f64)>, f64) {
+    // Per-port load of this coflow.
+    let mut e_load: BTreeMap<NodeId, f64> = BTreeMap::new();
+    let mut i_load: BTreeMap<NodeId, f64> = BTreeMap::new();
+    for &(_, s, d, v) in flows {
+        *e_load.entry(s).or_default() += v;
+        *i_load.entry(d).or_default() += v;
+    }
+    let mut gamma: f64 = 0.0;
+    for (n, load) in &e_load {
+        let cap = residual.egress(*n);
+        gamma = gamma.max(if cap > 0.0 { load / cap } else { f64::INFINITY });
+    }
+    for (n, load) in &i_load {
+        let cap = residual.ingress(*n);
+        gamma = gamma.max(if cap > 0.0 { load / cap } else { f64::INFINITY });
+    }
+    if !gamma.is_finite() || gamma <= 0.0 {
+        return (flows.iter().map(|&(f, ..)| (f, 0.0)).collect(), gamma);
+    }
+    (
+        flows.iter().map(|&(f, _, _, v)| (f, v / gamma)).collect(),
+        gamma,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swallow_fabric::cpu::CpuModel;
+    use swallow_fabric::view::{ConstCompression, FlowView};
+    use swallow_fabric::{CoflowId, Fabric};
+
+    fn fv(id: u64, coflow: u64, src: u32, dst: u32, size: f64) -> FlowView {
+        FlowView {
+            id: FlowId(id),
+            coflow: CoflowId(coflow),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            original_size: size,
+            raw: size,
+            compressed: 0.0,
+            arrival: 0.0,
+            compressible: true,
+        }
+    }
+
+    struct Fixture {
+        fabric: Fabric,
+        cpu: CpuModel,
+        comp: ConstCompression,
+    }
+
+    impl Fixture {
+        fn new(n: usize, cap: f64) -> Self {
+            Self {
+                fabric: Fabric::uniform(n, cap),
+                cpu: CpuModel::unconstrained(n, 8),
+                comp: ConstCompression::disabled(),
+            }
+        }
+        fn view(&self, flows: Vec<FlowView>) -> FabricView<'_> {
+            FabricView {
+                now: 0.0,
+                slice: 0.01,
+                fabric: &self.fabric,
+                cpu: &self.cpu,
+                compression: &self.comp,
+                flows,
+            }
+        }
+    }
+
+    #[test]
+    fn residual_take_caps_at_path_minimum() {
+        let fx = Fixture::new(3, 10.0);
+        let view = fx.view(vec![]);
+        let mut r = Residual::new(&view);
+        assert_eq!(r.take(NodeId(0), NodeId(1), 4.0), 4.0);
+        assert_eq!(r.available(NodeId(0), NodeId(2)), 6.0);
+        assert_eq!(r.take(NodeId(0), NodeId(2), 100.0), 6.0);
+        assert_eq!(r.egress(NodeId(0)), 0.0);
+        assert_eq!(r.ingress(NodeId(1)), 6.0);
+        // Nothing left on the path.
+        assert_eq!(r.take(NodeId(0), NodeId(1), 1.0), 0.0);
+    }
+
+    #[test]
+    fn weighted_water_fill_splits_by_weight() {
+        let fx = Fixture::new(3, 12.0);
+        let view = fx.view(vec![]);
+        let mut r = Residual::new(&view);
+        // Two flows out of node 0, weights 1 and 2 → rates 4 and 8.
+        let rates = water_fill_weighted(
+            &mut r,
+            &[
+                (FlowId(1), NodeId(0), NodeId(1), 1.0),
+                (FlowId(2), NodeId(0), NodeId(2), 2.0),
+            ],
+        );
+        assert!((rates[&FlowId(1)] - 4.0).abs() < 1e-9);
+        assert!((rates[&FlowId(2)] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_water_fill_continues_after_freeze() {
+        // f2 is limited by receiver 2 (cap 2); f1 should then take the rest
+        // of egress 0.
+        let fabric = Fabric::new(vec![10.0, 10.0, 10.0], vec![10.0, 10.0, 2.0]);
+        let cpu = CpuModel::unconstrained(3, 8);
+        let comp = ConstCompression::disabled();
+        let view = FabricView {
+            now: 0.0,
+            slice: 0.01,
+            fabric: &fabric,
+            cpu: &cpu,
+            compression: &comp,
+            flows: vec![],
+        };
+        let mut r = Residual::new(&view);
+        let rates = water_fill_weighted(
+            &mut r,
+            &[
+                (FlowId(1), NodeId(0), NodeId(1), 1.0),
+                (FlowId(2), NodeId(0), NodeId(2), 1.0),
+            ],
+        );
+        assert!((rates[&FlowId(2)] - 2.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates[&FlowId(1)] - 8.0).abs() < 1e-9, "{rates:?}");
+    }
+
+    #[test]
+    fn zero_weight_flows_get_nothing() {
+        let fx = Fixture::new(2, 10.0);
+        let view = fx.view(vec![]);
+        let mut r = Residual::new(&view);
+        let rates = water_fill_weighted(
+            &mut r,
+            &[
+                (FlowId(1), NodeId(0), NodeId(1), 0.0),
+                (FlowId(2), NodeId(0), NodeId(1), 1.0),
+            ],
+        );
+        assert_eq!(rates[&FlowId(1)], 0.0);
+        assert!((rates[&FlowId(2)] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn madd_rates_finish_together() {
+        let fx = Fixture::new(3, 10.0);
+        let view = fx.view(vec![]);
+        let r = Residual::new(&view);
+        // Coflow: 40 bytes 0→1, 20 bytes 0→2. Egress 0 carries 60 bytes at
+        // cap 10 → Γ = 6 s; rates 40/6 and 20/6.
+        let (rates, gamma) = madd_rates(
+            &r,
+            &[
+                (FlowId(1), NodeId(0), NodeId(1), 40.0),
+                (FlowId(2), NodeId(0), NodeId(2), 20.0),
+            ],
+        );
+        assert!((gamma - 6.0).abs() < 1e-9);
+        let m: BTreeMap<_, _> = rates.into_iter().collect();
+        assert!((m[&FlowId(1)] - 40.0 / 6.0).abs() < 1e-9);
+        assert!((m[&FlowId(2)] - 20.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn madd_infinite_when_port_exhausted() {
+        let fx = Fixture::new(2, 10.0);
+        let view = fx.view(vec![]);
+        let mut r = Residual::new(&view);
+        r.take(NodeId(0), NodeId(1), 10.0);
+        let (rates, gamma) = madd_rates(&r, &[(FlowId(1), NodeId(0), NodeId(1), 5.0)]);
+        assert!(gamma.is_infinite());
+        assert_eq!(rates[0].1, 0.0);
+    }
+
+    #[test]
+    fn backfill_fills_leftover() {
+        let fx = Fixture::new(3, 10.0);
+        let view = fx.view(vec![fv(1, 1, 0, 1, 100.0), fv(2, 2, 2, 1, 50.0)]);
+        let mut alloc = Allocation::new();
+        // Primary gave f1 only 2 of the 10 available; f2 nothing.
+        alloc.set(FlowId(1), FlowCommand::transmit(2.0));
+        backfill(&view, &mut alloc);
+        // Ingress of node 1 (cap 10) is shared: f1 had 2; leftover 8 split
+        // max-min → +4 each.
+        assert!((alloc.get(FlowId(1)).rate - 6.0).abs() < 1e-9);
+        assert!((alloc.get(FlowId(2)).rate - 4.0).abs() < 1e-9);
+        assert!(alloc.check_feasible(&view).is_ok());
+    }
+
+    #[test]
+    fn backfill_skips_compressing_flows() {
+        let fx = Fixture::new(3, 10.0);
+        let view = fx.view(vec![fv(1, 1, 0, 1, 100.0), fv(2, 1, 0, 2, 50.0)]);
+        let mut alloc = Allocation::new();
+        alloc.set(FlowId(1), FlowCommand::compressing());
+        backfill(&view, &mut alloc);
+        assert!(alloc.get(FlowId(1)).compress);
+        assert_eq!(alloc.get(FlowId(1)).rate, 0.0);
+        // f2 takes the whole egress.
+        assert!((alloc.get(FlowId(2)).rate - 10.0).abs() < 1e-9);
+    }
+}

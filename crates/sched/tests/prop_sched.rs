@@ -1,0 +1,209 @@
+//! Property-based tests of the scheduling building blocks: every allocation
+//! any policy produces must be port-feasible, and the water-filling and MADD
+//! primitives must satisfy their defining properties.
+
+use proptest::prelude::*;
+use swallow_fabric::cpu::CpuModel;
+use swallow_fabric::view::{ConstCompression, FabricView, FlowView};
+use swallow_fabric::{CoflowId, Fabric, FlowId, NodeId};
+use swallow_sched::util::{madd_rates, water_fill_weighted, Residual};
+use swallow_sched::Algorithm;
+
+const NODES: usize = 5;
+const CAP: f64 = 100.0;
+
+/// Random set of active flows grouped into coflows.
+fn arb_flows() -> impl Strategy<Value = Vec<FlowView>> {
+    proptest::collection::vec(
+        (
+            0u64..4,          // coflow id
+            0u32..NODES as u32,
+            0u32..NODES as u32,
+            1.0f64..5_000.0,  // remaining volume
+            0.0f64..100.0,    // already-compressed part
+            any::<bool>(),
+        ),
+        1..20,
+    )
+    .prop_map(|rows| {
+        let mut flows: Vec<FlowView> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (c, src, dst, raw, compressed, compressible))| {
+                let dst = if dst == src {
+                    (dst + 1) % NODES as u32
+                } else {
+                    dst
+                };
+                FlowView {
+                    id: FlowId(i as u64),
+                    coflow: CoflowId(c),
+                    src: NodeId(src),
+                    dst: NodeId(dst),
+                    original_size: raw + compressed,
+                    raw,
+                    compressed,
+                    arrival: 0.0,
+                    compressible,
+                }
+            })
+            .collect();
+        flows.sort_by_key(|f| f.id);
+        flows
+    })
+}
+
+fn with_view<R>(flows: Vec<FlowView>, f: impl FnOnce(&FabricView<'_>) -> R) -> R {
+    let fabric = Fabric::uniform(NODES, CAP);
+    let cpu = CpuModel::unconstrained(NODES, 4);
+    let comp = ConstCompression::new("lz4-like", 785.0 * CAP, 0.62);
+    let view = FabricView {
+        now: 0.0,
+        slice: 0.01,
+        fabric: &fabric,
+        cpu: &cpu,
+        compression: &comp,
+        flows,
+    };
+    f(&view)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every policy's allocation is port-feasible and only compresses
+    /// compressible flows with raw bytes left.
+    #[test]
+    fn allocations_are_feasible(flows in arb_flows()) {
+        with_view(flows, |view| {
+            for alg in Algorithm::ALL {
+                let mut policy = alg.make();
+                let alloc = policy.allocate(view);
+                prop_assert!(
+                    alloc.check_feasible(view).is_ok(),
+                    "{} oversubscribed: {:?}",
+                    alg.name(),
+                    alloc.check_feasible(view)
+                );
+                for (id, cmd) in alloc.iter() {
+                    if cmd.compress {
+                        let f = view.flow(id).expect("commanded flow exists");
+                        prop_assert!(f.compressible, "{} compresses an incompressible flow", alg.name());
+                        prop_assert!(f.raw > 0.0, "{} compresses an exhausted flow", alg.name());
+                    } else {
+                        prop_assert!(cmd.rate >= 0.0);
+                    }
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Work conservation: whenever some flow is transmitting at less than
+    /// its path residual under FVDF/SEBF, both of its ports are saturated
+    /// or the flow could not use more (the backfill property).
+    #[test]
+    fn ordered_policies_are_work_conserving(flows in arb_flows()) {
+        with_view(flows, |view| {
+            for alg in [Algorithm::Sebf, Algorithm::FvdfNoCompression] {
+                let mut policy = alg.make();
+                let alloc = policy.allocate(view);
+                // Aggregate per-port usage.
+                let mut egress = [0.0; NODES];
+                let mut ingress = [0.0; NODES];
+                for (id, cmd) in alloc.iter() {
+                    if cmd.compress { continue; }
+                    let f = view.flow(id).expect("flow");
+                    egress[f.src.index()] += cmd.rate;
+                    ingress[f.dst.index()] += cmd.rate;
+                }
+                for f in &view.flows {
+                    let cmd = alloc.get(f.id);
+                    if cmd.compress { continue; }
+                    let e_left = CAP - egress[f.src.index()];
+                    let i_left = CAP - ingress[f.dst.index()];
+                    let slack = e_left.min(i_left);
+                    // If there's real slack, the flow must already be
+                    // rate-limited by its remaining volume per slice.
+                    if slack > CAP * 1e-6 {
+                        let vol_cap = f.volume() / view.slice;
+                        prop_assert!(
+                            cmd.rate + 1e-6 >= vol_cap.min(CAP)
+                                || cmd.rate > 0.0 && f.volume() < 1.0,
+                            "{}: flow {} idles with {slack} slack (rate {})",
+                            alg.name(), f.id, cmd.rate
+                        );
+                    }
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Weighted water-filling never oversubscribes and gives zero exactly to
+    /// zero-weight demands.
+    #[test]
+    fn water_fill_feasible(
+        demands in proptest::collection::vec(
+            (0u32..NODES as u32, 0u32..NODES as u32, 0.0f64..3.0), 1..16)
+    ) {
+        let fabric = Fabric::uniform(NODES, CAP);
+        let cpu = CpuModel::unconstrained(NODES, 4);
+        let comp = ConstCompression::disabled();
+        let view = FabricView {
+            now: 0.0, slice: 0.01, fabric: &fabric, cpu: &cpu,
+            compression: &comp, flows: vec![],
+        };
+        let mut residual = Residual::new(&view);
+        let ds: Vec<(FlowId, NodeId, NodeId, f64)> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d, w))| {
+                let d = if d == s { (d + 1) % NODES as u32 } else { d };
+                (FlowId(i as u64), NodeId(s), NodeId(d), w)
+            })
+            .collect();
+        let rates = water_fill_weighted(&mut residual, &ds);
+        let mut egress = [0.0; NODES];
+        let mut ingress = [0.0; NODES];
+        for (id, s, d, w) in &ds {
+            let r = rates[id];
+            prop_assert!(r >= 0.0);
+            if *w <= 0.0 {
+                prop_assert_eq!(r, 0.0);
+            }
+            egress[s.index()] += r;
+            ingress[d.index()] += r;
+        }
+        for v in egress.iter().chain(ingress.iter()) {
+            prop_assert!(*v <= CAP * (1.0 + 1e-9), "port oversubscribed: {v}");
+        }
+    }
+
+    /// MADD rates are proportional to volumes and finish simultaneously.
+    #[test]
+    fn madd_finishes_flows_together(
+        vols in proptest::collection::vec(1.0f64..1000.0, 1..8)
+    ) {
+        let fabric = Fabric::uniform(NODES, CAP);
+        let cpu = CpuModel::unconstrained(NODES, 4);
+        let comp = ConstCompression::disabled();
+        let view = FabricView {
+            now: 0.0, slice: 0.01, fabric: &fabric, cpu: &cpu,
+            compression: &comp, flows: vec![],
+        };
+        let residual = Residual::new(&view);
+        // All flows share sender 0 so the bottleneck is unambiguous.
+        let flows: Vec<(FlowId, NodeId, NodeId, f64)> = vols
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (FlowId(i as u64), NodeId(0), NodeId(1 + (i % (NODES - 1)) as u32), v))
+            .collect();
+        let (rates, gamma) = madd_rates(&residual, &flows);
+        prop_assert!(gamma.is_finite());
+        for ((_, rate), (_, _, _, v)) in rates.iter().zip(flows.iter()) {
+            // volume / rate == gamma for every flow.
+            prop_assert!((v / rate - gamma).abs() < gamma * 1e-9 + 1e-12);
+        }
+    }
+}

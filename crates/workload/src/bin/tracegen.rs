@@ -1,0 +1,143 @@
+//! `tracegen` — generate synthetic coflow traces from the command line.
+//!
+//! ```text
+//! tracegen [--coflows N] [--nodes N] [--seed S] [--format csv|json]
+//!          [--mean-gap SECS] [--width-max W] [--scale FACTOR]
+//!          [--compressible FRAC] [--out PATH] [--stats]
+//! ```
+//!
+//! Sizes follow the paper's Fig. 1 heavy-tailed distribution, optionally
+//! rescaled by `--scale` (e.g. `--scale 1e-3` for laptop-sized replays).
+//! With `--stats` a summary is printed instead of the trace.
+
+use std::io::Write;
+use swallow_workload::gen::{fig1_size_dist_scaled, CoflowGen, GenConfig, Sizing};
+use swallow_workload::{SizeDist, Trace};
+
+struct Args {
+    coflows: usize,
+    nodes: usize,
+    seed: u64,
+    format: String,
+    mean_gap: f64,
+    width_max: f64,
+    scale: f64,
+    compressible: f64,
+    out: Option<String>,
+    stats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tracegen [--coflows N] [--nodes N] [--seed S] [--format csv|json]\n\
+         \x20               [--mean-gap SECS] [--width-max W] [--scale FACTOR]\n\
+         \x20               [--compressible FRAC] [--out PATH] [--stats]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        coflows: 50,
+        nodes: 24,
+        seed: 1,
+        format: "csv".into(),
+        mean_gap: 2.0,
+        width_max: 8.0,
+        scale: 1.0,
+        compressible: 1.0,
+        out: None,
+        stats: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--coflows" => args.coflows = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--nodes" => args.nodes = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--format" => args.format = take(&mut i),
+            "--mean-gap" => args.mean_gap = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--width-max" => args.width_max = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--scale" => args.scale = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--compressible" => {
+                args.compressible = take(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--out" => args.out = Some(take(&mut i)),
+            "--stats" => args.stats = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let coflows = CoflowGen::new(GenConfig {
+        num_coflows: args.coflows,
+        num_nodes: args.nodes,
+        interarrival: SizeDist::Exp {
+            mean: args.mean_gap,
+        },
+        width: SizeDist::Uniform {
+            lo: 1.0,
+            hi: args.width_max.max(1.0) + 1.0,
+        },
+        flow_size: fig1_size_dist_scaled(args.scale),
+        sizing: Sizing::PerCoflow { skew: 0.3 },
+        compressible_fraction: args.compressible,
+        seed: args.seed,
+    })
+    .generate();
+    let trace = Trace::new(format!("tracegen-seed{}", args.seed), args.nodes, coflows);
+
+    if args.stats {
+        println!("name:        {}", trace.name);
+        println!("coflows:     {}", trace.coflows.len());
+        println!("flows:       {}", trace.num_flows());
+        println!(
+            "total bytes: {}",
+            swallow_fabric::units::human_bytes(trace.total_bytes())
+        );
+        let widths: Vec<f64> = trace.coflows.iter().map(|c| c.num_flows() as f64).collect();
+        let sizes: Vec<f64> = trace.coflows.iter().map(|c| c.total_bytes()).collect();
+        println!(
+            "width:       mean {:.1}, max {:.0}",
+            widths.iter().sum::<f64>() / widths.len() as f64,
+            widths.iter().copied().fold(0.0, f64::max)
+        );
+        println!(
+            "coflow size: median {}, max {}",
+            swallow_fabric::units::human_bytes({
+                let mut s = sizes.clone();
+                s.sort_by(f64::total_cmp);
+                s[s.len() / 2]
+            }),
+            swallow_fabric::units::human_bytes(sizes.iter().copied().fold(0.0, f64::max))
+        );
+        return;
+    }
+
+    let payload = match args.format.as_str() {
+        "csv" => trace.to_csv(),
+        "json" => trace.to_json(),
+        _ => usage(),
+    };
+    match args.out {
+        Some(path) => std::fs::write(&path, payload).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => {
+            std::io::stdout()
+                .write_all(payload.as_bytes())
+                .expect("stdout");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Samplable distributions implemented directly over `rand`.
+//!
+//! We deliberately avoid `rand_distr`: the handful of distributions the
+//! workload generator needs (inverse-CDF exponential and Pareto, Box–Muller
+//! log-normal) are a few lines each, and keeping them here makes their exact
+//! semantics part of the reproduction.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over positive reals (sizes in bytes, gaps in seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SizeDist {
+    /// Always `0`-argument constant.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Exponential with the given mean (inverse-CDF sampling).
+    Exp {
+        /// Mean value.
+        mean: f64,
+    },
+    /// Bounded Pareto on `[lo, hi]` with tail index `shape` (α). Small α
+    /// (≤ 1) gives the heavy tails datacenter flows exhibit.
+    BoundedPareto {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Tail index α > 0.
+        shape: f64,
+    },
+    /// Log-normal with location `mu` and scale `sigma` of the underlying
+    /// normal (Box–Muller).
+    LogNormal {
+        /// Mean of `ln X`.
+        mu: f64,
+        /// Standard deviation of `ln X`.
+        sigma: f64,
+    },
+    /// Weighted mixture of other distributions. Weights need not sum to 1;
+    /// they are normalized at sampling time.
+    Mixture(Vec<(f64, Box<SizeDist>)>),
+}
+
+impl SizeDist {
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            SizeDist::Constant(v) => *v,
+            SizeDist::Uniform { lo, hi } => rng.gen_range(*lo..*hi),
+            SizeDist::Exp { mean } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -mean * u.ln()
+            }
+            SizeDist::BoundedPareto { lo, hi, shape } => {
+                // Inverse CDF of the bounded Pareto.
+                let a = *shape;
+                let (l, h) = (*lo, *hi);
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let num = 1.0 - u * (1.0 - (l / h).powf(a));
+                l * num.powf(-1.0 / a)
+            }
+            SizeDist::LogNormal { mu, sigma } => {
+                // Box–Muller transform.
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (mu + sigma * z).exp()
+            }
+            SizeDist::Mixture(parts) => {
+                assert!(!parts.is_empty(), "mixture needs at least one part");
+                let total: f64 = parts.iter().map(|(w, _)| *w).sum();
+                let mut pick = rng.gen_range(0.0..total);
+                for (w, d) in parts {
+                    if pick < *w {
+                        return d.sample(rng);
+                    }
+                    pick -= w;
+                }
+                parts[parts.len() - 1].1.sample(rng)
+            }
+        }
+    }
+
+    /// Draw `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Convenience constructor for mixtures.
+    pub fn mixture(parts: Vec<(f64, SizeDist)>) -> Self {
+        SizeDist::Mixture(parts.into_iter().map(|(w, d)| (w, Box::new(d))).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut r = rng();
+        let d = SizeDist::Constant(7.0);
+        assert!(d.sample_n(&mut r, 10).iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    fn uniform_stays_in_range_with_right_mean() {
+        let mut r = rng();
+        let d = SizeDist::Uniform { lo: 10.0, hi: 20.0 };
+        let xs = d.sample_n(&mut r, 20_000);
+        assert!(xs.iter().all(|&x| (10.0..20.0).contains(&x)));
+        assert!((mean(&xs) - 15.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let d = SizeDist::Exp { mean: 4.0 };
+        let xs = d.sample_n(&mut r, 50_000);
+        assert!((mean(&xs) - 4.0).abs() < 0.1, "mean={}", mean(&xs));
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let mut r = rng();
+        let d = SizeDist::BoundedPareto {
+            lo: 1e3,
+            hi: 1e9,
+            shape: 0.5,
+        };
+        let xs = d.sample_n(&mut r, 20_000);
+        assert!(xs.iter().all(|&x| (1e3..=1e9 + 1.0).contains(&x)));
+        // Heavy tail: P(X > 1e6) for this bounded Pareto is
+        // (x^-α − hi^-α)/(lo^-α − hi^-α) ≈ 3.07%.
+        let above = xs.iter().filter(|&&x| x > 1e6).count() as f64 / xs.len() as f64;
+        assert!((above - 0.0307).abs() < 0.01, "above={above}");
+        let median = {
+            let mut s = xs.clone();
+            s.sort_by(f64::total_cmp);
+            s[s.len() / 2]
+        };
+        assert!(median < 1e6, "median={median}");
+    }
+
+    #[test]
+    fn bounded_pareto_tail_index_orders_tails() {
+        // Smaller α → heavier tail → larger mean.
+        let mut r = rng();
+        let heavy = SizeDist::BoundedPareto { lo: 1.0, hi: 1e6, shape: 0.3 };
+        let light = SizeDist::BoundedPareto { lo: 1.0, hi: 1e6, shape: 2.0 };
+        let mh = mean(&heavy.sample_n(&mut r, 30_000));
+        let ml = mean(&light.sample_n(&mut r, 30_000));
+        assert!(mh > 10.0 * ml, "heavy {mh} vs light {ml}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut r = rng();
+        let d = SizeDist::LogNormal { mu: 3.0, sigma: 1.0 };
+        let mut xs = d.sample_n(&mut r, 50_000);
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        assert!((median - 3.0f64.exp()).abs() < 1.0, "median={median}");
+    }
+
+    #[test]
+    fn mixture_uses_all_components() {
+        let mut r = rng();
+        let d = SizeDist::mixture(vec![
+            (0.5, SizeDist::Constant(1.0)),
+            (0.5, SizeDist::Constant(100.0)),
+        ]);
+        let xs = d.sample_n(&mut r, 10_000);
+        let ones = xs.iter().filter(|&&x| x == 1.0).count() as f64 / xs.len() as f64;
+        assert!((ones - 0.5).abs() < 0.05, "ones={ones}");
+    }
+
+    #[test]
+    fn mixture_normalizes_weights() {
+        let mut r = rng();
+        let d = SizeDist::mixture(vec![
+            (2.0, SizeDist::Constant(1.0)),
+            (6.0, SizeDist::Constant(2.0)),
+        ]);
+        let xs = d.sample_n(&mut r, 10_000);
+        let ones = xs.iter().filter(|&&x| x == 1.0).count() as f64 / xs.len() as f64;
+        assert!((ones - 0.25).abs() < 0.05, "ones={ones}");
+    }
+}

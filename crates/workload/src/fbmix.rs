@@ -1,0 +1,199 @@
+//! The classic Facebook-trace coflow mix used throughout the coflow
+//! literature (Varys, Aalo, CODA — the lineage the paper's trace setup
+//! follows): coflows are binned by *length* (size of the largest flow;
+//! short ≤ threshold) and *width* (number of flows; narrow ≤ threshold)
+//! into four categories with fixed probability mass:
+//!
+//! | bin | length | width | share of coflows | share of bytes |
+//! |-----|--------|-------|------------------|----------------|
+//! | SN  | short  | narrow| ~52%             | tiny           |
+//! | LN  | long   | narrow| ~16%             | small          |
+//! | SW  | short  | wide  | ~15%             | small          |
+//! | LW  | long   | wide  | ~17%             | dominant       |
+//!
+//! [`FbMix`] generates traces with that structure at a configurable scale.
+
+use crate::dist::SizeDist;
+use crate::gen::{CoflowGen, GenConfig, Sizing};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use swallow_fabric::Coflow;
+
+/// Facebook-style four-bin coflow mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FbMix {
+    /// Number of coflows to generate.
+    pub num_coflows: usize,
+    /// Machines in the cluster.
+    pub num_nodes: usize,
+    /// Mean inter-arrival gap, seconds (Poisson arrivals).
+    pub mean_gap: f64,
+    /// "Short" coflows carry at most this many bytes in their largest flow.
+    pub short_bytes: f64,
+    /// "Long" coflows scale up to this many bytes per flow.
+    pub long_bytes: f64,
+    /// Narrow width bound (inclusive).
+    pub narrow_width: usize,
+    /// Maximum width for wide coflows.
+    pub wide_width: usize,
+    /// Bin probabilities `(SN, LN, SW, LW)`; need not sum to 1.
+    pub shares: (f64, f64, f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FbMix {
+    /// The canonical mix at a given byte scale: `short_bytes` is the
+    /// short/long boundary (the literature uses 5 MB on the Facebook
+    /// trace).
+    pub fn new(num_coflows: usize, num_nodes: usize, short_bytes: f64, seed: u64) -> Self {
+        Self {
+            num_coflows,
+            num_nodes,
+            mean_gap: 1.0,
+            short_bytes,
+            long_bytes: short_bytes * 200.0,
+            narrow_width: 4,
+            wide_width: num_nodes.max(8),
+            shares: (0.52, 0.16, 0.15, 0.17),
+            seed,
+        }
+    }
+
+    /// Generate the trace.
+    pub fn generate(&self) -> Vec<Coflow> {
+        assert!(self.num_nodes >= 2, "need at least two nodes");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (sn, ln, sw, lw) = self.shares;
+        let total_share = sn + ln + sw + lw;
+        let mut coflows = Vec::with_capacity(self.num_coflows);
+        // Generate each bin's coflows through the shared generator, one bin
+        // at a time, then merge-sort by arrival with the Poisson gaps drawn
+        // here so the interleave is realistic.
+        let mut t = 0.0f64;
+        for cid in 0..self.num_coflows {
+            if cid > 0 {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t += -self.mean_gap * u.ln();
+            }
+            let pick = rng.gen_range(0.0..total_share);
+            let (width_dist, len_dist) = if pick < sn {
+                (
+                    SizeDist::Uniform { lo: 1.0, hi: self.narrow_width as f64 + 1.0 },
+                    SizeDist::BoundedPareto { lo: self.short_bytes * 1e-3, hi: self.short_bytes, shape: 0.5 },
+                )
+            } else if pick < sn + ln {
+                (
+                    SizeDist::Uniform { lo: 1.0, hi: self.narrow_width as f64 + 1.0 },
+                    SizeDist::BoundedPareto { lo: self.short_bytes, hi: self.long_bytes, shape: 0.6 },
+                )
+            } else if pick < sn + ln + sw {
+                (
+                    SizeDist::Uniform { lo: self.narrow_width as f64 + 1.0, hi: self.wide_width as f64 + 1.0 },
+                    SizeDist::BoundedPareto { lo: self.short_bytes * 1e-3, hi: self.short_bytes, shape: 0.5 },
+                )
+            } else {
+                (
+                    SizeDist::Uniform { lo: self.narrow_width as f64 + 1.0, hi: self.wide_width as f64 + 1.0 },
+                    SizeDist::BoundedPareto { lo: self.short_bytes, hi: self.long_bytes, shape: 0.6 },
+                )
+            };
+            // One-coflow generation through the shared machinery keeps flow
+            // ids locally dense; re-id below keeps them globally unique.
+            let sub = CoflowGen::new(GenConfig {
+                num_coflows: 1,
+                num_nodes: self.num_nodes,
+                interarrival: SizeDist::Constant(0.0),
+                width: width_dist,
+                // `flow_size` is the per-flow size here (length-bin bound).
+                flow_size: len_dist,
+                sizing: Sizing::PerFlow,
+                compressible_fraction: 1.0,
+                seed: rng.gen(),
+            })
+            .generate();
+            let mut c = sub.into_iter().next().expect("one coflow");
+            c.id = swallow_fabric::CoflowId(cid as u64);
+            c.arrival = t;
+            coflows.push(c);
+        }
+        // Re-id flows globally.
+        let mut next = 0u64;
+        for c in &mut coflows {
+            for f in &mut c.flows {
+                f.id = swallow_fabric::FlowId(next);
+                next += 1;
+            }
+        }
+        coflows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> Vec<Coflow> {
+        FbMix::new(400, 20, 5e6, 7).generate()
+    }
+
+    #[test]
+    fn bin_shares_approximate_targets() {
+        let coflows = mix();
+        let narrow = |c: &Coflow| c.num_flows() <= 4;
+        let short = |c: &Coflow| c.length() <= 5e6;
+        let frac = |pred: &dyn Fn(&Coflow) -> bool| {
+            coflows.iter().filter(|c| pred(c)).count() as f64 / coflows.len() as f64
+        };
+        let sn = frac(&|c| narrow(c) && short(c));
+        let lw = frac(&|c| !narrow(c) && !short(c));
+        assert!((sn - 0.52).abs() < 0.08, "SN={sn}");
+        assert!((lw - 0.17).abs() < 0.08, "LW={lw}");
+    }
+
+    #[test]
+    fn long_wide_bin_dominates_bytes() {
+        let coflows = mix();
+        let total: f64 = coflows.iter().map(|c| c.total_bytes()).sum();
+        let lw: f64 = coflows
+            .iter()
+            .filter(|c| c.num_flows() > 4 && c.length() > 5e6)
+            .map(|c| c.total_bytes())
+            .sum();
+        assert!(lw / total > 0.5, "LW byte share {}", lw / total);
+    }
+
+    #[test]
+    fn flow_ids_globally_unique_and_arrivals_sorted() {
+        let coflows = mix();
+        let mut ids: Vec<u64> = coflows
+            .iter()
+            .flat_map(|c| c.flows.iter().map(|f| f.id.0))
+            .collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert!(coflows.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(FbMix::new(30, 10, 1e6, 3).generate(), FbMix::new(30, 10, 1e6, 3).generate());
+    }
+
+    #[test]
+    fn schedulable_end_to_end() {
+        use swallow_fabric::{Engine, Fabric, SimConfig};
+        let coflows = FbMix::new(25, 10, 1e6, 5).generate();
+        let mut policy = swallow_fabric::policy::FairSharePolicy;
+        let res = Engine::new(
+            Fabric::uniform(10, 12.5e6),
+            coflows,
+            SimConfig::default().with_slice(0.01),
+        )
+        .run(&mut policy);
+        assert!(res.all_complete());
+    }
+}

@@ -1,0 +1,306 @@
+//! Synthetic coflow trace generation.
+
+use crate::dist::SizeDist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use swallow_fabric::{Coflow, FlowSpec};
+
+/// How `flow_size` is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Sizing {
+    /// `flow_size` is sampled independently per flow. Coflows can then mix
+    /// wildly different flow sizes.
+    PerFlow,
+    /// `flow_size` is the *coflow total*; each flow gets an even share
+    /// multiplied by a log-normal skew with the given sigma. This matches
+    /// real shuffles, where one stage's flows are siblings of similar size.
+    PerCoflow {
+        /// Sigma of the mean-preserving intra-coflow log-normal skew.
+        skew: f64,
+    },
+}
+
+/// Configuration of the coflow generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenConfig {
+    /// How many coflows to generate.
+    pub num_coflows: usize,
+    /// Cluster size (flows are placed on random distinct machines).
+    pub num_nodes: usize,
+    /// Inter-arrival gap distribution (seconds). `Constant(0.0)` makes a
+    /// batch arrival.
+    pub interarrival: SizeDist,
+    /// Coflow width distribution (number of flows; rounded, clamped ≥ 1).
+    pub width: SizeDist,
+    /// Size distribution (bytes); see [`Sizing`] for its interpretation.
+    pub flow_size: SizeDist,
+    /// Interpretation of `flow_size`.
+    pub sizing: Sizing,
+    /// Fraction of flows marked compressible (Table I suggests most shuffle
+    /// payloads are; encrypted/pre-compressed ones are not).
+    pub compressible_fraction: f64,
+    /// RNG seed; the generator is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            num_coflows: 100,
+            num_nodes: 50,
+            interarrival: SizeDist::Exp { mean: 1.0 },
+            width: SizeDist::Uniform { lo: 1.0, hi: 10.0 },
+            flow_size: fig1_size_dist(),
+            sizing: Sizing::PerFlow,
+            compressible_fraction: 1.0,
+            seed: 0xC0F1,
+        }
+    }
+}
+
+/// The coflow trace generator.
+#[derive(Debug, Clone)]
+pub struct CoflowGen {
+    config: GenConfig,
+}
+
+impl CoflowGen {
+    /// Build a generator.
+    pub fn new(config: GenConfig) -> Self {
+        assert!(config.num_nodes >= 2, "placement needs at least two nodes");
+        assert!(
+            (0.0..=1.0).contains(&config.compressible_fraction),
+            "compressible fraction must be in [0,1]"
+        );
+        Self { config }
+    }
+
+    /// Generate the trace. Flow ids are dense and unique; arrivals are the
+    /// cumulative sums of the inter-arrival gaps.
+    pub fn generate(&self) -> Vec<Coflow> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut coflows = Vec::with_capacity(cfg.num_coflows);
+        let mut t = 0.0f64;
+        let mut next_flow_id = 0u64;
+        for cid in 0..cfg.num_coflows {
+            if cid > 0 {
+                t += cfg.interarrival.sample(&mut rng).max(0.0);
+            }
+            let width = (cfg.width.sample(&mut rng).round() as usize).max(1);
+            let coflow_share = match cfg.sizing {
+                Sizing::PerFlow => None,
+                Sizing::PerCoflow { .. } => {
+                    Some(cfg.flow_size.sample(&mut rng).max(1.0) / width as f64)
+                }
+            };
+            let mut builder = Coflow::builder(cid as u64).arrival(t);
+            for _ in 0..width {
+                let src = rng.gen_range(0..cfg.num_nodes) as u32;
+                let mut dst = rng.gen_range(0..cfg.num_nodes) as u32;
+                while dst == src {
+                    dst = rng.gen_range(0..cfg.num_nodes) as u32;
+                }
+                let size = match (cfg.sizing, coflow_share) {
+                    (Sizing::PerFlow, _) => cfg.flow_size.sample(&mut rng).max(1.0),
+                    (Sizing::PerCoflow { skew }, Some(share)) => {
+                        // Mean-preserving log-normal skew around the share.
+                        let factor = SizeDist::LogNormal {
+                            mu: -skew * skew / 2.0,
+                            sigma: skew,
+                        }
+                        .sample(&mut rng);
+                        (share * factor).max(1.0)
+                    }
+                    (Sizing::PerCoflow { .. }, None) => unreachable!("share computed above"),
+                };
+                let mut spec = FlowSpec::new(next_flow_id, src, dst, size);
+                if rng.gen::<f64>() >= cfg.compressible_fraction {
+                    spec = spec.incompressible();
+                }
+                next_flow_id += 1;
+                builder = builder.flow(spec);
+            }
+            coflows.push(builder.build());
+        }
+        coflows
+    }
+}
+
+/// Flow-size distribution calibrated to the paper's Fig. 1:
+///
+/// * ~89.5% of flows smaller than 10 GB, with the bulk in `[10 MB, 10 GB]`;
+/// * flows larger than 10 GB carrying well over 93% of the bytes.
+///
+/// A three-component bounded-Pareto mixture reproduces both marginals.
+pub fn fig1_size_dist() -> SizeDist {
+    SizeDist::mixture(vec![
+        // Small tail: kilobyte-to-megabyte control traffic.
+        (
+            0.10,
+            SizeDist::BoundedPareto {
+                lo: 10e3,
+                hi: 10e6,
+                shape: 0.5,
+            },
+        ),
+        // The body: 10 MB – 10 GB shuffle flows.
+        (
+            0.795,
+            SizeDist::BoundedPareto {
+                lo: 10e6,
+                hi: 10e9,
+                shape: 0.4,
+            },
+        ),
+        // Elephants above 10 GB that dominate the byte count.
+        (
+            0.105,
+            SizeDist::BoundedPareto {
+                lo: 10e9,
+                hi: 1e12,
+                shape: 0.3,
+            },
+        ),
+    ])
+}
+
+/// A laptop-scale version of the same *shape* (sizes scaled down by 10^4 so
+/// simulations finish quickly at 100 Mbps – 10 Gbps while keeping the
+/// heavy-tail structure). Used by the default experiment harness.
+pub fn fig1_size_dist_scaled(scale: f64) -> SizeDist {
+    assert!(scale > 0.0);
+    SizeDist::mixture(vec![
+        (
+            0.10,
+            SizeDist::BoundedPareto {
+                lo: 10e3 * scale,
+                hi: 10e6 * scale,
+                shape: 0.5,
+            },
+        ),
+        (
+            0.795,
+            SizeDist::BoundedPareto {
+                lo: 10e6 * scale,
+                hi: 10e9 * scale,
+                shape: 0.4,
+            },
+        ),
+        (
+            0.105,
+            SizeDist::BoundedPareto {
+                lo: 10e9 * scale,
+                hi: 1e12 * scale,
+                shape: 0.3,
+            },
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = GenConfig {
+            num_coflows: 20,
+            ..GenConfig::default()
+        };
+        let a = CoflowGen::new(cfg.clone()).generate();
+        let b = CoflowGen::new(cfg).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flow_ids_unique_and_dense() {
+        let cfg = GenConfig {
+            num_coflows: 50,
+            ..GenConfig::default()
+        };
+        let coflows = CoflowGen::new(cfg).generate();
+        let mut ids: Vec<u64> = coflows
+            .iter()
+            .flat_map(|c| c.flows.iter().map(|f| f.id.0))
+            .collect();
+        ids.sort_unstable();
+        let expect: Vec<u64> = (0..ids.len() as u64).collect();
+        assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn arrivals_are_nondecreasing() {
+        let coflows = CoflowGen::new(GenConfig::default()).generate();
+        assert!(coflows.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert_eq!(coflows[0].arrival, 0.0);
+    }
+
+    #[test]
+    fn placement_avoids_self_loops() {
+        let coflows = CoflowGen::new(GenConfig {
+            num_coflows: 100,
+            num_nodes: 2,
+            ..GenConfig::default()
+        })
+        .generate();
+        for c in &coflows {
+            for f in &c.flows {
+                assert_ne!(f.src, f.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn compressible_fraction_respected() {
+        let coflows = CoflowGen::new(GenConfig {
+            num_coflows: 300,
+            compressible_fraction: 0.5,
+            ..GenConfig::default()
+        })
+        .generate();
+        let flows: Vec<_> = coflows.iter().flat_map(|c| &c.flows).collect();
+        let frac = flows.iter().filter(|f| f.compressible).count() as f64 / flows.len() as f64;
+        assert!((frac - 0.5).abs() < 0.08, "frac={frac}");
+    }
+
+    #[test]
+    fn fig1_marginals_hold() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = fig1_size_dist();
+        let xs = d.sample_n(&mut rng, 100_000);
+        let below_10gb = xs.iter().filter(|&&x| x < 10e9).count() as f64 / xs.len() as f64;
+        // Paper: 89.49% of flows below 10 GB.
+        assert!(
+            (below_10gb - 0.895).abs() < 0.02,
+            "below_10gb={below_10gb}"
+        );
+        let total: f64 = xs.iter().sum();
+        let big: f64 = xs.iter().filter(|&&x| x >= 10e9).sum();
+        // Paper: more than 93.03% of bytes from flows larger than 10 GB.
+        assert!(big / total > 0.9303, "big byte share={}", big / total);
+    }
+
+    #[test]
+    fn scaled_dist_preserves_shape() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = fig1_size_dist_scaled(1e-4);
+        let xs = d.sample_n(&mut rng, 50_000);
+        let below = xs.iter().filter(|&&x| x < 10e9 * 1e-4).count() as f64 / xs.len() as f64;
+        assert!((below - 0.895).abs() < 0.02, "below={below}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_rejected() {
+        CoflowGen::new(GenConfig {
+            num_nodes: 1,
+            ..GenConfig::default()
+        });
+    }
+}

@@ -1,0 +1,184 @@
+//! HiBench-style shuffle workloads at the paper's three scales.
+//!
+//! The real deployment (§VI-B) runs HiBench applications whose inputs are
+//! grouped into `large` (MB-level), `huge` (GB-level) and `gigantic`
+//! (TB-level) categories; Table VII quotes the resulting shuffle traffic
+//! (2.4 GB / 25.7 GB / 2.65 TB without compression). This module generates
+//! shuffle-stage coflows with those aggregate sizes and the per-application
+//! compressibility of Table I.
+
+use crate::dist::SizeDist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use swallow_compress::HibenchApp;
+use swallow_fabric::{Coflow, FlowSpec};
+
+/// The three workload categories of Table VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadScale {
+    /// MB-level input (≈ 2.4 GB of uncompressed shuffle traffic).
+    Large,
+    /// GB-level input (≈ 25.7 GB).
+    Huge,
+    /// TB-level input (≈ 2.65 TB).
+    Gigantic,
+}
+
+impl WorkloadScale {
+    /// All scales in paper order.
+    pub const ALL: [WorkloadScale; 3] = [
+        WorkloadScale::Large,
+        WorkloadScale::Huge,
+        WorkloadScale::Gigantic,
+    ];
+
+    /// Uncompressed shuffle traffic the paper measured at this scale
+    /// (Table VII, "Without Swallow"), in bytes.
+    pub fn shuffle_bytes(self) -> f64 {
+        match self {
+            WorkloadScale::Large => 2.4e9,
+            WorkloadScale::Huge => 25.7e9,
+            WorkloadScale::Gigantic => 2.65e12,
+        }
+    }
+
+    /// Label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadScale::Large => "large",
+            WorkloadScale::Huge => "huge",
+            WorkloadScale::Gigantic => "gigantic",
+        }
+    }
+}
+
+/// A HiBench application at a given scale, ready to emit shuffle coflows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HibenchWorkload {
+    /// Which application (fixes the Table I compression ratio).
+    pub app: HibenchApp,
+    /// Which input scale (fixes total shuffle bytes).
+    pub scale: WorkloadScale,
+    /// Number of map tasks (senders per shuffle).
+    pub maps: usize,
+    /// Number of reduce tasks (receivers per shuffle).
+    pub reduces: usize,
+}
+
+impl HibenchWorkload {
+    /// A typical configuration: 8 maps × 8 reduces.
+    pub fn new(app: HibenchApp, scale: WorkloadScale) -> Self {
+        Self {
+            app,
+            scale,
+            maps: 8,
+            reduces: 8,
+        }
+    }
+
+    /// Table I compression ratio for the application.
+    pub fn ratio(&self) -> f64 {
+        self.app.ratio()
+    }
+
+    /// Generate the shuffle as `num_jobs` coflows over an `n`-node cluster.
+    ///
+    /// Every job's shuffle is an all-to-all between `maps` sender machines
+    /// and `reduces` receiver machines; per-flow bytes vary log-normally
+    /// around the even split (real shuffles are skewed), normalized so each
+    /// job moves `shuffle_bytes / num_jobs` in expectation.
+    pub fn coflows(&self, num_nodes: usize, num_jobs: usize, seed: u64) -> Vec<Coflow> {
+        assert!(num_nodes >= 2, "need at least two machines");
+        assert!(num_jobs >= 1, "need at least one job");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let per_job = self.scale.shuffle_bytes() / num_jobs as f64;
+        let per_flow_mean = per_job / (self.maps * self.reduces) as f64;
+        let skew = SizeDist::LogNormal {
+            mu: per_flow_mean.ln() - 0.125, // mean-preserving for σ = 0.5
+            sigma: 0.5,
+        };
+        let mut coflows = Vec::with_capacity(num_jobs);
+        let mut flow_id = seed.wrapping_mul(1_000_003); // disjoint id ranges per seed
+        let mut t = 0.0;
+        for job in 0..num_jobs {
+            // Choose disjoint-ish mapper/reducer machines for this job.
+            let base = rng.gen_range(0..num_nodes);
+            let mut builder = Coflow::builder(job as u64).arrival(t);
+            for m in 0..self.maps {
+                let src = ((base + m) % num_nodes) as u32;
+                for r in 0..self.reduces {
+                    let dst_raw = (base + self.maps + r) % num_nodes;
+                    let dst = if dst_raw as u32 == src {
+                        ((dst_raw + 1) % num_nodes) as u32
+                    } else {
+                        dst_raw as u32
+                    };
+                    let size = skew.sample(&mut rng).max(1.0);
+                    builder = builder.flow(FlowSpec::new(flow_id, src, dst, size));
+                    flow_id += 1;
+                }
+            }
+            coflows.push(builder.build());
+            t += rng.gen_range(0.5..2.0);
+        }
+        coflows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_match_table7() {
+        assert_eq!(WorkloadScale::Large.shuffle_bytes(), 2.4e9);
+        assert_eq!(WorkloadScale::Huge.shuffle_bytes(), 25.7e9);
+        assert_eq!(WorkloadScale::Gigantic.shuffle_bytes(), 2.65e12);
+        assert_eq!(WorkloadScale::Large.label(), "large");
+    }
+
+    #[test]
+    fn total_bytes_close_to_scale() {
+        let w = HibenchWorkload::new(HibenchApp::Sort, WorkloadScale::Large);
+        let coflows = w.coflows(20, 10, 7);
+        assert_eq!(coflows.len(), 10);
+        let total: f64 = coflows.iter().map(|c| c.total_bytes()).sum();
+        // Log-normal skew is mean-preserving; expect within 15%.
+        let target = WorkloadScale::Large.shuffle_bytes();
+        assert!(
+            (total / target - 1.0).abs() < 0.15,
+            "total={total:e}, target={target:e}"
+        );
+    }
+
+    #[test]
+    fn all_to_all_structure() {
+        let w = HibenchWorkload {
+            app: HibenchApp::Terasort,
+            scale: WorkloadScale::Large,
+            maps: 3,
+            reduces: 4,
+        };
+        let coflows = w.coflows(16, 2, 1);
+        for c in &coflows {
+            assert_eq!(c.num_flows(), 12);
+            for f in &c.flows {
+                assert_ne!(f.src, f.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_comes_from_table1() {
+        let w = HibenchWorkload::new(HibenchApp::Sort, WorkloadScale::Huge);
+        assert!((w.ratio() - 0.2496).abs() < 1e-3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = HibenchWorkload::new(HibenchApp::Pagerank, WorkloadScale::Large);
+        assert_eq!(w.coflows(10, 3, 5), w.coflows(10, 3, 5));
+        assert_ne!(w.coflows(10, 3, 5), w.coflows(10, 3, 6));
+    }
+}

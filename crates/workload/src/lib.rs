@@ -1,0 +1,30 @@
+//! # swallow-workload
+//!
+//! Workload synthesis for the Swallow reproduction. The paper drives its
+//! trace simulations with shuffle traces collected from Spark whose flow
+//! sizes are heavy-tailed (Fig. 1): 89.49% of flows are smaller than 10 GB,
+//! most flows live in `[10 MB, 10 GB]`, and more than 93.03% of the bytes
+//! come from flows larger than 10 GB. We cannot ship the original traces, so
+//! this crate generates synthetic ones calibrated to those marginals:
+//!
+//! * [`dist`] — samplable size/interarrival distributions (uniform,
+//!   exponential, bounded Pareto, log-normal, mixtures) built on plain
+//!   `rand`;
+//! * [`gen`] — the coflow generator: widths, sizes, placements and Poisson
+//!   arrivals over an `n`-machine fabric, plus the Fig. 1-calibrated
+//!   distribution [`gen::fig1_size_dist`];
+//! * [`hibench`] — per-application shuffle workloads matching Table I
+//!   compressibility and the paper's `large`/`huge`/`gigantic` scales;
+//! * [`trace`] — (de)serialization of traces to JSON and a simple CSV.
+
+pub mod dist;
+pub mod fbmix;
+pub mod gen;
+pub mod hibench;
+pub mod trace;
+
+pub use dist::SizeDist;
+pub use fbmix::FbMix;
+pub use gen::{CoflowGen, GenConfig, Sizing};
+pub use hibench::{HibenchWorkload, WorkloadScale};
+pub use trace::Trace;

@@ -1,0 +1,82 @@
+//! Iterative jobs: a PageRank-like workload (Table I's Pagerank/NWeight
+//! class) running several map → shuffle → reduce → result rounds, with and
+//! without Swallow. Each round materializes its result and feeds the next,
+//! so compression pays off once per iteration.
+//!
+//! ```text
+//! cargo run --release --example iterative_pagerank
+//! ```
+
+use swallow_repro::cluster::{ClusterConfig, ClusterSim, JobSpec};
+use swallow_repro::prelude::*;
+
+fn jobs() -> Vec<JobSpec> {
+    (0..4)
+        .map(|i| JobSpec {
+            app: HibenchApp::Pagerank,
+            ..JobSpec::sort_like(i, i as f64 * 2.0, 2.0 * units::GB)
+        })
+        .collect()
+}
+
+fn run(compression: Option<Table2>, rounds: usize) -> swallow_repro::cluster::IterativeResult {
+    let cfg = ClusterConfig {
+        num_nodes: 10,
+        link_bandwidth: units::gbps(1.0),
+        compression,
+        // PageRank compresses to 42.41% (Table I).
+        ratio_override: Some(HibenchApp::Pagerank.ratio()),
+        algorithm: if compression.is_some() {
+            Algorithm::Fvdf
+        } else {
+            Algorithm::Sebf
+        },
+        ..ClusterConfig::default()
+    };
+    ClusterSim::new(cfg).run_iterative(&jobs(), rounds)
+}
+
+fn main() {
+    let rounds = 5;
+    let with = run(Some(Table2::Lz4), rounds);
+    let without = run(None, rounds);
+
+    let mut t = Table::new(
+        format!("PageRank-like, {rounds} iterations × 4 jobs (1 Gbps, 10 nodes)"),
+        &["metric", "Varys/SEBF", "Swallow", "improvement"],
+    );
+    t.row(&[
+        "avg JCT (all rounds)".into(),
+        units::human_secs(without.avg_jct()),
+        units::human_secs(with.avg_jct()),
+        format!("{:.2}x", improvement(without.avg_jct(), with.avg_jct())),
+    ]);
+    let (w_wire, w_raw) = with.traffic();
+    let (n_wire, _) = without.traffic();
+    t.row(&[
+        "shuffle traffic".into(),
+        units::human_bytes(n_wire),
+        units::human_bytes(w_wire),
+        format!("{:.1}% less", (1.0 - w_wire / n_wire) * 100.0),
+    ]);
+    println!("{t}");
+    println!(
+        "raw bytes per run: {} across {} rounds; per-round shuffle improvements:",
+        units::human_bytes(w_raw),
+        rounds
+    );
+    for (i, (w, n)) in with
+        .per_round
+        .iter()
+        .zip(without.per_round.iter())
+        .enumerate()
+    {
+        println!(
+            "  round {}: shuffle {} -> {} ({:.2}x)",
+            i + 1,
+            units::human_secs(n.avg_stage(|j| j.shuffle)),
+            units::human_secs(w.avg_stage(|j| j.shuffle)),
+            improvement(n.avg_stage(|j| j.shuffle), w.avg_stage(|j| j.shuffle)),
+        );
+    }
+}

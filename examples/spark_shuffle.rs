@@ -1,0 +1,83 @@
+//! A Spark-like workload: Sort jobs run map → shuffle → reduce → result on
+//! a simulated cluster, with and without Swallow's coflow compression.
+//!
+//! ```text
+//! cargo run --release --example spark_shuffle
+//! ```
+
+use swallow_repro::cluster::{ClusterConfig, ClusterSim, JobSpec};
+use swallow_repro::prelude::*;
+
+fn jobs() -> Vec<JobSpec> {
+    // Eight Sort jobs, each shuffling 4 GB, arriving 3 s apart.
+    (0..8)
+        .map(|i| JobSpec::sort_like(i, i as f64 * 3.0, 4.0 * units::GB))
+        .collect()
+}
+
+fn run(compression: Option<Table2>) -> swallow_repro::cluster::ClusterResult {
+    let cfg = ClusterConfig {
+        num_nodes: 12,
+        link_bandwidth: units::gbps(1.0),
+        compression,
+        // Sort compresses to ~25% (Table I).
+        ratio_override: Some(0.25),
+        algorithm: if compression.is_some() {
+            Algorithm::Fvdf
+        } else {
+            Algorithm::Sebf
+        },
+        ..ClusterConfig::default()
+    };
+    ClusterSim::new(cfg).run(&jobs())
+}
+
+fn main() {
+    let with = run(Some(Table2::Lz4));
+    let without = run(None);
+
+    let mut t = Table::new(
+        "Sort jobs on a 12-node cluster (1 Gbps): Swallow (FVDF+LZ4) vs Varys (SEBF)",
+        &["stage", "Varys/SEBF", "Swallow", "improvement"],
+    );
+    type Sel = fn(&swallow_repro::cluster::JobRecord) -> swallow_repro::cluster::StageWindow;
+    let stages: [(&str, Sel); 4] = [
+        ("map", |j| j.map),
+        ("shuffle", |j| j.shuffle),
+        ("reduce", |j| j.reduce),
+        ("result", |j| j.result),
+    ];
+    for (name, sel) in stages {
+        let a = without.avg_stage(sel);
+        let b = with.avg_stage(sel);
+        t.row(&[
+            name.into(),
+            units::human_secs(a),
+            units::human_secs(b),
+            format!("{:.2}x", improvement(a, b)),
+        ]);
+    }
+    t.row(&[
+        "JCT".into(),
+        units::human_secs(without.avg_jct()),
+        units::human_secs(with.avg_jct()),
+        format!("{:.2}x", improvement(without.avg_jct(), with.avg_jct())),
+    ]);
+    println!("{t}");
+
+    let (wire, raw) = with.traffic();
+    println!(
+        "shuffle traffic: {} raw -> {} on the wire ({:.1}% reduction)",
+        units::human_bytes(raw),
+        units::human_bytes(wire),
+        (1.0 - wire / raw) * 100.0
+    );
+    let j = &with.jobs[0];
+    println!(
+        "job 0 GC: map {} / reduce {} (uncompressed run: map {} / reduce {})",
+        units::human_secs(j.gc.map_secs),
+        units::human_secs(j.gc.reduce_secs),
+        units::human_secs(without.jobs[0].gc.map_secs),
+        units::human_secs(without.jobs[0].gc.reduce_secs),
+    );
+}

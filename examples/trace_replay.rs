@@ -1,0 +1,77 @@
+//! Trace round-trip and replay: generate a heavy-tailed trace, persist it to
+//! JSON and CSV, reload, and replay the CSV copy under every scheduling
+//! algorithm.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use swallow_repro::prelude::*;
+
+fn main() {
+    let bandwidth = units::mbps(100.0);
+    let coflows = CoflowGen::new(GenConfig {
+        num_coflows: 20,
+        num_nodes: 12,
+        interarrival: SizeDist::Exp { mean: 2.0 },
+        width: SizeDist::Uniform { lo: 1.0, hi: 5.0 },
+        flow_size: SizeDist::BoundedPareto {
+            lo: 1.0 * units::MB,
+            hi: 1.0 * units::GB,
+            shape: 0.5,
+        },
+        sizing: Sizing::PerCoflow { skew: 0.3 },
+        compressible_fraction: 0.9,
+        seed: 7,
+    })
+    .generate();
+    let trace = Trace::new("replay-demo", 12, coflows);
+    println!(
+        "generated `{}`: {} coflows, {} flows, {}",
+        trace.name,
+        trace.coflows.len(),
+        trace.num_flows(),
+        units::human_bytes(trace.total_bytes())
+    );
+
+    // Round-trip through both formats.
+    let json = trace.to_json();
+    let csv = trace.to_csv();
+    let from_json = Trace::from_json(&json).expect("json parses");
+    let from_csv = Trace::from_csv("replay-demo", &csv).expect("csv parses");
+    assert_eq!(from_json, trace);
+    assert_eq!(from_csv.num_flows(), trace.num_flows());
+    println!(
+        "round-tripped: json {} bytes, csv {} bytes",
+        json.len(),
+        csv.len()
+    );
+
+    // Replay the CSV copy under every algorithm.
+    let fabric = Fabric::uniform(from_csv.num_nodes, bandwidth);
+    let compression: std::sync::Arc<dyn CompressionSpec> =
+        std::sync::Arc::new(ProfiledCompression::constant(Table2::Lz4));
+    let mut t = Table::new(
+        "Replay under every algorithm (100 Mbps)",
+        &["algorithm", "avg FCT", "avg CCT", "makespan"],
+    );
+    for alg in Algorithm::ALL {
+        let mut policy = alg.make();
+        let res = Engine::new(
+            fabric.clone(),
+            from_csv.coflows.clone(),
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_compression(compression.clone()),
+        )
+        .run(policy.as_mut());
+        assert!(res.all_complete(), "{} must drain the trace", alg.name());
+        t.row(&[
+            alg.name().into(),
+            units::human_secs(res.avg_fct()),
+            units::human_secs(res.avg_cct()),
+            units::human_secs(res.makespan),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,74 @@
+//! # swallow-repro
+//!
+//! A from-scratch Rust reproduction of **"Swallow: Joint Online Scheduling
+//! and Coflow Compression in Datacenter Networks"** (Zhou et al., IPPS
+//! 2018). This facade crate re-exports the workspace so downstream users can
+//! depend on one crate:
+//!
+//! * [`fabric`] — big-switch fluid network simulator (ports, coflows, the
+//!   slice-based volume-disposal engine, CPU model);
+//! * [`compress`] — Table II/III compression models, a real LZ77 codec
+//!   (`swz`), entropy estimation and HiBench Table I data synthesis;
+//! * [`workload`] — heavy-tailed coflow trace generation calibrated to the
+//!   paper's Fig. 1, plus trace (de)serialization;
+//! * [`sched`] — FVDF and every baseline (SEBF/Varys, FIFO, PFP/SRTF,
+//!   PFF/FAIR, WSS, SCF, NCF, LCF);
+//! * [`core`] — the Swallow master/worker runtime with the Table IV
+//!   `SwallowContext` API moving real, genuinely compressed bytes;
+//! * [`cluster`] — a Spark-like job/stage model (map → shuffle → reduce →
+//!   result) with GC accounting;
+//! * [`metrics`] — CDFs, percentiles, improvement factors, text tables.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use swallow_repro::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A 12-machine fabric at 100 Mbps.
+//! let fabric = Fabric::uniform(12, units::mbps(100.0));
+//! // A small heavy-tailed trace.
+//! let trace = CoflowGen::new(GenConfig {
+//!     num_coflows: 10,
+//!     num_nodes: 12,
+//!     ..GenConfig::default()
+//! })
+//! .generate();
+//! // FVDF with LZ4 parameters (Table II).
+//! let compression: Arc<dyn CompressionSpec> =
+//!     Arc::new(ProfiledCompression::constant(Table2::Lz4));
+//! let mut policy = FvdfPolicy::new();
+//! let result = Engine::new(
+//!     fabric,
+//!     trace,
+//!     SimConfig::default().with_compression(compression),
+//! )
+//! .run(&mut policy);
+//! assert!(result.all_complete());
+//! assert!(result.traffic_reduction() > 0.0);
+//! ```
+
+pub use swallow_cluster as cluster;
+pub use swallow_compress as compress;
+pub use swallow_core as core;
+pub use swallow_fabric as fabric;
+pub use swallow_metrics as metrics;
+pub use swallow_sched as sched;
+pub use swallow_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use swallow_compress::{CodecProfile, HibenchApp, SizeRatioModel, Table2};
+    pub use swallow_core::{SwallowConfig, SwallowContext, WorkerId};
+    pub use swallow_fabric::view::{CompressionSpec, ConstCompression};
+    pub use swallow_fabric::{
+        units, Coflow, CpuModel, CpuTrace, Engine, Fabric, FlowSpec, Policy, SimConfig,
+        SimResult,
+    };
+    pub use swallow_metrics::{improvement, Cdf, Table};
+    pub use swallow_sched::{
+        Algorithm, CoflowOrder, FvdfConfig, FvdfPolicy, OrderedPolicy, PffPolicy,
+        ProfiledCompression, SrtfPolicy, WssPolicy,
+    };
+    pub use swallow_workload::{CoflowGen, GenConfig, SizeDist, Sizing, Trace};
+}

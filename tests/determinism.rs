@@ -1,0 +1,75 @@
+//! Reproducibility: identical seeds and configurations must produce
+//! byte-identical traces and simulation outcomes — the property that makes
+//! every number in EXPERIMENTS.md regenerable.
+
+use std::sync::Arc;
+use swallow_repro::prelude::*;
+
+fn make_trace(seed: u64) -> Vec<Coflow> {
+    CoflowGen::new(GenConfig {
+        num_coflows: 12,
+        num_nodes: 10,
+        seed,
+        ..GenConfig::default()
+    })
+    .generate()
+}
+
+fn simulate(coflows: &[Coflow], alg: Algorithm) -> SimResult {
+    let comp: Arc<dyn CompressionSpec> = Arc::new(ProfiledCompression::constant(Table2::Lz4));
+    let mut policy = alg.make();
+    // Scale the default Fig. 1 sizes down so this test runs in milliseconds.
+    let scaled: Vec<Coflow> = coflows
+        .iter()
+        .cloned()
+        .map(|mut c| {
+            for f in &mut c.flows {
+                f.size *= 1e-4;
+            }
+            c
+        })
+        .collect();
+    Engine::new(
+        Fabric::uniform(10, units::mbps(100.0)),
+        scaled,
+        SimConfig::default().with_slice(0.01).with_compression(comp),
+    )
+    .run(policy.as_mut())
+}
+
+#[test]
+fn trace_generation_is_pure() {
+    assert_eq!(make_trace(7), make_trace(7));
+    assert_ne!(make_trace(7), make_trace(8));
+}
+
+#[test]
+fn simulation_is_deterministic_per_algorithm() {
+    let trace = make_trace(9);
+    for alg in [Algorithm::Fvdf, Algorithm::Sebf, Algorithm::Wss] {
+        let a = simulate(&trace, alg);
+        let b = simulate(&trace, alg);
+        assert_eq!(
+            serde_json::to_string(&a.flows).unwrap(),
+            serde_json::to_string(&b.flows).unwrap(),
+            "{} is nondeterministic",
+            alg.name()
+        );
+        assert_eq!(a.avg_cct(), b.avg_cct());
+        assert_eq!(a.reschedules, b.reschedules);
+    }
+}
+
+#[test]
+fn trace_serialization_round_trips_through_both_formats() {
+    let coflows = make_trace(13);
+    let trace = Trace::new("det", 10, coflows);
+    let back = Trace::from_json(&trace.to_json()).unwrap();
+    assert_eq!(back, trace);
+    let csv = Trace::from_csv("det", &trace.to_csv()).unwrap();
+    assert_eq!(csv.num_flows(), trace.num_flows());
+    // Replays of the two copies agree.
+    let a = simulate(&back.coflows, Algorithm::Fvdf);
+    let b = simulate(&csv.coflows, Algorithm::Fvdf);
+    assert!((a.avg_cct() - b.avg_cct()).abs() < 1e-9);
+}

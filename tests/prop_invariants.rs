@@ -1,0 +1,127 @@
+//! Property-based invariants over random small traces: whatever the
+//! workload, every scheduler must drain it, respect physics, and account
+//! for every byte.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use swallow_repro::prelude::*;
+
+/// Strategy: a small random trace over a 6-node fabric. Sizes are in units
+/// of "seconds at port capacity" so runtimes stay bounded.
+fn arb_trace() -> impl Strategy<Value = Vec<Coflow>> {
+    // Up to 6 coflows, each up to 4 flows of up to 2 s of data.
+    proptest::collection::vec(
+        (
+            0.0f64..5.0,                                         // arrival
+            proptest::collection::vec(
+                (0u32..6, 0u32..6, 0.01f64..2.0, any::<bool>()), // src,dst,secs,compressible
+                1..4,
+            ),
+        ),
+        1..6,
+    )
+    .prop_map(|coflows| {
+        const BW: f64 = 1_000_000.0;
+        let mut next_flow = 0u64;
+        coflows
+            .into_iter()
+            .enumerate()
+            .map(|(cid, (arrival, flows))| {
+                let mut b = Coflow::builder(cid as u64).arrival(arrival);
+                for (src, dst, secs, compressible) in flows {
+                    let dst = if dst == src { (dst + 1) % 6 } else { dst };
+                    let mut spec = FlowSpec::new(next_flow, src, dst, secs * BW);
+                    next_flow += 1;
+                    if !compressible {
+                        spec = spec.incompressible();
+                    }
+                    b = b.flow(spec);
+                }
+                b.build()
+            })
+            .collect()
+    })
+}
+
+fn run(coflows: Vec<Coflow>, alg: Algorithm, compress: bool) -> SimResult {
+    const BW: f64 = 1_000_000.0;
+    let mut config = SimConfig::default().with_slice(0.01);
+    if compress {
+        let c: Arc<dyn CompressionSpec> = Arc::new(ProfiledCompression::constant(Table2::Lz4));
+        config = config.with_compression(c);
+    }
+    let mut policy = alg.make();
+    Engine::new(Fabric::uniform(6, BW), coflows, config).run(policy.as_mut())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every policy completes every random trace.
+    #[test]
+    fn all_policies_complete(coflows in arb_trace()) {
+        for alg in [Algorithm::Fvdf, Algorithm::Sebf, Algorithm::Fifo,
+                    Algorithm::Srtf, Algorithm::Pff, Algorithm::Wss] {
+            let res = run(coflows.clone(), alg, true);
+            prop_assert!(res.all_complete(), "{} stalled", alg.name());
+        }
+    }
+
+    /// Completion times never precede arrivals, and CCT equals the max
+    /// member FCT.
+    #[test]
+    fn cct_is_max_fct(coflows in arb_trace()) {
+        let res = run(coflows, Algorithm::Fvdf, true);
+        for c in &res.coflows {
+            let t = c.completed_at.unwrap();
+            prop_assert!(t >= c.arrival);
+            let max_flow = res.flows.iter()
+                .filter(|f| f.coflow == c.id)
+                .filter_map(|f| f.completed_at)
+                .fold(0.0f64, f64::max);
+            prop_assert!((t - max_flow).abs() < 1e-9);
+        }
+    }
+
+    /// Byte accounting: without compression, wire bytes equal raw bytes;
+    /// with compression, wire bytes never exceed raw bytes and
+    /// incompressible flows ship in full.
+    #[test]
+    fn byte_accounting(coflows in arb_trace()) {
+        let plain = run(coflows.clone(), Algorithm::Sebf, false);
+        prop_assert!((plain.total_wire_bytes() - plain.total_raw_bytes()).abs()
+            < plain.total_raw_bytes() * 1e-9 + 1.0);
+        let squeezed = run(coflows, Algorithm::Fvdf, true);
+        prop_assert!(squeezed.total_wire_bytes() <= squeezed.total_raw_bytes() + 1.0);
+        for f in &squeezed.flows {
+            if !f.compressed_input.is_nan() && f.compressed_input == 0.0 {
+                prop_assert!((f.wire_bytes - f.size).abs() < 1.0,
+                    "uncompressed flow must ship all bytes");
+            }
+        }
+    }
+
+    /// Physics: no flow finishes before its wire bytes could cross the
+    /// narrower of its two ports.
+    #[test]
+    fn no_flow_beats_line_rate(coflows in arb_trace()) {
+        const BW: f64 = 1_000_000.0;
+        for alg in [Algorithm::Fvdf, Algorithm::Srtf] {
+            let res = run(coflows.clone(), alg, true);
+            for f in &res.flows {
+                let fct = f.fct().unwrap();
+                prop_assert!(fct + 0.05 >= f.wire_bytes / BW,
+                    "{}: flow {} too fast", alg.name(), f.id);
+            }
+        }
+    }
+
+    /// Monotonicity of compression: enabling it never increases total
+    /// traffic.
+    #[test]
+    fn compression_never_inflates_traffic(coflows in arb_trace()) {
+        let with = run(coflows.clone(), Algorithm::Fvdf, true);
+        let without = run(coflows, Algorithm::FvdfNoCompression, true);
+        prop_assert!(with.total_wire_bytes() <= without.total_wire_bytes() + 1.0);
+    }
+}

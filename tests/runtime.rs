@@ -1,0 +1,133 @@
+//! Integration tests of the Swallow runtime (`swallow-core`) under
+//! concurrency: many coflows, many worker threads, mixed payloads.
+
+use std::time::Duration;
+use swallow_repro::compress::apps::synthesize_with_ratio;
+use swallow_repro::core::{SwallowConfig, SwallowContext, WorkerId};
+
+fn config() -> SwallowConfig {
+    SwallowConfig {
+        link_bandwidth: 25e6,
+        heartbeat: 0.01,
+        ..SwallowConfig::default()
+    }
+}
+
+#[test]
+fn concurrent_coflows_from_many_threads() {
+    let ctx = SwallowContext::new(config(), 6);
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let ctx = ctx.clone();
+        handles.push(std::thread::spawn(move || {
+            let src = WorkerId((t % 3) as u32);
+            let dst = WorkerId(3 + (t % 3) as u32);
+            let payload = synthesize_with_ratio(0.4, 120_000, t);
+            let block = ctx.stage(src, dst, payload.clone());
+            let info = ctx.aggregate(ctx.hook(src).into_iter().filter(|f| f.block == block).collect());
+            let coflow = ctx.add(info);
+            let sched = ctx.scheduling(&[coflow]);
+            ctx.alloc(&sched);
+            let report = ctx.push(coflow, block).expect("push");
+            let data = ctx.pull(coflow, block).expect("pull");
+            assert_eq!(&data[..], &payload[..]);
+            assert!(ctx.is_complete(coflow));
+            ctx.remove(coflow);
+            report.compressed
+        }));
+    }
+    let compressed: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // At 25 MB/s the LZ4 gate holds, so all compressible payloads compress.
+    assert!(compressed.iter().all(|&c| c));
+    ctx.shutdown();
+}
+
+#[test]
+fn shuffle_pattern_all_to_all() {
+    let ctx = SwallowContext::new(config(), 4);
+    // 2 mappers × 2 reducers.
+    let mut blocks = Vec::new();
+    for m in 0..2u32 {
+        for r in 0..2u32 {
+            let payload = synthesize_with_ratio(0.5, 60_000, (m * 2 + r) as u64);
+            blocks.push(ctx.stage(WorkerId(m), WorkerId(2 + r), payload));
+        }
+    }
+    let mut infos = ctx.hook(WorkerId(0));
+    infos.extend(ctx.hook(WorkerId(1)));
+    assert_eq!(infos.len(), 4);
+    let coflow = ctx.add(ctx.aggregate(infos));
+    let sched = ctx.scheduling(&[coflow]);
+    assert_eq!(sched.order.len(), 1);
+    ctx.alloc(&sched);
+
+    // Pushers and pullers run concurrently (time-decoupled, §III-B).
+    let pushers: Vec<_> = blocks
+        .iter()
+        .map(|&b| {
+            let ctx = ctx.clone();
+            std::thread::spawn(move || ctx.push(coflow, b).expect("push"))
+        })
+        .collect();
+    let pullers: Vec<_> = blocks
+        .iter()
+        .map(|&b| {
+            let ctx = ctx.clone();
+            std::thread::spawn(move || ctx.pull(coflow, b).expect("pull").len())
+        })
+        .collect();
+    for p in pushers {
+        p.join().unwrap();
+    }
+    for p in pullers {
+        assert_eq!(p.join().unwrap(), 60_000);
+    }
+    assert!(ctx.is_complete(coflow));
+    let (wire, raw) = ctx.traffic();
+    assert_eq!(raw, 240_000);
+    assert!(wire < raw);
+    ctx.shutdown();
+}
+
+#[test]
+fn heartbeats_flow_during_transfers() {
+    let ctx = SwallowContext::new(config(), 3);
+    std::thread::sleep(Duration::from_millis(50));
+    let status = ctx.cluster_status();
+    assert_eq!(status.len(), 3);
+    assert!(status.iter().all(|(_, util)| (0.0..=1.0).contains(util)));
+    ctx.shutdown();
+}
+
+#[test]
+fn mixed_compressible_and_incompressible_blocks() {
+    let ctx = SwallowContext::new(config(), 2);
+    let compressible = synthesize_with_ratio(0.3, 80_000, 1);
+    let incompressible = synthesize_with_ratio(1.0, 80_000, 2);
+    let b1 = ctx.stage(WorkerId(0), WorkerId(1), compressible);
+    let b2 = ctx.stage(WorkerId(0), WorkerId(1), incompressible);
+    let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
+    let sched = ctx.scheduling(&[coflow]);
+    ctx.alloc(&sched);
+    let r1 = ctx.push(coflow, b1).unwrap();
+    let r2 = ctx.push(coflow, b2).unwrap();
+    assert!(r1.compressed, "compressible block should compress");
+    assert!(!r2.compressed, "high-entropy block must ship raw");
+    assert_eq!(r2.wire_bytes, r2.raw_bytes);
+    ctx.shutdown();
+}
+
+#[test]
+fn remove_releases_blocks_mid_flight() {
+    let ctx = SwallowContext::new(config(), 2);
+    let payload = synthesize_with_ratio(0.4, 50_000, 3);
+    let b = ctx.stage(WorkerId(0), WorkerId(1), payload);
+    let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
+    ctx.push(coflow, b).unwrap();
+    assert!(ctx.pull(coflow, b).is_ok());
+    ctx.remove(coflow);
+    assert!(ctx
+        .pull_timeout(coflow, b, Duration::from_millis(20))
+        .is_err());
+    ctx.shutdown();
+}
