@@ -12,11 +12,7 @@ use swallow_fabric::view::CompressionSpec;
 use swallow_fabric::{units, Engine, SimConfig};
 use swallow_sched::{FvdfConfig, FvdfPolicy, ProfiledCompression};
 
-fn sim(
-    config: FvdfConfig,
-    compression: Arc<dyn CompressionSpec>,
-    reschedule: Reschedule,
-) -> f64 {
+fn sim(config: FvdfConfig, compression: Arc<dyn CompressionSpec>, reschedule: Reschedule) -> f64 {
     let bw = units::mbps(200.0);
     let fabric = std_fabric(StdScale::Small, bw);
     let trace = std_trace(StdScale::Small, bw, 0xAB1);

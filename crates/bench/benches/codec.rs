@@ -13,11 +13,9 @@ fn bench_compress(c: &mut Criterion) {
         for &size in &[64 * 1024usize, 1024 * 1024] {
             let data = synthesize_with_ratio(ratio, size, 0xBE);
             group.throughput(Throughput::Bytes(size as u64));
-            group.bench_with_input(
-                BenchmarkId::new(label, size),
-                &data,
-                |b, data| b.iter(|| compress(std::hint::black_box(data))),
-            );
+            group.bench_with_input(BenchmarkId::new(label, size), &data, |b, data| {
+                b.iter(|| compress(std::hint::black_box(data)))
+            });
         }
     }
     group.finish();

@@ -2,8 +2,10 @@
 //! per scheduling algorithm and per slice length (the Fig. 7(c) cost axis).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use swallow_bench::scenario::{lz4, run_algorithm, std_fabric, std_trace, StdScale};
-use swallow_fabric::units;
+use swallow_bench::scenario::{
+    self, lz4, run_algorithm, run_algorithm_skip, std_fabric, std_trace, StdScale,
+};
+use swallow_fabric::{units, Fabric};
 use swallow_sched::Algorithm;
 
 fn bench_algorithms(c: &mut Criterion) {
@@ -42,13 +44,46 @@ fn bench_slice_length(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for &slice in &[0.005, 0.01, 0.1, 1.0] {
         group.bench_function(BenchmarkId::new("slice", format!("{slice}s")), |b| {
+            b.iter(|| run_algorithm(Algorithm::Fvdf, &fabric, &trace, Some(lz4()), slice).avg_cct())
+        });
+    }
+    group.finish();
+}
+
+/// The canonical Fig. 6(a) trace replay, with and without the quiescent
+/// skip-ahead — the same comparison `paper bench-engine` records in
+/// `BENCH_engine.json`, under criterion's statistics.
+fn bench_fig6_replay(c: &mut Criterion) {
+    let bw = units::mbps(400.0);
+    let trace = scenario::fig6_trace(bw, 80, 4.0, 0x6A);
+    let fabric = Fabric::uniform(trace.num_nodes, bw);
+    let mut group = c.benchmark_group("engine_fig6_replay");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for (label, skip) in [("skip_ahead", true), ("naive_slices", false)] {
+        group.bench_function(BenchmarkId::new("loop", label), |b| {
             b.iter(|| {
-                run_algorithm(Algorithm::Fvdf, &fabric, &trace, Some(lz4()), slice).avg_cct()
+                let res = run_algorithm_skip(
+                    Algorithm::Fvdf,
+                    &fabric,
+                    &trace.coflows,
+                    Some(lz4()),
+                    0.01,
+                    skip,
+                );
+                assert!(res.all_complete());
+                res.makespan
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithms, bench_slice_length);
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_slice_length,
+    bench_fig6_replay
+);
 criterion_main!(benches);

@@ -88,7 +88,13 @@ fn evaluate(coflows: &[Coflow]) -> (f64, Vec<(Algorithm, f64, f64)>) {
 }
 
 fn main() {
-    type Candidate = (f64, [u32; 3], [u32; 2], [u32; 2], Vec<(Algorithm, f64, f64)>);
+    type Candidate = (
+        f64,
+        [u32; 3],
+        [u32; 2],
+        [u32; 2],
+        Vec<(Algorithm, f64, f64)>,
+    );
     let mut best: Option<Candidate> = None;
     for c1_dst in permutations3() {
         for c2_src in pairs3() {
@@ -103,7 +109,10 @@ fn main() {
     }
     let (score, c1_dst, c2_src, c2_dst, rows) = best.expect("search space non-empty");
     println!("best total |error| = {score:.3}");
-    println!("C1: (0→{}, 4u) (1→{}, 4u) (2→{}, 2u)", c1_dst[0], c1_dst[1], c1_dst[2]);
+    println!(
+        "C1: (0→{}, 4u) (1→{}, 4u) (2→{}, 2u)",
+        c1_dst[0], c1_dst[1], c1_dst[2]
+    );
     println!(
         "C2: ({}→{}, 2u) ({}→{}, 3u)",
         c2_src[0], c2_dst[0], c2_src[1], c2_dst[1]

@@ -1,0 +1,124 @@
+//! `paper bench-engine` — wall-clock benchmark of the engine fast path.
+//!
+//! Replays the canonical Fig. 6(a) trace (80 coflows × 4 flows over 24
+//! nodes at 400 Mbps, FVDF + LZ4, δ = 10 ms) twice: once with the
+//! quiescent skip-ahead enabled (the default) and once forced through the
+//! naive slice-by-slice loop. Both runs must produce bit-identical
+//! `SimResult`s; the speedup and the equivalence verdict are printed and
+//! recorded in `BENCH_engine.json` in the working directory.
+
+use std::time::Instant;
+
+use crate::scenario::{self, run_algorithm_skip, DEFAULT_SLICE};
+use swallow_fabric::{units, Fabric, SimResult};
+use swallow_sched::Algorithm;
+
+/// Repetitions per variant; the minimum wall-clock is reported.
+const REPS: usize = 3;
+
+fn timed(reps: usize, mut f: impl FnMut() -> SimResult) -> (f64, SimResult) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let res = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(res);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// Run the benchmark and write `BENCH_engine.json`.
+pub fn run() {
+    let bw = units::mbps(400.0);
+    let trace = scenario::fig6_trace(bw, 80, 4.0, 0x6A);
+    let fabric = Fabric::uniform(trace.num_nodes, bw);
+    let comp = scenario::lz4();
+    let mut run_with = |skip: bool| {
+        run_algorithm_skip(
+            Algorithm::Fvdf,
+            &fabric,
+            &trace.coflows,
+            Some(comp.clone()),
+            DEFAULT_SLICE,
+            skip,
+        )
+    };
+
+    // Warm up caches/allocator before timing either variant.
+    let _ = run_with(true);
+    let (fast_secs, fast) = timed(REPS, || run_with(true));
+    let (baseline_secs, baseline) = timed(REPS, || run_with(false));
+
+    let identical = fast.flows == baseline.flows
+        && fast.coflows == baseline.coflows
+        && fast.makespan.to_bits() == baseline.makespan.to_bits();
+    let speedup = baseline_secs / fast_secs;
+
+    println!("engine wall-clock — fig6 trace (80 coflows, 24 nodes, FVDF+LZ4, δ=10 ms)");
+    println!(
+        "  naive slice loop : {:.4} s (best of {REPS})",
+        baseline_secs
+    );
+    println!("  skip-ahead       : {:.4} s (best of {REPS})", fast_secs);
+    println!("  speedup          : {:.2}x", speedup);
+    println!(
+        "  outputs identical: {} (makespan {:.6} s, {} flows, {} coflows)",
+        identical,
+        fast.makespan,
+        fast.flows.len(),
+        fast.coflows.len()
+    );
+    assert!(identical, "skip-ahead diverged from the naive slice loop");
+
+    let json = serde_json::json!({
+        "benchmark": "engine trace replay",
+        "trace": "fig6_trace(400 Mbps, 80 coflows, width 4, seed 0x6A)",
+        "policy": "fvdf",
+        "compression": "lz4",
+        "slice_secs": DEFAULT_SLICE,
+        "reps": REPS,
+        "baseline_secs": baseline_secs,
+        "fast_secs": fast_secs,
+        "speedup": speedup,
+        "outputs_identical": identical,
+        "makespan_secs": fast.makespan,
+        "reschedules_fast": fast.reschedules,
+        "reschedules_baseline": baseline.reschedules,
+    });
+    let path = "BENCH_engine.json";
+    std::fs::write(path, format!("{:#}\n", json)).expect("write BENCH_engine.json");
+    println!("  wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_and_naive_replays_agree_on_a_small_trace() {
+        let bw = units::mbps(400.0);
+        let trace = scenario::fig6_trace(bw, 12, 3.0, 0x6A);
+        let fabric = Fabric::uniform(trace.num_nodes, bw);
+        let run = |skip: bool| {
+            run_algorithm_skip(
+                Algorithm::Fvdf,
+                &fabric,
+                &trace.coflows,
+                Some(scenario::lz4()),
+                DEFAULT_SLICE,
+                skip,
+            )
+        };
+        let fast = run(true);
+        let naive = run(false);
+        assert!(fast.all_complete());
+        assert_eq!(fast.flows, naive.flows);
+        assert_eq!(fast.coflows, naive.coflows);
+        assert_eq!(fast.makespan.to_bits(), naive.makespan.to_bits());
+        assert!(
+            fast.reschedules <= naive.reschedules,
+            "skip-ahead should never reschedule more often"
+        );
+    }
+}

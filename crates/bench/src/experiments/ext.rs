@@ -40,7 +40,13 @@ fn trace(bw: f64, seed: u64) -> Vec<swallow_fabric::Coflow> {
 pub fn ext_codec_selection() {
     let mut t = Table::new(
         "Ext 1 — codec selection (argmin 1/R + ξ/B) vs fixed LZ4 under FVDF",
-        &["bandwidth", "chosen codec", "adaptive avg CCT", "LZ4 avg CCT", "gain"],
+        &[
+            "bandwidth",
+            "chosen codec",
+            "adaptive avg CCT",
+            "LZ4 avg CCT",
+            "gain",
+        ],
     );
     for (label, bw) in [
         ("100 Mbps", units::mbps(100.0)),
@@ -84,7 +90,12 @@ pub fn ext_codec_selection() {
 pub fn ext_decompression() {
     let mut t = Table::new(
         "Ext 2 — cost of modelling decompression (paper omits it, §IV-A1)",
-        &["codec", "avg CCT (omitted)", "avg CCT (modelled)", "inflation"],
+        &[
+            "codec",
+            "avg CCT (omitted)",
+            "avg CCT (modelled)",
+            "inflation",
+        ],
     );
     let bw = units::mbps(400.0);
     let coflows = trace(bw, 0xE2);
@@ -200,7 +211,11 @@ mod tests {
         let bound = avg_cct_bound(&coflows, &fabric, 1.0);
         for alg in [Algorithm::Sebf, Algorithm::Pff, Algorithm::Srtf] {
             let res = run_algorithm(alg, &fabric, &coflows, None, DEFAULT_SLICE);
-            assert!(res.avg_cct() + 1e-9 >= bound, "{} beat the bound", alg.name());
+            assert!(
+                res.avg_cct() + 1e-9 >= bound,
+                "{} beat the bound",
+                alg.name()
+            );
         }
     }
 }

@@ -78,7 +78,11 @@ mod tests {
     #[test]
     fn marginals_match_paper() {
         let r = compute(100_000, 42);
-        assert!((r.flows_below_10gb - 0.8949).abs() < 0.02, "{}", r.flows_below_10gb);
+        assert!(
+            (r.flows_below_10gb - 0.8949).abs() < 0.02,
+            "{}",
+            r.flows_below_10gb
+        );
         assert!(r.bytes_above_10gb > 0.9303, "{}", r.bytes_above_10gb);
     }
 

@@ -21,9 +21,7 @@
 
 use std::sync::Arc;
 use swallow_fabric::view::ConstCompression;
-use swallow_fabric::{
-    Coflow, CpuModel, CpuTrace, Engine, Fabric, FlowSpec, Policy, SimConfig,
-};
+use swallow_fabric::{Coflow, CpuModel, CpuTrace, Engine, Fabric, FlowSpec, Policy, SimConfig};
 use swallow_metrics::Table;
 use swallow_sched::{Algorithm, FvdfPolicy};
 
@@ -55,12 +53,7 @@ pub fn motivation_coflows() -> Vec<Coflow> {
 /// The Fig. 4(f) CPU availability: idle (free for compression) during
 /// `[0, 1)` and `[3, 3.5)`, busy otherwise.
 pub fn fig4_cpu() -> CpuModel {
-    let trace = CpuTrace::from_points(vec![
-        (0.0, 0.0),
-        (1.0, 1.0),
-        (3.0, 0.0),
-        (3.5, 1.0),
-    ]);
+    let trace = CpuTrace::from_points(vec![(0.0, 0.0), (1.0, 1.0), (3.0, 0.0), (3.5, 1.0)]);
     CpuModel::uniform(3, 1, trace)
 }
 
@@ -101,7 +94,13 @@ pub fn run_one(name: &str) -> (f64, f64) {
 pub fn run() {
     let mut t = Table::new(
         "Fig 4 — motivation example, 3×3 fabric (time units)",
-        &["algorithm", "paper FCT", "measured FCT", "paper CCT", "measured CCT"],
+        &[
+            "algorithm",
+            "paper FCT",
+            "measured FCT",
+            "paper CCT",
+            "measured CCT",
+        ],
     );
     for (name, p_fct, p_cct) in PAPER {
         let (fct, cct) = run_one(name);

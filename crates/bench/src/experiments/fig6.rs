@@ -13,29 +13,16 @@
 //!   network; plus Table VI absolute numbers.
 //! * (f) improvement over SEBF for each compression format of Table II.
 
-use crate::scenario::{
-    self, bandwidth_ladder, codec_spec, run_algorithm, scaled_fig1, DEFAULT_SLICE,
-};
+use crate::parallel::parallel_map;
+use crate::scenario::{self, bandwidth_ladder, codec_spec, run_algorithm, DEFAULT_SLICE};
 use swallow_compress::Table2;
 use swallow_fabric::{units, Fabric, SimResult};
 use swallow_metrics::{improvement, Cdf, Table};
 use swallow_sched::Algorithm;
-use swallow_workload::gen::{CoflowGen, GenConfig, Sizing};
-use swallow_workload::{SizeDist, Trace};
+use swallow_workload::Trace;
 
 fn flow_trace(bw: f64, num_coflows: usize, width: f64, seed: u64) -> Trace {
-    let coflows = CoflowGen::new(GenConfig {
-        num_coflows,
-        num_nodes: 24,
-        interarrival: SizeDist::Exp { mean: 1.0 },
-        width: SizeDist::Constant(width),
-        flow_size: scaled_fig1(bw),
-        sizing: Sizing::PerCoflow { skew: 0.3 },
-        compressible_fraction: 1.0,
-        seed,
-    })
-    .generate();
-    Trace::new("fig6", 24, coflows)
+    scenario::fig6_trace(bw, num_coflows, width, seed)
 }
 
 fn fct_of(alg: Algorithm, trace: &Trace, bw: f64) -> SimResult {
@@ -58,17 +45,32 @@ pub fn fig6a() {
         "Fig 6(a) — avg-FCT improvement of FVDF (paper: up to 1.31x/4.22x/4.33x over SRTF/FIFO/FAIR)",
         &["trace", "vs SRTF", "vs FIFO", "vs FAIR"],
     );
-    for (label, frac) in [("all flows", 1.0), ("97% flows", 0.97), ("95% flows", 0.95)] {
-        let trace = full.retain_top_fraction(frac);
-        let fvdf = fct_of(Algorithm::Fvdf, &trace, bw).avg_fct();
-        let srtf = fct_of(Algorithm::Srtf, &trace, bw).avg_fct();
-        let fifo = fct_of(Algorithm::Fifo, &trace, bw).avg_fct();
-        let fair = fct_of(Algorithm::Pff, &trace, bw).avg_fct();
+    let variants: Vec<(&str, Trace)> =
+        [("all flows", 1.0), ("97% flows", 0.97), ("95% flows", 0.95)]
+            .into_iter()
+            .map(|(label, frac)| (label, full.retain_top_fraction(frac)))
+            .collect();
+    let algs = [
+        Algorithm::Fvdf,
+        Algorithm::Srtf,
+        Algorithm::Fifo,
+        Algorithm::Pff,
+    ];
+    // All variant × algorithm cells are independent: fan them out.
+    let cells: Vec<(usize, Algorithm)> = (0..variants.len())
+        .flat_map(|vi| algs.iter().map(move |&a| (vi, a)))
+        .collect();
+    let fcts = parallel_map(cells, |(vi, alg)| {
+        fct_of(alg, &variants[vi].1, bw).avg_fct()
+    });
+    for (vi, (label, _)) in variants.iter().enumerate() {
+        let row = &fcts[vi * algs.len()..(vi + 1) * algs.len()];
+        let fvdf = row[0];
         t.row(&[
-            label.into(),
-            format!("{:.2}x", improvement(srtf, fvdf)),
-            format!("{:.2}x", improvement(fifo, fvdf)),
-            format!("{:.2}x", improvement(fair, fvdf)),
+            (*label).into(),
+            format!("{:.2}x", improvement(row[1], fvdf)),
+            format!("{:.2}x", improvement(row[2], fvdf)),
+            format!("{:.2}x", improvement(row[3], fvdf)),
         ]);
     }
     println!("{t}");
@@ -90,15 +92,15 @@ pub fn fig6b() {
             2
         }
     };
-    let runs: Vec<(Algorithm, SimResult)> = [
-        Algorithm::Fvdf,
-        Algorithm::Srtf,
-        Algorithm::Fifo,
-        Algorithm::Pff,
-    ]
-    .iter()
-    .map(|&a| (a, fct_of(a, &trace, bw)))
-    .collect();
+    let runs: Vec<(Algorithm, SimResult)> = parallel_map(
+        vec![
+            Algorithm::Fvdf,
+            Algorithm::Srtf,
+            Algorithm::Fifo,
+            Algorithm::Pff,
+        ],
+        |a| (a, fct_of(a, &trace, bw)),
+    );
     let mut t = Table::new(
         "Fig 6(b) — avg-FCT improvement of FVDF by flow size class (paper: largest gains on large flows vs FIFO/FAIR)",
         &["size class", "vs SRTF", "vs FIFO", "vs FAIR"],
@@ -131,17 +133,28 @@ pub fn fig6c() {
         "Fig 6(c) — avg-FCT improvement of FVDF vs number of parallel flows (paper: FVDF wins at all three magnitudes)",
         &["parallel flows", "vs SRTF", "vs FIFO", "vs FAIR"],
     );
-    for (coflows, width) in [(40usize, 2.0), (40, 5.0), (40, 10.0)] {
-        let trace = flow_trace(bw, coflows, width, 0x6C);
-        let fvdf = fct_of(Algorithm::Fvdf, &trace, bw).avg_fct();
-        let srtf = fct_of(Algorithm::Srtf, &trace, bw).avg_fct();
-        let fifo = fct_of(Algorithm::Fifo, &trace, bw).avg_fct();
-        let fair = fct_of(Algorithm::Pff, &trace, bw).avg_fct();
+    let shapes = [(40usize, 2.0), (40, 5.0), (40, 10.0)];
+    let traces: Vec<Trace> = shapes
+        .iter()
+        .map(|&(coflows, width)| flow_trace(bw, coflows, width, 0x6C))
+        .collect();
+    let algs = [
+        Algorithm::Fvdf,
+        Algorithm::Srtf,
+        Algorithm::Fifo,
+        Algorithm::Pff,
+    ];
+    let cells: Vec<(usize, Algorithm)> = (0..traces.len())
+        .flat_map(|ti| algs.iter().map(move |&a| (ti, a)))
+        .collect();
+    let fcts = parallel_map(cells, |(ti, alg)| fct_of(alg, &traces[ti], bw).avg_fct());
+    for (ti, (coflows, width)) in shapes.iter().enumerate() {
+        let row = &fcts[ti * algs.len()..(ti + 1) * algs.len()];
         t.row(&[
-            format!("{}", coflows * width as usize),
-            format!("{:.2}x", improvement(srtf, fvdf)),
-            format!("{:.2}x", improvement(fifo, fvdf)),
-            format!("{:.2}x", improvement(fair, fvdf)),
+            format!("{}", coflows * *width as usize),
+            format!("{:.2}x", improvement(row[1], row[0])),
+            format!("{:.2}x", improvement(row[2], row[0])),
+            format!("{:.2}x", improvement(row[3], row[0])),
         ]);
     }
     println!("{t}");
@@ -155,15 +168,19 @@ pub fn fig6d() {
         "Fig 6(d) — CDF of FCT (paper: SRTF leads early, FVDF wins the tail; 24.67% accumulated time saved)",
         &["quantile", "FVDF", "SRTF", "FIFO", "FAIR"],
     );
-    let runs: Vec<(Algorithm, Cdf)> = [
-        Algorithm::Fvdf,
-        Algorithm::Srtf,
-        Algorithm::Fifo,
-        Algorithm::Pff,
-    ]
-    .iter()
-    .map(|&a| (a, Cdf::new(fct_of(a, &trace, bw).fct_values())))
-    .collect();
+    let results: Vec<(Algorithm, SimResult)> = parallel_map(
+        vec![
+            Algorithm::Fvdf,
+            Algorithm::Srtf,
+            Algorithm::Fifo,
+            Algorithm::Pff,
+        ],
+        |a| (a, fct_of(a, &trace, bw)),
+    );
+    let runs: Vec<(Algorithm, Cdf)> = results
+        .iter()
+        .map(|(a, res)| (*a, Cdf::new(res.fct_values())))
+        .collect();
     for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
         let mut row = vec![format!("p{:.0}", q * 100.0)];
         for (_, cdf) in &runs {
@@ -172,8 +189,15 @@ pub fn fig6d() {
         t.row(&row);
     }
     println!("{t}");
-    // Accumulated (total) completion time saved by FVDF vs SRTF.
-    let total = |alg: Algorithm| -> f64 { fct_of(alg, &trace, bw).fct_values().iter().sum() };
+    // Accumulated (total) completion time saved by FVDF vs SRTF (reusing
+    // the runs above — identical results, the engine is deterministic).
+    let total = |alg: Algorithm| -> f64 {
+        results
+            .iter()
+            .find(|(a, _)| *a == alg)
+            .map(|(_, res)| res.fct_values().iter().sum())
+            .unwrap_or(f64::NAN)
+    };
     let fvdf = total(Algorithm::Fvdf);
     let srtf = total(Algorithm::Srtf);
     println!(
@@ -199,13 +223,23 @@ pub fn fig6e() {
         &["bandwidth", "vs SEBF", "vs SCF", "vs NCF", "vs LCF", "vs PFF", "vs PFP"],
     );
     let mut table6_rows: Vec<(String, Vec<f64>)> = Vec::new();
-    for (label, bw) in bandwidth_ladder() {
-        let trace = flow_trace(bw, 60, 4.0, 0x6E);
-        let ccts: Vec<f64> = algs
-            .iter()
-            .map(|&a| fct_of(a, &trace, bw).avg_cct())
-            .collect();
+    // 5 bandwidths × 7 algorithms = 35 independent runs: the whole grid
+    // fans out at once.
+    let ladder = bandwidth_ladder();
+    let traces: Vec<Trace> = ladder
+        .iter()
+        .map(|&(_, bw)| flow_trace(bw, 60, 4.0, 0x6E))
+        .collect();
+    let cells: Vec<(usize, Algorithm)> = (0..ladder.len())
+        .flat_map(|bi| algs.iter().map(move |&a| (bi, a)))
+        .collect();
+    let all_ccts = parallel_map(cells, |(bi, alg)| {
+        fct_of(alg, &traces[bi], ladder[bi].1).avg_cct()
+    });
+    for (bi, (label, _)) in ladder.iter().enumerate() {
+        let ccts: Vec<f64> = all_ccts[bi * algs.len()..(bi + 1) * algs.len()].to_vec();
         let fvdf = ccts[0];
+        let label = label.clone();
         t.row(&[
             label.clone(),
             format!("{:.2}x", improvement(ccts[1], fvdf)),
@@ -240,19 +274,32 @@ pub fn fig6f() {
     let bw = units::mbps(400.0);
     let trace = flow_trace(bw, 60, 4.0, 0x6F);
     let fabric = Fabric::uniform(trace.num_nodes, bw);
-    let sebf = run_algorithm(Algorithm::Sebf, &fabric, &trace.coflows, None, DEFAULT_SLICE);
     let mut t = Table::new(
         "Fig 6(f) — FVDF improvement over SEBF per codec (paper: FVDF exceeds SEBF under every format)",
         &["codec", "FVDF avg CCT", "SEBF avg CCT", "improvement"],
     );
-    for codec in Table2::ALL {
-        let res = run_algorithm(
+    // The SEBF baseline and one FVDF run per codec, all independent.
+    let cells: Vec<Option<Table2>> = std::iter::once(None)
+        .chain(Table2::ALL.into_iter().map(Some))
+        .collect();
+    let results = parallel_map(cells, |cell| match cell {
+        None => run_algorithm(
+            Algorithm::Sebf,
+            &fabric,
+            &trace.coflows,
+            None,
+            DEFAULT_SLICE,
+        ),
+        Some(codec) => run_algorithm(
             Algorithm::Fvdf,
             &fabric,
             &trace.coflows,
             Some(codec_spec(codec)),
             DEFAULT_SLICE,
-        );
+        ),
+    });
+    let sebf = &results[0];
+    for (codec, res) in Table2::ALL.into_iter().zip(&results[1..]) {
         t.row(&[
             codec.profile().name.clone(),
             units::human_secs(res.avg_cct()),

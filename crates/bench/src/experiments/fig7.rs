@@ -136,22 +136,25 @@ pub fn fig7c() {
         "Fig 7(c) — CCT vs slice length (paper: CCT grows with slice; Swallow defaults to 0.01 s)",
         &["slice", "avg CCT", "p50 CCT", "p90 CCT", "done by deadline"],
     );
-    // Deadline: twice the 10 ms run's median completion time.
-    let mut deadline = 0.0;
-    for &slice in &slices {
-        let res = run_algorithm(
+    // One independent run per slice length, fanned out; the deadline is
+    // twice the 10 ms run's median completion time, derived afterwards.
+    let results = crate::parallel::parallel_map(slices.to_vec(), |slice| {
+        run_algorithm(
             Algorithm::Fvdf,
             &fabric,
             &coflows,
             Some(scenario::lz4()),
             slice,
-        );
+        )
+    });
+    let mut deadline = 0.0;
+    for (slice, res) in slices.iter().zip(&results) {
         let cdf = Cdf::new(res.cct_values());
         if deadline == 0.0 {
             deadline = cdf.quantile(0.5) * 2.0;
         }
         t.row(&[
-            units::human_secs(slice),
+            units::human_secs(*slice),
             units::human_secs(res.avg_cct()),
             units::human_secs(cdf.quantile(0.5)),
             units::human_secs(cdf.quantile(0.9)),
@@ -198,13 +201,25 @@ mod tests {
             width: SizeDist::Constant(3.0),
             flow_size: scaled_fig1(bw),
             sizing: Sizing::PerCoflow { skew: 0.3 },
-        compressible_fraction: 1.0,
+            compressible_fraction: 1.0,
             seed: 9,
         })
         .generate();
         let fabric = Fabric::uniform(12, bw);
-        let short = run_algorithm(Algorithm::Fvdf, &fabric, &coflows, Some(scenario::lz4()), 0.01);
-        let long = run_algorithm(Algorithm::Fvdf, &fabric, &coflows, Some(scenario::lz4()), 1.0);
+        let short = run_algorithm(
+            Algorithm::Fvdf,
+            &fabric,
+            &coflows,
+            Some(scenario::lz4()),
+            0.01,
+        );
+        let long = run_algorithm(
+            Algorithm::Fvdf,
+            &fabric,
+            &coflows,
+            Some(scenario::lz4()),
+            1.0,
+        );
         assert!(short.all_complete() && long.all_complete());
         assert!(
             long.avg_cct() >= short.avg_cct() * 0.98,

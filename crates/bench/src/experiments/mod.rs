@@ -1,6 +1,7 @@
 //! One module per paper artifact. Every `run()` prints the measured values
 //! next to the paper-reported ones.
 
+pub mod bench_engine;
 pub mod ext;
 pub mod fig1;
 pub mod fig2;

@@ -12,6 +12,8 @@
 //! reproduction target. See `EXPERIMENTS.md` for the recorded comparison.
 
 pub mod experiments;
+pub mod parallel;
 pub mod scenario;
 
+pub use parallel::parallel_map;
 pub use scenario::{std_fabric, std_trace, StdScale};

@@ -6,20 +6,23 @@
 //!
 //!   fig1  fig2  fig4  fig6a fig6b fig6c fig6d fig6e fig6f
 //!   fig7a fig7b fig7c table1 table2 table3 table5 table8
+//!   bench-engine — engine wall-clock benchmark (writes BENCH_engine.json)
 //!   all   — everything in paper order
 //! ```
 //!
 //! (`table6` is printed by `fig6e`, `table7` by `fig7b`.)
 
-use swallow_bench::experiments::{ext, fig1, fig2, fig4, fig6, fig7, tables};
+use swallow_bench::experiments::{bench_engine, ext, fig1, fig2, fig4, fig6, fig7, tables};
 
 fn usage() -> ! {
     eprintln!(
         "usage: paper <cmd> [<cmd> …]\n\
          cmds: fig1 fig2 fig4 fig6 fig6a fig6b fig6c fig6d fig6e fig6f\n\
          \x20     fig7 fig7a fig7b fig7c table1 table2 table3 table5 table8\n\
-         \x20     ext ext1 ext2 ext3 ext4 ext5 all\n\
-         (table6 prints with fig6e, table7 with fig7b)"
+         \x20     ext ext1 ext2 ext3 ext4 ext5 bench-engine all\n\
+         (table6 prints with fig6e, table7 with fig7b;\n\
+         \x20bench-engine times the skip-ahead fast path vs the naive slice\n\
+         \x20loop on the fig6 trace and writes BENCH_engine.json)"
     );
     std::process::exit(2);
 }
@@ -46,6 +49,7 @@ fn dispatch(cmd: &str) {
         "table5" => tables::table5(),
         "table8" => tables::table8(),
         "tables" => tables::run_all(),
+        "bench-engine" => bench_engine::run(),
         "ext" => ext::run(),
         "ext1" => ext::ext_codec_selection(),
         "ext2" => ext::ext_decompression(),

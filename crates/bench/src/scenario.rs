@@ -12,7 +12,7 @@ use swallow_fabric::view::CompressionSpec;
 use swallow_fabric::{units, Coflow, Engine, Fabric, SimConfig, SimResult};
 use swallow_sched::Algorithm;
 use swallow_workload::gen::{fig1_size_dist_scaled, CoflowGen, GenConfig, Sizing};
-use swallow_workload::SizeDist;
+use swallow_workload::{SizeDist, Trace};
 
 /// Workload scale presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +82,25 @@ pub fn std_trace(scale: StdScale, bandwidth: f64, seed: u64) -> Vec<Coflow> {
     CoflowGen::new(cfg).generate()
 }
 
+/// The Fig. 6 trace shape: fixed-width coflows over 24 nodes with the
+/// scaled Fig. 1 size distribution. `fig6_trace(units::mbps(400.0), 80,
+/// 4.0, 0x6A)` is the canonical trace of Fig. 6(a) and of the engine
+/// wall-clock benchmark (`paper bench-engine`).
+pub fn fig6_trace(bw: f64, num_coflows: usize, width: f64, seed: u64) -> Trace {
+    let coflows = CoflowGen::new(GenConfig {
+        num_coflows,
+        num_nodes: 24,
+        interarrival: SizeDist::Exp { mean: 1.0 },
+        width: SizeDist::Constant(width),
+        flow_size: scaled_fig1(bw),
+        sizing: Sizing::PerCoflow { skew: 0.3 },
+        compressible_fraction: 1.0,
+        seed,
+    })
+    .generate();
+    Trace::new("fig6", 24, coflows)
+}
+
 /// Run one algorithm over a trace and return its result.
 pub fn run_algorithm(
     alg: Algorithm,
@@ -90,9 +109,26 @@ pub fn run_algorithm(
     compression: Option<Arc<dyn CompressionSpec>>,
     slice: f64,
 ) -> SimResult {
+    run_algorithm_skip(alg, fabric, coflows, compression, slice, true)
+}
+
+/// [`run_algorithm`] with explicit control of the engine's quiescent
+/// skip-ahead fast path — `skip_ahead: false` replays every slice naively,
+/// which is the baseline the engine benchmarks compare against.
+pub fn run_algorithm_skip(
+    alg: Algorithm,
+    fabric: &Fabric,
+    coflows: &[Coflow],
+    compression: Option<Arc<dyn CompressionSpec>>,
+    slice: f64,
+    skip_ahead: bool,
+) -> SimResult {
     let mut config = SimConfig::default()
         .with_slice(slice)
         .with_reschedule(swallow_fabric::engine::Reschedule::EventsOnly);
+    if !skip_ahead {
+        config = config.without_skip_ahead();
+    }
     if let Some(c) = compression {
         config = config.with_compression(c);
     }
@@ -152,16 +188,9 @@ mod tests {
         let trace = std_trace(StdScale::Small, bw, 7);
         let res = run_algorithm(Algorithm::Sebf, &fabric, &trace, None, DEFAULT_SLICE);
         assert!(res.all_complete(), "SEBF left work unfinished");
-        let comp: Arc<dyn swallow_fabric::view::CompressionSpec> = Arc::new(
-            ProfiledCompression::constant(swallow_compress::Table2::Lz4),
-        );
-        let res = run_algorithm(
-            Algorithm::Fvdf,
-            &fabric,
-            &trace,
-            Some(comp),
-            DEFAULT_SLICE,
-        );
+        let comp: Arc<dyn swallow_fabric::view::CompressionSpec> =
+            Arc::new(ProfiledCompression::constant(swallow_compress::Table2::Lz4));
+        let res = run_algorithm(Algorithm::Fvdf, &fabric, &trace, Some(comp), DEFAULT_SLICE);
         assert!(res.all_complete(), "FVDF left work unfinished");
         assert!(res.traffic_reduction() > 0.2);
     }

@@ -94,7 +94,10 @@ mod tests {
 
     #[test]
     fn stage_window_duration() {
-        let w = StageWindow { start: 2.0, end: 5.5 };
+        let w = StageWindow {
+            start: 2.0,
+            end: 5.5,
+        };
         assert!((w.duration() - 3.5).abs() < 1e-12);
     }
 

@@ -235,8 +235,7 @@ impl ClusterSim {
         for j in &sorted {
             let wire = shuffle_wire.get(&j.id).copied().unwrap_or(0.0);
             // Reduce GC charged on the actual received (wire) bytes.
-            let gc_actual =
-                GcReport::for_job(&cfg.gc, wire, j.num_maps, j.num_reduces);
+            let gc_actual = GcReport::for_job(&cfg.gc, wire, j.num_maps, j.num_reduces);
             let gc = GcReport {
                 map_secs: gc_by_job[&j.id].map_secs,
                 reduce_secs: gc_actual.reduce_secs,

@@ -88,9 +88,7 @@ impl SlotScheduler {
                         (b.ready, k, i, b)
                     })
                     .collect();
-                keyed.sort_by(|a, b| {
-                    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
-                });
+                keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
                 tasks = keyed.into_iter().map(|(_, _, i, b)| (i, b)).collect();
             }
         }
@@ -106,7 +104,16 @@ impl SlotScheduler {
         batches
             .iter()
             .enumerate()
-            .map(|(i, b)| (b.job, if ends[i].is_finite() { ends[i] } else { b.ready }))
+            .map(|(i, b)| {
+                (
+                    b.job,
+                    if ends[i].is_finite() {
+                        ends[i]
+                    } else {
+                        b.ready
+                    },
+                )
+            })
             .collect()
     }
 }
@@ -132,8 +139,18 @@ mod tests {
     fn fifo_drains_first_job_first() {
         let mut s = SlotScheduler::new(2, TaskOrder::Fifo);
         let ends = s.run(&[
-            TaskBatch { job: 1, ready: 0.0, tasks: 4, task_secs: 1.0 },
-            TaskBatch { job: 2, ready: 0.0, tasks: 2, task_secs: 1.0 },
+            TaskBatch {
+                job: 1,
+                ready: 0.0,
+                tasks: 4,
+                task_secs: 1.0,
+            },
+            TaskBatch {
+                job: 2,
+                ready: 0.0,
+                tasks: 2,
+                task_secs: 1.0,
+            },
         ]);
         // Job 1 takes both slots for 2 s; job 2 runs at [2,3).
         assert_eq!(ends[0], (1, 2.0));
@@ -144,8 +161,18 @@ mod tests {
     fn fair_interleaves_jobs() {
         let mut s = SlotScheduler::new(2, TaskOrder::Fair);
         let ends = s.run(&[
-            TaskBatch { job: 1, ready: 0.0, tasks: 4, task_secs: 1.0 },
-            TaskBatch { job: 2, ready: 0.0, tasks: 2, task_secs: 1.0 },
+            TaskBatch {
+                job: 1,
+                ready: 0.0,
+                tasks: 4,
+                task_secs: 1.0,
+            },
+            TaskBatch {
+                job: 2,
+                ready: 0.0,
+                tasks: 2,
+                task_secs: 1.0,
+            },
         ]);
         // Round-robin: j1t0,j2t0 | j1t1,j2t1 | j1t2,j1t3.
         assert_eq!(ends[1], (2, 2.0), "fair should finish job 2 by 2 s");
@@ -167,16 +194,31 @@ mod tests {
     #[test]
     fn pool_state_persists_across_phases() {
         let mut s = SlotScheduler::new(1, TaskOrder::Fifo);
-        s.run(&[TaskBatch { job: 1, ready: 0.0, tasks: 1, task_secs: 3.0 }]);
+        s.run(&[TaskBatch {
+            job: 1,
+            ready: 0.0,
+            tasks: 1,
+            task_secs: 3.0,
+        }]);
         // Second phase task is ready at 0 but the slot frees at 3.
-        let ends = s.run(&[TaskBatch { job: 2, ready: 0.0, tasks: 1, task_secs: 1.0 }]);
+        let ends = s.run(&[TaskBatch {
+            job: 2,
+            ready: 0.0,
+            tasks: 1,
+            task_secs: 1.0,
+        }]);
         assert_eq!(ends, vec![(2, 4.0)]);
     }
 
     #[test]
     fn empty_batch_returns_ready_time() {
         let mut s = SlotScheduler::new(2, TaskOrder::Fifo);
-        let ends = s.run(&[TaskBatch { job: 3, ready: 1.5, tasks: 0, task_secs: 1.0 }]);
+        let ends = s.run(&[TaskBatch {
+            job: 3,
+            ready: 1.5,
+            tasks: 0,
+            task_secs: 1.0,
+        }]);
         assert_eq!(ends, vec![(3, 1.5)]);
     }
 }

@@ -56,10 +56,16 @@ impl fmt::Display for CodecError {
                 write!(f, "invalid back-reference at {at}: distance {distance}")
             }
             CodecError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: expected {expected:#x}, got {actual:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#x}, got {actual:#x}"
+                )
             }
             CodecError::LengthMismatch { expected, actual } => {
-                write!(f, "length mismatch: header said {expected}, decoded {actual}")
+                write!(
+                    f,
+                    "length mismatch: header said {expected}, decoded {actual}"
+                )
             }
             CodecError::BadVarint => write!(f, "malformed varint"),
         }
@@ -325,7 +331,8 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, CodecError> {
     if pos + 4 > frame.len() {
         return Err(CodecError::Truncated);
     }
-    let expected_sum = u32::from_le_bytes([frame[pos], frame[pos + 1], frame[pos + 2], frame[pos + 3]]);
+    let expected_sum =
+        u32::from_le_bytes([frame[pos], frame[pos + 1], frame[pos + 2], frame[pos + 3]]);
     pos += 4;
 
     let mut out = Vec::with_capacity(orig_len);
@@ -403,7 +410,12 @@ mod tests {
     fn roundtrip_repetitive_and_shrinks() {
         let data: Vec<u8> = b"the quick brown fox ".repeat(500);
         let frame = compress(&data);
-        assert!(frame.len() < data.len() / 5, "frame {} vs {}", frame.len(), data.len());
+        assert!(
+            frame.len() < data.len() / 5,
+            "frame {} vs {}",
+            frame.len(),
+            data.len()
+        );
         assert_eq!(decompress(&frame).unwrap(), data);
     }
 
@@ -412,7 +424,11 @@ mod tests {
         // distance 1 overlapping match — the classic RLE case.
         let data = vec![0x41u8; 10_000];
         let frame = compress(&data);
-        assert!(frame.len() < 100, "run should compress to tokens: {}", frame.len());
+        assert!(
+            frame.len() < 100,
+            "run should compress to tokens: {}",
+            frame.len()
+        );
         assert_eq!(decompress(&frame).unwrap(), data);
     }
 
@@ -457,7 +473,12 @@ mod tests {
         for cut in [5, 9, frame.len() - 1] {
             let err = decompress(&frame[..cut]).unwrap_err();
             assert!(
-                matches!(err, CodecError::Truncated | CodecError::BadVarint | CodecError::LengthMismatch { .. }),
+                matches!(
+                    err,
+                    CodecError::Truncated
+                        | CodecError::BadVarint
+                        | CodecError::LengthMismatch { .. }
+                ),
                 "cut {cut}: {err:?}"
             );
         }

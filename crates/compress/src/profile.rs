@@ -30,7 +30,10 @@ impl CodecProfile {
     /// Construct a profile from MB/s figures and a percentage ratio, i.e.
     /// exactly how Table II quotes them.
     pub fn from_table_row(name: &str, comp_mb_s: f64, decomp_mb_s: f64, ratio_pct: f64) -> Self {
-        assert!(comp_mb_s > 0.0 && decomp_mb_s > 0.0, "speeds must be positive");
+        assert!(
+            comp_mb_s > 0.0 && decomp_mb_s > 0.0,
+            "speeds must be positive"
+        );
         assert!((0.0..=100.0).contains(&ratio_pct), "ratio is a percentage");
         Self {
             name: name.to_string(),

@@ -58,7 +58,8 @@ impl StreamCompressor {
             return;
         }
         let frame = codec::compress_with(&self.buffer, self.level);
-        self.out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.out
+            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
         self.out.extend_from_slice(&frame);
         self.buffer.clear();
     }

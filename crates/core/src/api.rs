@@ -222,16 +222,20 @@ impl SwallowContext {
 
         let (beta, rate) = {
             let sched = self.inner.current_sched.lock();
-            let beta = sched.compress.get(&flow_info.flow).copied().unwrap_or_else(|| {
-                self.inner.config.smart_compress
-                    && flow_info.compressible
-                    && self
-                        .inner
-                        .config
-                        .codec
-                        .profile()
-                        .beats_bandwidth(self.inner.config.link_bandwidth)
-            });
+            let beta = sched
+                .compress
+                .get(&flow_info.flow)
+                .copied()
+                .unwrap_or_else(|| {
+                    self.inner.config.smart_compress
+                        && flow_info.compressible
+                        && self
+                            .inner
+                            .config
+                            .codec
+                            .profile()
+                            .beats_bandwidth(self.inner.config.link_bandwidth)
+                });
             (beta, sched.rates.get(&flow_info.flow).copied())
         };
 
@@ -475,9 +479,6 @@ mod tests {
         };
         let with = run(slow_link.clone());
         let without = run(slow_link.without_compression());
-        assert!(
-            with < without / 2,
-            "compressed {with:?} vs raw {without:?}"
-        );
+        assert!(with < without / 2, "compressed {with:?} vs raw {without:?}");
     }
 }

@@ -151,7 +151,9 @@ impl Master {
         );
         let mut flows: Vec<FlowView> = Vec::new();
         for r in refs {
-            let Some(state) = self.coflows.get(r) else { continue };
+            let Some(state) = self.coflows.get(r) else {
+                continue;
+            };
             for f in &state.info.flows {
                 if state.done.contains_key(&f.flow) {
                     continue;
@@ -191,7 +193,9 @@ impl Master {
         let mut result = SchResult::default();
         let mut gammas: Vec<(CoflowRef, f64)> = Vec::new();
         for r in refs {
-            let Some(state) = self.coflows.get(r) else { continue };
+            let Some(state) = self.coflows.get(r) else {
+                continue;
+            };
             let mut gamma: f64 = 0.0;
             for f in &state.info.flows {
                 if state.done.contains_key(&f.flow) {
@@ -293,7 +297,7 @@ mod tests {
         assert_eq!(sched.order[0], small, "{:?}", sched.order);
         assert!(sched.compress[&FlowId(1)]);
         assert!(!sched.compress[&FlowId(2)]); // incompressible
-        // The incompressible flow must have a transmission rate.
+                                              // The incompressible flow must have a transmission rate.
         assert!(sched.rates[&FlowId(2)] > 0.0);
     }
 

@@ -73,13 +73,17 @@ impl ShuffleReport {
 /// own threads; the call returns when every block has been pulled and
 /// verified (length check — contents are checksummed by the codec).
 pub fn run_shuffle(ctx: &SwallowContext, job: &ShuffleJob) -> Result<ShuffleReport, CoreError> {
-    assert!(!job.mappers.is_empty() && !job.reducers.is_empty(), "need mappers and reducers");
+    assert!(
+        !job.mappers.is_empty() && !job.reducers.is_empty(),
+        "need mappers and reducers"
+    );
     // Map side: stage one block per (mapper, reducer).
     let mut blocks: Vec<(WorkerId, BlockId)> = Vec::new();
     let mut payload_seed = job.seed;
     for &m in &job.mappers {
         for &r in &job.reducers {
-            let payload = synthesize_with_ratio(job.payload_ratio, job.bytes_per_block, payload_seed);
+            let payload =
+                synthesize_with_ratio(job.payload_ratio, job.bytes_per_block, payload_seed);
             payload_seed = payload_seed.wrapping_add(1);
             blocks.push((m, ctx.stage(m, r, payload)));
         }

@@ -47,11 +47,7 @@ impl BlockStore {
             if now >= deadline {
                 return None;
             }
-            if self
-                .arrived
-                .wait_until(&mut guard, deadline)
-                .timed_out()
-            {
+            if self.arrived.wait_until(&mut guard, deadline).timed_out() {
                 return guard.get(&(coflow, block)).cloned();
             }
         }

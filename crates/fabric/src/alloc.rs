@@ -45,11 +45,15 @@ impl FlowCommand {
 
 /// The full scheduling decision for one slice.
 ///
-/// Flows absent from the map are idle. A `BTreeMap` keeps iteration
-/// deterministic, which makes simulations reproducible byte-for-byte.
+/// Flows absent from the list are idle. Commands are kept in a vector sorted
+/// by flow id: lookups are binary searches, iteration is deterministic (which
+/// makes simulations reproducible byte-for-byte), and — unlike the `BTreeMap`
+/// this used to be — building one allocation per reschedule costs a single
+/// allocation instead of one node per flow. Comparing two allocations for the
+/// quiescence test in the engine is a cheap `Vec` equality.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Allocation {
-    commands: BTreeMap<FlowId, FlowCommand>,
+    commands: Vec<(FlowId, FlowCommand)>,
 }
 
 impl Allocation {
@@ -58,19 +62,59 @@ impl Allocation {
         Self::default()
     }
 
+    /// An empty allocation with room for `n` flows.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            commands: Vec::with_capacity(n),
+        }
+    }
+
+    /// Remove every command, keeping the backing storage.
+    pub fn clear(&mut self) {
+        self.commands.clear();
+    }
+
+    fn position(&self, flow: FlowId) -> Result<usize, usize> {
+        self.commands.binary_search_by_key(&flow, |(id, _)| *id)
+    }
+
     /// Set the command for a flow, replacing any previous one.
+    ///
+    /// Policies emit commands in ascending flow-id order almost always (they
+    /// iterate the id-sorted `FabricView`), which makes this an amortized
+    /// O(1) append; out-of-order sets fall back to a sorted insert.
     pub fn set(&mut self, flow: FlowId, cmd: FlowCommand) {
-        self.commands.insert(flow, cmd);
+        let append = match self.commands.last() {
+            Some((last, _)) => *last < flow,
+            None => true,
+        };
+        if append {
+            self.commands.push((flow, cmd));
+            return;
+        }
+        match self.position(flow) {
+            Ok(i) => self.commands[i].1 = cmd,
+            Err(i) => self.commands.insert(i, (flow, cmd)),
+        }
     }
 
     /// Command for `flow` (idle when unset).
     pub fn get(&self, flow: FlowId) -> FlowCommand {
-        self.commands.get(&flow).copied().unwrap_or(FlowCommand::IDLE)
+        match self.position(flow) {
+            Ok(i) => self.commands[i].1,
+            Err(_) => FlowCommand::IDLE,
+        }
     }
 
-    /// Iterate over explicitly commanded flows.
+    /// Iterate over explicitly commanded flows in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = (FlowId, FlowCommand)> + '_ {
-        self.commands.iter().map(|(k, v)| (*k, *v))
+        self.commands.iter().copied()
+    }
+
+    /// Mutable iteration in ascending id order (engine-internal: the CPU
+    /// admission pass rewrites denied commands in place).
+    pub(crate) fn iter_mut(&mut self) -> impl Iterator<Item = (FlowId, &mut FlowCommand)> + '_ {
+        self.commands.iter_mut().map(|(id, cmd)| (*id, cmd))
     }
 
     /// Number of explicitly commanded flows.
@@ -84,7 +128,10 @@ impl Allocation {
     }
 
     /// Aggregate commanded rate at each sender egress and receiver ingress.
-    pub fn port_loads(&self, view: &FabricView<'_>) -> (BTreeMap<NodeId, f64>, BTreeMap<NodeId, f64>) {
+    pub fn port_loads(
+        &self,
+        view: &FabricView<'_>,
+    ) -> (BTreeMap<NodeId, f64>, BTreeMap<NodeId, f64>) {
         let mut egress: BTreeMap<NodeId, f64> = BTreeMap::new();
         let mut ingress: BTreeMap<NodeId, f64> = BTreeMap::new();
         for (id, cmd) in self.iter() {
@@ -123,30 +170,64 @@ impl Allocation {
     /// allocation becomes feasible. The engine applies this defensively so a
     /// buggy policy degrades instead of creating bandwidth out of thin air.
     pub fn clamp_to_capacity(&mut self, view: &FabricView<'_>) {
+        let mut scratch = PortScratch::default();
+        self.clamp_with_scratch(view, &mut scratch);
+    }
+
+    /// [`Self::clamp_to_capacity`] with caller-owned port buffers, so the
+    /// engine's reschedule path performs no per-call allocation once the
+    /// buffers have grown to the fabric size.
+    pub fn clamp_with_scratch(&mut self, view: &FabricView<'_>, scratch: &mut PortScratch) {
+        let n = view.fabric.num_nodes();
         for _ in 0..4 {
-            let (egress, ingress) = self.port_loads(view);
-            let mut scale: BTreeMap<FlowId, f64> = BTreeMap::new();
+            scratch.reset(n);
             for (id, cmd) in self.commands.iter() {
                 if cmd.compress || cmd.rate <= 0.0 {
                     continue;
                 }
                 let Some(f) = view.flow(*id) else { continue };
-                let e_over = egress[&f.src] / view.fabric.egress_cap(f.src);
-                let i_over = ingress[&f.dst] / view.fabric.ingress_cap(f.dst);
+                scratch.egress[f.src.index()] += cmd.rate;
+                scratch.ingress[f.dst.index()] += cmd.rate;
+            }
+            // All scale factors are derived from the same load snapshot, then
+            // applied together — a second pass over the (unchanged) loads.
+            let mut any = false;
+            for (id, cmd) in self.commands.iter_mut() {
+                if cmd.compress || cmd.rate <= 0.0 {
+                    continue;
+                }
+                let Some(f) = view.flow(*id) else { continue };
+                let e_over = scratch.egress[f.src.index()] / view.fabric.egress_cap(f.src);
+                let i_over = scratch.ingress[f.dst.index()] / view.fabric.ingress_cap(f.dst);
                 let over = e_over.max(i_over);
                 if over > 1.0 {
-                    scale.insert(*id, 1.0 / over);
+                    cmd.rate *= 1.0 / over;
+                    any = true;
                 }
             }
-            if scale.is_empty() {
+            if !any {
                 return;
             }
-            for (id, s) in scale {
-                if let Some(cmd) = self.commands.get_mut(&id) {
-                    cmd.rate *= s;
-                }
-            }
         }
+    }
+}
+
+/// Reusable dense per-port accumulators (indexed by [`NodeId::index`]).
+#[derive(Debug, Clone, Default)]
+pub struct PortScratch {
+    /// Per-node egress accumulator.
+    pub egress: Vec<f64>,
+    /// Per-node ingress accumulator.
+    pub ingress: Vec<f64>,
+}
+
+impl PortScratch {
+    /// Zero both buffers and make sure they cover `n` nodes.
+    pub fn reset(&mut self, n: usize) {
+        self.egress.clear();
+        self.egress.resize(n, 0.0);
+        self.ingress.clear();
+        self.ingress.resize(n, 0.0);
     }
 }
 
@@ -156,66 +237,83 @@ impl Allocation {
 ///
 /// `demands` are `(flow, src, dst)` triples; the return maps each flow to its
 /// fair rate. This is the core of PFF/FAIR and of work-conserving backfill.
+/// Internally the fill runs over dense per-node arrays (no map churn in the
+/// rounds); only the returned map is allocated.
 pub fn water_fill(fabric: &Fabric, demands: &[(FlowId, NodeId, NodeId)]) -> BTreeMap<FlowId, f64> {
-    let mut rates: BTreeMap<FlowId, f64> = demands.iter().map(|(f, _, _)| (*f, 0.0)).collect();
-    let mut frozen: BTreeMap<FlowId, bool> = demands.iter().map(|(f, _, _)| (*f, false)).collect();
-    let mut egress_left: BTreeMap<NodeId, f64> = BTreeMap::new();
-    let mut ingress_left: BTreeMap<NodeId, f64> = BTreeMap::new();
+    let n = fabric.num_nodes();
+    let mut rates = vec![0.0f64; demands.len()];
+    let mut frozen = vec![false; demands.len()];
+    let mut egress_left = vec![0.0f64; n];
+    let mut ingress_left = vec![0.0f64; n];
+    let mut e_touched = vec![false; n];
+    let mut i_touched = vec![false; n];
     for (_, s, d) in demands {
-        egress_left.entry(*s).or_insert_with(|| fabric.egress_cap(*s));
-        ingress_left.entry(*d).or_insert_with(|| fabric.ingress_cap(*d));
+        if !e_touched[s.index()] {
+            e_touched[s.index()] = true;
+            egress_left[s.index()] = fabric.egress_cap(*s);
+        }
+        if !i_touched[d.index()] {
+            i_touched[d.index()] = true;
+            ingress_left[d.index()] = fabric.ingress_cap(*d);
+        }
     }
+    let mut e_cnt = vec![0usize; n];
+    let mut i_cnt = vec![0usize; n];
 
     loop {
         // Count unfrozen flows at each port.
-        let mut e_cnt: BTreeMap<NodeId, usize> = BTreeMap::new();
-        let mut i_cnt: BTreeMap<NodeId, usize> = BTreeMap::new();
-        for (f, s, d) in demands {
-            if !frozen[f] {
-                *e_cnt.entry(*s).or_default() += 1;
-                *i_cnt.entry(*d).or_default() += 1;
+        e_cnt.iter_mut().for_each(|c| *c = 0);
+        i_cnt.iter_mut().for_each(|c| *c = 0);
+        let mut live = 0usize;
+        for (k, (_, s, d)) in demands.iter().enumerate() {
+            if !frozen[k] {
+                e_cnt[s.index()] += 1;
+                i_cnt[d.index()] += 1;
+                live += 1;
             }
         }
-        if e_cnt.is_empty() {
+        if live == 0 {
             break;
         }
         // The binding port is the one with the smallest fair share.
         let mut min_share = f64::INFINITY;
-        for (n, cnt) in &e_cnt {
-            min_share = min_share.min(egress_left[n] / *cnt as f64);
-        }
-        for (n, cnt) in &i_cnt {
-            min_share = min_share.min(ingress_left[n] / *cnt as f64);
+        for node in 0..n {
+            if e_cnt[node] > 0 {
+                min_share = min_share.min(egress_left[node] / e_cnt[node] as f64);
+            }
+            if i_cnt[node] > 0 {
+                min_share = min_share.min(ingress_left[node] / i_cnt[node] as f64);
+            }
         }
         if !min_share.is_finite() || min_share <= 0.0 {
             break;
         }
         // Raise every unfrozen flow by the share; freeze flows at saturated
         // ports.
-        for (f, s, d) in demands {
-            if frozen[f] {
+        for (k, (_, s, d)) in demands.iter().enumerate() {
+            if frozen[k] {
                 continue;
             }
-            *rates.get_mut(f).unwrap() += min_share;
-            *egress_left.get_mut(s).unwrap() -= min_share;
-            *ingress_left.get_mut(d).unwrap() -= min_share;
+            rates[k] += min_share;
+            egress_left[s.index()] -= min_share;
+            ingress_left[d.index()] -= min_share;
         }
         const EPS: f64 = 1e-9;
-        let saturated: Vec<NodeId> = egress_left
-            .iter()
-            .filter(|(n, left)| **left <= EPS * fabric.egress_cap(**n) && e_cnt.contains_key(*n))
-            .map(|(n, _)| *n)
-            .collect();
-        let saturated_in: Vec<NodeId> = ingress_left
-            .iter()
-            .filter(|(n, left)| **left <= EPS * fabric.ingress_cap(**n) && i_cnt.contains_key(*n))
-            .map(|(n, _)| *n)
-            .collect();
         let mut any = false;
-        for (f, s, d) in demands {
-            if !frozen[f] && (saturated.contains(s) || saturated_in.contains(d)) {
-                frozen.insert(*f, true);
+        let mut all_frozen = true;
+        for (k, (_, s, d)) in demands.iter().enumerate() {
+            if frozen[k] {
+                continue;
+            }
+            let e_sat =
+                e_cnt[s.index()] > 0 && egress_left[s.index()] <= EPS * fabric.egress_cap(*s);
+            let i_sat =
+                i_cnt[d.index()] > 0 && ingress_left[d.index()] <= EPS * fabric.ingress_cap(*d);
+            if e_sat || i_sat {
+                frozen[k] = true;
                 any = true;
+            } else {
+                all_frozen = false;
             }
         }
         if !any {
@@ -223,11 +321,15 @@ pub fn water_fill(fabric: &Fabric, demands: &[(FlowId, NodeId, NodeId)]) -> BTre
             // binding; guard against infinite loops on pathological input.
             break;
         }
-        if frozen.values().all(|&v| v) {
+        if all_frozen {
             break;
         }
     }
-    rates
+    demands
+        .iter()
+        .zip(rates)
+        .map(|((f, _, _), r)| (*f, r))
+        .collect()
 }
 
 #[cfg(test)]
@@ -293,14 +395,27 @@ mod tests {
         assert_eq!(a.get(FlowId(1)), c);
         assert_eq!(a.get(FlowId(9)), FlowCommand::IDLE);
     }
+
+    #[test]
+    fn out_of_order_sets_stay_sorted() {
+        let mut a = Allocation::new();
+        a.set(FlowId(5), FlowCommand::transmit(5.0));
+        a.set(FlowId(1), FlowCommand::transmit(1.0));
+        a.set(FlowId(3), FlowCommand::transmit(3.0));
+        a.set(FlowId(1), FlowCommand::transmit(10.0)); // overwrite
+        let ids: Vec<u64> = a.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        assert_eq!(a.get(FlowId(1)).rate, 10.0);
+        assert_eq!(a.len(), 3);
+    }
 }
 
 #[cfg(test)]
 mod clamp_tests {
     use super::*;
     use crate::cpu::CpuModel;
-    use crate::view::{ConstCompression, FabricView, FlowView};
     use crate::ids::CoflowId;
+    use crate::view::{ConstCompression, FabricView, FlowView};
 
     fn fixture(flows: Vec<FlowView>) -> (Fabric, CpuModel, ConstCompression, Vec<FlowView>) {
         (

@@ -68,7 +68,11 @@ impl Coflow {
     /// The *effective bottleneck* completion time of this coflow in
     /// isolation on `fabric`-style uniform port capacity `cap` — the Γ used
     /// by SEBF: `max(max_s load_s / cap, max_r load_r / cap)`.
-    pub fn bottleneck_time(&self, egress_cap: impl Fn(NodeId) -> f64, ingress_cap: impl Fn(NodeId) -> f64) -> f64 {
+    pub fn bottleneck_time(
+        &self,
+        egress_cap: impl Fn(NodeId) -> f64,
+        ingress_cap: impl Fn(NodeId) -> f64,
+    ) -> f64 {
         let send = self
             .sender_loads()
             .into_iter()
@@ -163,10 +167,7 @@ mod tests {
             .flow(FlowSpec::new(2, 0, 2, 5.0))
             .build();
         assert_eq!(c.sender_loads(), vec![(NodeId(0), 8.0)]);
-        assert_eq!(
-            c.receiver_loads(),
-            vec![(NodeId(1), 3.0), (NodeId(2), 5.0)]
-        );
+        assert_eq!(c.receiver_loads(), vec![(NodeId(1), 3.0), (NodeId(2), 5.0)]);
     }
 
     #[test]

@@ -48,8 +48,17 @@ impl CpuTrace {
     /// and `idle_util` for `idle_len` seconds, long enough to cover
     /// `horizon` seconds. This reproduces the Fig. 2 on/off shape where I/O
     /// waits leave the CPU idle.
-    pub fn bursty(busy_util: f64, busy_len: f64, idle_util: f64, idle_len: f64, horizon: f64) -> Self {
-        assert!(busy_len > 0.0 && idle_len > 0.0, "phase lengths must be positive");
+    pub fn bursty(
+        busy_util: f64,
+        busy_len: f64,
+        idle_util: f64,
+        idle_len: f64,
+        horizon: f64,
+    ) -> Self {
+        assert!(
+            busy_len > 0.0 && idle_len > 0.0,
+            "phase lengths must be positive"
+        );
         let mut points = Vec::new();
         let mut t = 0.0;
         while t < horizon {

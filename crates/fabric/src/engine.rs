@@ -8,12 +8,43 @@
 //! boundaries — exactly the quantization that makes long slices wasteful for
 //! small flows (§VI-A1) — although completion timestamps are interpolated
 //! within the slice so FCT statistics are not artificially quantized.
+//!
+//! # The fast path
+//!
+//! The loop is engineered so that steady-state slices perform no heap
+//! allocation and, under [`Reschedule::EventsOnly`], are not even iterated
+//! one-by-one:
+//!
+//! * **Closed-form segments.** Between two policy decisions a flow's command
+//!   is constant, so its state after `n` slices is a *closed form* of the
+//!   state at the segment start (`budget = rate·δ·n`, compressed drains
+//!   before raw; `consumed = min(R·δ·n, raw₀)`). Both the slice-by-slice
+//!   path and the skip-ahead path evaluate exactly this closed form, which
+//!   is what makes skipping **bit-identical** to not skipping: advancing the
+//!   slice index by `k` simply evaluates the same expression at `n + k`.
+//! * **Quiescent skip-ahead.** Under `EventsOnly` the policy is only
+//!   consulted at arrivals, completions and raw-exhaustions. When none of
+//!   those (nor a timeline sample nor the horizon) is due, the engine
+//!   computes the first future slice at which *anything* observable happens
+//!   and jumps straight to it. Under `EverySlice` the policy must be invoked
+//!   at every boundary (it may be stateful — priority aging, Aalo's
+//!   observed-bytes tracking), so no invocations are skipped and the
+//!   `reschedules` count stays faithful; `EverySlice` still benefits from
+//!   the closed forms and the allocation-free loop.
+//! * **Scratch reuse.** The `FabricView` flow list, the per-slice completion
+//!   list, CPU-core accounting and port-load accumulators all live in
+//!   buffers owned by the engine and are reused across slices.
+//!
+//! Time itself is tracked as an integer slice index (`now = idx · δ`), so
+//! jumping over `k` slices lands on exactly the boundary the per-slice
+//! increment would have reached.
 
-use crate::alloc::{Allocation, FlowCommand};
+use crate::alloc::{Allocation, FlowCommand, PortScratch};
 use crate::coflow::Coflow;
 use crate::cpu::CpuModel;
 use crate::event::{EventKind, EventLog};
 use crate::flow::FlowProgress;
+use crate::fx::FxHashMap;
 use crate::ids::{CoflowId, FlowId, NodeId};
 use crate::policy::Policy;
 use crate::port::Fabric;
@@ -58,6 +89,11 @@ pub struct SimConfig {
     /// (the paper omits it, citing Table II's speed asymmetry; enabling
     /// this quantifies the omission).
     pub model_decompression: bool,
+    /// Quiescent skip-ahead: under [`Reschedule::EventsOnly`], jump over
+    /// slices in which provably nothing observable happens. Produces
+    /// bit-identical results to the slice-by-slice loop (see the module
+    /// docs); disable only to exercise the naive path in equivalence tests.
+    pub skip_ahead: bool,
 }
 
 impl Default for SimConfig {
@@ -71,6 +107,7 @@ impl Default for SimConfig {
             max_time: 1e7,
             record_events: false,
             model_decompression: false,
+            skip_ahead: true,
         }
     }
 }
@@ -117,6 +154,15 @@ impl SimConfig {
     /// Charge receiver-side decompression time on completion.
     pub fn with_decompression_model(mut self) -> Self {
         self.model_decompression = true;
+        self
+    }
+
+    /// Force the naive slice-by-slice loop (no quiescent skip-ahead). The
+    /// results are bit-identical either way; this exists for the
+    /// equivalence suite and for allocation/throughput measurements of the
+    /// naive path.
+    pub fn without_skip_ahead(mut self) -> Self {
+        self.skip_ahead = false;
         self
     }
 }
@@ -246,6 +292,134 @@ fn avg(v: &[f64]) -> f64 {
     }
 }
 
+/// One live flow plus its closed-form segment state.
+///
+/// `seg` is the slice index at which the current command segment began;
+/// `base_*` snapshot the flow's state at that boundary. The state after `n`
+/// further slices is a pure function of the bases (see the module docs), so
+/// advancing by one slice and advancing by `k` slices evaluate the *same*
+/// expression — the skip-ahead invariant.
+struct ActiveFlow {
+    p: FlowProgress,
+    seg: u64,
+    base_raw: f64,
+    base_compressed: f64,
+    base_wire: f64,
+    base_cinput: f64,
+    /// Command in force for this segment.
+    cmd: FlowCommand,
+    /// Cached `compression.ratio(size)` (a pure function of the flow size).
+    ratio: f64,
+}
+
+impl ActiveFlow {
+    /// Raw bytes consumed by the compressor after `n` slices of this segment.
+    #[inline]
+    fn compress_consumed(&self, n: u64, speed: f64, delta: f64) -> f64 {
+        (speed * delta * n as f64).min(self.base_raw)
+    }
+
+    /// Transmission split after `n` slices: `(from_compressed, from_raw)`.
+    /// Compressed bytes drain first, exactly like
+    /// [`FlowProgress::transmit_for`].
+    #[inline]
+    fn tx_parts(&self, n: u64, delta: f64) -> (f64, f64) {
+        let budget = self.cmd.rate * delta * n as f64;
+        let fc = budget.min(self.base_compressed);
+        let fr = (budget - fc).min(self.base_raw);
+        (fc, fr)
+    }
+
+    /// Raw part after `n` slices of this segment.
+    #[inline]
+    fn raw_at(&self, n: u64, speed: f64, delta: f64) -> f64 {
+        if self.cmd.compress {
+            self.base_raw - self.compress_consumed(n, speed, delta)
+        } else if self.cmd.rate > 0.0 {
+            let (_, fr) = self.tx_parts(n, delta);
+            self.base_raw - fr
+        } else {
+            self.base_raw
+        }
+    }
+
+    /// Volume `V = d + D` after `n` slices of this segment.
+    #[inline]
+    fn volume_at(&self, n: u64, speed: f64, delta: f64) -> f64 {
+        if self.cmd.compress {
+            let consumed = self.compress_consumed(n, speed, delta);
+            (self.base_raw - consumed) + (self.base_compressed + consumed * self.ratio)
+        } else if self.cmd.rate > 0.0 {
+            let (fc, fr) = self.tx_parts(n, delta);
+            (self.base_compressed - fc) + (self.base_raw - fr)
+        } else {
+            self.base_raw + self.base_compressed
+        }
+    }
+
+    /// Write the closed-form state after `n` slices into `self.p`.
+    fn materialize(&mut self, n: u64, speed: f64, delta: f64) {
+        if self.cmd.compress {
+            let consumed = self.compress_consumed(n, speed, delta);
+            self.p.raw = self.base_raw - consumed;
+            self.p.compressed = self.base_compressed + consumed * self.ratio;
+            self.p.compressed_input = self.base_cinput + consumed;
+            self.p.wire_bytes = self.base_wire;
+        } else if self.cmd.rate > 0.0 {
+            let (fc, fr) = self.tx_parts(n, delta);
+            self.p.raw = self.base_raw - fr;
+            self.p.compressed = self.base_compressed - fc;
+            self.p.wire_bytes = self.base_wire + (fc + fr);
+            self.p.compressed_input = self.base_cinput;
+        } else {
+            self.p.raw = self.base_raw;
+            self.p.compressed = self.base_compressed;
+            self.p.wire_bytes = self.base_wire;
+            self.p.compressed_input = self.base_cinput;
+        }
+    }
+
+    /// Start a new segment at `boundary` under `cmd`; `self.p` must already
+    /// be materialized at that boundary.
+    fn reset_segment(&mut self, boundary: u64, cmd: FlowCommand) {
+        self.base_raw = self.p.raw;
+        self.base_compressed = self.p.compressed;
+        self.base_wire = self.p.wire_bytes;
+        self.base_cinput = self.p.compressed_input;
+        self.seg = boundary;
+        self.cmd = cmd;
+    }
+}
+
+/// Smallest `n ≥ n0 + 1` with `pred(n)`, starting the search from the
+/// analytic estimate `est` and correcting for floating-point slack in either
+/// direction. `pred` must be monotone (false → … → true). Returns `None` if
+/// the correction loops do not converge quickly — callers treat that as
+/// "don't skip", which is always safe.
+fn first_slice_satisfying(est: f64, n0: u64, pred: impl Fn(u64) -> bool) -> Option<u64> {
+    let mut n = if est.is_finite() && est > (n0 + 1) as f64 {
+        est as u64
+    } else {
+        n0 + 1
+    };
+    let mut guard = 0u32;
+    while !pred(n) {
+        n += 1;
+        guard += 1;
+        if guard > 64 {
+            return None;
+        }
+    }
+    while n > n0 + 1 && pred(n - 1) {
+        n -= 1;
+        guard += 1;
+        if guard > 128 {
+            return None;
+        }
+    }
+    Some(n)
+}
+
 /// The simulator.
 pub struct Engine {
     fabric: Fabric,
@@ -253,8 +427,23 @@ pub struct Engine {
     config: SimConfig,
     /// Pending coflows sorted by arrival, latest first (pop from the back).
     pending: Vec<Coflow>,
-    active: BTreeMap<FlowId, FlowProgress>,
+    /// Live flows, unordered (completion retires via `swap_remove`).
+    active: Vec<ActiveFlow>,
+    /// Flow id → slot in `active`.
+    index: FxHashMap<FlowId, usize>,
     coflow_meta: BTreeMap<CoflowId, CoflowMeta>,
+    // ---- reusable scratch ----
+    /// Id-sorted flow snapshots handed to the policy (moved in and out of
+    /// the `FabricView` so the buffer survives across reschedules).
+    view_scratch: Vec<FlowView>,
+    /// Sorted flow ids, for iterations whose order is semantic.
+    ids_scratch: Vec<FlowId>,
+    /// Flows that completed within the current slice.
+    completed_scratch: Vec<(FlowId, f64)>,
+    /// Per-node compression-core accounting.
+    cpu_used: Vec<u32>,
+    /// Per-node port-load accounting for the feasibility clamp.
+    port_scratch: PortScratch,
 }
 
 struct CoflowMeta {
@@ -297,15 +486,24 @@ impl Engine {
             cpu,
             config,
             pending: coflows,
-            active: BTreeMap::new(),
+            active: Vec::new(),
+            index: FxHashMap::default(),
             coflow_meta: BTreeMap::new(),
+            view_scratch: Vec::new(),
+            ids_scratch: Vec::new(),
+            completed_scratch: Vec::new(),
+            cpu_used: Vec::new(),
+            port_scratch: PortScratch::default(),
         }
     }
 
     /// Run the trace to completion under `policy`.
     pub fn run(mut self, policy: &mut dyn Policy) -> SimResult {
         let delta = self.config.slice;
-        let mut now = 0.0f64;
+        let speed = self.config.compression.speed();
+        // Integer slice index; `now = idx · δ` at every boundary, so a jump
+        // over k slices lands on exactly the boundary the naive loop reaches.
+        let mut idx: u64 = 0;
         let mut events = if self.config.record_events {
             EventLog::recording()
         } else {
@@ -315,6 +513,9 @@ impl Engine {
         // First sample fires at t = 0 when sampling is enabled.
         let mut next_sample = 0.0f64;
         let mut alloc = Allocation::new();
+        // The allocation applied by the previous reschedule; segments reset
+        // only when the newly applied allocation differs.
+        let mut prev_applied: Option<Allocation> = None;
         let mut needs_schedule = true;
         let mut reschedules = 0usize;
         let mut stall_slices = 0u32;
@@ -323,12 +524,14 @@ impl Engine {
         let mut makespan = 0.0f64;
 
         while !self.active.is_empty() || !self.pending.is_empty() {
+            let mut now = idx as f64 * delta;
             // Fast-forward over idle gaps: jump to the slice boundary at or
             // after the next arrival.
             if self.active.is_empty() {
                 let next = self.pending.last().map(|c| c.arrival).unwrap_or(now);
                 if next > now {
-                    now = (next / delta).ceil() * delta;
+                    idx = (next / delta).ceil() as u64;
+                    now = idx as f64 * delta;
                 }
             }
 
@@ -365,7 +568,20 @@ impl Engine {
                         events.push(now, EventKind::FlowCompleted(spec.id));
                     } else {
                         flow_records.insert(spec.id, rec);
-                        self.active.insert(spec.id, progress);
+                        let ratio = self.config.compression.ratio(progress.spec.size);
+                        let mut af = ActiveFlow {
+                            p: progress,
+                            seg: idx,
+                            base_raw: 0.0,
+                            base_compressed: 0.0,
+                            base_wire: 0.0,
+                            base_cinput: 0.0,
+                            cmd: FlowCommand::IDLE,
+                            ratio,
+                        };
+                        af.reset_segment(idx, FlowCommand::IDLE);
+                        self.index.insert(spec.id, self.active.len());
+                        self.active.push(af);
                         live += 1;
                     }
                 }
@@ -401,55 +617,114 @@ impl Engine {
 
             // Invoke the policy when due.
             if needs_schedule || self.config.reschedule == Reschedule::EverySlice {
-                let view = self.view(now);
+                self.materialize_all(idx, speed, delta);
+                // Pull scratch out of `self` so the immutable view borrow
+                // and the mutable scratch uses can coexist.
+                let mut cpu_used = std::mem::take(&mut self.cpu_used);
+                let mut port_scratch = std::mem::take(&mut self.port_scratch);
+                let flows = std::mem::take(&mut self.view_scratch);
+                let view = self.view_into(now, flows);
                 alloc = policy.allocate(&view);
-                alloc.clamp_to_capacity(&view);
-                self.enforce_cpu(&mut alloc, now);
+                alloc.clamp_with_scratch(&view, &mut port_scratch);
+                let kept_rate = Self::enforce_cpu(
+                    &self.cpu,
+                    &self.index,
+                    &self.active,
+                    &mut cpu_used,
+                    &mut alloc,
+                    now,
+                );
+                if kept_rate {
+                    // Compression denials fell back to their transmit rates,
+                    // which the first clamp never saw; re-clamp so the
+                    // fallback cannot oversubscribe a port.
+                    alloc.clamp_with_scratch(&view, &mut port_scratch);
+                }
+                let FabricView { mut flows, .. } = view;
+                flows.clear();
+                self.view_scratch = flows;
+                self.cpu_used = cpu_used;
+                self.port_scratch = port_scratch;
                 self.apply_betas(&alloc, now, &mut events);
                 reschedules += 1;
                 events.push(now, EventKind::Rescheduled);
                 needs_schedule = false;
+                // Segments continue through a reschedule that re-applies the
+                // identical allocation (this is what lets EventsOnly and a
+                // quiescent EverySlice run share one trajectory); any change
+                // re-bases every flow at this boundary.
+                if prev_applied.as_ref() != Some(&alloc) {
+                    for af in &mut self.active {
+                        let cmd = alloc.get(af.p.spec.id);
+                        af.reset_segment(idx, cmd);
+                    }
+                    prev_applied = Some(alloc.clone());
+                }
             }
 
-            // Advance one slice of volume disposal.
-            let speed = self.config.compression.speed();
+            // Quiescent skip-ahead (EventsOnly only; under EverySlice the
+            // policy must run at every boundary).
+            if self.config.skip_ahead && self.config.reschedule == Reschedule::EventsOnly {
+                let sample_due = self.config.sample_interval.map(|_| next_sample);
+                let target = self.skip_target(idx, speed, delta, sample_due);
+                if target > idx {
+                    idx = target;
+                    stall_slices = 0;
+                    continue;
+                }
+            }
+
+            // Advance one slice of volume disposal via the closed forms.
             let mut progressed = false;
-            let mut completed: Vec<(FlowId, f64)> = Vec::new();
             let mut raw_exhausted = false;
-            for (id, p) in self.active.iter_mut() {
-                let cmd = alloc.get(*id);
-                if cmd.compress {
-                    let ratio = self.config.compression.ratio(p.spec.size);
-                    let had_raw = p.raw > VOLUME_EPS;
-                    let consumed = p.compress_for(delta, speed, ratio);
+            self.completed_scratch.clear();
+            for af in &self.active {
+                let n0 = idx - af.seg;
+                let n1 = n0 + 1;
+                if af.cmd.compress {
+                    let raw0 = af.raw_at(n0, speed, delta);
+                    let consumed = af.compress_consumed(n1, speed, delta)
+                        - af.compress_consumed(n0, speed, delta);
                     if consumed > 0.0 {
                         progressed = true;
                     }
-                    if had_raw && p.raw <= VOLUME_EPS {
-                        events.push(now + delta, EventKind::RawExhausted(*id));
+                    if raw0 > VOLUME_EPS && af.raw_at(n1, speed, delta) <= VOLUME_EPS {
+                        events.push(now + delta, EventKind::RawExhausted(af.p.spec.id));
                         raw_exhausted = true;
                     }
-                } else if cmd.rate > 0.0 {
-                    let eta = p.volume() / cmd.rate;
-                    let sent = p.transmit_for(delta, cmd.rate);
-                    if sent > 0.0 {
+                } else if af.cmd.rate > 0.0 {
+                    let vol0 = af.volume_at(n0, speed, delta);
+                    let (fc0, fr0) = af.tx_parts(n0, delta);
+                    let (fc1, fr1) = af.tx_parts(n1, delta);
+                    if (fc1 + fr1) - (fc0 + fr0) > 0.0 {
                         progressed = true;
                     }
-                    if p.is_complete() {
-                        completed.push((*id, now + eta.min(delta)));
+                    if af.volume_at(n1, speed, delta) <= VOLUME_EPS {
+                        let eta = vol0 / af.cmd.rate;
+                        self.completed_scratch
+                            .push((af.p.spec.id, now + eta.min(delta)));
                     }
                 }
             }
 
-            // Retire completed flows and coflows.
-            for (id, t) in completed {
-                let p = self.active.remove(&id).expect("completed flow is active");
+            // Retire completed flows and coflows, in flow-id order (the
+            // order the id-sorted map iteration used to provide).
+            self.completed_scratch.sort_unstable_by_key(|(id, _)| *id);
+            let mut completed = std::mem::take(&mut self.completed_scratch);
+            for &(id, t) in &completed {
+                let slot = self.index.remove(&id).expect("completed flow is active");
+                let mut af = self.active.swap_remove(slot);
+                if slot < self.active.len() {
+                    let moved = self.active[slot].p.spec.id;
+                    self.index.insert(moved, slot);
+                }
+                af.materialize(idx - af.seg + 1, speed, delta);
+                let p = af.p;
                 // Receiver-side decompression happens off the network path;
                 // when modelled, it delays the flow's completion by the
                 // compressed bytes over the decompressor's speed.
                 let t = if self.config.model_decompression && p.compressed_input > 0.0 {
-                    let ratio = self.config.compression.ratio(p.spec.size);
-                    let compressed_bytes = p.compressed_input * ratio;
+                    let compressed_bytes = p.compressed_input * af.ratio;
                     t + compressed_bytes / self.config.compression.decompress_speed()
                 } else {
                     t
@@ -480,6 +755,8 @@ impl Engine {
                 }
                 needs_schedule = true;
             }
+            completed.clear();
+            self.completed_scratch = completed;
             if raw_exhausted {
                 needs_schedule = true;
             }
@@ -492,7 +769,8 @@ impl Engine {
                 }
             }
 
-            now += delta;
+            idx += 1;
+            let now = idx as f64 * delta;
 
             // Stall and horizon safety nets.
             if !progressed && !admitted {
@@ -522,10 +800,11 @@ impl Engine {
             });
         }
         // Flows still active at abort keep partial accounting.
-        for (id, p) in &self.active {
-            if let Some(rec) = flow_records.get_mut(id) {
-                rec.wire_bytes = p.wire_bytes;
-                rec.compressed_input = p.compressed_input;
+        self.materialize_all(idx, speed, delta);
+        for af in &self.active {
+            if let Some(rec) = flow_records.get_mut(&af.p.spec.id) {
+                rec.wire_bytes = af.p.wire_bytes;
+                rec.compressed_input = af.p.compressed_input;
             }
         }
         coflow_records.sort_by(|a, b| {
@@ -545,13 +824,105 @@ impl Engine {
         }
     }
 
-    fn view(&self, now: f64) -> FabricView<'_> {
-        let flows: Vec<FlowView> = self
-            .active
-            .values()
-            .filter(|p| !p.is_complete())
-            .map(FlowView::from_progress)
-            .collect();
+    /// Materialize every active flow's state at boundary `idx`.
+    fn materialize_all(&mut self, idx: u64, speed: f64, delta: f64) {
+        for af in &mut self.active {
+            let n = idx - af.seg;
+            af.materialize(n, speed, delta);
+        }
+    }
+
+    /// The first slice index ≥ `idx` whose processing (or whose boundary)
+    /// does something observable: a flow completion, a raw exhaustion, a
+    /// coflow arrival, a timeline sample, or the horizon check. Returning
+    /// `idx` means "don't skip".
+    fn skip_target(&self, idx: u64, speed: f64, delta: f64, next_sample: Option<f64>) -> u64 {
+        let mut target = u64::MAX;
+        let mut any_progress = false;
+        for af in &self.active {
+            let n0 = idx - af.seg;
+            if af.cmd.compress {
+                if speed <= 0.0 || af.raw_at(n0, speed, delta) <= VOLUME_EPS {
+                    continue;
+                }
+                any_progress = true;
+                let est = (af.base_raw - VOLUME_EPS) / (speed * delta);
+                let found =
+                    first_slice_satisfying(est, n0, |n| af.raw_at(n, speed, delta) <= VOLUME_EPS);
+                match found {
+                    Some(n) => target = target.min(af.seg + n - 1),
+                    None => return idx,
+                }
+            } else if af.cmd.rate > 0.0 {
+                if af.volume_at(n0, speed, delta) <= VOLUME_EPS {
+                    // Already complete (can only arise through an exotic
+                    // command sequence); the naive path retires it this
+                    // slice, so don't jump over that.
+                    return idx;
+                }
+                any_progress = true;
+                let est = (af.base_raw + af.base_compressed - VOLUME_EPS) / (af.cmd.rate * delta);
+                let found = first_slice_satisfying(est, n0, |n| {
+                    af.volume_at(n, speed, delta) <= VOLUME_EPS
+                });
+                match found {
+                    Some(n) => target = target.min(af.seg + n - 1),
+                    None => return idx,
+                }
+            }
+        }
+        if !any_progress && self.pending.is_empty() {
+            // The stall counter must tick slice-by-slice towards termination.
+            return idx;
+        }
+        // Next admission boundary.
+        if let Some(c) = self.pending.last() {
+            let arr = c.arrival;
+            let est = (arr - 1e-12) / delta;
+            match first_slice_satisfying(est, idx, |b| arr <= b as f64 * delta + 1e-12) {
+                Some(b) => target = target.min(b),
+                None => return idx,
+            }
+        }
+        // Next timeline sample (taken while processing slice j with
+        // j·δ ≥ next_sample).
+        if let Some(ns) = next_sample {
+            if idx as f64 * delta >= ns {
+                return idx;
+            }
+            match first_slice_satisfying(ns / delta, idx, |j| j as f64 * delta >= ns) {
+                Some(j) => target = target.min(j),
+                None => return idx,
+            }
+        }
+        // Horizon: the loop breaks after processing slice j when
+        // (j+1)·δ > max_time; that slice must be processed naively.
+        let mt = self.config.max_time;
+        if (idx + 1) as f64 * delta > mt {
+            return idx;
+        }
+        match first_slice_satisfying(mt / delta, idx, |j| (j + 1) as f64 * delta > mt) {
+            Some(j) => target = target.min(j),
+            None => return idx,
+        }
+        if target == u64::MAX {
+            idx
+        } else {
+            target.max(idx)
+        }
+    }
+
+    /// Build the policy-facing snapshot at `now`, reusing `flows` as the
+    /// backing buffer (it is returned to the scratch slot afterwards).
+    fn view_into(&self, now: f64, mut flows: Vec<FlowView>) -> FabricView<'_> {
+        flows.clear();
+        flows.extend(
+            self.active
+                .iter()
+                .filter(|af| !af.p.is_complete())
+                .map(|af| FlowView::from_progress(&af.p)),
+        );
+        flows.sort_unstable_by_key(|f| f.id);
         FabricView {
             now,
             slice: self.config.slice,
@@ -565,37 +936,55 @@ impl Engine {
     /// Limit compression commands per sender to the node's free cores; the
     /// paper's compression strategy requires "CPU resources are enough"
     /// (Pseudocode 1, line 4). Flows whose raw part is already exhausted
-    /// cannot usefully compress either.
-    fn enforce_cpu(&self, alloc: &mut Allocation, now: f64) {
-        let mut used: BTreeMap<NodeId, u32> = BTreeMap::new();
-        let mut downgrade: Vec<FlowId> = Vec::new();
-        for (id, cmd) in alloc.iter() {
+    /// cannot usefully compress either. A flow denied compression falls back
+    /// to *transmitting at its policy-assigned rate* rather than idling —
+    /// idling would discard bandwidth the policy already reserved for it.
+    /// Returns true when any fallback kept a positive rate (the caller
+    /// re-clamps, since compressing flows are invisible to port loads).
+    fn enforce_cpu(
+        cpu: &CpuModel,
+        index: &FxHashMap<FlowId, usize>,
+        active: &[ActiveFlow],
+        cpu_used: &mut Vec<u32>,
+        alloc: &mut Allocation,
+        now: f64,
+    ) -> bool {
+        cpu_used.clear();
+        cpu_used.resize(cpu.num_nodes(), 0);
+        let mut kept_rate = false;
+        // Allocation iterates in ascending flow id, so core grants keep the
+        // deterministic first-come-first-served-by-id order.
+        for (id, cmd) in alloc.iter_mut() {
             if !cmd.compress {
                 continue;
             }
-            let Some(p) = self.active.get(&id) else {
-                downgrade.push(id);
+            let Some(&slot) = index.get(&id) else {
+                *cmd = FlowCommand::IDLE;
                 continue;
             };
-            if p.raw <= VOLUME_EPS || !p.spec.compressible {
-                downgrade.push(id);
-                continue;
-            }
-            let node = p.spec.src;
-            let u = used.entry(node).or_default();
-            if *u >= self.cpu.free_cores(node, now) {
-                downgrade.push(id);
+            let p = &active[slot].p;
+            let denied = p.raw <= VOLUME_EPS
+                || !p.spec.compressible
+                || cpu_used[p.spec.src.index()] >= cpu.free_cores(p.spec.src, now);
+            if denied {
+                *cmd = FlowCommand::transmit(cmd.rate);
+                kept_rate |= cmd.rate > 0.0;
             } else {
-                *u += 1;
+                cpu_used[p.spec.src.index()] += 1;
             }
         }
-        for id in downgrade {
-            alloc.set(id, FlowCommand::IDLE);
-        }
+        kept_rate
     }
 
     fn apply_betas(&mut self, alloc: &Allocation, now: f64, events: &mut EventLog) {
-        for (id, p) in self.active.iter_mut() {
+        // β-change events are emitted in ascending flow id, as before.
+        let mut ids = std::mem::take(&mut self.ids_scratch);
+        ids.clear();
+        ids.extend(self.active.iter().map(|af| af.p.spec.id));
+        ids.sort_unstable();
+        for id in &ids {
+            let slot = self.index[id];
+            let p = &mut self.active[slot].p;
             let new_beta = alloc.get(*id).compress;
             if new_beta != p.beta {
                 let kind = if new_beta {
@@ -607,25 +996,26 @@ impl Engine {
                 p.beta = new_beta;
             }
         }
+        self.ids_scratch = ids;
     }
 
-    fn sample(&self, now: f64, alloc: &Allocation) -> Sample {
+    fn sample(&mut self, now: f64, alloc: &Allocation) -> Sample {
         let mut tx_rate = 0.0;
         let mut compressing = 0usize;
-        let mut comp_cores: BTreeMap<NodeId, u32> = BTreeMap::new();
+        let n = self.fabric.num_nodes();
+        self.cpu_used.clear();
+        self.cpu_used.resize(n, 0);
         for (id, cmd) in alloc.iter() {
-            if !self.active.contains_key(&id) {
+            let Some(&slot) = self.index.get(&id) else {
                 continue;
-            }
+            };
             if cmd.compress {
                 compressing += 1;
-                let node = self.active[&id].spec.src;
-                *comp_cores.entry(node).or_default() += 1;
+                self.cpu_used[self.active[slot].p.spec.src.index()] += 1;
             } else {
                 tx_rate += cmd.rate;
             }
         }
-        let n = self.fabric.num_nodes();
         let mut total_cores = 0.0;
         let mut busy_cores = 0.0;
         for i in 0..n {
@@ -633,9 +1023,11 @@ impl Engine {
             let cores = self.cpu.cores(node) as f64;
             total_cores += cores;
             busy_cores += self.cpu.background_util(node, now) * cores;
-            busy_cores += *comp_cores.get(&node).unwrap_or(&0) as f64;
+            busy_cores += self.cpu_used[i] as f64;
         }
-        let total_egress: f64 = (0..n).map(|i| self.fabric.egress_cap(NodeId(i as u32))).sum();
+        let total_egress: f64 = (0..n)
+            .map(|i| self.fabric.egress_cap(NodeId(i as u32)))
+            .sum();
         Sample {
             time: now,
             active_flows: self.active.len(),
@@ -646,7 +1038,6 @@ impl Engine {
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1040,7 +1431,9 @@ mod decompression_tests {
         let base = Engine::new(
             fabric.clone(),
             coflows.clone(),
-            SimConfig::default().with_slice(0.01).with_compression(spec.clone()),
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_compression(spec.clone()),
         )
         .run(&mut CompressThenSend);
         let modelled = Engine::new(
@@ -1113,7 +1506,9 @@ mod instrumentation_tests {
         assert!(!events.is_empty());
         // Timestamps never decrease by more than a slice (completion events
         // are interpolated inside the slice that detected them).
-        assert!(events.windows(2).all(|w| w[1].time >= w[0].time - 0.05 - 1e-9));
+        assert!(events
+            .windows(2)
+            .all(|w| w[1].time >= w[0].time - 0.05 - 1e-9));
         // Both coflows arrive and complete; arrivals precede completions.
         let arr: Vec<_> = res
             .events
@@ -1176,5 +1571,206 @@ mod instrumentation_tests {
             .filter_map(|f| f.completed_at)
             .fold(0.0, f64::max);
         assert!((res.makespan - last).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod fast_path_tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use crate::policy::FairSharePolicy;
+
+    /// Request compression (with a transmit rate riding along) while raw
+    /// bytes remain, else plain transmission. Mirrors a joint policy that
+    /// always hedges its compression requests with a usable rate.
+    struct CompressWithRate;
+    impl Policy for CompressWithRate {
+        fn name(&self) -> &str {
+            "compress-with-rate"
+        }
+        fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
+            let mut a = Allocation::new();
+            for f in &view.flows {
+                if f.raw > VOLUME_EPS && f.compressible {
+                    a.set(
+                        f.id,
+                        FlowCommand {
+                            rate: 50.0,
+                            compress: true,
+                        },
+                    );
+                } else {
+                    a.set(f.id, FlowCommand::transmit(50.0));
+                }
+            }
+            a
+        }
+    }
+
+    #[test]
+    fn cpu_denied_flow_transmits_at_assigned_rate() {
+        // One compression core, two flows that both ask for it. Flow 0 (the
+        // lower id) wins the core and compresses for 10 s (100 B at 10 B/s);
+        // flow 1 must NOT idle for those 10 s — it falls back to the 50 B/s
+        // rate the policy assigned and finishes in ~2 s, uncompressed.
+        let fabric = Fabric::uniform(2, 100.0);
+        let cpu = CpuModel::unconstrained(2, 1);
+        let spec = Arc::new(ConstCompression::new("slow", 10.0, 0.5));
+        let coflows = vec![Coflow::builder(0)
+            .flow(FlowSpec::new(0, 0, 1, 100.0))
+            .flow(FlowSpec::new(1, 0, 1, 100.0))
+            .build()];
+        let engine = Engine::new(
+            fabric,
+            coflows,
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_cpu(cpu)
+                .with_compression(spec),
+        );
+        let res = engine.run(&mut CompressWithRate);
+        assert!(res.all_complete());
+        let f1 = &res.flows[1];
+        let fct1 = f1.fct().unwrap();
+        assert!((fct1 - 2.0).abs() < 0.1, "denied flow should send: {fct1}");
+        // It never got a core, so every byte went out raw.
+        assert!(
+            (f1.wire_bytes - 100.0).abs() < 1.0,
+            "wire={}",
+            f1.wire_bytes
+        );
+        assert_eq!(f1.compressed_input, 0.0);
+        // The winner still compressed: 100 raw → 50 wire bytes.
+        let f0 = &res.flows[0];
+        assert!((f0.wire_bytes - 50.0).abs() < 1.0, "wire={}", f0.wire_bytes);
+    }
+
+    fn staggered_trace() -> Vec<Coflow> {
+        vec![
+            Coflow::builder(0)
+                .arrival(0.0)
+                .flow(FlowSpec::new(0, 0, 1, 1000.0))
+                .flow(FlowSpec::new(1, 0, 2, 400.0))
+                .build(),
+            Coflow::builder(1)
+                .arrival(3.137)
+                .flow(FlowSpec::new(2, 1, 2, 700.0))
+                .build(),
+            Coflow::builder(2)
+                .arrival(20.0)
+                .flow(FlowSpec::new(3, 2, 0, 100.0))
+                .build(),
+        ]
+    }
+
+    fn assert_bit_identical(fast: &SimResult, naive: &SimResult) {
+        assert_eq!(fast.flows, naive.flows);
+        assert_eq!(fast.coflows, naive.coflows);
+        assert_eq!(fast.makespan.to_bits(), naive.makespan.to_bits());
+        assert_eq!(fast.reschedules, naive.reschedules);
+        assert_eq!(fast.timeline.samples(), naive.timeline.samples());
+    }
+
+    #[test]
+    fn skip_ahead_is_bit_identical_to_naive_loop() {
+        let fabric = Fabric::uniform(3, 100.0);
+        let cfg = SimConfig::default()
+            .with_slice(0.01)
+            .with_reschedule(Reschedule::EventsOnly)
+            .with_sampling(0.5);
+        let fast =
+            Engine::new(fabric.clone(), staggered_trace(), cfg.clone()).run(&mut FairSharePolicy);
+        let naive = Engine::new(fabric, staggered_trace(), cfg.without_skip_ahead())
+            .run(&mut FairSharePolicy);
+        assert!(fast.all_complete());
+        assert_bit_identical(&fast, &naive);
+    }
+
+    #[test]
+    fn skip_ahead_is_bit_identical_with_compression() {
+        // Compression exercises the raw-exhaustion skip bound and the
+        // compress → transmit segment switch.
+        struct CompressThenSend;
+        impl Policy for CompressThenSend {
+            fn name(&self) -> &str {
+                "compress-then-send"
+            }
+            fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
+                let mut a = Allocation::new();
+                for f in &view.flows {
+                    if f.raw > VOLUME_EPS && f.compressible {
+                        a.set(f.id, FlowCommand::compressing());
+                    } else {
+                        a.set(f.id, FlowCommand::transmit(view.min_port_cap(f)));
+                    }
+                }
+                a
+            }
+        }
+        let fabric = Fabric::uniform(3, 100.0);
+        let spec = Arc::new(ConstCompression::new("test", 300.0, 0.4));
+        let cfg = SimConfig::default()
+            .with_slice(0.01)
+            .with_reschedule(Reschedule::EventsOnly)
+            .with_compression(spec);
+        let fast =
+            Engine::new(fabric.clone(), staggered_trace(), cfg.clone()).run(&mut CompressThenSend);
+        let naive = Engine::new(fabric, staggered_trace(), cfg.without_skip_ahead())
+            .run(&mut CompressThenSend);
+        assert!(fast.all_complete());
+        assert_bit_identical(&fast, &naive);
+    }
+
+    #[test]
+    fn events_only_matches_every_slice_on_static_trace() {
+        // A single arrival and a stateless policy: after the one reschedule
+        // the allocation never changes, so the cadences must walk the exact
+        // same closed-form trajectory.
+        let fabric = Fabric::uniform(3, 100.0);
+        let coflows = vec![Coflow::builder(0)
+            .arrival(0.0)
+            .flow(FlowSpec::new(0, 0, 1, 1000.0))
+            .flow(FlowSpec::new(1, 0, 2, 400.0))
+            .build()];
+        let every = Engine::new(
+            fabric.clone(),
+            coflows.clone(),
+            SimConfig::default().with_slice(0.01),
+        )
+        .run(&mut FairSharePolicy);
+        let events_only = Engine::new(
+            fabric,
+            coflows,
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_reschedule(Reschedule::EventsOnly),
+        )
+        .run(&mut FairSharePolicy);
+        assert_eq!(every.flows, events_only.flows);
+        assert_eq!(every.coflows, events_only.coflows);
+        assert_eq!(every.makespan.to_bits(), events_only.makespan.to_bits());
+    }
+
+    #[test]
+    fn skip_ahead_jumps_in_one_reschedule_worth_of_slices() {
+        // 1000 B at 100 B/s with δ = 1 ms is 10 000 slices; the skip path
+        // must land on the completion slice without visibly iterating (the
+        // reschedule count proves the engine saw only the two events).
+        let fabric = Fabric::uniform(2, 100.0);
+        let coflows = vec![Coflow::builder(0)
+            .arrival(0.0)
+            .flow(FlowSpec::new(0, 0, 1, 1000.0))
+            .build()];
+        let res = Engine::new(
+            fabric,
+            coflows,
+            SimConfig::default()
+                .with_slice(0.001)
+                .with_reschedule(Reschedule::EventsOnly),
+        )
+        .run(&mut FairSharePolicy);
+        assert!(res.all_complete());
+        assert!((res.avg_fct() - 10.0).abs() < 1e-6);
+        assert!(res.reschedules <= 2, "reschedules={}", res.reschedules);
     }
 }

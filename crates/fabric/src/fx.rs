@@ -1,0 +1,119 @@
+//! A small, dependency-free implementation of the FxHash function used by
+//! rustc and Firefox (the same algorithm `rustc-hash` packages). The engine's
+//! hot path keys maps by dense integer ids ([`crate::FlowId`],
+//! [`crate::NodeId`]); FxHash turns those into well-mixed hashes with a single
+//! multiply-rotate per word, which benchmarks far ahead of SipHash for this
+//! workload. The workspace is offline-friendly, so the ~40 lines live here
+//! instead of pulling the `rustc-hash` crate.
+//!
+//! Determinism note: FxHash is a fixed function of the key bytes (no per-map
+//! random seed like `RandomState`), so iteration order of an `FxHashMap` is
+//! stable across runs for the same insertion sequence. The engine still never
+//! *iterates* hash maps where ordering is observable — sorted vectors carry
+//! all semantic orderings — but stability is a useful second line of defence
+//! for reproducibility.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Fx algorithm (64-bit golden-ratio mix).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The FxHash streaming hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; zero-sized and seed-free.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using FxHash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using FxHash.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips_and_is_seed_free() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&3), None);
+        // Same key hashes identically across hasher instances (no seed).
+        let h = |k: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(k);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn write_handles_unaligned_tails() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world!!");
+        let mut b = FxHasher::default();
+        b.write(b"hello world!?");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -45,6 +45,7 @@ pub mod cpu;
 pub mod engine;
 pub mod event;
 pub mod flow;
+pub mod fx;
 pub mod ids;
 pub mod policy;
 pub mod port;
@@ -58,6 +59,7 @@ pub use cpu::{CpuModel, CpuTrace};
 pub use engine::{CoflowRecord, Engine, FlowRecord, SimConfig, SimResult};
 pub use event::{Event, EventKind, EventLog};
 pub use flow::{FlowProgress, FlowSpec};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{CoflowId, FlowId, NodeId};
 pub use policy::Policy;
 pub use port::Fabric;

@@ -220,7 +220,11 @@ mod tests {
             &fabric,
             &cpu,
             &comp,
-            vec![fv(1, 1, 0, 1, 5.0), fv(2, 1, 0, 2, 3.0), fv(3, 2, 1, 2, 7.0)],
+            vec![
+                fv(1, 1, 0, 1, 5.0),
+                fv(2, 1, 0, 2, 3.0),
+                fv(3, 2, 1, 2, 7.0),
+            ],
         );
         assert_eq!(v.flow(FlowId(2)).unwrap().original_size, 3.0);
         assert!(v.flow(FlowId(9)).is_none());
@@ -256,8 +260,7 @@ mod tests {
 
     #[test]
     fn flow_view_from_progress_carries_state() {
-        let mut p =
-            FlowProgress::new(FlowSpec::new(7, 1, 2, 100.0), CoflowId(3), 4.0);
+        let mut p = FlowProgress::new(FlowSpec::new(7, 1, 2, 100.0), CoflowId(3), 4.0);
         p.compress_for(1.0, 10.0, 0.5);
         let v = FlowView::from_progress(&p);
         assert_eq!(v.id, FlowId(7));

@@ -13,7 +13,7 @@
 //! Included as an extra baseline: it bounds what Swallow's *scheduling* half
 //! is worth relative to a scheduler that needs no prior knowledge.
 
-use crate::util::{ordered_backfill, Residual};
+use crate::util::{ordered_backfill_with, Residual};
 use std::collections::BTreeMap;
 use swallow_fabric::{Allocation, Coflow, CoflowId, FabricView, FlowCommand, FlowId, Policy};
 
@@ -31,6 +31,13 @@ pub struct AaloPolicy {
     /// remaining sizes up front).
     observed_total: BTreeMap<CoflowId, f64>,
     arrivals: BTreeMap<CoflowId, f64>,
+    // Scratch buffers reused across reschedules: per-coflow
+    // (id, remaining, original) aggregation, the (queue, arrival, id)
+    // service order, the backfill flow order, and the residual tracker.
+    agg: Vec<(CoflowId, f64, f64)>,
+    order: Vec<(usize, f64, CoflowId)>,
+    flow_order: Vec<FlowId>,
+    residual: Residual,
 }
 
 impl AaloPolicy {
@@ -44,6 +51,10 @@ impl AaloPolicy {
             num_queues: 10,
             observed_total: BTreeMap::new(),
             arrivals: BTreeMap::new(),
+            agg: Vec::new(),
+            order: Vec::new(),
+            flow_order: Vec::new(),
+            residual: Residual::empty(),
         }
     }
 
@@ -81,54 +92,62 @@ impl Policy for AaloPolicy {
     }
 
     fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
+        let mut agg = std::mem::take(&mut self.agg);
+        let mut order = std::mem::take(&mut self.order);
+        let mut flow_order = std::mem::take(&mut self.flow_order);
+
         // Attained service per coflow: the first time we see a flow fixes
         // its "original" size; attained = observed original − remaining.
         // (The observation is causal: we only ever use bytes already sent.)
-        let mut remaining: BTreeMap<CoflowId, f64> = BTreeMap::new();
-        let mut original: BTreeMap<CoflowId, f64> = BTreeMap::new();
+        // Aggregated into a coflow-sorted scratch vector; the sorted-insert
+        // keeps per-coflow sums in flow-id order, so totals are reproducible.
+        agg.clear();
         for f in &view.flows {
-            *remaining.entry(f.coflow).or_default() += f.volume();
-            *original.entry(f.coflow).or_default() += f.original_size;
+            match agg.binary_search_by_key(&f.coflow, |&(cid, ..)| cid) {
+                Ok(i) => {
+                    agg[i].1 += f.volume();
+                    agg[i].2 += f.original_size;
+                }
+                Err(i) => agg.insert(i, (f.coflow, f.volume(), f.original_size)),
+            }
         }
-        for (cid, total) in &original {
-            let entry = self.observed_total.entry(*cid).or_insert(*total);
+        for &(cid, _, total) in &agg {
+            let entry = self.observed_total.entry(cid).or_insert(total);
             // New flows of a known coflow can only grow the total.
-            *entry = entry.max(*total);
+            *entry = entry.max(total);
         }
 
         // Order: (queue, arrival, id).
-        let mut order: Vec<(usize, f64, CoflowId)> = remaining
-            .keys()
-            .map(|cid| {
-                let attained = (self.observed_total[cid] - remaining[cid]).max(0.0);
-                let q = self.queue_of(attained);
-                let arr = self.arrivals.get(cid).copied().unwrap_or(0.0);
-                (q, arr, *cid)
-            })
-            .collect();
-        order.sort_by(|a, b| {
-            a.0.cmp(&b.0)
-                .then(a.1.total_cmp(&b.1))
-                .then(a.2.cmp(&b.2))
-        });
+        order.clear();
+        for &(cid, remaining, _) in &agg {
+            let attained = (self.observed_total[&cid] - remaining).max(0.0);
+            let q = self.queue_of(attained);
+            let arr = self.arrivals.get(&cid).copied().unwrap_or(0.0);
+            order.push((q, arr, cid));
+        }
+        order.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2)));
 
         // Greedy full-rate service in that order (Aalo's intra-queue FIFO
         // with strict inter-queue priority), then ordered backfill.
-        let mut residual = Residual::new(view);
-        let mut alloc = Allocation::new();
-        let mut flow_order: Vec<FlowId> = Vec::new();
-        for (_, _, cid) in &order {
-            let mut flows: Vec<&swallow_fabric::FlowView> = view.coflow_flows(*cid).collect();
-            flows.sort_by_key(|f| f.id);
-            for f in flows {
+        self.residual.reset(view);
+        let mut alloc = Allocation::with_capacity(view.flows.len());
+        flow_order.clear();
+        for &(_, _, cid) in &order {
+            // `coflow_flows` yields flows in ascending id order (the view is
+            // id-sorted), which is the service order Aalo uses here.
+            for f in view.coflow_flows(cid) {
                 flow_order.push(f.id);
-                let granted = residual.take(f.src, f.dst, f64::INFINITY);
+                let granted = self.residual.take(f.src, f.dst, f64::INFINITY);
                 if granted > 0.0 {
                     alloc.set(f.id, FlowCommand::transmit(granted));
                 }
             }
         }
-        ordered_backfill(view, &mut alloc, &flow_order);
+        ordered_backfill_with(view, &mut alloc, &flow_order, &mut self.residual);
+
+        self.agg = agg;
+        self.order = order;
+        self.flow_order = flow_order;
         alloc
     }
 }
@@ -164,8 +183,7 @@ mod tests {
                 .build(),
         ];
         let mut p = AaloPolicy::new(1.0);
-        let res = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.05))
-            .run(&mut p);
+        let res = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.05)).run(&mut p);
         assert!(res.all_complete());
         let mouse = res.coflows.iter().find(|c| c.id == CoflowId(1)).unwrap();
         let elephant = res.coflows.iter().find(|c| c.id == CoflowId(0)).unwrap();
@@ -208,13 +226,16 @@ mod tests {
         )
         .run(&mut aalo);
         let mut sebf = crate::ordered::OrderedPolicy::sebf();
-        let sebf_res = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.01))
-            .run(&mut sebf);
+        let sebf_res =
+            Engine::new(fabric, coflows, SimConfig::default().with_slice(0.01)).run(&mut sebf);
         assert!(aalo_res.all_complete() && sebf_res.all_complete());
         // Non-clairvoyance costs something but stays in SEBF's ballpark
         // (Aalo's paper reports within ~1.2× of Varys).
         let ratio = aalo_res.avg_cct() / sebf_res.avg_cct();
-        assert!(ratio >= 0.95, "Aalo should not beat clairvoyant SEBF: {ratio}");
+        assert!(
+            ratio >= 0.95,
+            "Aalo should not beat clairvoyant SEBF: {ratio}"
+        );
         assert!(ratio < 2.0, "Aalo too far behind SEBF: {ratio}");
     }
 }

@@ -6,8 +6,8 @@
 //! original size): with compression enabled, at best `xi · V` bytes must
 //! still cross the wire, so scaling volumes by `xi` keeps the bounds valid.
 
-use swallow_fabric::{Coflow, Fabric, NodeId};
 use std::collections::BTreeMap;
+use swallow_fabric::{Coflow, Fabric, NodeId};
 
 /// The isolation (effective bottleneck) bound on one coflow's CCT: even
 /// alone on the fabric, its most-loaded port needs this long.
@@ -143,8 +143,12 @@ mod tests {
         // bound exactly.
         let fabric = Fabric::uniform(2, 10.0);
         let coflows = vec![
-            Coflow::builder(0).flow(FlowSpec::new(0, 0, 1, 60.0)).build(),
-            Coflow::builder(1).flow(FlowSpec::new(1, 0, 1, 40.0)).build(),
+            Coflow::builder(0)
+                .flow(FlowSpec::new(0, 0, 1, 60.0))
+                .build(),
+            Coflow::builder(1)
+                .flow(FlowSpec::new(1, 0, 1, 40.0))
+                .build(),
         ];
         let mut policy = crate::ordered::OrderedPolicy::sebf();
         let res = Engine::new(
@@ -154,7 +158,11 @@ mod tests {
         )
         .run(&mut policy);
         let bound = makespan_bound(&coflows, &fabric, 1.0);
-        assert!((res.makespan - bound).abs() < 0.05, "{} vs {bound}", res.makespan);
+        assert!(
+            (res.makespan - bound).abs() < 0.05,
+            "{} vs {bound}",
+            res.makespan
+        );
     }
 
     #[test]

@@ -100,8 +100,12 @@ mod tests {
 
     fn trace_two_on_one_port() -> Vec<Coflow> {
         vec![
-            Coflow::builder(0).flow(FlowSpec::new(0, 0, 1, 90.0)).build(),
-            Coflow::builder(1).flow(FlowSpec::new(1, 0, 2, 30.0)).build(),
+            Coflow::builder(0)
+                .flow(FlowSpec::new(0, 0, 1, 90.0))
+                .build(),
+            Coflow::builder(1)
+                .flow(FlowSpec::new(1, 0, 2, 30.0))
+                .build(),
         ]
     }
 

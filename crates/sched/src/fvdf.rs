@@ -16,10 +16,10 @@
 //!    minimum required rate `r = V_f / Γ_C` (§IV-A5) and backfilling the
 //!    leftover bandwidth work-conservingly.
 
-use crate::util::{ordered_backfill, Residual};
+use crate::util::{ordered_backfill_with, Residual};
 use std::collections::BTreeMap;
 use swallow_fabric::{
-    Allocation, Coflow, CoflowId, FabricView, FlowCommand, NodeId, Policy, VOLUME_EPS,
+    Allocation, Coflow, CoflowId, FabricView, FlowCommand, FlowId, NodeId, Policy, VOLUME_EPS,
 };
 
 /// How the compression decision is made — the granularity axis of the
@@ -80,6 +80,14 @@ pub struct FvdfPolicy {
     /// Coflows that received no service (no primary rate, no compression)
     /// in the latest allocation — the ones `Upgrade` boosts.
     starved: Vec<CoflowId>,
+    // Scratch buffers reused across reschedules so `allocate` performs no
+    // steady-state heap allocation beyond the returned `Allocation`.
+    cores_used: Vec<u32>,
+    cids: Vec<CoflowId>,
+    plan_flows: Vec<FlowPlan>,
+    plan_index: Vec<(CoflowId, f64, u32, u32)>,
+    flow_order: Vec<FlowId>,
+    residual: Residual,
 }
 
 impl FvdfPolicy {
@@ -95,6 +103,12 @@ impl FvdfPolicy {
             config,
             priority: BTreeMap::new(),
             starved: Vec::new(),
+            cores_used: Vec::new(),
+            cids: Vec::new(),
+            plan_flows: Vec::new(),
+            plan_index: Vec::new(),
+            flow_order: Vec::new(),
+            residual: Residual::empty(),
         }
     }
 
@@ -134,8 +148,9 @@ impl Default for FvdfPolicy {
 }
 
 /// Per-flow decision computed during `TimeCalculation`.
+#[derive(Debug, Clone)]
 struct FlowPlan {
-    id: swallow_fabric::FlowId,
+    id: FlowId,
     src: NodeId,
     dst: NodeId,
     volume: f64,
@@ -165,24 +180,42 @@ impl Policy for FvdfPolicy {
         let delta = view.slice;
         let r_speed = view.compression.speed();
 
+        // Detach the scratch buffers from `self` so the priority lookups
+        // below can still borrow the policy; they are restored before
+        // returning, carrying their capacity to the next reschedule.
+        let mut cores_used = std::mem::take(&mut self.cores_used);
+        let mut cids = std::mem::take(&mut self.cids);
+        let mut plan_flows = std::mem::take(&mut self.plan_flows);
+        let mut plan_index = std::mem::take(&mut self.plan_index);
+        let mut flow_order = std::mem::take(&mut self.flow_order);
+        let mut residual = std::mem::replace(&mut self.residual, Residual::empty());
+
         // Track CPU cores committed to compression per sender while making
         // the β decisions, so "CPU resources are enough" (Pseudocode 1,
         // line 4) accounts for flows already granted a core this round.
-        let mut cores_used: BTreeMap<NodeId, u32> = BTreeMap::new();
+        cores_used.clear();
+        cores_used.resize(view.fabric.num_nodes(), 0);
 
-        // TimeCalculation per coflow (Pseudocode 2, lines 12–23).
-        let mut plans: Vec<(CoflowId, f64, Vec<FlowPlan>)> = Vec::new();
-        for cid in view.coflow_ids() {
+        // Distinct active coflows, ascending — same order `coflow_ids()`
+        // produces, without the per-call vector.
+        cids.clear();
+        cids.extend(view.flows.iter().map(|f| f.coflow));
+        cids.sort_unstable();
+        cids.dedup();
+
+        // TimeCalculation per coflow (Pseudocode 2, lines 12–23). Plans are
+        // flattened: `plan_flows` holds every coflow's flows contiguously and
+        // `plan_index` records `(coflow, Γ, start, len)` slices into it.
+        plan_flows.clear();
+        plan_index.clear();
+        for &cid in &cids {
             let mut gamma_c = 0.0f64;
-            let mut flows = Vec::new();
+            let start = plan_flows.len() as u32;
             for f in view.coflow_flows(cid) {
                 let b = view.min_port_cap(f);
                 let xi = view.compression.ratio(f.original_size);
                 // CompressionStrategy (Pseudocode 1).
-                let cpu_ok = {
-                    let used = cores_used.get(&f.src).copied().unwrap_or(0);
-                    used < view.free_cores(f.src)
-                };
+                let cpu_ok = cores_used[f.src.index()] < view.free_cores(f.src);
                 let gate_open = match self.config.gate {
                     GateMode::PerFlow => r_speed * (1.0 - xi) > b,
                     GateMode::AlwaysOn => r_speed > 0.0,
@@ -194,7 +227,7 @@ impl Policy for FvdfPolicy {
                     && cpu_ok
                     && gate_open;
                 if beta {
-                    *cores_used.entry(f.src).or_default() += 1;
+                    cores_used[f.src.index()] += 1;
                 }
                 // Eq. (7): worst-case expected FCT assuming compression is
                 // disabled after the current slice.
@@ -204,7 +237,7 @@ impl Policy for FvdfPolicy {
                 let disposal = if beta { delta_c } else { delta_t };
                 let gamma_f = delta + (v - disposal).max(0.0) / b;
                 gamma_c = gamma_c.max(gamma_f);
-                flows.push(FlowPlan {
+                plan_flows.push(FlowPlan {
                     id: f.id,
                     src: f.src,
                     dst: f.dst,
@@ -212,30 +245,31 @@ impl Policy for FvdfPolicy {
                     beta,
                 });
             }
+            let len = plan_flows.len() as u32 - start;
             // Online: adjusted Γ_C = Γ_C / P (Pseudocode 2, lines 4–6).
             let adjusted = if self.config.online {
                 gamma_c / self.priority_of(cid)
             } else {
                 gamma_c
             };
-            plans.push((cid, adjusted, flows));
+            plan_index.push((cid, adjusted, start, len));
         }
 
         // Shortest-Γ_C-First (Pseudocode 2, line 9).
-        plans.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        plan_index.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
 
         // VolumeDisposal (Pseudocode 2, lines 24–35): compress β-flows; give
         // transmitting flows the minimum rate r = V_f / Γ_C on the residual
         // capacity.
-        let mut residual = Residual::new(view);
-        let mut alloc = Allocation::new();
-        let mut flow_order: Vec<swallow_fabric::FlowId> = Vec::new();
-        for (_cid, adjusted_gamma, flows) in &plans {
+        residual.reset(view);
+        let mut alloc = Allocation::with_capacity(view.flows.len());
+        flow_order.clear();
+        for &(_cid, adjusted_gamma, start, len) in plan_index.iter() {
             // `r = f.V / C.Γ_C` uses the coflow's *unadjusted* completion
             // target; with aging we keep the adjusted value as the target so
             // long-starved coflows also get faster rates once scheduled.
             let gamma = adjusted_gamma.max(delta);
-            for f in flows {
+            for f in &plan_flows[start as usize..(start + len) as usize] {
                 if f.beta {
                     alloc.set(f.id, FlowCommand::compressing());
                 } else {
@@ -250,21 +284,30 @@ impl Policy for FvdfPolicy {
         }
         // A coflow counts as starved when the primary pass gave none of its
         // flows a rate or a compression slot; `Upgrade` will raise it.
-        self.starved = plans
-            .iter()
-            .filter(|(_, _, flows)| {
-                flows
-                    .iter()
-                    .all(|f| !f.beta && alloc.get(f.id).rate <= 0.0)
-            })
-            .map(|(cid, _, _)| *cid)
-            .collect();
+        self.starved.clear();
+        self.starved.extend(
+            plan_index
+                .iter()
+                .filter(|&&(_, _, start, len)| {
+                    plan_flows[start as usize..(start + len) as usize]
+                        .iter()
+                        .all(|f| !f.beta && alloc.get(f.id).rate <= 0.0)
+                })
+                .map(|&(cid, ..)| cid),
+        );
         if self.config.backfill {
             // Leftover bandwidth flows to coflows in priority order (the
             // Varys backfilling rule), keeping the allocation work-
             // conserving without inverting the Γ order.
-            ordered_backfill(view, &mut alloc, &flow_order);
+            ordered_backfill_with(view, &mut alloc, &flow_order, &mut residual);
         }
+
+        self.cores_used = cores_used;
+        self.cids = cids;
+        self.plan_flows = plan_flows;
+        self.plan_index = plan_index;
+        self.flow_order = flow_order;
+        self.residual = residual;
         alloc
     }
 }
@@ -472,8 +515,12 @@ mod tests {
         let cpu = swallow_fabric::CpuModel::unconstrained(6, 8);
         let comp = ConstCompression::disabled();
         let mut policy = FvdfPolicy::new();
-        let a = Coflow::builder(1).flow(FlowSpec::new(0, 0, 1, 50.0)).build();
-        let b = Coflow::builder(2).flow(FlowSpec::new(1, 2, 3, 50.0)).build();
+        let a = Coflow::builder(1)
+            .flow(FlowSpec::new(0, 0, 1, 50.0))
+            .build();
+        let b = Coflow::builder(2)
+            .flow(FlowSpec::new(1, 2, 3, 50.0))
+            .build();
         policy.on_arrival(&a, 0.0);
         policy.on_arrival(&b, 0.0);
         let flows = vec![
@@ -539,11 +586,7 @@ mod tests {
     fn cpu_exhaustion_falls_back_to_transmission() {
         // Zero free cores anywhere: β must be 0 for every flow even though
         // Eq. 3 favours compression.
-        let cpu = swallow_fabric::CpuModel::uniform(
-            6,
-            4,
-            swallow_fabric::CpuTrace::constant(1.0),
-        );
+        let cpu = swallow_fabric::CpuModel::uniform(6, 4, swallow_fabric::CpuTrace::constant(1.0));
         let comp: Arc<dyn swallow_fabric::view::CompressionSpec> =
             Arc::new(ProfiledCompression::constant(Table2::Lz4));
         let res = Engine::new(

@@ -12,10 +12,8 @@
 //! * **NCF** — narrowest (fewest distinct ports);
 //! * **LCF** — least coflow length (smallest largest-flow).
 
-use crate::util::{madd_rates, ordered_backfill, Residual};
-use swallow_fabric::{
-    Allocation, CoflowId, FabricView, FlowCommand, FlowId, NodeId, Policy,
-};
+use crate::util::{madd_rates, ordered_backfill_with, Residual};
+use swallow_fabric::{Allocation, CoflowId, FabricView, FlowCommand, FlowId, NodeId, Policy};
 
 /// How a scheduled coflow's flows receive bandwidth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +64,14 @@ pub struct OrderedPolicy {
     /// bandwidth, later ones wait even on idle ports. This is FIFO's
     /// head-of-line blocking as drawn in Fig. 4(c).
     exclusive: bool,
+    // Scratch buffers reused across reschedules; ordering keys are computed
+    // once per coflow per allocation rather than inside the sort comparator.
+    keyed: Vec<(f64, CoflowId)>,
+    flows_scratch: Vec<(FlowId, NodeId, NodeId, f64)>,
+    flow_order: Vec<FlowId>,
+    node_e: Vec<f64>,
+    node_i: Vec<f64>,
+    residual: Residual,
 }
 
 impl OrderedPolicy {
@@ -75,6 +81,12 @@ impl OrderedPolicy {
             order,
             discipline: RateDiscipline::Madd,
             exclusive: false,
+            keyed: Vec::new(),
+            flows_scratch: Vec::new(),
+            flow_order: Vec::new(),
+            node_e: Vec::new(),
+            node_i: Vec::new(),
+            residual: Residual::empty(),
         }
     }
 
@@ -87,9 +99,8 @@ impl OrderedPolicy {
     /// in arrival order.
     pub fn fifo() -> Self {
         Self {
-            order: CoflowOrder::Fifo,
-            discipline: RateDiscipline::Greedy,
             exclusive: true,
+            ..Self::new(CoflowOrder::Fifo).with_discipline(RateDiscipline::Greedy)
         }
     }
 
@@ -105,43 +116,58 @@ impl OrderedPolicy {
         self
     }
 
-    fn key(&self, view: &FabricView<'_>, coflow: CoflowId) -> f64 {
-        let flows: Vec<_> = view.coflow_flows(coflow).collect();
+    fn key(&mut self, view: &FabricView<'_>, coflow: CoflowId) -> f64 {
         match self.order {
             CoflowOrder::Sebf => {
                 // Effective bottleneck on the *full* port capacity, using
                 // remaining volumes (Varys recomputes Γ as flows progress).
-                let mut e: std::collections::BTreeMap<NodeId, f64> = Default::default();
-                let mut i: std::collections::BTreeMap<NodeId, f64> = Default::default();
-                for f in &flows {
-                    *e.entry(f.src).or_default() += f.volume();
-                    *i.entry(f.dst).or_default() += f.volume();
+                let n = view.fabric.num_nodes();
+                self.node_e.clear();
+                self.node_e.resize(n, 0.0);
+                self.node_i.clear();
+                self.node_i.resize(n, 0.0);
+                for f in view.coflow_flows(coflow) {
+                    self.node_e[f.src.index()] += f.volume();
+                    self.node_i[f.dst.index()] += f.volume();
                 }
-                let send = e
-                    .iter()
-                    .map(|(n, v)| v / view.fabric.egress_cap(*n))
-                    .fold(0.0, f64::max);
-                let recv = i
-                    .iter()
-                    .map(|(n, v)| v / view.fabric.ingress_cap(*n))
-                    .fold(0.0, f64::max);
-                send.max(recv)
+                let mut bottleneck = 0.0f64;
+                for (idx, v) in self.node_e.iter().enumerate() {
+                    if *v > 0.0 {
+                        bottleneck = bottleneck.max(v / view.fabric.egress_cap(NodeId(idx as u32)));
+                    }
+                }
+                for (idx, v) in self.node_i.iter().enumerate() {
+                    if *v > 0.0 {
+                        bottleneck =
+                            bottleneck.max(v / view.fabric.ingress_cap(NodeId(idx as u32)));
+                    }
+                }
+                bottleneck
             }
-            CoflowOrder::Fifo => flows
-                .iter()
+            CoflowOrder::Fifo => view
+                .coflow_flows(coflow)
                 .map(|f| f.arrival)
                 .fold(f64::INFINITY, f64::min),
-            CoflowOrder::Scf => flows.iter().map(|f| f.volume()).sum(),
+            CoflowOrder::Scf => view.coflow_flows(coflow).map(|f| f.volume()).sum(),
             CoflowOrder::Ncf => {
-                let mut srcs: Vec<NodeId> = flows.iter().map(|f| f.src).collect();
-                let mut dsts: Vec<NodeId> = flows.iter().map(|f| f.dst).collect();
-                srcs.sort_unstable();
-                srcs.dedup();
-                dsts.sort_unstable();
-                dsts.dedup();
-                srcs.len().max(dsts.len()) as f64
+                // Distinct touched ports via dense marker vectors.
+                let n = view.fabric.num_nodes();
+                self.node_e.clear();
+                self.node_e.resize(n, 0.0);
+                self.node_i.clear();
+                self.node_i.resize(n, 0.0);
+                for f in view.coflow_flows(coflow) {
+                    self.node_e[f.src.index()] = 1.0;
+                    self.node_i[f.dst.index()] = 1.0;
+                }
+                let srcs = self.node_e.iter().filter(|&&m| m > 0.0).count();
+                let dsts = self.node_i.iter().filter(|&&m| m > 0.0).count();
+                srcs.max(dsts) as f64
             }
-            CoflowOrder::Lcf => flows.iter().map(|f| f.volume()).fold(0.0, f64::max),
+            CoflowOrder::Lcf => view
+                .coflow_flows(coflow)
+                .map(|f| f.volume())
+                .fold(0.0, f64::max),
         }
     }
 }
@@ -152,34 +178,41 @@ impl Policy for OrderedPolicy {
     }
 
     fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
-        let mut coflows = view.coflow_ids();
-        // Sort by key; ties broken by coflow id for determinism.
-        coflows.sort_by(|a, b| {
-            self.key(view, *a)
-                .total_cmp(&self.key(view, *b))
-                .then(a.cmp(b))
-        });
+        // Compute each coflow's ordering key exactly once (the sort used to
+        // re-derive it inside the comparator, an O(k log k) blow-up with a
+        // full per-call map build for SEBF), then sort the cached pairs.
+        // Ties are broken by coflow id for determinism.
+        let mut keyed = std::mem::take(&mut self.keyed);
+        keyed.clear();
+        for cid in view.coflow_ids() {
+            let k = self.key(view, cid);
+            keyed.push((k, cid));
+        }
+        keyed.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
-        let mut residual = Residual::new(view);
-        let mut alloc = Allocation::new();
+        let mut flows = std::mem::take(&mut self.flows_scratch);
+        let mut flow_order = std::mem::take(&mut self.flow_order);
+        self.residual.reset(view);
+        let mut alloc = Allocation::with_capacity(view.flows.len());
         // Flows in coflow-priority order, shortest first within a coflow —
         // the order used for both greedy allocation and backfill.
-        let mut flow_order: Vec<FlowId> = Vec::new();
-        for cid in &coflows {
-            let mut flows: Vec<(FlowId, NodeId, NodeId, f64)> = view
-                .coflow_flows(*cid)
-                .map(|f| (f.id, f.src, f.dst, f.volume()))
-                .collect();
-            flows.sort_by(|a, b| a.3.total_cmp(&b.3).then(a.0.cmp(&b.0)));
+        flow_order.clear();
+        for &(_, cid) in &keyed {
+            flows.clear();
+            flows.extend(
+                view.coflow_flows(cid)
+                    .map(|f| (f.id, f.src, f.dst, f.volume())),
+            );
+            flows.sort_unstable_by(|a, b| a.3.total_cmp(&b.3).then(a.0.cmp(&b.0)));
             flow_order.extend(flows.iter().map(|f| f.0));
             match self.discipline {
                 RateDiscipline::Madd => {
-                    let (rates, gamma) = madd_rates(&residual, &flows);
+                    let (rates, gamma) = madd_rates(&self.residual, &flows);
                     if !gamma.is_finite() {
                         continue; // blocked behind higher-priority coflows
                     }
                     for ((id, rate), (_, src, dst, _)) in rates.iter().zip(flows.iter()) {
-                        let granted = residual.take(*src, *dst, *rate);
+                        let granted = self.residual.take(*src, *dst, *rate);
                         if granted > 0.0 {
                             alloc.set(*id, FlowCommand::transmit(granted));
                         }
@@ -187,7 +220,7 @@ impl Policy for OrderedPolicy {
                 }
                 RateDiscipline::Greedy => {
                     for (id, src, dst, _) in &flows {
-                        let granted = residual.take(*src, *dst, f64::INFINITY);
+                        let granted = self.residual.take(*src, *dst, f64::INFINITY);
                         if granted > 0.0 {
                             alloc.set(*id, FlowCommand::transmit(granted));
                         }
@@ -199,8 +232,11 @@ impl Policy for OrderedPolicy {
             }
         }
         if !self.exclusive {
-            ordered_backfill(view, &mut alloc, &flow_order);
+            ordered_backfill_with(view, &mut alloc, &flow_order, &mut self.residual);
         }
+        self.keyed = keyed;
+        self.flows_scratch = flows;
+        self.flow_order = flow_order;
         alloc
     }
 }
@@ -261,7 +297,11 @@ mod tests {
         let c1 = res.coflows.iter().find(|c| c.id == CoflowId(1)).unwrap();
         // FIFO: big first (10 s), small waits → head-of-line blocking.
         assert!((c0.cct().unwrap() - 10.0).abs() < 0.05);
-        assert!(c1.cct().unwrap() > 9.0, "small should be blocked: {:?}", c1.cct());
+        assert!(
+            c1.cct().unwrap() > 9.0,
+            "small should be blocked: {:?}",
+            c1.cct()
+        );
     }
 
     #[test]
@@ -283,14 +323,20 @@ mod tests {
                 .flow(FlowSpec::new(1, 0, 2, 30.0))
                 .flow(FlowSpec::new(2, 0, 3, 30.0))
                 .build(),
-            Coflow::builder(1).flow(FlowSpec::new(3, 0, 4, 30.0)).build(),
+            Coflow::builder(1)
+                .flow(FlowSpec::new(3, 0, 4, 30.0))
+                .build(),
         ];
         let fabric = Fabric::uniform(5, 10.0);
         let res = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.01))
             .run(&mut OrderedPolicy::new(CoflowOrder::Ncf));
         let narrow = res.coflows.iter().find(|c| c.id == CoflowId(1)).unwrap();
         // Narrow (width 1) goes first: 30 bytes at 10 B/s = 3 s.
-        assert!((narrow.cct().unwrap() - 3.0).abs() < 0.05, "{:?}", narrow.cct());
+        assert!(
+            (narrow.cct().unwrap() - 3.0).abs() < 0.05,
+            "{:?}",
+            narrow.cct()
+        );
     }
 
     #[test]
@@ -298,7 +344,9 @@ mod tests {
         // Coflow 0 length 50; coflow 1 length 20 (but larger total). LCF
         // picks coflow 1 first.
         let coflows = vec![
-            Coflow::builder(0).flow(FlowSpec::new(0, 0, 1, 50.0)).build(),
+            Coflow::builder(0)
+                .flow(FlowSpec::new(0, 0, 1, 50.0))
+                .build(),
             Coflow::builder(1)
                 .flow(FlowSpec::new(1, 0, 2, 20.0))
                 .flow(FlowSpec::new(2, 0, 3, 20.0))
@@ -318,8 +366,12 @@ mod tests {
         // One active coflow on 0→1; port 2→3 idle. A second coflow on 2→3
         // must run concurrently even though it sorts later.
         let coflows = vec![
-            Coflow::builder(0).flow(FlowSpec::new(0, 0, 1, 100.0)).build(),
-            Coflow::builder(1).flow(FlowSpec::new(1, 2, 3, 100.0)).build(),
+            Coflow::builder(0)
+                .flow(FlowSpec::new(0, 0, 1, 100.0))
+                .build(),
+            Coflow::builder(1)
+                .flow(FlowSpec::new(1, 2, 3, 100.0))
+                .build(),
         ];
         let fabric = Fabric::uniform(4, 10.0);
         let res = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.01))
@@ -340,7 +392,9 @@ mod tests {
                 .flow(FlowSpec::new(0, 0, 2, 30.0))
                 .flow(FlowSpec::new(1, 1, 3, 30.0))
                 .build(),
-            Coflow::builder(1).flow(FlowSpec::new(2, 0, 2, 40.0)).build(),
+            Coflow::builder(1)
+                .flow(FlowSpec::new(2, 0, 2, 40.0))
+                .build(),
         ];
         let fabric = Fabric::uniform(4, 10.0);
         let res = Engine::new(

@@ -14,15 +14,36 @@ pub struct Residual {
 impl Residual {
     /// Start from the full port capacities of the fabric in `view`.
     pub fn new(view: &FabricView<'_>) -> Self {
-        let n = view.fabric.num_nodes();
+        let mut r = Self::empty();
+        r.reset(view);
+        r
+    }
+
+    /// An empty residual with no ports; fill it with [`Residual::reset`].
+    /// Lets policies keep one `Residual` across reschedules instead of
+    /// allocating a fresh pair of vectors every call.
+    pub fn empty() -> Self {
         Self {
-            egress: (0..n)
-                .map(|i| view.fabric.egress_cap(NodeId(i as u32)))
-                .collect(),
-            ingress: (0..n)
-                .map(|i| view.fabric.ingress_cap(NodeId(i as u32)))
-                .collect(),
+            egress: Vec::new(),
+            ingress: Vec::new(),
         }
+    }
+
+    /// Refill from the full port capacities of the fabric in `view`,
+    /// reusing the existing buffers.
+    pub fn reset(&mut self, view: &FabricView<'_>) {
+        let n = view.fabric.num_nodes();
+        self.egress.clear();
+        self.ingress.clear();
+        self.egress
+            .extend((0..n).map(|i| view.fabric.egress_cap(NodeId(i as u32))));
+        self.ingress
+            .extend((0..n).map(|i| view.fabric.ingress_cap(NodeId(i as u32))));
+    }
+
+    /// Number of ports tracked.
+    pub fn num_nodes(&self) -> usize {
+        self.egress.len()
     }
 
     /// Bandwidth still available on the `src → dst` path.
@@ -60,78 +81,100 @@ pub fn water_fill_weighted(
     residual: &mut Residual,
     demands: &[(FlowId, NodeId, NodeId, f64)],
 ) -> BTreeMap<FlowId, f64> {
-    let mut rates: BTreeMap<FlowId, f64> = demands.iter().map(|&(f, ..)| (f, 0.0)).collect();
-    let mut frozen: BTreeMap<FlowId, bool> =
-        demands.iter().map(|&(f, ..)| (f, false)).collect();
+    // Dense per-demand and per-port state; the progressive-filling rounds
+    // below used to rebuild BTreeMaps each iteration, which dominated the
+    // profile on wide traces.
+    let num_nodes = residual.num_nodes();
+    let mut rates: Vec<f64> = vec![0.0; demands.len()];
     // Ignore non-positive weights entirely.
-    for &(f, _, _, w) in demands {
-        if w <= 0.0 {
-            frozen.insert(f, true);
-        }
-    }
+    let mut frozen: Vec<bool> = demands.iter().map(|&(_, _, _, w)| w <= 0.0).collect();
+    let mut e_w: Vec<f64> = vec![0.0; num_nodes];
+    let mut i_w: Vec<f64> = vec![0.0; num_nodes];
 
     for _round in 0..demands.len() + 1 {
         // Sum of unfrozen weights per port.
-        let mut e_w: BTreeMap<NodeId, f64> = BTreeMap::new();
-        let mut i_w: BTreeMap<NodeId, f64> = BTreeMap::new();
-        for &(f, s, d, w) in demands {
-            if !frozen[&f] {
-                *e_w.entry(s).or_default() += w;
-                *i_w.entry(d).or_default() += w;
+        e_w.iter_mut().for_each(|w| *w = 0.0);
+        i_w.iter_mut().for_each(|w| *w = 0.0);
+        let mut any_unfrozen = false;
+        for (i, &(_, s, d, w)) in demands.iter().enumerate() {
+            if !frozen[i] {
+                any_unfrozen = true;
+                e_w[s.index()] += w;
+                i_w[d.index()] += w;
             }
         }
-        if e_w.is_empty() {
+        if !any_unfrozen {
             break;
         }
         // Largest per-unit-weight increment before some port saturates.
         let mut inc = f64::INFINITY;
-        for (n, w) in &e_w {
-            inc = inc.min(residual.egress(*n) / w);
+        for (n, w) in e_w.iter().enumerate() {
+            if *w > 0.0 {
+                inc = inc.min(residual.egress[n] / w);
+            }
         }
-        for (n, w) in &i_w {
-            inc = inc.min(residual.ingress(*n) / w);
+        for (n, w) in i_w.iter().enumerate() {
+            if *w > 0.0 {
+                inc = inc.min(residual.ingress[n] / w);
+            }
         }
         if !inc.is_finite() || inc <= 0.0 {
             break;
         }
-        for &(f, s, d, w) in demands {
-            if frozen[&f] {
+        for (i, &(_, s, d, w)) in demands.iter().enumerate() {
+            if frozen[i] {
                 continue;
             }
             let add = inc * w;
-            *rates.get_mut(&f).unwrap() += add;
+            rates[i] += add;
             residual.egress[s.index()] -= add;
             residual.ingress[d.index()] -= add;
         }
         // Freeze flows touching saturated ports.
         let mut any = false;
-        for &(f, s, d, _) in demands {
-            if frozen[&f] {
+        let mut all_frozen = true;
+        for (i, &(_, s, d, _)) in demands.iter().enumerate() {
+            if frozen[i] {
                 continue;
             }
             const EPS: f64 = 1e-9;
             if residual.egress(s) <= EPS || residual.ingress(d) <= EPS {
-                frozen.insert(f, true);
+                frozen[i] = true;
                 any = true;
+            } else {
+                all_frozen = false;
             }
         }
-        if !any || frozen.values().all(|&v| v) {
+        if !any || all_frozen {
             break;
         }
     }
-    rates
+    let mut out: BTreeMap<FlowId, f64> = BTreeMap::new();
+    for (i, &(f, ..)) in demands.iter().enumerate() {
+        *out.entry(f).or_default() += rates[i];
+    }
+    out
 }
 
 /// Priority-ordered backfill: walk flows in the given order and grant each
 /// non-compressing flow the full remaining capacity of its path. This is the
 /// Varys backfilling rule — leftover bandwidth goes to the *next coflow in
 /// the priority order*, not to an arbitrary fair share.
-pub fn ordered_backfill(
+pub fn ordered_backfill(view: &FabricView<'_>, alloc: &mut Allocation, order: &[FlowId]) {
+    let mut residual = Residual::new(view);
+    ordered_backfill_with(view, alloc, order, &mut residual);
+}
+
+/// [`ordered_backfill`] against a caller-provided scratch [`Residual`],
+/// letting hot policies avoid the per-reschedule vector allocations. The
+/// residual is reset from `view` on entry.
+pub fn ordered_backfill_with(
     view: &FabricView<'_>,
     alloc: &mut Allocation,
     order: &[FlowId],
+    residual: &mut Residual,
 ) {
-    let mut residual = Residual::new(view);
+    residual.reset(view);
     for (id, cmd) in alloc.iter() {
         if !cmd.compress && cmd.rate > 0.0 {
             if let Some(f) = view.flow(id) {
@@ -176,10 +219,7 @@ pub fn backfill(view: &FabricView<'_>, alloc: &mut Allocation) {
             continue;
         }
         let cur = alloc.get(id);
-        alloc.set(
-            id,
-            FlowCommand::transmit(cur.rate + add),
-        );
+        alloc.set(id, FlowCommand::transmit(cur.rate + add));
     }
 }
 

@@ -16,11 +16,11 @@ const CAP: f64 = 100.0;
 fn arb_flows() -> impl Strategy<Value = Vec<FlowView>> {
     proptest::collection::vec(
         (
-            0u64..4,          // coflow id
+            0u64..4, // coflow id
             0u32..NODES as u32,
             0u32..NODES as u32,
-            1.0f64..5_000.0,  // remaining volume
-            0.0f64..100.0,    // already-compressed part
+            1.0f64..5_000.0, // remaining volume
+            0.0f64..100.0,   // already-compressed part
             any::<bool>(),
         ),
         1..20,

@@ -164,8 +164,16 @@ mod tests {
     fn bounded_pareto_tail_index_orders_tails() {
         // Smaller α → heavier tail → larger mean.
         let mut r = rng();
-        let heavy = SizeDist::BoundedPareto { lo: 1.0, hi: 1e6, shape: 0.3 };
-        let light = SizeDist::BoundedPareto { lo: 1.0, hi: 1e6, shape: 2.0 };
+        let heavy = SizeDist::BoundedPareto {
+            lo: 1.0,
+            hi: 1e6,
+            shape: 0.3,
+        };
+        let light = SizeDist::BoundedPareto {
+            lo: 1.0,
+            hi: 1e6,
+            shape: 2.0,
+        };
         let mh = mean(&heavy.sample_n(&mut r, 30_000));
         let ml = mean(&light.sample_n(&mut r, 30_000));
         assert!(mh > 10.0 * ml, "heavy {mh} vs light {ml}");
@@ -174,7 +182,10 @@ mod tests {
     #[test]
     fn lognormal_median_is_exp_mu() {
         let mut r = rng();
-        let d = SizeDist::LogNormal { mu: 3.0, sigma: 1.0 };
+        let d = SizeDist::LogNormal {
+            mu: 3.0,
+            sigma: 1.0,
+        };
         let mut xs = d.sample_n(&mut r, 50_000);
         xs.sort_by(f64::total_cmp);
         let median = xs[xs.len() / 2];

@@ -80,23 +80,51 @@ impl FbMix {
             let pick = rng.gen_range(0.0..total_share);
             let (width_dist, len_dist) = if pick < sn {
                 (
-                    SizeDist::Uniform { lo: 1.0, hi: self.narrow_width as f64 + 1.0 },
-                    SizeDist::BoundedPareto { lo: self.short_bytes * 1e-3, hi: self.short_bytes, shape: 0.5 },
+                    SizeDist::Uniform {
+                        lo: 1.0,
+                        hi: self.narrow_width as f64 + 1.0,
+                    },
+                    SizeDist::BoundedPareto {
+                        lo: self.short_bytes * 1e-3,
+                        hi: self.short_bytes,
+                        shape: 0.5,
+                    },
                 )
             } else if pick < sn + ln {
                 (
-                    SizeDist::Uniform { lo: 1.0, hi: self.narrow_width as f64 + 1.0 },
-                    SizeDist::BoundedPareto { lo: self.short_bytes, hi: self.long_bytes, shape: 0.6 },
+                    SizeDist::Uniform {
+                        lo: 1.0,
+                        hi: self.narrow_width as f64 + 1.0,
+                    },
+                    SizeDist::BoundedPareto {
+                        lo: self.short_bytes,
+                        hi: self.long_bytes,
+                        shape: 0.6,
+                    },
                 )
             } else if pick < sn + ln + sw {
                 (
-                    SizeDist::Uniform { lo: self.narrow_width as f64 + 1.0, hi: self.wide_width as f64 + 1.0 },
-                    SizeDist::BoundedPareto { lo: self.short_bytes * 1e-3, hi: self.short_bytes, shape: 0.5 },
+                    SizeDist::Uniform {
+                        lo: self.narrow_width as f64 + 1.0,
+                        hi: self.wide_width as f64 + 1.0,
+                    },
+                    SizeDist::BoundedPareto {
+                        lo: self.short_bytes * 1e-3,
+                        hi: self.short_bytes,
+                        shape: 0.5,
+                    },
                 )
             } else {
                 (
-                    SizeDist::Uniform { lo: self.narrow_width as f64 + 1.0, hi: self.wide_width as f64 + 1.0 },
-                    SizeDist::BoundedPareto { lo: self.short_bytes, hi: self.long_bytes, shape: 0.6 },
+                    SizeDist::Uniform {
+                        lo: self.narrow_width as f64 + 1.0,
+                        hi: self.wide_width as f64 + 1.0,
+                    },
+                    SizeDist::BoundedPareto {
+                        lo: self.short_bytes,
+                        hi: self.long_bytes,
+                        shape: 0.6,
+                    },
                 )
             };
             // One-coflow generation through the shared machinery keeps flow
@@ -180,7 +208,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(FbMix::new(30, 10, 1e6, 3).generate(), FbMix::new(30, 10, 1e6, 3).generate());
+        assert_eq!(
+            FbMix::new(30, 10, 1e6, 3).generate(),
+            FbMix::new(30, 10, 1e6, 3).generate()
+        );
     }
 
     #[test]

@@ -274,10 +274,7 @@ mod tests {
         let xs = d.sample_n(&mut rng, 100_000);
         let below_10gb = xs.iter().filter(|&&x| x < 10e9).count() as f64 / xs.len() as f64;
         // Paper: 89.49% of flows below 10 GB.
-        assert!(
-            (below_10gb - 0.895).abs() < 0.02,
-            "below_10gb={below_10gb}"
-        );
+        assert!((below_10gb - 0.895).abs() < 0.02, "below_10gb={below_10gb}");
         let total: f64 = xs.iter().sum();
         let big: f64 = xs.iter().filter(|&&x| x >= 10e9).sum();
         // Paper: more than 93.03% of bytes from flows larger than 10 GB.

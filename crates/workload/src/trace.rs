@@ -180,7 +180,11 @@ impl Trace {
             if !compressible {
                 spec = spec.incompressible();
             }
-            groups.entry(coflow).or_insert((arrival, Vec::new())).1.push(spec);
+            groups
+                .entry(coflow)
+                .or_insert((arrival, Vec::new()))
+                .1
+                .push(spec);
             groups.get_mut(&coflow).unwrap().0 = arrival;
         }
         let coflows: Vec<Coflow> = groups
@@ -230,14 +234,14 @@ mod tests {
 
     #[test]
     fn csv_rejects_malformed_rows() {
-        assert_eq!(
-            Trace::from_csv("x", "1,2,3\n"),
-            Err(TraceError::BadRow(1))
-        );
+        assert_eq!(Trace::from_csv("x", "1,2,3\n"), Err(TraceError::BadRow(1)));
         let bad_bool = "0,0.0,0,1,2,100,maybe\n";
         assert!(matches!(
             Trace::from_csv("x", bad_bool),
-            Err(TraceError::BadField { field: "compressible", .. })
+            Err(TraceError::BadField {
+                field: "compressible",
+                ..
+            })
         ));
         let bad_size = "0,0.0,0,1,2,huge,true\n";
         assert!(matches!(
@@ -273,7 +277,10 @@ mod tests {
             .iter()
             .flat_map(|c| c.flows.iter().map(|f| f.size))
             .fold(f64::INFINITY, f64::min);
-        assert!(min_kept >= median * 0.999, "min_kept={min_kept}, median={median}");
+        assert!(
+            min_kept >= median * 0.999,
+            "min_kept={min_kept}, median={median}"
+        );
     }
 
     #[test]

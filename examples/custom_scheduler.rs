@@ -40,11 +40,7 @@ impl Policy for DeadlineLite {
                 let bottleneck = egress
                     .iter()
                     .map(|(n, v)| v / view.fabric.egress_cap(*n))
-                    .chain(
-                        ingress
-                            .iter()
-                            .map(|(n, v)| v / view.fabric.ingress_cap(*n)),
-                    )
+                    .chain(ingress.iter().map(|(n, v)| v / view.fabric.ingress_cap(*n)))
                     .fold(0.0, f64::max);
                 (arrival + 2.0 * bottleneck, cid)
             })

@@ -62,8 +62,7 @@ pub mod prelude {
     pub use swallow_core::{SwallowConfig, SwallowContext, WorkerId};
     pub use swallow_fabric::view::{CompressionSpec, ConstCompression};
     pub use swallow_fabric::{
-        units, Coflow, CpuModel, CpuTrace, Engine, Fabric, FlowSpec, Policy, SimConfig,
-        SimResult,
+        units, Coflow, CpuModel, CpuTrace, Engine, Fabric, FlowSpec, Policy, SimConfig, SimResult,
     };
     pub use swallow_metrics::{improvement, Cdf, Table};
     pub use swallow_sched::{

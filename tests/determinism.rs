@@ -60,6 +60,49 @@ fn simulation_is_deterministic_per_algorithm() {
     }
 }
 
+/// The fast path (EventsOnly + quiescent skip-ahead + the schedulers'
+/// scratch-buffer reuse) must be exactly as reproducible as the naive
+/// loop: two runs of the same seed produce byte-identical records.
+#[test]
+fn fast_path_is_deterministic_across_runs() {
+    use swallow_repro::fabric::engine::Reschedule;
+    let comp: Arc<dyn CompressionSpec> = Arc::new(ProfiledCompression::constant(Table2::Lz4));
+    let run = || {
+        let mut policy = Algorithm::Fvdf.make();
+        let scaled: Vec<Coflow> = make_trace(11)
+            .iter()
+            .cloned()
+            .map(|mut c| {
+                for f in &mut c.flows {
+                    f.size *= 1e-4;
+                }
+                c
+            })
+            .collect();
+        Engine::new(
+            Fabric::uniform(10, units::mbps(100.0)),
+            scaled,
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_reschedule(Reschedule::EventsOnly)
+                .with_compression(comp.clone()),
+        )
+        .run(policy.as_mut())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        serde_json::to_string(&a.flows).unwrap(),
+        serde_json::to_string(&b.flows).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&a.coflows).unwrap(),
+        serde_json::to_string(&b.coflows).unwrap()
+    );
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    assert_eq!(a.reschedules, b.reschedules);
+}
+
 #[test]
 fn trace_serialization_round_trips_through_both_formats() {
     let coflows = make_trace(13);

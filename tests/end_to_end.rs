@@ -81,8 +81,7 @@ fn conservation_without_compression() {
         let res = run(alg, &coflows, bw, false);
         assert!(res.all_complete());
         assert!(
-            (res.total_wire_bytes() - res.total_raw_bytes()).abs()
-                < res.total_raw_bytes() * 1e-9,
+            (res.total_wire_bytes() - res.total_raw_bytes()).abs() < res.total_raw_bytes() * 1e-9,
             "{} lost or created bytes",
             alg.name()
         );

@@ -12,7 +12,7 @@ fn arb_trace() -> impl Strategy<Value = Vec<Coflow>> {
     // Up to 6 coflows, each up to 4 flows of up to 2 s of data.
     proptest::collection::vec(
         (
-            0.0f64..5.0,                                         // arrival
+            0.0f64..5.0, // arrival
             proptest::collection::vec(
                 (0u32..6, 0u32..6, 0.01f64..2.0, any::<bool>()), // src,dst,secs,compressible
                 1..4,
