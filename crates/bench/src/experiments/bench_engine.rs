@@ -55,14 +55,14 @@ pub fn run() {
         && fast.makespan.to_bits() == baseline.makespan.to_bits();
     let speedup = baseline_secs / fast_secs;
 
-    println!("engine wall-clock — fig6 trace (80 coflows, 24 nodes, FVDF+LZ4, δ=10 ms)");
-    println!(
+    crate::report!("engine wall-clock — fig6 trace (80 coflows, 24 nodes, FVDF+LZ4, δ=10 ms)");
+    crate::report!(
         "  naive slice loop : {:.4} s (best of {REPS})",
         baseline_secs
     );
-    println!("  skip-ahead       : {:.4} s (best of {REPS})", fast_secs);
-    println!("  speedup          : {:.2}x", speedup);
-    println!(
+    crate::report!("  skip-ahead       : {:.4} s (best of {REPS})", fast_secs);
+    crate::report!("  speedup          : {:.2}x", speedup);
+    crate::report!(
         "  outputs identical: {} (makespan {:.6} s, {} flows, {} coflows)",
         identical,
         fast.makespan,
@@ -88,7 +88,7 @@ pub fn run() {
     });
     let path = "BENCH_engine.json";
     std::fs::write(path, format!("{:#}\n", json)).expect("write BENCH_engine.json");
-    println!("  wrote {path}");
+    crate::report!("  wrote {path}");
 }
 
 #[cfg(test)]

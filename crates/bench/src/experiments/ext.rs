@@ -83,7 +83,7 @@ pub fn ext_codec_selection() {
             format!("{:.2}x", l.avg_cct() / a.avg_cct()),
         ]);
     }
-    println!("{t}");
+    crate::report!("{t}");
 }
 
 /// Extension 2: quantify the paper's decompression omission.
@@ -124,8 +124,8 @@ pub fn ext_decompression() {
             format!("+{:.2}%", (modelled / omitted - 1.0) * 100.0),
         ]);
     }
-    println!("{t}");
-    println!("the inflation stays under ~8%, largest for the slowest decompressors\n(LZO, LZF) — the omission the paper justifies via Table II's asymmetry.\n");
+    crate::report!("{t}");
+    crate::report!("the inflation stays under ~8%, largest for the slowest decompressors\n(LZO, LZF) — the omission the paper justifies via Table II's asymmetry.\n");
 }
 
 /// Extension 3: optimality gaps against the concurrent-open-shop bounds.
@@ -156,7 +156,7 @@ pub fn ext_bounds() {
             format!("{:.2}x", res.avg_cct() / bound),
         ]);
     }
-    println!("{t}");
+    crate::report!("{t}");
 }
 
 /// Run every extension.
@@ -267,8 +267,8 @@ pub fn ext_granularity() {
             format!("{:.1}%", res.traffic_reduction() * 100.0),
         ]);
     }
-    println!("{t}");
-    println!("the per-flow gate compresses slow-path flows and ships fast-path flows raw,\nbeating both coarse-grained settings — the paper's §I motivation.\n");
+    crate::report!("{t}");
+    crate::report!("the per-flow gate compresses slow-path flows and ships fast-path flows raw,\nbeating both coarse-grained settings — the paper's §I motivation.\n");
 }
 
 #[cfg(test)]
@@ -373,6 +373,6 @@ pub fn ext_nonclairvoyant() {
             units::human_secs(res.avg_cct()),
         ]);
     }
-    println!("{t}");
-    println!("Aalo lands near SEBF without prior knowledge; FVDF's compression then\nbuys the additional factor no schedule-only policy can reach.\n");
+    crate::report!("{t}");
+    crate::report!("Aalo lands near SEBF without prior knowledge; FVDF's compression then\nbuys the additional factor no schedule-only policy can reach.\n");
 }

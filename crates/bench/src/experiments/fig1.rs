@@ -56,7 +56,7 @@ pub fn run() {
         ">93.03%".into(),
         format!("{:.2}%", r.bytes_above_10gb * 100.0),
     ]);
-    println!("{t}");
+    crate::report!("{t}");
     let mut t = Table::new(
         "Fig 1 CDF series (log-spaced)",
         &["size", "CDF(flows)", "CDF(bytes)"],
@@ -68,7 +68,7 @@ pub fn run() {
             format!("{fb:.4}"),
         ]);
     }
-    println!("{t}");
+    crate::report!("{t}");
 }
 
 #[cfg(test)]

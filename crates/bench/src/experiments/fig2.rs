@@ -58,7 +58,7 @@ pub fn run() {
         ">69.23%".into(),
         format!("{:.2}%", slow.idle_fraction * 100.0),
     ]);
-    println!("{t}");
+    crate::report!("{t}");
     // A coarse ASCII rendition of the records (one char ≈ horizon/60).
     for (label, r) in [("10 Gbps", &fast), ("100 Mbps", &slow)] {
         let cols = 60;
@@ -72,9 +72,9 @@ pub fn run() {
                 }
             })
             .collect();
-        println!("{label:>9} |{line}|");
+        crate::report!("{label:>9} |{line}|");
     }
-    println!("           (# = busy, . = idle; idle periods stretch as bandwidth shrinks)\n");
+    crate::report!("           (# = busy, . = idle; idle periods stretch as bandwidth shrinks)\n");
 }
 
 #[cfg(test)]

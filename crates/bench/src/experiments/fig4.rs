@@ -112,8 +112,8 @@ pub fn run() {
             format!("{cct:.2}"),
         ]);
     }
-    println!("{t}");
-    println!(
+    crate::report!("{t}");
+    crate::report!(
         "placement (recovered by `paper`'s fig4_search bin): \
          C1: 0→0 (4u), 1→1 (4u), 2→2 (2u); C2: 0→0 (2u), 2→2 (3u)\n"
     );

@@ -73,7 +73,7 @@ pub fn fig6a() {
             format!("{:.2}x", improvement(row[3], fvdf)),
         ]);
     }
-    println!("{t}");
+    crate::report!("{t}");
 }
 
 /// Fig. 6(b): the same improvement split by flow-size class.
@@ -123,7 +123,7 @@ pub fn fig6b() {
             format!("{:.2}x", improvement(class_fct(&runs[3].1), fvdf)),
         ]);
     }
-    println!("{t}");
+    crate::report!("{t}");
 }
 
 /// Fig. 6(c): improvements at different numbers of parallel flows.
@@ -157,7 +157,7 @@ pub fn fig6c() {
             format!("{:.2}x", improvement(row[3], row[0])),
         ]);
     }
-    println!("{t}");
+    crate::report!("{t}");
 }
 
 /// Fig. 6(d): the FCT CDF crossover between SRTF and FVDF.
@@ -188,7 +188,7 @@ pub fn fig6d() {
         }
         t.row(&row);
     }
-    println!("{t}");
+    crate::report!("{t}");
     // Accumulated (total) completion time saved by FVDF vs SRTF (reusing
     // the runs above — identical results, the engine is deterministic).
     let total = |alg: Algorithm| -> f64 {
@@ -200,7 +200,7 @@ pub fn fig6d() {
     };
     let fvdf = total(Algorithm::Fvdf);
     let srtf = total(Algorithm::Srtf);
-    println!(
+    crate::report!(
         "accumulated FCT saved vs SRTF: {:.2}% (paper: 24.67%); completion-time improvement {:.2}x (paper: up to 1.33x)\n",
         (1.0 - fvdf / srtf) * 100.0,
         srtf / fvdf
@@ -251,7 +251,7 @@ pub fn fig6e() {
         ]);
         table6_rows.push((label, ccts));
     }
-    println!("{t}");
+    crate::report!("{t}");
 
     // Table VI at the lowest bandwidth (the paper's headline condition).
     let (label, ccts) = &table6_rows[0];
@@ -266,7 +266,7 @@ pub fn fig6e() {
             format!("{:.2}x", cct / ccts[0]),
         ]);
     }
-    println!("{t}");
+    crate::report!("{t}");
 }
 
 /// Fig. 6(f): improvement over SEBF per compression format.
@@ -307,7 +307,7 @@ pub fn fig6f() {
             format!("{:.2}x", improvement(sebf.avg_cct(), res.avg_cct())),
         ]);
     }
-    println!("{t}");
+    crate::report!("{t}");
 }
 
 /// Run the whole figure.

@@ -74,7 +74,7 @@ pub fn fig7a() {
         units::human_secs(with.avg_jct()),
         format!("{:.2}x", improvement(without.avg_jct(), with.avg_jct())),
     ]);
-    println!("{t}");
+    crate::report!("{t}");
 }
 
 /// Fig. 7(b) + Table VII: traffic with and without Swallow.
@@ -109,8 +109,8 @@ pub fn fig7b() {
             format!("{:.2}%", red * 100.0),
         ]);
     }
-    println!("{t}");
-    println!(
+    crate::report!("{t}");
+    crate::report!(
         "average reduction: {:.2}% (paper: 48.41%)\n",
         reductions.iter().sum::<f64>() / reductions.len() as f64 * 100.0
     );
@@ -161,7 +161,7 @@ pub fn fig7c() {
             format!("{:.1}%", cdf.fraction_below(deadline) * 100.0),
         ]);
     }
-    println!("{t}");
+    crate::report!("{t}");
 }
 
 /// Run the whole figure.

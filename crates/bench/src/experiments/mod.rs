@@ -9,3 +9,4 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod tables;
+pub mod trace_cmd;

@@ -27,7 +27,7 @@ pub fn table1() {
             format!("{:.2}%", measured * 100.0),
         ]);
     }
-    println!("{t}");
+    crate::report!("{t}");
 }
 
 /// Table II — codec parameters, plus a live measurement of our own `swz`
@@ -61,7 +61,7 @@ pub fn table2() {
         format!("{:.0} MB/s", d_speed / 1e6),
         format!("{:.2}%", frame.len() as f64 / data.len() as f64 * 100.0),
     ]);
-    println!("{t}");
+    crate::report!("{t}");
 }
 
 /// Table III — compression ratio vs flow size.
@@ -86,7 +86,7 @@ pub fn table3() {
             format!("{:.2}%", model.ratio(size) * 100.0),
         ]);
     }
-    println!("{t}");
+    crate::report!("{t}");
 }
 
 /// Table V — job throughput. Each job is a 10-flow coflow; cumulative
@@ -156,8 +156,8 @@ pub fn table5() {
         row.push(format!("{:.2}", rep.avg_rate));
         t.row(&row);
     }
-    println!("{t}");
-    println!(
+    crate::report!("{t}");
+    crate::report!(
         "paper shape: FVDF and SRTF front-load completions (high u1, high MAX);\n\
          FAIR/FIFO accumulate roughly linearly. Unit here = makespan/6 = {:.1} s.\n",
         unit
@@ -228,8 +228,8 @@ pub fn table8() {
             t.row(&row);
         }
     }
-    println!("{t}");
-    println!("paper shape: every `-c` (compressed) row shows smaller map and reduce GC\nthan its uncompressed twin; reduce GC dominates and explodes at `gigantic`.\n");
+    crate::report!("{t}");
+    crate::report!("paper shape: every `-c` (compressed) row shows smaller map and reduce GC\nthan its uncompressed twin; reduce GC dominates and explodes at `gigantic`.\n");
 }
 
 /// Print every table in this module.

@@ -13,6 +13,7 @@
 
 pub mod experiments;
 pub mod parallel;
+pub mod report;
 pub mod scenario;
 
 pub use parallel::parallel_map;

@@ -2,27 +2,36 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! paper <subcommand> [<subcommand> …]
+//! paper [--quiet] <subcommand> [<subcommand> …]
 //!
 //!   fig1  fig2  fig4  fig6a fig6b fig6c fig6d fig6e fig6f
 //!   fig7a fig7b fig7c table1 table2 table3 table5 table8
 //!   bench-engine — engine wall-clock benchmark (writes BENCH_engine.json)
+//!   trace <experiment> [--out <path>] — traced replay (fig6 | small);
+//!          .jsonl streams events, .json writes a Chrome trace document
 //!   all   — everything in paper order
 //! ```
 //!
-//! (`table6` is printed by `fig6e`, `table7` by `fig7b`.)
+//! (`table6` is printed by `fig6e`, `table7` by `fig7b`. `--quiet`
+//! suppresses narrative output; JSON artifacts are still written.)
 
+use swallow_bench::experiments::trace_cmd;
 use swallow_bench::experiments::{bench_engine, ext, fig1, fig2, fig4, fig6, fig7, tables};
+use swallow_bench::report;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper <cmd> [<cmd> …]\n\
+        "usage: paper [--quiet] <cmd> [<cmd> …]\n\
          cmds: fig1 fig2 fig4 fig6 fig6a fig6b fig6c fig6d fig6e fig6f\n\
          \x20     fig7 fig7a fig7b fig7c table1 table2 table3 table5 table8\n\
          \x20     ext ext1 ext2 ext3 ext4 ext5 bench-engine all\n\
+         \x20     trace <experiment> [--out <path>]\n\
          (table6 prints with fig6e, table7 with fig7b;\n\
          \x20bench-engine times the skip-ahead fast path vs the naive slice\n\
-         \x20loop on the fig6 trace and writes BENCH_engine.json)"
+         \x20loop on the fig6 trace and writes BENCH_engine.json;\n\
+         \x20trace replays fig6|small with the structured tracer attached,\n\
+         \x20exports the events and writes TRACE_summary.json;\n\
+         \x20--quiet suppresses narrative output, artifacts still written)"
     );
     std::process::exit(2);
 }
@@ -61,7 +70,7 @@ fn dispatch(cmd: &str) {
                 "fig1", "fig2", "fig4", "table1", "table2", "table3", "fig6a", "fig6b", "fig6c",
                 "fig6d", "fig6e", "fig6f", "table5", "fig7a", "fig7b", "fig7c", "table8", "ext",
             ] {
-                println!("──────────────────────────────────────────── {c}");
+                swallow_bench::report!("──────────────────────────────────────────── {c}");
                 dispatch(c);
             }
         }
@@ -70,11 +79,41 @@ fn dispatch(cmd: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global flag, accepted anywhere in the argument list.
+    args.retain(|a| {
+        if a == "--quiet" || a == "-q" {
+            report::set_quiet(true);
+            false
+        } else {
+            true
+        }
+    });
     if args.is_empty() {
         usage();
     }
-    for cmd in &args {
-        dispatch(cmd);
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "trace" {
+            let Some(experiment) = args.get(i + 1) else {
+                eprintln!("usage: paper trace <experiment> [--out <path>]");
+                std::process::exit(2);
+            };
+            let experiment = experiment.clone();
+            i += 2;
+            let mut out = String::from("trace.json");
+            if args.get(i).map(String::as_str) == Some("--out") {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("paper trace: --out needs a path");
+                    std::process::exit(2);
+                };
+                out = path.clone();
+                i += 2;
+            }
+            trace_cmd::run(&experiment, &out);
+        } else {
+            dispatch(&args[i]);
+            i += 1;
+        }
     }
 }

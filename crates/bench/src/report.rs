@@ -1,0 +1,51 @@
+//! Run-output reporting for the `paper` harness.
+//!
+//! Every experiment routes its human-readable output through the [`report!`]
+//! macro instead of bare `println!`, so `paper --quiet …` suppresses the
+//! narrative text while machine-readable artifacts (`BENCH_engine.json`,
+//! `TRACE_summary.json`, trace exports) are still written.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Globally enable or disable narrative output (the `--quiet` flag).
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::SeqCst);
+}
+
+/// Whether narrative output is currently suppressed.
+pub fn is_quiet() -> bool {
+    QUIET.load(Ordering::SeqCst)
+}
+
+/// `println!` that respects the global `--quiet` flag.
+#[macro_export]
+macro_rules! report {
+    () => {
+        if !$crate::report::is_quiet() {
+            println!();
+        }
+    };
+    ($($arg:tt)*) => {
+        if !$crate::report::is_quiet() {
+            println!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_flag_round_trips() {
+        assert!(!is_quiet());
+        set_quiet(true);
+        assert!(is_quiet());
+        // A quiet report! must not panic (and prints nothing).
+        report!("suppressed {}", 42);
+        set_quiet(false);
+        assert!(!is_quiet());
+    }
+}

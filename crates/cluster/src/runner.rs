@@ -12,6 +12,7 @@ use std::sync::Arc;
 use swallow_compress::Table2;
 use swallow_fabric::{Coflow, Engine, Fabric, FlowSpec, SimConfig, SimResult};
 use swallow_sched::{Algorithm, ProfiledCompression};
+use swallow_trace::{TraceEvent, Tracer};
 
 /// Spark job scheduler flavours.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,6 +58,10 @@ pub struct ClusterConfig {
     pub gc: GcModel,
     /// Placement seed.
     pub seed: u64,
+    /// Structured-event tracer; disabled by default. Shared with the
+    /// shuffle-stage engine, and fed cluster-layer events (stage
+    /// transitions, slot waits, GC pauses) stamped in simulated time.
+    pub tracer: Tracer,
 }
 
 impl Default for ClusterConfig {
@@ -73,6 +78,7 @@ impl Default for ClusterConfig {
             slice: 0.01,
             gc: GcModel::default(),
             seed: 0xC1A5,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -163,7 +169,9 @@ impl ClusterSim {
                 task_secs: j.map_task_secs,
             })
             .collect();
-        let map_ends: BTreeMap<u64, f64> = slots.run(&map_batches).into_iter().collect();
+        let map_runs = slots.run_detailed(&map_batches);
+        let map_waits: BTreeMap<u64, f64> = map_runs.iter().map(|r| (r.job, r.slot_wait)).collect();
+        let map_ends: BTreeMap<u64, f64> = map_runs.into_iter().map(|r| (r.job, r.end)).collect();
 
         // Map-side GC (spill buffers shrink with compression) delays the
         // shuffle readiness.
@@ -197,7 +205,9 @@ impl ClusterSim {
             coflows.push(b.build());
         }
         let fabric = Fabric::uniform(cfg.num_nodes, cfg.link_bandwidth);
-        let mut sim_config = SimConfig::default().with_slice(cfg.slice);
+        let mut sim_config = SimConfig::default()
+            .with_slice(cfg.slice)
+            .with_tracer(cfg.tracer.clone());
         if let Some(codec) = cfg.compression {
             let profile = codec.profile();
             let ratio_model = match cfg.ratio_override {
@@ -229,7 +239,11 @@ impl ClusterSim {
                 task_secs: j.reduce_task_secs,
             })
             .collect();
-        let reduce_ends: BTreeMap<u64, f64> = slots.run(&reduce_batches).into_iter().collect();
+        let reduce_runs = slots.run_detailed(&reduce_batches);
+        let reduce_waits: BTreeMap<u64, f64> =
+            reduce_runs.iter().map(|r| (r.job, r.slot_wait)).collect();
+        let reduce_ends: BTreeMap<u64, f64> =
+            reduce_runs.into_iter().map(|r| (r.job, r.end)).collect();
 
         let mut records = Vec::with_capacity(sorted.len());
         for j in &sorted {
@@ -268,6 +282,43 @@ impl ClusterSim {
             });
         }
         records.sort_by_key(|r| r.id);
+        if cfg.tracer.is_enabled() {
+            // Cluster-layer events, stamped in simulated time. The shuffle
+            // window's engine events were already emitted during the run.
+            for r in &records {
+                let t = &cfg.tracer;
+                for (at, stage) in [
+                    (r.map.start, "map"),
+                    (r.shuffle.start, "shuffle"),
+                    (r.reduce.start, "reduce"),
+                    (r.result.start, "result"),
+                    (r.result.end, "done"),
+                ] {
+                    t.emit(at, || TraceEvent::StageTransition {
+                        job: r.id,
+                        stage: stage.to_string(),
+                    });
+                }
+                t.emit(r.map.end, || TraceEvent::SlotWait {
+                    job: r.id,
+                    wait_secs: map_waits.get(&r.id).copied().unwrap_or(0.0),
+                });
+                t.emit(r.reduce.end, || TraceEvent::SlotWait {
+                    job: r.id,
+                    wait_secs: reduce_waits.get(&r.id).copied().unwrap_or(0.0),
+                });
+                t.emit(r.map.end, || TraceEvent::GcPause {
+                    job: r.id,
+                    stage: "map".to_string(),
+                    secs: r.gc.map_secs,
+                });
+                t.emit(r.reduce.end, || TraceEvent::GcPause {
+                    job: r.id,
+                    stage: "reduce".to_string(),
+                    secs: r.gc.reduce_secs,
+                });
+            }
+        }
         ClusterResult {
             jobs: records,
             shuffle,
@@ -368,6 +419,29 @@ mod tests {
         let g_n = without.jobs[0].gc;
         assert!(g_w.map_secs < g_n.map_secs);
         assert!(g_w.reduce_secs < g_n.reduce_secs);
+    }
+
+    #[test]
+    fn tracer_records_cluster_and_engine_events() {
+        let sink = Arc::new(swallow_trace::CollectSink::new());
+        let cfg = ClusterConfig {
+            tracer: Tracer::with_sink(sink.clone()),
+            ..base_config()
+        };
+        let res = ClusterSim::new(cfg).run(&jobs(2, 30.0));
+        assert_eq!(res.jobs.len(), 2);
+        let recs = sink.snapshot();
+        let kinds: std::collections::BTreeSet<&str> = recs.iter().map(|r| r.event.kind()).collect();
+        for kind in ["stage_transition", "slot_wait", "gc_pause"] {
+            assert!(kinds.contains(kind), "missing {kind}: {kinds:?}");
+        }
+        // The shared tracer also saw the shuffle-stage engine events.
+        assert!(kinds.contains("coflow_completed"), "{kinds:?}");
+        let stages = recs
+            .iter()
+            .filter(|r| r.event.kind() == "stage_transition")
+            .count();
+        assert_eq!(stages, 2 * 5, "2 jobs × 5 stage transitions");
     }
 
     #[test]

@@ -26,6 +26,18 @@ pub struct TaskBatch {
     pub task_secs: f64,
 }
 
+/// Per-job outcome of one [`SlotScheduler::run_detailed`] pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageRun {
+    /// Owning job.
+    pub job: u64,
+    /// When the job's last task of this stage finished.
+    pub end: f64,
+    /// Total seconds the job's tasks spent waiting for a free slot past
+    /// their ready time.
+    pub slot_wait: f64,
+}
+
 /// A pool of executor slots processing task batches.
 #[derive(Debug)]
 pub struct SlotScheduler {
@@ -64,6 +76,16 @@ impl SlotScheduler {
     /// order given. The slot pool persists across calls, so later phases
     /// (reduce) see the occupancy left by earlier ones (map).
     pub fn run(&mut self, batches: &[TaskBatch]) -> Vec<(u64, f64)> {
+        self.run_detailed(batches)
+            .into_iter()
+            .map(|r| (r.job, r.end))
+            .collect()
+    }
+
+    /// [`SlotScheduler::run`] that also accounts, per job, how long its
+    /// tasks queued for slots — the contention statistic the trace reports
+    /// as `slot_wait`.
+    pub fn run_detailed(&mut self, batches: &[TaskBatch]) -> Vec<StageRun> {
         // Expand into individual tasks and order per policy.
         let mut tasks: Vec<(usize, TaskBatch)> = Vec::new();
         for (i, b) in batches.iter().enumerate() {
@@ -94,25 +116,26 @@ impl SlotScheduler {
         }
 
         let mut ends = vec![f64::NEG_INFINITY; batches.len()];
+        let mut waits = vec![0.0f64; batches.len()];
         for (i, b) in tasks {
             let std::cmp::Reverse(OrderedF64(free)) = self.slots.pop().expect("slot");
             let start = free.max(b.ready);
             let end = start + b.task_secs;
             self.slots.push(std::cmp::Reverse(OrderedF64(end)));
             ends[i] = ends[i].max(end);
+            waits[i] += start - b.ready;
         }
         batches
             .iter()
             .enumerate()
-            .map(|(i, b)| {
-                (
-                    b.job,
-                    if ends[i].is_finite() {
-                        ends[i]
-                    } else {
-                        b.ready
-                    },
-                )
+            .map(|(i, b)| StageRun {
+                job: b.job,
+                end: if ends[i].is_finite() {
+                    ends[i]
+                } else {
+                    b.ready
+                },
+                slot_wait: waits[i],
             })
             .collect()
     }
@@ -208,6 +231,32 @@ mod tests {
             task_secs: 1.0,
         }]);
         assert_eq!(ends, vec![(2, 4.0)]);
+    }
+
+    #[test]
+    fn run_detailed_accounts_slot_wait() {
+        let mut s = SlotScheduler::new(1, TaskOrder::Fifo);
+        // 3 tasks of 1 s on 1 slot, all ready at 0: waits are 0, 1, 2 s.
+        let runs = s.run_detailed(&[TaskBatch {
+            job: 1,
+            ready: 0.0,
+            tasks: 3,
+            task_secs: 1.0,
+        }]);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].job, 1);
+        assert_eq!(runs[0].end, 3.0);
+        assert_eq!(runs[0].slot_wait, 3.0);
+
+        // A fresh pool with ample slots sees zero wait.
+        let mut s = SlotScheduler::new(4, TaskOrder::Fifo);
+        let runs = s.run_detailed(&[TaskBatch {
+            job: 2,
+            ready: 1.0,
+            tasks: 2,
+            task_secs: 1.0,
+        }]);
+        assert_eq!(runs[0].slot_wait, 0.0);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::master::Master;
 use crate::messages::{BlockId, CoflowInfo, CoflowRef, FlowInfo, SchResult, ToMaster, WorkerId};
 use crate::worker::Worker;
 use swallow_fabric::FlowId;
+use swallow_trace::{TraceEvent, Tracer};
 
 /// Errors surfaced by the runtime API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +80,9 @@ struct Ctx {
     daemons: Mutex<Vec<std::thread::JoinHandle<()>>>,
     next_flow: AtomicU64,
     next_block: AtomicU64,
+    tracer: Tracer,
+    /// Epoch for wall-clock trace timestamps.
+    start: Instant,
 }
 
 /// Handle to a running Swallow runtime. Cheap to clone (the paper's
@@ -104,6 +108,13 @@ impl SwallowContext {
 
     /// Boot a runtime with `num_workers` workers and start their daemons.
     pub fn new(config: SwallowConfig, num_workers: usize) -> Self {
+        Self::new_with_tracer(config, num_workers, Tracer::disabled())
+    }
+
+    /// [`SwallowContext::new`] with structured tracing: runtime events
+    /// (heartbeats, API calls, block movement) flow into `tracer`'s sink,
+    /// timestamped in wall-clock seconds since this call.
+    pub fn new_with_tracer(config: SwallowConfig, num_workers: usize, tracer: Tracer) -> Self {
         assert!(num_workers >= 2, "need at least two workers");
         let (tx, rx) = unbounded();
         let workers: Vec<Arc<Worker>> = (0..num_workers)
@@ -112,9 +123,15 @@ impl SwallowContext {
         let shutdown = Arc::new(AtomicBool::new(false));
         let mut daemons = Vec::new();
         for w in &workers {
-            daemons.push(w.spawn_daemon(tx.clone(), config.heartbeat, shutdown.clone()));
+            daemons.push(w.spawn_daemon(
+                tx.clone(),
+                config.heartbeat,
+                shutdown.clone(),
+                tracer.clone(),
+            ));
         }
-        let master = Master::new(config.clone(), num_workers);
+        let mut master = Master::new(config.clone(), num_workers);
+        master.set_tracer(tracer.clone());
         Self {
             inner: Arc::new(Ctx {
                 config,
@@ -127,7 +144,23 @@ impl SwallowContext {
                 daemons: Mutex::new(daemons),
                 next_flow: AtomicU64::new(1),
                 next_block: AtomicU64::new(1),
+                tracer,
+                start: Instant::now(),
             }),
+        }
+    }
+
+    /// The tracer events are flowing into (disabled unless the context was
+    /// built with [`SwallowContext::new_with_tracer`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    fn trace(&self, f: impl FnOnce() -> TraceEvent) {
+        if self.inner.tracer.is_enabled() {
+            self.inner
+                .tracer
+                .emit(self.inner.start.elapsed().as_secs_f64(), f);
         }
     }
 
@@ -163,12 +196,20 @@ impl SwallowContext {
         let worker = self.worker(src).expect("valid source worker");
         let flow = FlowId(self.inner.next_flow.fetch_add(1, Ordering::SeqCst));
         let block = BlockId(self.inner.next_block.fetch_add(1, Ordering::SeqCst));
+        let bytes = data.len();
         worker.stage(flow, block, dst, Bytes::from(data));
+        self.trace(|| TraceEvent::BlockStaged {
+            block: block.0,
+            bytes,
+        });
         block
     }
 
     /// Table IV `hook`: capture the staged flows of one executor.
     pub fn hook(&self, executor: WorkerId) -> Vec<FlowInfo> {
+        self.trace(|| TraceEvent::ApiCall {
+            method: "hook".to_string(),
+        });
         self.worker(executor)
             .map(|w| w.hooked_flows())
             .unwrap_or_default()
@@ -176,24 +217,37 @@ impl SwallowContext {
 
     /// Table IV `aggregate`: merge flow information into a coflow.
     pub fn aggregate(&self, flows: Vec<FlowInfo>) -> CoflowInfo {
+        self.trace(|| TraceEvent::ApiCall {
+            method: "aggregate".to_string(),
+        });
         CoflowInfo { flows }
     }
 
     /// Table IV `add`: register a coflow with the master.
     pub fn add(&self, info: CoflowInfo) -> CoflowRef {
+        self.trace(|| TraceEvent::ApiCall {
+            method: "add".to_string(),
+        });
         self.inner.master.lock().add(info)
     }
 
     /// Table IV `remove`: deregister and release the coflow's blocks.
     pub fn remove(&self, coflow: CoflowRef) {
+        self.trace(|| TraceEvent::ApiCall {
+            method: "remove".to_string(),
+        });
         self.inner.master.lock().remove(coflow);
         for w in &self.inner.workers {
             w.store.remove_coflow(coflow);
         }
+        self.trace(|| TraceEvent::BlockReleased { coflow: coflow.0 });
     }
 
     /// Table IV `scheduling`: run FVDF over the given coflows.
     pub fn scheduling(&self, refs: &[CoflowRef]) -> SchResult {
+        self.trace(|| TraceEvent::ApiCall {
+            method: "scheduling".to_string(),
+        });
         self.drain_master();
         self.inner.master.lock().scheduling(refs)
     }
@@ -201,6 +255,9 @@ impl SwallowContext {
     /// Table IV `alloc`: install the scheduling result so subsequent pushes
     /// follow its compression strategy and bandwidth assignment.
     pub fn alloc(&self, sched: &SchResult) {
+        self.trace(|| TraceEvent::ApiCall {
+            method: "alloc".to_string(),
+        });
         *self.inner.current_sched.lock() = sched.clone();
     }
 
@@ -247,6 +304,14 @@ impl SwallowContext {
             compressed,
             duration: start.elapsed(),
         };
+        self.trace(|| TraceEvent::BlockPushed {
+            flow: flow_info.flow.0,
+            wire_bytes: wire,
+            compressed,
+        });
+        self.trace(|| TraceEvent::MessageSent {
+            kind: "transfer_complete".to_string(),
+        });
         let _ = self.inner.to_master_tx.send(ToMaster::TransferComplete {
             coflow,
             flow: flow_info.flow,

@@ -2,6 +2,7 @@
 //! scheduling decisions.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use crate::config::SwallowConfig;
 use crate::messages::{CoflowRef, FlowInfo, Measurement, SchResult, ToMaster, WorkerId};
@@ -10,6 +11,7 @@ use swallow_fabric::cpu::CpuModel;
 use swallow_fabric::view::{FabricView, FlowView};
 use swallow_fabric::{CoflowId, Fabric, FlowId, Policy};
 use swallow_sched::{FvdfPolicy, ProfiledCompression};
+use swallow_trace::{TraceEvent, Tracer};
 
 use crate::messages::CoflowInfo;
 
@@ -36,6 +38,9 @@ pub struct Master {
     wire_bytes: u64,
     /// Total raw bytes across all registered coflows.
     raw_bytes: u64,
+    tracer: Tracer,
+    /// Epoch for wall-clock trace timestamps.
+    start: Instant,
 }
 
 impl Master {
@@ -52,6 +57,21 @@ impl Master {
             profile,
             wire_bytes: 0,
             raw_bytes: 0,
+            tracer: Tracer::disabled(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Install a tracer; also handed to the embedded FVDF policy so
+    /// runtime scheduling calls emit the sched-layer events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.policy.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    fn trace(&self, f: impl FnOnce() -> TraceEvent) {
+        if self.tracer.is_enabled() {
+            self.tracer.emit(self.start.elapsed().as_secs_f64(), f);
         }
     }
 
@@ -103,8 +123,18 @@ impl Master {
 
     /// Apply one message from a worker.
     pub fn handle(&mut self, msg: ToMaster) {
+        self.trace(|| TraceEvent::MessageReceived {
+            kind: match &msg {
+                ToMaster::Measure(_) => "measure".to_string(),
+                ToMaster::TransferComplete { .. } => "transfer_complete".to_string(),
+            },
+        });
         match msg {
             ToMaster::Measure(m) => {
+                self.trace(|| TraceEvent::QueueDepth {
+                    worker: m.worker.0,
+                    depth: m.staged_blocks,
+                });
                 self.latest.insert(m.worker, m);
             }
             ToMaster::TransferComplete {

@@ -14,6 +14,7 @@ use crate::messages::{BlockId, CoflowRef, FlowInfo, Measurement, ToMaster, Worke
 use crate::store::BlockStore;
 use swallow_compress::{codec, is_compressible, stream};
 use swallow_fabric::FlowId;
+use swallow_trace::{TraceEvent, Tracer};
 
 /// A staged outgoing block, captured by `hook()`.
 #[derive(Debug, Clone)]
@@ -177,18 +178,26 @@ impl Worker {
         to_master: Sender<ToMaster>,
         heartbeat: f64,
         shutdown: Arc<AtomicBool>,
+        tracer: Tracer,
     ) -> std::thread::JoinHandle<()> {
         let worker = Arc::clone(self);
         let start = Instant::now();
         std::thread::spawn(move || {
             while !shutdown.load(Ordering::SeqCst) {
+                let at = start.elapsed().as_secs_f64();
                 let m = Measurement {
                     worker: worker.id,
-                    at: start.elapsed().as_secs_f64(),
+                    at,
                     cpu_util: worker.cpu_util(),
                     bytes_sent: worker.sent_since_beat.swap(0, Ordering::Relaxed),
                     staged_blocks: worker.staged_count(),
                 };
+                tracer.emit(at, || TraceEvent::Heartbeat {
+                    worker: worker.id.0,
+                });
+                tracer.emit(at, || TraceEvent::MessageSent {
+                    kind: "measure".to_string(),
+                });
                 if to_master.send(ToMaster::Measure(m)).is_err() {
                     break; // master is gone
                 }

@@ -54,6 +54,8 @@ use crate::VOLUME_EPS;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
+use swallow_trace::{DenialReason, RescheduleCause, TraceEvent, Tracer};
 
 /// When the engine re-invokes the policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -94,6 +96,11 @@ pub struct SimConfig {
     /// bit-identical results to the slice-by-slice loop (see the module
     /// docs); disable only to exercise the naive path in equivalence tests.
     pub skip_ahead: bool,
+    /// Structured-event tracer. Disabled by default: every emission site is
+    /// then a single branch that never builds the event, so the zero-alloc
+    /// and bit-identity guarantees of the fast path are untouched (pinned by
+    /// `tests/alloc_count.rs`).
+    pub tracer: Tracer,
 }
 
 impl Default for SimConfig {
@@ -108,6 +115,7 @@ impl Default for SimConfig {
             record_events: false,
             model_decompression: false,
             skip_ahead: true,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -163,6 +171,13 @@ impl SimConfig {
     /// naive path.
     pub fn without_skip_ahead(mut self) -> Self {
         self.skip_ahead = false;
+        self
+    }
+
+    /// Attach a structured-event tracer (see [`swallow_trace`]). The engine
+    /// forwards a clone to the policy via [`Policy::set_tracer`].
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 }
@@ -391,6 +406,27 @@ impl ActiveFlow {
     }
 }
 
+/// Keep the highest-priority reschedule trigger seen so far (arrival beats
+/// completion beats raw-exhaustion beats periodic).
+fn upgrade_cause(slot: &mut Option<RescheduleCause>, cause: RescheduleCause) {
+    fn rank(c: RescheduleCause) -> u8 {
+        match c {
+            RescheduleCause::Initial => 4,
+            RescheduleCause::Arrival => 3,
+            RescheduleCause::Completion => 2,
+            RescheduleCause::RawExhausted => 1,
+            RescheduleCause::Periodic => 0,
+        }
+    }
+    let better = match slot {
+        None => true,
+        Some(c) => rank(cause) > rank(*c),
+    };
+    if better {
+        *slot = Some(cause);
+    }
+}
+
 /// Smallest `n ≥ n0 + 1` with `pred(n)`, starting the search from the
 /// analytic estimate `est` and correcting for floating-point slack in either
 /// direction. `pred` must be monotone (false → … → true). Returns `None` if
@@ -501,6 +537,12 @@ impl Engine {
     pub fn run(mut self, policy: &mut dyn Policy) -> SimResult {
         let delta = self.config.slice;
         let speed = self.config.compression.speed();
+        let tracer = self.config.tracer.clone();
+        policy.set_tracer(tracer.clone());
+        // Highest-priority trigger seen since the last policy invocation
+        // (arrival > completion > raw-exhausted); `None` means the next
+        // reschedule is purely periodic.
+        let mut pending_cause: Option<RescheduleCause> = None;
         // Integer slice index; `now = idx · δ` at every boundary, so a jump
         // over k slices lands on exactly the boundary the naive loop reaches.
         let mut idx: u64 = 0;
@@ -545,6 +587,10 @@ impl Engine {
                 let c = self.pending.pop().unwrap();
                 admitted = true;
                 events.push(now, EventKind::CoflowArrived(c.id));
+                tracer.emit(now, || TraceEvent::CoflowArrived {
+                    coflow: c.id.0,
+                    flows: c.flows.len(),
+                });
                 policy.on_arrival(&c, now);
                 let mut live = 0usize;
                 for spec in &c.flows {
@@ -566,8 +612,16 @@ impl Engine {
                         rec.completed_at = Some(c.arrival);
                         flow_records.insert(spec.id, rec);
                         events.push(now, EventKind::FlowCompleted(spec.id));
+                        tracer.emit(now, || TraceEvent::FlowCompleted {
+                            flow: spec.id.0,
+                            coflow: c.id.0,
+                        });
                     } else {
                         flow_records.insert(spec.id, rec);
+                        tracer.emit(now, || TraceEvent::FlowStarted {
+                            flow: spec.id.0,
+                            coflow: c.id.0,
+                        });
                         let ratio = self.config.compression.ratio(progress.spec.size);
                         let mut af = ActiveFlow {
                             p: progress,
@@ -595,6 +649,7 @@ impl Engine {
                         num_flows: c.flows.len(),
                     });
                     events.push(now, EventKind::CoflowCompleted(c.id));
+                    tracer.emit(now, || TraceEvent::CoflowCompleted { coflow: c.id.0 });
                     policy.on_completion(c.id, now);
                     makespan = makespan.max(c.arrival);
                 } else {
@@ -610,6 +665,9 @@ impl Engine {
                     );
                 }
             }
+            if admitted {
+                upgrade_cause(&mut pending_cause, RescheduleCause::Arrival);
+            }
             needs_schedule |= admitted;
             if self.active.is_empty() {
                 continue;
@@ -617,6 +675,14 @@ impl Engine {
 
             // Invoke the policy when due.
             if needs_schedule || self.config.reschedule == Reschedule::EverySlice {
+                // Wall-clock cost of the decision (policy + feasibility
+                // clamps); read only when tracing so the disabled path stays
+                // free of syscalls.
+                let started = if tracer.is_enabled() {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
                 self.materialize_all(idx, speed, delta);
                 // Pull scratch out of `self` so the immutable view borrow
                 // and the mutable scratch uses can coexist.
@@ -624,6 +690,7 @@ impl Engine {
                 let mut port_scratch = std::mem::take(&mut self.port_scratch);
                 let flows = std::mem::take(&mut self.view_scratch);
                 let view = self.view_into(now, flows);
+                let outstanding = view.flows.len();
                 alloc = policy.allocate(&view);
                 alloc.clamp_with_scratch(&view, &mut port_scratch);
                 let kept_rate = Self::enforce_cpu(
@@ -633,6 +700,7 @@ impl Engine {
                     &mut cpu_used,
                     &mut alloc,
                     now,
+                    &tracer,
                 );
                 if kept_rate {
                     // Compression denials fell back to their transmit rates,
@@ -646,8 +714,21 @@ impl Engine {
                 self.cpu_used = cpu_used;
                 self.port_scratch = port_scratch;
                 self.apply_betas(&alloc, now, &mut events);
+                if let Some(started) = started {
+                    tracer.reschedule_latency(started.elapsed().as_secs_f64());
+                }
+                let cause = if reschedules == 0 {
+                    RescheduleCause::Initial
+                } else {
+                    pending_cause.unwrap_or(RescheduleCause::Periodic)
+                };
+                pending_cause = None;
                 reschedules += 1;
                 events.push(now, EventKind::Rescheduled);
+                tracer.emit(now, || TraceEvent::Rescheduled {
+                    cause,
+                    flows: outstanding,
+                });
                 needs_schedule = false;
                 // Segments continue through a reschedule that re-applies the
                 // identical allocation (this is what lets EventsOnly and a
@@ -656,6 +737,13 @@ impl Engine {
                 if prev_applied.as_ref() != Some(&alloc) {
                     for af in &mut self.active {
                         let cmd = alloc.get(af.p.spec.id);
+                        // A flow that was transmitting and now gets neither
+                        // rate nor a core was preempted by the new order.
+                        if af.cmd.rate > 0.0 && cmd.rate <= 0.0 && !cmd.compress {
+                            tracer.emit(now, || TraceEvent::FlowPreempted {
+                                flow: af.p.spec.id.0,
+                            });
+                        }
                         af.reset_segment(idx, cmd);
                     }
                     prev_applied = Some(alloc.clone());
@@ -668,11 +756,17 @@ impl Engine {
                 let sample_due = self.config.sample_interval.map(|_| next_sample);
                 let target = self.skip_target(idx, speed, delta, sample_due);
                 if target > idx {
+                    tracer.emit(now, || TraceEvent::SkipAhead {
+                        from_slice: idx,
+                        to_slice: target,
+                    });
+                    tracer.skipped(target - idx);
                     idx = target;
                     stall_slices = 0;
                     continue;
                 }
             }
+            tracer.slices(1);
 
             // Advance one slice of volume disposal via the closed forms.
             let mut progressed = false;
@@ -690,6 +784,9 @@ impl Engine {
                     }
                     if raw0 > VOLUME_EPS && af.raw_at(n1, speed, delta) <= VOLUME_EPS {
                         events.push(now + delta, EventKind::RawExhausted(af.p.spec.id));
+                        tracer.emit(now + delta, || TraceEvent::RawExhausted {
+                            flow: af.p.spec.id.0,
+                        });
                         raw_exhausted = true;
                     }
                 } else if af.cmd.rate > 0.0 {
@@ -735,6 +832,10 @@ impl Engine {
                 rec.compressed_input = p.compressed_input;
                 makespan = makespan.max(t);
                 events.push(t, EventKind::FlowCompleted(id));
+                tracer.emit(t, || TraceEvent::FlowCompleted {
+                    flow: id.0,
+                    coflow: p.coflow.0,
+                });
                 let meta = self
                     .coflow_meta
                     .get_mut(&p.coflow)
@@ -750,15 +851,20 @@ impl Engine {
                         num_flows: meta.num_flows,
                     });
                     events.push(meta.last_completion, EventKind::CoflowCompleted(p.coflow));
+                    tracer.emit(meta.last_completion, || TraceEvent::CoflowCompleted {
+                        coflow: p.coflow.0,
+                    });
                     policy.on_completion(p.coflow, meta.last_completion);
                     self.coflow_meta.remove(&p.coflow);
                 }
                 needs_schedule = true;
+                upgrade_cause(&mut pending_cause, RescheduleCause::Completion);
             }
             completed.clear();
             self.completed_scratch = completed;
             if raw_exhausted {
                 needs_schedule = true;
+                upgrade_cause(&mut pending_cause, RescheduleCause::RawExhausted);
             }
 
             // Timeline sample (before advancing, attributed to this slice).
@@ -778,6 +884,7 @@ impl Engine {
                 let blocked_forever = self.pending.is_empty() && stall_slices > 3;
                 if blocked_forever {
                     events.push(now, EventKind::HorizonReached);
+                    tracer.emit(now, || TraceEvent::HorizonReached);
                     break;
                 }
             } else {
@@ -785,6 +892,7 @@ impl Engine {
             }
             if now > self.config.max_time {
                 events.push(now, EventKind::HorizonReached);
+                tracer.emit(now, || TraceEvent::HorizonReached);
                 break;
             }
         }
@@ -941,6 +1049,7 @@ impl Engine {
     /// idling would discard bandwidth the policy already reserved for it.
     /// Returns true when any fallback kept a positive rate (the caller
     /// re-clamps, since compressing flows are invisible to port loads).
+    #[allow(clippy::too_many_arguments)]
     fn enforce_cpu(
         cpu: &CpuModel,
         index: &FxHashMap<FlowId, usize>,
@@ -948,6 +1057,7 @@ impl Engine {
         cpu_used: &mut Vec<u32>,
         alloc: &mut Allocation,
         now: f64,
+        tracer: &Tracer,
     ) -> bool {
         cpu_used.clear();
         cpu_used.resize(cpu.num_nodes(), 0);
@@ -963,14 +1073,32 @@ impl Engine {
                 continue;
             };
             let p = &active[slot].p;
-            let denied = p.raw <= VOLUME_EPS
-                || !p.spec.compressible
-                || cpu_used[p.spec.src.index()] >= cpu.free_cores(p.spec.src, now);
-            if denied {
-                *cmd = FlowCommand::transmit(cmd.rate);
-                kept_rate |= cmd.rate > 0.0;
+            let denial = if !p.spec.compressible {
+                Some(DenialReason::Incompressible)
+            } else if p.raw <= VOLUME_EPS {
+                Some(DenialReason::RawExhausted)
+            } else if cpu_used[p.spec.src.index()] >= cpu.free_cores(p.spec.src, now) {
+                Some(DenialReason::NoFreeCore)
             } else {
-                cpu_used[p.spec.src.index()] += 1;
+                None
+            };
+            match denial {
+                Some(reason) => {
+                    tracer.emit(now, || TraceEvent::CompressionDenied {
+                        flow: id.0,
+                        node: p.spec.src.0,
+                        reason,
+                    });
+                    *cmd = FlowCommand::transmit(cmd.rate);
+                    kept_rate |= cmd.rate > 0.0;
+                }
+                None => {
+                    tracer.emit(now, || TraceEvent::CompressionGranted {
+                        flow: id.0,
+                        node: p.spec.src.0,
+                    });
+                    cpu_used[p.spec.src.index()] += 1;
+                }
             }
         }
         kept_rate
@@ -1031,6 +1159,7 @@ impl Engine {
         Sample {
             time: now,
             active_flows: self.active.len(),
+            queued_coflows: self.coflow_meta.len(),
             cpu_util: (busy_cores / total_cores).min(1.0),
             tx_rate,
             net_util: (tx_rate / total_egress).min(1.0),
@@ -1772,5 +1901,148 @@ mod fast_path_tests {
         assert!(res.all_complete());
         assert!((res.avg_fct() - 10.0).abs() < 1e-6);
         assert!(res.reschedules <= 2, "reschedules={}", res.reschedules);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use crate::policy::FairSharePolicy;
+    use swallow_trace::CollectSink;
+
+    fn two_coflow_trace() -> Vec<Coflow> {
+        vec![
+            Coflow::builder(0)
+                .arrival(0.0)
+                .flow(FlowSpec::new(0, 0, 1, 1000.0))
+                .build(),
+            Coflow::builder(1)
+                .arrival(4.0)
+                .flow(FlowSpec::new(1, 0, 2, 200.0))
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_bit_for_bit() {
+        let fabric = Fabric::uniform(3, 100.0);
+        let cfg = SimConfig::default()
+            .with_slice(0.01)
+            .with_reschedule(Reschedule::EventsOnly);
+        let plain =
+            Engine::new(fabric.clone(), two_coflow_trace(), cfg.clone()).run(&mut FairSharePolicy);
+        let traced = Engine::new(
+            fabric,
+            two_coflow_trace(),
+            cfg.with_tracer(Tracer::new(CollectSink::new())),
+        )
+        .run(&mut FairSharePolicy);
+        assert_eq!(plain.flows, traced.flows);
+        assert_eq!(plain.coflows, traced.coflows);
+        assert_eq!(plain.makespan.to_bits(), traced.makespan.to_bits());
+        assert_eq!(plain.reschedules, traced.reschedules);
+    }
+
+    #[test]
+    fn engine_emits_lifecycle_and_skip_events() {
+        let sink = Arc::new(CollectSink::new());
+        let tracer = Tracer::with_sink(sink.clone());
+        let fabric = Fabric::uniform(3, 100.0);
+        let res = Engine::new(
+            fabric,
+            two_coflow_trace(),
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_reschedule(Reschedule::EventsOnly)
+                .with_tracer(tracer.clone()),
+        )
+        .run(&mut FairSharePolicy);
+        assert!(res.all_complete());
+        let records = sink.snapshot();
+        let count = |kind: &str| records.iter().filter(|r| r.event.kind() == kind).count();
+        assert_eq!(count("coflow_arrived"), 2);
+        assert_eq!(count("coflow_completed"), 2);
+        assert_eq!(count("flow_started"), 2);
+        assert_eq!(count("flow_completed"), 2);
+        assert_eq!(count("rescheduled"), res.reschedules);
+        assert!(count("skip_ahead") > 0, "quiescent run must jump");
+        // The very first reschedule is the initial one; the second carries
+        // the arrival of coflow 1.
+        let causes: Vec<_> = records
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::Rescheduled { cause, .. } => Some(*cause),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(causes[0], RescheduleCause::Initial);
+        assert!(causes.contains(&RescheduleCause::Arrival));
+        assert!(causes.contains(&RescheduleCause::Completion));
+        // Counters: everything skipped or processed, latencies recorded.
+        let summary = tracer.summary().unwrap();
+        assert!(summary.skip_ahead_hit_ratio > 0.5, "{summary:?}");
+        assert_eq!(summary.reschedules, res.reschedules as u64);
+        assert_eq!(summary.events_total, records.len() as u64);
+    }
+
+    #[test]
+    fn compression_grants_and_denials_are_traced() {
+        struct AlwaysCompress;
+        impl Policy for AlwaysCompress {
+            fn name(&self) -> &str {
+                "always-compress"
+            }
+            fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
+                let mut a = Allocation::new();
+                for f in &view.flows {
+                    if f.raw > VOLUME_EPS && f.compressible {
+                        a.set(
+                            f.id,
+                            FlowCommand {
+                                rate: 50.0,
+                                compress: true,
+                            },
+                        );
+                    } else {
+                        a.set(f.id, FlowCommand::transmit(50.0));
+                    }
+                }
+                a
+            }
+        }
+        let sink = Arc::new(CollectSink::new());
+        // One core, two compressible flows on the same sender: the lower id
+        // gets the core, the other is denied.
+        let fabric = Fabric::uniform(2, 100.0);
+        let cpu = CpuModel::unconstrained(2, 1);
+        let spec = Arc::new(ConstCompression::new("slow", 10.0, 0.5));
+        let coflows = vec![Coflow::builder(0)
+            .flow(FlowSpec::new(0, 0, 1, 100.0))
+            .flow(FlowSpec::new(1, 0, 1, 100.0))
+            .build()];
+        let res = Engine::new(
+            fabric,
+            coflows,
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_cpu(cpu)
+                .with_compression(spec)
+                .with_tracer(Tracer::with_sink(sink.clone())),
+        )
+        .run(&mut AlwaysCompress);
+        assert!(res.all_complete());
+        let records = sink.snapshot();
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::CompressionGranted { flow: 0, node: 0 })));
+        assert!(records.iter().any(|r| matches!(
+            r.event,
+            TraceEvent::CompressionDenied {
+                flow: 1,
+                node: 0,
+                reason: DenialReason::NoFreeCore,
+            }
+        )));
     }
 }

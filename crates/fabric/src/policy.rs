@@ -32,6 +32,14 @@ pub trait Policy {
     fn on_completion(&mut self, coflow: CoflowId, now: f64) {
         let _ = (coflow, now);
     }
+
+    /// Hand the policy the engine's tracer so it can emit scheduling events
+    /// (chosen order, disposal estimates, water-fill rounds). Called once at
+    /// the start of [`crate::Engine::run`]; the default discards it, so
+    /// stateless policies need no change.
+    fn set_tracer(&mut self, tracer: swallow_trace::Tracer) {
+        let _ = tracer;
+    }
 }
 
 /// Per-flow max-min fair sharing with no compression — the network-layer

@@ -10,6 +10,8 @@ pub struct Sample {
     pub time: f64,
     /// Number of incomplete flows at that instant.
     pub active_flows: usize,
+    /// Number of admitted-but-incomplete coflows at that instant.
+    pub queued_coflows: usize,
     /// Cluster-average CPU utilization in [0, 1]: background load plus cores
     /// occupied by compression tasks.
     pub cpu_util: f64,
@@ -91,6 +93,7 @@ mod tests {
         Sample {
             time,
             active_flows: 1,
+            queued_coflows: 1,
             cpu_util: cpu,
             tx_rate: 0.0,
             net_util: 0.0,
@@ -103,7 +106,23 @@ mod tests {
         let t = Timeline::default();
         assert!(t.is_empty());
         assert_eq!(t.mean_cpu_util(), 0.0);
+        // Edge case: no samples at all — idle fraction is defined as 0, not
+        // NaN, whatever the threshold.
         assert_eq!(t.cpu_idle_fraction(0.5), 0.0);
+        assert_eq!(t.cpu_idle_fraction(0.0), 0.0);
+        assert_eq!(t.cpu_idle_fraction(1.0), 0.0);
+    }
+
+    #[test]
+    fn all_idle_timeline() {
+        // Edge case: every sample below the threshold → fraction is exactly 1.
+        let mut t = Timeline::default();
+        for i in 0..4 {
+            t.push(s(i as f64, 0.0));
+        }
+        assert_eq!(t.cpu_idle_fraction(0.5), 1.0);
+        // A zero threshold can never be undercut: nothing counts as idle.
+        assert_eq!(t.cpu_idle_fraction(0.0), 0.0);
     }
 
     #[test]
@@ -115,5 +134,21 @@ mod tests {
         t.push(s(3.0, 0.2));
         assert!((t.mean_cpu_util() - 0.35).abs() < 1e-12);
         assert!((t.cpu_idle_fraction(0.5) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_carry_queue_depths() {
+        let mut t = Timeline::default();
+        t.push(Sample {
+            time: 0.0,
+            active_flows: 3,
+            queued_coflows: 2,
+            cpu_util: 0.5,
+            tx_rate: 10.0,
+            net_util: 0.1,
+            compressing: 1,
+        });
+        assert_eq!(t.samples()[0].active_flows, 3);
+        assert_eq!(t.samples()[0].queued_coflows, 2);
     }
 }

@@ -16,6 +16,7 @@
 use crate::util::{ordered_backfill_with, Residual};
 use std::collections::BTreeMap;
 use swallow_fabric::{Allocation, Coflow, CoflowId, FabricView, FlowCommand, FlowId, Policy};
+use swallow_trace::{TraceEvent, Tracer};
 
 /// The D-CLAS policy.
 #[derive(Debug, Clone)]
@@ -38,6 +39,7 @@ pub struct AaloPolicy {
     order: Vec<(usize, f64, CoflowId)>,
     flow_order: Vec<FlowId>,
     residual: Residual,
+    tracer: Tracer,
 }
 
 impl AaloPolicy {
@@ -55,6 +57,7 @@ impl AaloPolicy {
             order: Vec::new(),
             flow_order: Vec::new(),
             residual: Residual::empty(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -89,6 +92,10 @@ impl Policy for AaloPolicy {
     fn on_completion(&mut self, coflow: CoflowId, _now: f64) {
         self.observed_total.remove(&coflow);
         self.arrivals.remove(&coflow);
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
@@ -126,6 +133,10 @@ impl Policy for AaloPolicy {
             order.push((q, arr, cid));
         }
         order.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2)));
+        self.tracer.emit(view.now, || TraceEvent::ScheduleOrder {
+            policy: "Aalo".to_string(),
+            order: order.iter().map(|&(_, _, cid)| cid.0).collect(),
+        });
 
         // Greedy full-rate service in that order (Aalo's intra-queue FIFO
         // with strict inter-queue priority), then ordered backfill.

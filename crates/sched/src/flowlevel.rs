@@ -1,17 +1,24 @@
 //! Flow-level baselines: PFF/FAIR, WSS and PFP/SRTF.
 
-use crate::util::{backfill, water_fill_weighted, Residual};
+use crate::util::{backfill, water_fill_weighted_rounds, Residual};
 use swallow_fabric::{Allocation, FabricView, FlowCommand, FlowId, NodeId, Policy};
+use swallow_trace::{TraceEvent, Tracer};
 
 /// Per-Flow Fairness — max-min fair sharing among individual flows,
 /// coflow-oblivious. Spark's FAIR scheduler behaves this way at the network
 /// level, which is why the paper reports them together (Table VI "PFF/FAIR").
 #[derive(Debug, Clone, Default)]
-pub struct PffPolicy;
+pub struct PffPolicy {
+    tracer: Tracer,
+}
 
 impl Policy for PffPolicy {
     fn name(&self) -> &str {
         "PFF"
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
@@ -21,7 +28,11 @@ impl Policy for PffPolicy {
             .iter()
             .map(|f| (f.id, f.src, f.dst, 1.0))
             .collect();
-        let rates = water_fill_weighted(&mut residual, &demands);
+        let (rates, rounds) = water_fill_weighted_rounds(&mut residual, &demands);
+        self.tracer.emit(view.now, || TraceEvent::WaterFillRounds {
+            rounds,
+            demands: demands.len(),
+        });
         let mut alloc = Allocation::new();
         for (id, rate) in rates {
             if rate > 0.0 {
@@ -37,11 +48,17 @@ impl Policy for PffPolicy {
 /// finish together. Improves CCT over naive fairness at the price of a
 /// worse average FCT — exactly the trade-off visible in the paper's Fig. 4(b).
 #[derive(Debug, Clone, Default)]
-pub struct WssPolicy;
+pub struct WssPolicy {
+    tracer: Tracer,
+}
 
 impl Policy for WssPolicy {
     fn name(&self) -> &str {
         "WSS"
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
@@ -51,7 +68,11 @@ impl Policy for WssPolicy {
             .iter()
             .map(|f| (f.id, f.src, f.dst, f.volume().max(1e-9)))
             .collect();
-        let rates = water_fill_weighted(&mut residual, &demands);
+        let (rates, rounds) = water_fill_weighted_rounds(&mut residual, &demands);
+        self.tracer.emit(view.now, || TraceEvent::WaterFillRounds {
+            rounds,
+            demands: demands.len(),
+        });
         let mut alloc = Allocation::new();
         for (id, rate) in rates {
             if rate > 0.0 {
@@ -120,7 +141,7 @@ mod tests {
 
     #[test]
     fn pff_shares_equally() {
-        let res = run(&mut PffPolicy, trace_two_on_one_port());
+        let res = run(&mut PffPolicy::default(), trace_two_on_one_port());
         assert!(res.all_complete());
         // Equal split 5/5: small (30) done at 6 s; big then full rate:
         // 90−30=60 left at t=6 → done at 12 s.
@@ -149,7 +170,7 @@ mod tests {
             .flow(FlowSpec::new(0, 0, 1, 90.0))
             .flow(FlowSpec::new(1, 0, 2, 30.0))
             .build()];
-        let res = run(&mut WssPolicy, coflows);
+        let res = run(&mut WssPolicy::default(), coflows);
         assert!(res.all_complete());
         let f0 = res.flows[0].fct().unwrap();
         let f1 = res.flows[1].fct().unwrap();
@@ -159,7 +180,7 @@ mod tests {
 
     #[test]
     fn srtf_beats_pff_on_avg_fct() {
-        let pff = run(&mut PffPolicy, trace_two_on_one_port());
+        let pff = run(&mut PffPolicy::default(), trace_two_on_one_port());
         let srtf = run(&mut SrtfPolicy, trace_two_on_one_port());
         assert!(srtf.avg_fct() < pff.avg_fct());
     }
@@ -179,8 +200,8 @@ mod tests {
                 .build(),
         ];
         for policy in [
-            &mut PffPolicy as &mut dyn Policy,
-            &mut WssPolicy,
+            &mut PffPolicy::default() as &mut dyn Policy,
+            &mut WssPolicy::default(),
             &mut SrtfPolicy,
         ] {
             let res = Engine::new(

@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 use swallow_fabric::{
     Allocation, Coflow, CoflowId, FabricView, FlowCommand, FlowId, NodeId, Policy, VOLUME_EPS,
 };
+use swallow_trace::{TraceEvent, Tracer};
 
 /// How the compression decision is made — the granularity axis of the
 /// paper's §I motivation: existing frameworks "compress all data associated
@@ -88,6 +89,7 @@ pub struct FvdfPolicy {
     plan_index: Vec<(CoflowId, f64, u32, u32)>,
     flow_order: Vec<FlowId>,
     residual: Residual,
+    tracer: Tracer,
 }
 
 impl FvdfPolicy {
@@ -109,6 +111,7 @@ impl FvdfPolicy {
             plan_index: Vec::new(),
             flow_order: Vec::new(),
             residual: Residual::empty(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -174,6 +177,10 @@ impl Policy for FvdfPolicy {
     fn on_completion(&mut self, coflow: CoflowId, _now: f64) {
         self.priority.remove(&coflow);
         self.upgrade();
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
@@ -246,6 +253,11 @@ impl Policy for FvdfPolicy {
                 });
             }
             let len = plan_flows.len() as u32 - start;
+            // The unadjusted Eq. 8 estimate, before priority aging.
+            self.tracer.emit(view.now, || TraceEvent::VolumeDisposal {
+                coflow: cid.0,
+                gamma: gamma_c,
+            });
             // Online: adjusted Γ_C = Γ_C / P (Pseudocode 2, lines 4–6).
             let adjusted = if self.config.online {
                 gamma_c / self.priority_of(cid)
@@ -257,6 +269,10 @@ impl Policy for FvdfPolicy {
 
         // Shortest-Γ_C-First (Pseudocode 2, line 9).
         plan_index.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        self.tracer.emit(view.now, || TraceEvent::ScheduleOrder {
+            policy: self.name().to_string(),
+            order: plan_index.iter().map(|&(cid, ..)| cid.0).collect(),
+        });
 
         // VolumeDisposal (Pseudocode 2, lines 24–35): compress β-flows; give
         // transmitting flows the minimum rate r = V_f / Γ_C on the residual

@@ -14,6 +14,7 @@
 
 use crate::util::{madd_rates, ordered_backfill_with, Residual};
 use swallow_fabric::{Allocation, CoflowId, FabricView, FlowCommand, FlowId, NodeId, Policy};
+use swallow_trace::{TraceEvent, Tracer};
 
 /// How a scheduled coflow's flows receive bandwidth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +73,7 @@ pub struct OrderedPolicy {
     node_e: Vec<f64>,
     node_i: Vec<f64>,
     residual: Residual,
+    tracer: Tracer,
 }
 
 impl OrderedPolicy {
@@ -87,6 +89,7 @@ impl OrderedPolicy {
             node_e: Vec::new(),
             node_i: Vec::new(),
             residual: Residual::empty(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -177,6 +180,10 @@ impl Policy for OrderedPolicy {
         self.order.name()
     }
 
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
         // Compute each coflow's ordering key exactly once (the sort used to
         // re-derive it inside the comparator, an O(k log k) blow-up with a
@@ -189,6 +196,10 @@ impl Policy for OrderedPolicy {
             keyed.push((k, cid));
         }
         keyed.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        self.tracer.emit(view.now, || TraceEvent::ScheduleOrder {
+            policy: self.order.name().to_string(),
+            order: keyed.iter().map(|&(_, cid)| cid.0).collect(),
+        });
 
         let mut flows = std::mem::take(&mut self.flows_scratch);
         let mut flow_order = std::mem::take(&mut self.flow_order);

@@ -72,8 +72,8 @@ impl Algorithm {
             // motivation example is `OrderedPolicy::fifo()`.
             Algorithm::Fifo => Box::new(OrderedPolicy::fifo_work_conserving()),
             Algorithm::Srtf => Box::new(SrtfPolicy),
-            Algorithm::Pff => Box::new(PffPolicy),
-            Algorithm::Wss => Box::new(WssPolicy),
+            Algorithm::Pff => Box::new(PffPolicy::default()),
+            Algorithm::Wss => Box::new(WssPolicy::default()),
             Algorithm::Scf => Box::new(OrderedPolicy::new(CoflowOrder::Scf)),
             Algorithm::Ncf => Box::new(OrderedPolicy::new(CoflowOrder::Ncf)),
             Algorithm::Lcf => Box::new(OrderedPolicy::new(CoflowOrder::Lcf)),

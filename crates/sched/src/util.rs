@@ -81,10 +81,20 @@ pub fn water_fill_weighted(
     residual: &mut Residual,
     demands: &[(FlowId, NodeId, NodeId, f64)],
 ) -> BTreeMap<FlowId, f64> {
+    water_fill_weighted_rounds(residual, demands).0
+}
+
+/// [`water_fill_weighted`] that also reports how many progressive-filling
+/// rounds actually distributed bandwidth, for tracing convergence behaviour.
+pub fn water_fill_weighted_rounds(
+    residual: &mut Residual,
+    demands: &[(FlowId, NodeId, NodeId, f64)],
+) -> (BTreeMap<FlowId, f64>, usize) {
     // Dense per-demand and per-port state; the progressive-filling rounds
     // below used to rebuild BTreeMaps each iteration, which dominated the
     // profile on wide traces.
     let num_nodes = residual.num_nodes();
+    let mut rounds = 0usize;
     let mut rates: Vec<f64> = vec![0.0; demands.len()];
     // Ignore non-positive weights entirely.
     let mut frozen: Vec<bool> = demands.iter().map(|&(_, _, _, w)| w <= 0.0).collect();
@@ -121,6 +131,7 @@ pub fn water_fill_weighted(
         if !inc.is_finite() || inc <= 0.0 {
             break;
         }
+        rounds += 1;
         for (i, &(_, s, d, w)) in demands.iter().enumerate() {
             if frozen[i] {
                 continue;
@@ -153,7 +164,7 @@ pub fn water_fill_weighted(
     for (i, &(f, ..)) in demands.iter().enumerate() {
         *out.entry(f).or_default() += rates[i];
     }
-    out
+    (out, rounds)
 }
 
 /// Priority-ordered backfill: walk flows in the given order and grant each
@@ -332,6 +343,27 @@ mod tests {
         );
         assert!((rates[&FlowId(1)] - 4.0).abs() < 1e-9);
         assert!((rates[&FlowId(2)] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_fill_round_count_matches_freeze_steps() {
+        // Single saturation event → exactly one distributing round.
+        let fx = Fixture::new(3, 12.0);
+        let view = fx.view(vec![]);
+        let mut r = Residual::new(&view);
+        let (_, rounds) = water_fill_weighted_rounds(
+            &mut r,
+            &[
+                (FlowId(1), NodeId(0), NodeId(1), 1.0),
+                (FlowId(2), NodeId(0), NodeId(2), 1.0),
+            ],
+        );
+        assert_eq!(rounds, 1);
+        // No demands → nothing distributed.
+        let mut r = Residual::new(&view);
+        let (rates, rounds) = water_fill_weighted_rounds(&mut r, &[]);
+        assert!(rates.is_empty());
+        assert_eq!(rounds, 0);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Compact per-slice counters: atomics sized for the hot loop, aggregated
+//! into a [`crate::TraceSummary`] at the end of a run.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of log2 latency buckets (covers 1 µs … ~18 minutes).
+pub const LATENCY_BUCKETS: usize = 31;
+
+/// Shared counters behind an enabled [`crate::Tracer`]. All methods take
+/// `&self`; relaxed atomics are enough because readers only aggregate after
+/// the run quiesces.
+#[derive(Default)]
+pub struct Counters {
+    events_total: AtomicU64,
+    by_kind: Mutex<BTreeMap<&'static str, u64>>,
+    slices_processed: AtomicU64,
+    slices_skipped: AtomicU64,
+    skip_jumps: AtomicU64,
+    reschedules: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS],
+    latency_sum_us: AtomicU64,
+    latency_max_us: AtomicU64,
+}
+
+impl Counters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one emitted event of `kind`.
+    pub fn count_event(&self, kind: &'static str) {
+        self.events_total.fetch_add(1, Ordering::Relaxed);
+        *self.by_kind.lock().unwrap().entry(kind).or_insert(0) += 1;
+    }
+
+    /// Record `n` slices advanced one-by-one.
+    pub fn slices(&self, n: u64) {
+        self.slices_processed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one skip-ahead jump spanning `n` slices.
+    pub fn skipped(&self, n: u64) {
+        self.slices_skipped.fetch_add(n, Ordering::Relaxed);
+        self.skip_jumps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one reschedule that took `secs` of wall-clock time.
+    pub fn reschedule_latency(&self, secs: f64) {
+        self.reschedules.fetch_add(1, Ordering::Relaxed);
+        let us = (secs * 1e6).max(0.0) as u64;
+        self.latency_buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Log2 bucket index for a microsecond latency: bucket `i` holds
+    /// `[2^(i-1), 2^i)` µs, bucket 0 holds sub-microsecond calls.
+    pub fn bucket_of(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+        }
+    }
+
+    /// Upper bound (inclusive-exclusive edge) of bucket `i`, in µs.
+    pub fn bucket_edge(i: usize) -> u64 {
+        1u64 << i
+    }
+
+    pub(crate) fn events_total(&self) -> u64 {
+        self.events_total.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn by_kind(&self) -> BTreeMap<String, u64> {
+        self.by_kind
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+
+    pub(crate) fn slices_processed(&self) -> u64 {
+        self.slices_processed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn slices_skipped(&self) -> u64 {
+        self.slices_skipped.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn skip_jumps(&self) -> u64 {
+        self.skip_jumps.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reschedules(&self) -> u64 {
+        self.reschedules.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn latency_bucket(&self, i: usize) -> u64 {
+        self.latency_buckets[i].load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn latency_sum_us(&self) -> u64 {
+        self.latency_sum_us.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn latency_max_us(&self) -> u64 {
+        self.latency_max_us.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_log2() {
+        assert_eq!(Counters::bucket_of(0), 0);
+        assert_eq!(Counters::bucket_of(1), 1);
+        assert_eq!(Counters::bucket_of(2), 2);
+        assert_eq!(Counters::bucket_of(3), 2);
+        assert_eq!(Counters::bucket_of(4), 3);
+        assert_eq!(Counters::bucket_of(1024), 11);
+        assert_eq!(Counters::bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn latency_accumulates() {
+        let c = Counters::new();
+        c.reschedule_latency(10e-6);
+        c.reschedule_latency(100e-6);
+        assert_eq!(c.reschedules(), 2);
+        assert_eq!(c.latency_sum_us(), 110);
+        assert_eq!(c.latency_max_us(), 100);
+        assert_eq!(c.latency_bucket(Counters::bucket_of(10)), 1);
+        assert_eq!(c.latency_bucket(Counters::bucket_of(100)), 1);
+    }
+
+    #[test]
+    fn skip_tracking() {
+        let c = Counters::new();
+        c.slices(10);
+        c.skipped(90);
+        c.skipped(10);
+        assert_eq!(c.slices_processed(), 10);
+        assert_eq!(c.slices_skipped(), 100);
+        assert_eq!(c.skip_jumps(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! `swallow-trace`: structured event tracing for the Swallow reproduction.
+//!
+//! The crate sits below every runtime crate: a [`Tracer`] handle is threaded
+//! through the fluid engine, the schedulers, the master/worker runtime and
+//! the cluster runner. Each layer calls [`Tracer::emit`] with a closure that
+//! builds a [`TraceEvent`]; when tracing is disabled (the default) the
+//! closure never runs and the call is one branch — zero allocations, zero
+//! formatting, bit-identical simulation results.
+//!
+//! Enabled tracers fan events into a pluggable [`Sink`]:
+//! [`RingSink`] (bounded memory), [`CollectSink`] (tests), [`JsonlSink`]
+//! (one JSON object per line) and [`ChromeTraceSink`] (a `chrome://tracing`
+//! / Perfetto loadable document). Alongside the event stream, compact atomic
+//! counters track slice accounting and reschedule latency, aggregated into a
+//! [`TraceSummary`] at end of run.
+
+mod counters;
+mod event;
+mod sink;
+mod summary;
+mod tracer;
+
+pub use counters::Counters;
+pub use event::{DenialReason, RescheduleCause, TraceEvent, TraceRecord};
+pub use sink::{ChromeTraceSink, CollectSink, EventWaiter, JsonlSink, RingSink, Sink};
+pub use summary::{LatencyBucket, TraceSummary};
+pub use tracer::Tracer;

@@ -1,0 +1,146 @@
+//! The [`Tracer`] handle threaded through every runtime layer.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::counters::Counters;
+use crate::event::TraceEvent;
+use crate::sink::Sink;
+use crate::summary::TraceSummary;
+
+struct Inner {
+    sink: Arc<dyn Sink>,
+    counters: Counters,
+}
+
+/// A cheaply clonable tracing handle. The default (disabled) tracer is a
+/// `None` behind one pointer: every emission site reduces to a single branch,
+/// the event constructor closure is never run, and nothing allocates — the
+/// property `tests/alloc_count.rs` pins down.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Tracer {
+    /// The no-op tracer (same as `Tracer::default()`).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Tracer writing to `sink`.
+    pub fn new(sink: impl Sink + 'static) -> Self {
+        Self::with_sink(Arc::new(sink))
+    }
+
+    /// Tracer over an already-shared sink (tests keep their own handle to
+    /// inspect or wait on it).
+    pub fn with_sink(sink: Arc<dyn Sink>) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                sink,
+                counters: Counters::new(),
+            })),
+        }
+    }
+
+    /// Whether events are being recorded. Use to guard work (e.g. wall-clock
+    /// reads) that would otherwise run on the disabled path.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emit one event at `time` (seconds). The closure only runs when the
+    /// tracer is enabled, so building the event costs nothing when disabled.
+    #[inline]
+    pub fn emit(&self, time: f64, f: impl FnOnce() -> TraceEvent) {
+        if let Some(inner) = &self.inner {
+            let event = f();
+            inner.counters.count_event(event.kind());
+            inner.sink.record(time, &event);
+        }
+    }
+
+    /// Count `n` slices advanced through the full per-slice loop.
+    #[inline]
+    pub fn slices(&self, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters.slices(n);
+        }
+    }
+
+    /// Count one skip-ahead jump spanning `n` slices.
+    #[inline]
+    pub fn skipped(&self, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters.skipped(n);
+        }
+    }
+
+    /// Record the wall-clock cost of one reschedule.
+    #[inline]
+    pub fn reschedule_latency(&self, secs: f64) {
+        if let Some(inner) = &self.inner {
+            inner.counters.reschedule_latency(secs);
+        }
+    }
+
+    /// Flush the underlying sink (finalizes buffered exporters).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+
+    /// Aggregate counters into a summary; `None` when disabled.
+    pub fn summary(&self) -> Option<TraceSummary> {
+        self.inner
+            .as_ref()
+            .map(|inner| TraceSummary::from_counters(&inner.counters))
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+
+    #[test]
+    fn disabled_tracer_never_runs_the_closure() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(0.0, || panic!("closure must not run when disabled"));
+        t.slices(10);
+        t.skipped(5);
+        t.reschedule_latency(1.0);
+        t.flush();
+        assert!(t.summary().is_none());
+    }
+
+    #[test]
+    fn enabled_tracer_records_and_counts() {
+        let sink = Arc::new(CollectSink::new());
+        let t = Tracer::with_sink(sink.clone());
+        assert!(t.is_enabled());
+        t.emit(0.5, || TraceEvent::HorizonReached);
+        t.slices(3);
+        let t2 = t.clone(); // clones share counters and sink
+        t2.emit(0.6, || TraceEvent::CoflowCompleted { coflow: 9 });
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].event, TraceEvent::HorizonReached);
+        let s = t.summary().unwrap();
+        assert_eq!(s.events_total, 2);
+        assert_eq!(s.slices_processed, 3);
+        assert_eq!(s.events_by_kind["coflow_completed"], 1);
+    }
+}

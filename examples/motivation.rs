@@ -50,8 +50,8 @@ fn run(label: &str, policy: &mut dyn Policy, config: SimConfig) {
 fn main() {
     println!("C1 = {{4, 4, 2}} (ports 0, 1, 2); C2 = {{2, 3}} (ports 0, 2); capacity 1 u/t\n");
     let base = || SimConfig::default().with_slice(0.025);
-    run("PFF", &mut PffPolicy, base());
-    run("WSS", &mut WssPolicy, base());
+    run("PFF", &mut PffPolicy::default(), base());
+    run("WSS", &mut WssPolicy::default(), base());
     run("FIFO", &mut OrderedPolicy::fifo(), base());
     run("PFP", &mut SrtfPolicy, base());
     run("SEBF", &mut OrderedPolicy::sebf(), base());

@@ -18,6 +18,8 @@
 //! * [`cluster`] — a Spark-like job/stage model (map → shuffle → reduce →
 //!   result) with GC accounting;
 //! * [`metrics`] — CDFs, percentiles, improvement factors, text tables.
+//! * [`trace`] — structured event tracing threaded through every layer:
+//!   ring/JSONL/Chrome-trace sinks, per-run counters and summaries.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +56,7 @@ pub use swallow_core as core;
 pub use swallow_fabric as fabric;
 pub use swallow_metrics as metrics;
 pub use swallow_sched as sched;
+pub use swallow_trace as trace;
 pub use swallow_workload as workload;
 
 /// The most common imports in one place.
@@ -69,5 +72,6 @@ pub mod prelude {
         Algorithm, CoflowOrder, FvdfConfig, FvdfPolicy, OrderedPolicy, PffPolicy,
         ProfiledCompression, SrtfPolicy, WssPolicy,
     };
+    pub use swallow_trace::{TraceEvent, TraceSummary, Tracer};
     pub use swallow_workload::{CoflowGen, GenConfig, SizeDist, Sizing, Trace};
 }

@@ -1,9 +1,11 @@
 //! Integration tests of the Swallow runtime (`swallow-core`) under
 //! concurrency: many coflows, many worker threads, mixed payloads.
 
+use std::sync::Arc;
 use std::time::Duration;
 use swallow_repro::compress::apps::synthesize_with_ratio;
 use swallow_repro::core::{SwallowConfig, SwallowContext, WorkerId};
+use swallow_repro::trace::{EventWaiter, TraceEvent, Tracer};
 
 fn config() -> SwallowConfig {
     SwallowConfig {
@@ -95,10 +97,26 @@ fn shuffle_pattern_all_to_all() {
 }
 
 #[test]
-#[ignore = "timing-sensitive: expects ≥1 heartbeat round (10 ms cadence) within a 50 ms sleep, which loaded CI machines miss"]
 fn heartbeats_flow_during_transfers() {
-    let ctx = SwallowContext::new(config(), 3);
-    std::thread::sleep(Duration::from_millis(50));
+    // Trace-driven (de-flaked): instead of hoping a fixed sleep spans a
+    // heartbeat round, block until the tracer *observes* two heartbeats from
+    // every worker. The daemon emits each heartbeat event before sending the
+    // measurement, so a second event per worker guarantees the first message
+    // reached the channel — `cluster_status` then must see all three.
+    let waiter = Arc::new(EventWaiter::new());
+    let ctx = SwallowContext::new_with_tracer(config(), 3, Tracer::with_sink(waiter.clone()));
+    let heartbeats_from_all = |recs: &[swallow_repro::trace::TraceRecord]| {
+        (0..3u32).all(|w| {
+            recs.iter()
+                .filter(|r| matches!(r.event, TraceEvent::Heartbeat { worker } if worker == w))
+                .count()
+                >= 2
+        })
+    };
+    assert!(
+        waiter.wait_until(Duration::from_secs(10), heartbeats_from_all),
+        "daemons never produced two heartbeats per worker"
+    );
     let status = ctx.cluster_status();
     assert_eq!(status.len(), 3);
     assert!(status.iter().all(|(_, util)| (0.0..=1.0).contains(util)));
@@ -124,15 +142,26 @@ fn mixed_compressible_and_incompressible_blocks() {
 }
 
 #[test]
-#[ignore = "timing-sensitive: relies on a 20 ms pull timeout expiring before the scheduler runs the puller, which loaded CI machines miss"]
 fn remove_releases_blocks_mid_flight() {
-    let ctx = SwallowContext::new(config(), 2);
+    // Trace-driven (de-flaked): wait for the observed `BlockReleased` event
+    // instead of racing a short pull timeout against the release. Once the
+    // event is seen, the store cleanup has happened and the failing pull is
+    // deterministic.
+    let waiter = Arc::new(EventWaiter::new());
+    let ctx = SwallowContext::new_with_tracer(config(), 2, Tracer::with_sink(waiter.clone()));
     let payload = synthesize_with_ratio(0.4, 50_000, 3);
     let b = ctx.stage(WorkerId(0), WorkerId(1), payload);
     let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
     ctx.push(coflow, b).unwrap();
     assert!(ctx.pull(coflow, b).is_ok());
     ctx.remove(coflow);
+    assert!(
+        waiter.wait_for_event(Duration::from_secs(10), |e| matches!(
+            e,
+            TraceEvent::BlockReleased { coflow: c } if *c == coflow.0
+        )),
+        "remove() never emitted BlockReleased"
+    );
     assert!(ctx
         .pull_timeout(coflow, b, Duration::from_millis(20))
         .is_err());
