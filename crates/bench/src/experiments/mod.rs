@@ -3,6 +3,7 @@
 
 pub mod bench_engine;
 pub mod ext;
+pub mod faults_cmd;
 pub mod fig1;
 pub mod fig2;
 pub mod fig4;

@@ -9,14 +9,17 @@
 //!   bench-engine — engine wall-clock benchmark (writes BENCH_engine.json)
 //!   trace <experiment> [--out <path>] — traced replay (fig6 | small);
 //!          .jsonl streams events, .json writes a Chrome trace document
+//!   faults <experiment> [--seed N] — replay under a seeded fault plan
+//!          (fig6a | small), reporting per-policy CCT inflation; same seed
+//!          yields a byte-identical TRACE_summary.json
 //!   all   — everything in paper order
 //! ```
 //!
 //! (`table6` is printed by `fig6e`, `table7` by `fig7b`. `--quiet`
 //! suppresses narrative output; JSON artifacts are still written.)
 
-use swallow_bench::experiments::trace_cmd;
 use swallow_bench::experiments::{bench_engine, ext, fig1, fig2, fig4, fig6, fig7, tables};
+use swallow_bench::experiments::{faults_cmd, trace_cmd};
 use swallow_bench::report;
 
 fn usage() -> ! {
@@ -26,11 +29,15 @@ fn usage() -> ! {
          \x20     fig7 fig7a fig7b fig7c table1 table2 table3 table5 table8\n\
          \x20     ext ext1 ext2 ext3 ext4 ext5 bench-engine all\n\
          \x20     trace <experiment> [--out <path>]\n\
+         \x20     faults <experiment> [--seed N]\n\
          (table6 prints with fig6e, table7 with fig7b;\n\
          \x20bench-engine times the skip-ahead fast path vs the naive slice\n\
          \x20loop on the fig6 trace and writes BENCH_engine.json;\n\
          \x20trace replays fig6|small with the structured tracer attached,\n\
          \x20exports the events and writes TRACE_summary.json;\n\
+         \x20faults replays fig6a|small under a seeded fault plan, prints\n\
+         \x20per-policy CCT inflation and writes a deterministic\n\
+         \x20TRACE_summary.json (same seed => identical bytes);\n\
          \x20--quiet suppresses narrative output, artifacts still written)"
     );
     std::process::exit(2);
@@ -111,6 +118,26 @@ fn main() {
                 i += 2;
             }
             trace_cmd::run(&experiment, &out);
+        } else if args[i] == "faults" {
+            let Some(experiment) = args.get(i + 1) else {
+                eprintln!("usage: paper faults <experiment> [--seed N]");
+                std::process::exit(2);
+            };
+            let experiment = experiment.clone();
+            i += 2;
+            let mut seed = 7u64;
+            if args.get(i).map(String::as_str) == Some("--seed") {
+                let Some(n) = args.get(i + 1) else {
+                    eprintln!("paper faults: --seed needs a number");
+                    std::process::exit(2);
+                };
+                seed = n.parse().unwrap_or_else(|_| {
+                    eprintln!("paper faults: --seed needs a number, got {n:?}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            faults_cmd::run(&experiment, seed);
         } else {
             dispatch(&args[i]);
             i += 1;

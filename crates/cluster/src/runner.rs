@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use swallow_compress::Table2;
 use swallow_fabric::{Coflow, Engine, Fabric, FlowSpec, SimConfig, SimResult};
+use swallow_faults::Injector;
 use swallow_sched::{Algorithm, ProfiledCompression};
 use swallow_trace::{TraceEvent, Tracer};
 
@@ -62,6 +63,10 @@ pub struct ClusterConfig {
     /// shuffle-stage engine, and fed cluster-layer events (stage
     /// transitions, slot waits, GC pauses) stamped in simulated time.
     pub tracer: Tracer,
+    /// Fault injector applied to the shuffle-stage coflow simulation
+    /// (node crashes, link degradations, core revocations in simulated
+    /// time). Empty by default.
+    pub injector: Injector,
 }
 
 impl Default for ClusterConfig {
@@ -79,6 +84,7 @@ impl Default for ClusterConfig {
             gc: GcModel::default(),
             seed: 0xC1A5,
             tracer: Tracer::disabled(),
+            injector: Injector::default(),
         }
     }
 }
@@ -207,7 +213,8 @@ impl ClusterSim {
         let fabric = Fabric::uniform(cfg.num_nodes, cfg.link_bandwidth);
         let mut sim_config = SimConfig::default()
             .with_slice(cfg.slice)
-            .with_tracer(cfg.tracer.clone());
+            .with_tracer(cfg.tracer.clone())
+            .with_faults(cfg.injector.clone());
         if let Some(codec) = cfg.compression {
             let profile = codec.profile();
             let ratio_model = match cfg.ratio_override {
@@ -442,6 +449,30 @@ mod tests {
             .filter(|r| r.event.kind() == "stage_transition")
             .count();
         assert_eq!(stages, 2 * 5, "2 jobs × 5 stage transitions");
+    }
+
+    #[test]
+    fn shuffle_stage_faults_inflate_jct_but_jobs_still_finish() {
+        use swallow_faults::FaultPlan;
+        // Every link at half capacity for the whole run: the shuffle stage
+        // slows down, lengthening JCT, but nothing hangs or is lost.
+        let mut plan = FaultPlan::new();
+        for n in 0..8 {
+            plan = plan.degrade_link(n, 0.5, 0.0, 1e9);
+        }
+        let clean = ClusterSim::new(base_config()).run(&jobs(2, 50.0));
+        let faulted = ClusterSim::new(ClusterConfig {
+            injector: plan.injector(),
+            ..base_config()
+        })
+        .run(&jobs(2, 50.0));
+        assert!(faulted.shuffle.all_complete());
+        assert!(
+            faulted.avg_jct() > clean.avg_jct(),
+            "faulted {} vs clean {}",
+            faulted.avg_jct(),
+            clean.avg_jct()
+        );
     }
 
     #[test]

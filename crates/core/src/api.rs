@@ -11,50 +11,51 @@
 //! | `push(coflowRef, blockId, blockData)` | Sender | [`SwallowContext::push`] |
 //! | `pull(coflowRef, blockId) ⇒ blockData` | Receiver | [`SwallowContext::pull`] |
 //!
-//! The one extension over Table IV is [`SwallowContext::stage`], which plays
-//! the role of Spark's shuffle-write: it hands a task's output block to its
-//! executor so `hook()` has something to capture.
+//! Two extensions over Table IV: [`SwallowContext::stage`] plays the role of
+//! Spark's shuffle-write (it hands a task's output block to its executor so
+//! `hook()` has something to capture), and [`SwallowContext::restage`] is
+//! its recovery twin — it re-stages a payload whose staged copy died with a
+//! crashed worker.
+//!
+//! # Booting a runtime
+//!
+//! Contexts are built, not constructed:
+//!
+//! ```no_run
+//! use swallow_core::{SwallowConfig, SwallowContext};
+//!
+//! let ctx = SwallowContext::builder()
+//!     .config(SwallowConfig::default())
+//!     .workers(4)
+//!     .build()
+//!     .expect("valid configuration");
+//! # drop(ctx);
+//! ```
+//!
+//! The builder validates its inputs (returning
+//! [`SwallowError::InvalidConfig`]) and is the only place a fault
+//! [`Injector`] and a [`Tracer`] can be attached. The pre-builder
+//! constructors (`new`, `new_with_tracer`, `get_instance`) survive as thin
+//! deprecated shims.
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::config::SwallowConfig;
+use crate::error::SwallowError;
 use crate::master::Master;
 use crate::messages::{BlockId, CoflowInfo, CoflowRef, FlowInfo, SchResult, ToMaster, WorkerId};
 use crate::worker::Worker;
 use swallow_fabric::FlowId;
+use swallow_faults::Injector;
 use swallow_trace::{TraceEvent, Tracer};
 
-/// Errors surfaced by the runtime API.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CoreError {
-    /// Worker id out of range.
-    UnknownWorker(WorkerId),
-    /// No such coflow registered.
-    UnknownCoflow(CoflowRef),
-    /// The block is not part of the coflow or was never staged.
-    UnknownBlock(BlockId),
-    /// `pull` timed out waiting for the sender.
-    PullTimeout(BlockId),
-}
-
-impl fmt::Display for CoreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CoreError::UnknownWorker(w) => write!(f, "unknown worker {w}"),
-            CoreError::UnknownCoflow(c) => write!(f, "unknown coflow {}", c.0),
-            CoreError::UnknownBlock(b) => write!(f, "unknown block {}", b.0),
-            CoreError::PullTimeout(b) => write!(f, "pull timed out waiting for block {}", b.0),
-        }
-    }
-}
-
-impl std::error::Error for CoreError {}
+#[allow(deprecated)]
+pub use crate::error::CoreError;
 
 /// Outcome of one `push`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,16 +73,17 @@ pub struct PushReport {
 struct Ctx {
     config: SwallowConfig,
     workers: Vec<Arc<Worker>>,
-    master: Mutex<Master>,
+    master: Arc<Mutex<Master>>,
     to_master_tx: Sender<ToMaster>,
     to_master_rx: Receiver<ToMaster>,
     current_sched: Mutex<SchResult>,
+    injector: Injector,
     shutdown: Arc<AtomicBool>,
     daemons: Mutex<Vec<std::thread::JoinHandle<()>>>,
     next_flow: AtomicU64,
     next_block: AtomicU64,
     tracer: Tracer,
-    /// Epoch for wall-clock trace timestamps.
+    /// Epoch for wall-clock trace timestamps and fault-plan time.
     start: Instant,
 }
 
@@ -96,26 +98,84 @@ pub struct SwallowContext {
 /// Process-wide singleton backing [`SwallowContext::get_instance`].
 static INSTANCE: std::sync::OnceLock<SwallowContext> = std::sync::OnceLock::new();
 
-impl SwallowContext {
-    /// The §V-B singleton: `SwallowContext.getInstance()`. The first call
-    /// boots a runtime with the given configuration; later calls return the
-    /// same runtime and ignore the arguments.
-    pub fn get_instance(config: SwallowConfig, num_workers: usize) -> SwallowContext {
-        INSTANCE
-            .get_or_init(|| SwallowContext::new(config, num_workers))
-            .clone()
+/// Configures and boots a [`SwallowContext`]; obtained from
+/// [`SwallowContext::builder`].
+#[must_use = "a builder does nothing until build() is called"]
+pub struct SwallowContextBuilder {
+    config: SwallowConfig,
+    workers: usize,
+    tracer: Tracer,
+    injector: Injector,
+}
+
+impl SwallowContextBuilder {
+    fn new() -> Self {
+        Self {
+            config: SwallowConfig::default(),
+            workers: 2,
+            tracer: Tracer::disabled(),
+            injector: Injector::default(),
+        }
     }
 
-    /// Boot a runtime with `num_workers` workers and start their daemons.
-    pub fn new(config: SwallowConfig, num_workers: usize) -> Self {
-        Self::new_with_tracer(config, num_workers, Tracer::disabled())
+    /// Runtime configuration (defaults to [`SwallowConfig::default`]).
+    pub fn config(mut self, config: SwallowConfig) -> Self {
+        self.config = config;
+        self
     }
 
-    /// [`SwallowContext::new`] with structured tracing: runtime events
-    /// (heartbeats, API calls, block movement) flow into `tracer`'s sink,
-    /// timestamped in wall-clock seconds since this call.
-    pub fn new_with_tracer(config: SwallowConfig, num_workers: usize, tracer: Tracer) -> Self {
-        assert!(num_workers >= 2, "need at least two workers");
+    /// Number of workers to boot (defaults to 2, the minimum).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Attach a tracer: runtime events (heartbeats, API calls, block
+    /// movement, fault recovery) flow into its sink, timestamped in
+    /// wall-clock seconds since `build()`.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attach a fault injector. Fault-plan time is wall-clock seconds since
+    /// `build()`: worker daemons skip heartbeats inside drop/crash windows,
+    /// `push` sees crashed endpoints and slow-start delays, and the master's
+    /// failure detector takes destructive recovery action only for crashes
+    /// the injector confirms.
+    pub fn faults(mut self, injector: Injector) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    /// Validate the configuration and boot the runtime: worker daemons, the
+    /// master, and the failure-detector monitor all start here.
+    pub fn build(self) -> Result<SwallowContext, SwallowError> {
+        let Self {
+            config,
+            workers: num_workers,
+            tracer,
+            injector,
+        } = self;
+        if num_workers < 2 {
+            return Err(SwallowError::InvalidConfig(format!(
+                "need at least two workers, got {num_workers}"
+            )));
+        }
+        if !config.link_bandwidth.is_finite() || config.link_bandwidth <= 0.0 {
+            return Err(SwallowError::InvalidConfig(format!(
+                "link_bandwidth must be positive, got {}",
+                config.link_bandwidth
+            )));
+        }
+        if !config.heartbeat.is_finite() || config.heartbeat <= 0.0 {
+            return Err(SwallowError::InvalidConfig(format!(
+                "heartbeat must be positive, got {}",
+                config.heartbeat
+            )));
+        }
+
+        let start = Instant::now();
         let (tx, rx) = unbounded();
         let workers: Vec<Arc<Worker>> = (0..num_workers)
             .map(|i| Arc::new(Worker::new(WorkerId(i as u32), &config)))
@@ -127,33 +187,124 @@ impl SwallowContext {
                 tx.clone(),
                 config.heartbeat,
                 shutdown.clone(),
+                injector.clone(),
                 tracer.clone(),
             ));
         }
         let mut master = Master::new(config.clone(), num_workers);
         master.set_tracer(tracer.clone());
-        Self {
+        let master = Arc::new(Mutex::new(master));
+
+        // The monitor daemon: drains worker messages and runs the failure
+        // detector every heartbeat. Detection (WorkerDown / WorkerRecovered
+        // events) fires on missed heartbeats alone; the *destructive* half
+        // of recovery — wiping the worker and re-queueing its flows — runs
+        // only when the injector confirms a genuine crash, so a merely
+        // stalled machine can never corrupt completion state.
+        let monitor = {
+            let master = Arc::clone(&master);
+            let rx = rx.clone();
+            let injector = injector.clone();
+            let shutdown = shutdown.clone();
+            let workers = workers.clone();
+            let heartbeat = config.heartbeat;
+            let window = config.heartbeat * config.liveness_misses as f64;
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    {
+                        let mut m = master.lock();
+                        while let Ok(msg) = rx.try_recv() {
+                            m.handle(msg);
+                        }
+                        let now = start.elapsed().as_secs_f64();
+                        for w in m.liveness_sweep(now, window) {
+                            if injector.is_worker_down(w.0, now) {
+                                if let Some(worker) = workers.get(w.0 as usize) {
+                                    worker.crash_reset();
+                                }
+                                m.fail_worker(w);
+                            }
+                        }
+                    }
+                    std::thread::sleep(Duration::from_secs_f64(heartbeat));
+                }
+            })
+        };
+        daemons.push(monitor);
+
+        Ok(SwallowContext {
             inner: Arc::new(Ctx {
                 config,
                 workers,
-                master: Mutex::new(master),
+                master,
                 to_master_tx: tx,
                 to_master_rx: rx,
                 current_sched: Mutex::new(SchResult::default()),
+                injector,
                 shutdown,
                 daemons: Mutex::new(daemons),
                 next_flow: AtomicU64::new(1),
                 next_block: AtomicU64::new(1),
                 tracer,
-                start: Instant::now(),
+                start,
             }),
-        }
+        })
+    }
+}
+
+impl SwallowContext {
+    /// Start configuring a runtime. See the module docs for the shape.
+    pub fn builder() -> SwallowContextBuilder {
+        SwallowContextBuilder::new()
     }
 
-    /// The tracer events are flowing into (disabled unless the context was
-    /// built with [`SwallowContext::new_with_tracer`]).
+    /// The §V-B singleton: `SwallowContext.getInstance()`. The first call
+    /// boots a runtime with the given configuration; later calls return the
+    /// same runtime and ignore the arguments.
+    #[deprecated(note = "use SwallowContext::builder() and share clones of the handle")]
+    pub fn get_instance(config: SwallowConfig, num_workers: usize) -> SwallowContext {
+        INSTANCE
+            .get_or_init(|| {
+                SwallowContext::builder()
+                    .config(config)
+                    .workers(num_workers)
+                    .build()
+                    .expect("get_instance: invalid configuration")
+            })
+            .clone()
+    }
+
+    /// Boot a runtime with `num_workers` workers and start their daemons.
+    #[deprecated(note = "use SwallowContext::builder()")]
+    pub fn new(config: SwallowConfig, num_workers: usize) -> Self {
+        Self::builder()
+            .config(config)
+            .workers(num_workers)
+            .build()
+            .expect("SwallowContext::new: invalid configuration")
+    }
+
+    /// Boot with structured tracing.
+    #[deprecated(note = "use SwallowContext::builder().tracer(..)")]
+    pub fn new_with_tracer(config: SwallowConfig, num_workers: usize, tracer: Tracer) -> Self {
+        Self::builder()
+            .config(config)
+            .workers(num_workers)
+            .tracer(tracer)
+            .build()
+            .expect("SwallowContext::new_with_tracer: invalid configuration")
+    }
+
+    /// The tracer events are flowing into (disabled unless one was attached
+    /// via [`SwallowContextBuilder::tracer`]).
     pub fn tracer(&self) -> &Tracer {
         &self.inner.tracer
+    }
+
+    /// The fault injector this runtime consults (empty unless one was
+    /// attached via [`SwallowContextBuilder::faults`]).
+    pub fn injector(&self) -> &Injector {
+        &self.inner.injector
     }
 
     fn trace(&self, f: impl FnOnce() -> TraceEvent) {
@@ -162,6 +313,12 @@ impl SwallowContext {
                 .tracer
                 .emit(self.inner.start.elapsed().as_secs_f64(), f);
         }
+    }
+
+    /// Wall-clock seconds since the runtime booted — the time base of trace
+    /// records and fault-plan windows.
+    fn now(&self) -> f64 {
+        self.inner.start.elapsed().as_secs_f64()
     }
 
     /// The runtime configuration.
@@ -174,11 +331,11 @@ impl SwallowContext {
         self.inner.workers.len()
     }
 
-    fn worker(&self, id: WorkerId) -> Result<&Arc<Worker>, CoreError> {
+    fn worker(&self, id: WorkerId) -> Result<&Arc<Worker>, SwallowError> {
         self.inner
             .workers
             .get(id.0 as usize)
-            .ok_or(CoreError::UnknownWorker(id))
+            .ok_or(SwallowError::UnknownWorker(id))
     }
 
     /// Drain pending worker → master messages into the master's state.
@@ -203,6 +360,35 @@ impl SwallowContext {
             bytes,
         });
         block
+    }
+
+    /// Re-stage the payload of `block` on its original sender, under the
+    /// same flow/block identity — the recovery path after a crash wiped the
+    /// staged copy (the caller re-reads the data from its durable source,
+    /// as Spark would re-read a shuffle file).
+    pub fn restage(
+        &self,
+        coflow: CoflowRef,
+        block: BlockId,
+        data: Vec<u8>,
+    ) -> Result<(), SwallowError> {
+        self.trace(|| TraceEvent::ApiCall {
+            method: "restage".to_string(),
+        });
+        let flow_info = self
+            .inner
+            .master
+            .lock()
+            .flow_of_block(coflow, block)
+            .ok_or(SwallowError::BlockMissing(block))?;
+        let worker = self.worker(flow_info.src)?.clone();
+        let bytes = data.len();
+        worker.restage(flow_info, Bytes::from(data));
+        self.trace(|| TraceEvent::BlockStaged {
+            block: block.0,
+            bytes,
+        });
+        Ok(())
     }
 
     /// Table IV `hook`: capture the staged flows of one executor.
@@ -261,21 +447,58 @@ impl SwallowContext {
         *self.inner.current_sched.lock() = sched.clone();
     }
 
+    /// Block while either endpoint of the flow is inside a crash window,
+    /// retrying with exponential backoff up to `push_retries` attempts.
+    /// Returns the typed error once the retry budget is spent.
+    fn await_endpoints(&self, flow_info: &FlowInfo) -> Result<(), SwallowError> {
+        let mut attempt = 0u32;
+        loop {
+            let t = self.now();
+            let down = if self.inner.injector.is_worker_down(flow_info.src.0, t) {
+                Some(flow_info.src)
+            } else if self.inner.injector.is_worker_down(flow_info.dst.0, t) {
+                Some(flow_info.dst)
+            } else {
+                return Ok(());
+            };
+            let worker = down.expect("down endpoint");
+            if attempt >= self.inner.config.push_retries {
+                return Err(SwallowError::WorkerDown { worker });
+            }
+            attempt += 1;
+            let flow = flow_info.flow.0;
+            self.trace(|| TraceEvent::PushRetry { flow, attempt });
+            let backoff = self.inner.config.retry_backoff * f64::powi(2.0, attempt as i32 - 1);
+            std::thread::sleep(Duration::from_secs_f64(backoff));
+        }
+    }
+
     /// Table IV `push`: the sender transfers `block` to its receiver,
     /// compressing when the installed schedule says so (or, absent an
     /// installed decision for the flow, when the Eq. 3 gate holds).
-    pub fn push(&self, coflow: CoflowRef, block: BlockId) -> Result<PushReport, CoreError> {
+    ///
+    /// Under a fault plan, a crashed endpoint makes the push wait and retry
+    /// with exponential backoff (emitting `push_retry` events) until the
+    /// worker restarts or the retry budget is spent
+    /// ([`SwallowError::WorkerDown`], retryable); a slow-start window delays
+    /// the transfer by the configured amount.
+    pub fn push(&self, coflow: CoflowRef, block: BlockId) -> Result<PushReport, SwallowError> {
         let flow_info = self
             .inner
             .master
             .lock()
             .flow_of_block(coflow, block)
-            .ok_or(CoreError::UnknownBlock(block))?;
+            .ok_or(SwallowError::BlockMissing(block))?;
+        self.await_endpoints(&flow_info)?;
+        let delay = self.inner.injector.push_delay(flow_info.src.0, self.now());
+        if delay > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(delay));
+        }
         let src = self.worker(flow_info.src)?.clone();
         let dst = self.worker(flow_info.dst)?.clone();
         let staged = src
             .take_staged(block)
-            .ok_or(CoreError::UnknownBlock(block))?;
+            .ok_or(SwallowError::BlockMissing(block))?;
 
         let (beta, rate) = {
             let sched = self.inner.current_sched.lock();
@@ -312,37 +535,45 @@ impl SwallowContext {
         self.trace(|| TraceEvent::MessageSent {
             kind: "transfer_complete".to_string(),
         });
-        let _ = self.inner.to_master_tx.send(ToMaster::TransferComplete {
-            coflow,
-            flow: flow_info.flow,
-            wire_bytes: wire,
-        });
+        self.inner
+            .to_master_tx
+            .send(ToMaster::TransferComplete {
+                coflow,
+                flow: flow_info.flow,
+                wire_bytes: wire,
+            })
+            .map_err(|_| SwallowError::ChannelClosed {
+                channel: "to_master",
+            })?;
         Ok(report)
     }
 
     /// Table IV `pull`: the receiver fetches `block`, blocking (up to 30 s)
     /// until the sender's push lands.
-    pub fn pull(&self, coflow: CoflowRef, block: BlockId) -> Result<Bytes, CoreError> {
+    pub fn pull(&self, coflow: CoflowRef, block: BlockId) -> Result<Bytes, SwallowError> {
         self.pull_timeout(coflow, block, Duration::from_secs(30))
     }
 
-    /// `pull` with an explicit timeout.
+    /// `pull` with an explicit timeout. A zero timeout is a non-blocking
+    /// probe; `Duration::MAX` (or any timeout past the clock's range) waits
+    /// indefinitely. On expiry the error is [`SwallowError::Timeout`],
+    /// which is retryable.
     pub fn pull_timeout(
         &self,
         coflow: CoflowRef,
         block: BlockId,
         timeout: Duration,
-    ) -> Result<Bytes, CoreError> {
+    ) -> Result<Bytes, SwallowError> {
         let flow_info = self
             .inner
             .master
             .lock()
             .flow_of_block(coflow, block)
-            .ok_or(CoreError::UnknownBlock(block))?;
+            .ok_or(SwallowError::BlockMissing(block))?;
         let dst = self.worker(flow_info.dst)?;
         dst.store
             .wait_for(coflow, block, timeout)
-            .ok_or(CoreError::PullTimeout(block))
+            .ok_or(SwallowError::Timeout { block })
     }
 
     /// Whether every flow of the coflow has completed (callback-driven; the
@@ -368,6 +599,11 @@ impl SwallowContext {
             .iter()
             .map(|(w, m)| (*w, m.cpu_util))
             .collect()
+    }
+
+    /// Workers the failure detector currently considers down.
+    pub fn down_workers(&self) -> Vec<WorkerId> {
+        self.inner.master.lock().down_workers()
     }
 
     /// Stop daemons and join them. Called automatically when the last clone
@@ -402,6 +638,14 @@ mod tests {
         }
     }
 
+    fn boot(config: SwallowConfig, workers: usize) -> SwallowContext {
+        SwallowContext::builder()
+            .config(config)
+            .workers(workers)
+            .build()
+            .expect("test runtime boots")
+    }
+
     fn compressible_payload(len: usize) -> Vec<u8> {
         b"shuffle-record:key=value;"
             .iter()
@@ -413,7 +657,7 @@ mod tests {
 
     #[test]
     fn full_table4_lifecycle() {
-        let ctx = SwallowContext::new(fast_config(), 3);
+        let ctx = boot(fast_config(), 3);
         let b1 = ctx.stage(WorkerId(0), WorkerId(1), compressible_payload(50_000));
         let b2 = ctx.stage(WorkerId(0), WorkerId(2), compressible_payload(30_000));
         let flows = ctx.hook(WorkerId(0));
@@ -440,14 +684,34 @@ mod tests {
         // After removal the block is gone and pull errors out.
         assert_eq!(
             ctx.pull_timeout(coflow, b1, Duration::from_millis(10)),
-            Err(CoreError::UnknownBlock(b1))
+            Err(SwallowError::BlockMissing(b1))
         );
         ctx.shutdown();
     }
 
     #[test]
+    fn builder_rejects_invalid_configurations() {
+        let too_few = SwallowContext::builder().workers(1).build();
+        assert!(matches!(too_few, Err(SwallowError::InvalidConfig(_))));
+        let zero_beat = SwallowContext::builder()
+            .config(SwallowConfig {
+                heartbeat: 0.0,
+                ..SwallowConfig::default()
+            })
+            .workers(2)
+            .build();
+        match zero_beat {
+            Err(e @ SwallowError::InvalidConfig(_)) => {
+                assert!(!e.is_retryable());
+                assert!(e.to_string().contains("heartbeat"));
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn smart_compress_off_ships_raw() {
-        let ctx = SwallowContext::new(fast_config().without_compression(), 2);
+        let ctx = boot(fast_config().without_compression(), 2);
         let b = ctx.stage(WorkerId(0), WorkerId(1), compressible_payload(40_000));
         let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
         let sched = ctx.scheduling(&[coflow]);
@@ -460,7 +724,7 @@ mod tests {
 
     #[test]
     fn pull_blocks_until_push_from_other_thread() {
-        let ctx = SwallowContext::new(fast_config(), 2);
+        let ctx = boot(fast_config(), 2);
         let b = ctx.stage(WorkerId(0), WorkerId(1), compressible_payload(20_000));
         let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
         let puller = {
@@ -476,32 +740,90 @@ mod tests {
 
     #[test]
     fn unknown_ids_error() {
-        let ctx = SwallowContext::new(fast_config(), 2);
+        let ctx = boot(fast_config(), 2);
         assert!(matches!(
             ctx.push(CoflowRef(99), BlockId(1)),
-            Err(CoreError::UnknownBlock(_))
+            Err(SwallowError::BlockMissing(_))
         ));
         assert!(matches!(
             ctx.pull_timeout(CoflowRef(99), BlockId(1), Duration::from_millis(5)),
-            Err(CoreError::UnknownBlock(_))
+            Err(SwallowError::BlockMissing(_))
         ));
+        ctx.shutdown();
+    }
+
+    #[test]
+    fn pull_timeout_expiry_is_retryable() {
+        let ctx = boot(fast_config(), 2);
+        let b = ctx.stage(WorkerId(0), WorkerId(1), compressible_payload(1_000));
+        let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
+        // Nothing pushed yet: a zero timeout probes and times out at once.
+        let err = ctx.pull_timeout(coflow, b, Duration::ZERO).unwrap_err();
+        assert_eq!(err, SwallowError::Timeout { block: b });
+        assert!(err.is_retryable());
+        // The retry loop a caller would write: push, then retry the pull.
+        ctx.push(coflow, b).unwrap();
+        assert!(ctx.pull_timeout(coflow, b, Duration::ZERO).is_ok());
         ctx.shutdown();
     }
 
     #[test]
     fn double_push_of_same_block_errors() {
-        let ctx = SwallowContext::new(fast_config(), 2);
+        let ctx = boot(fast_config(), 2);
         let b = ctx.stage(WorkerId(0), WorkerId(1), compressible_payload(1_000));
         let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
         ctx.push(coflow, b).unwrap();
         assert!(matches!(
             ctx.push(coflow, b),
-            Err(CoreError::UnknownBlock(_))
+            Err(SwallowError::BlockMissing(_))
         ));
         ctx.shutdown();
     }
 
     #[test]
+    fn push_against_permanently_dead_worker_reports_worker_down() {
+        use swallow_faults::FaultPlan;
+        // Receiver dead from t=0 with no restart and a tiny retry budget:
+        // push must fail fast with the typed, retryable error and emit
+        // push_retry events along the way.
+        let sink = Arc::new(swallow_trace::CollectSink::new());
+        let cfg = SwallowConfig {
+            push_retries: 2,
+            retry_backoff: 0.005,
+            ..fast_config()
+        };
+        let ctx = SwallowContext::builder()
+            .config(cfg)
+            .workers(2)
+            .faults(FaultPlan::new().crash(1, 0.0, None).injector())
+            .tracer(Tracer::with_sink(sink.clone()))
+            .build()
+            .unwrap();
+        let b = ctx.stage(WorkerId(0), WorkerId(1), compressible_payload(1_000));
+        let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
+        let err = ctx.push(coflow, b).unwrap_err();
+        assert_eq!(
+            err,
+            SwallowError::WorkerDown {
+                worker: WorkerId(1)
+            }
+        );
+        assert!(err.is_retryable());
+        let retries = sink
+            .snapshot()
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::PushRetry { .. }))
+            .count();
+        assert_eq!(retries, 2);
+        // The staged block was not consumed by the failed push.
+        let sched = ctx.scheduling(&[coflow]);
+        assert_eq!(sched.compress.len(), 1);
+        ctx.shutdown();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[allow(clippy::disallowed_methods)]
     fn get_instance_returns_one_runtime() {
         let a = SwallowContext::get_instance(fast_config(), 3);
         let b = SwallowContext::get_instance(fast_config().without_compression(), 5);
@@ -516,10 +838,11 @@ mod tests {
 
     #[test]
     fn daemons_report_measurements() {
-        let ctx = SwallowContext::new(fast_config(), 2);
+        let ctx = boot(fast_config(), 2);
         std::thread::sleep(Duration::from_millis(60));
         let status = ctx.cluster_status();
         assert_eq!(status.len(), 2, "both daemons should have reported");
+        assert!(ctx.down_workers().is_empty());
         ctx.shutdown();
     }
 
@@ -533,7 +856,7 @@ mod tests {
             ..fast_config()
         };
         let run = |cfg: SwallowConfig| -> Duration {
-            let ctx = SwallowContext::new(cfg, 2);
+            let ctx = boot(cfg, 2);
             let b = ctx.stage(WorkerId(0), WorkerId(1), payload.clone());
             let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
             let sched = ctx.scheduling(&[coflow]);

@@ -22,6 +22,30 @@ pub struct SwallowConfig {
     pub slice: f64,
     /// CPU cores per worker available to compression tasks.
     pub cores_per_worker: u32,
+    /// How many times `push()` retries against an unavailable worker before
+    /// giving up with `SwallowError::WorkerDown`.
+    #[serde(default = "default_push_retries")]
+    pub push_retries: u32,
+    /// Base delay (seconds) of the push retry backoff; doubles per attempt.
+    #[serde(default = "default_retry_backoff")]
+    pub retry_backoff: f64,
+    /// Heartbeat intervals a worker may miss before the master's failure
+    /// detector declares it down. Deliberately generous by default so a
+    /// stalled test machine never triggers spurious recovery.
+    #[serde(default = "default_liveness_misses")]
+    pub liveness_misses: u32,
+}
+
+fn default_push_retries() -> u32 {
+    8
+}
+
+fn default_retry_backoff() -> f64 {
+    0.05
+}
+
+fn default_liveness_misses() -> u32 {
+    25
 }
 
 impl Default for SwallowConfig {
@@ -33,6 +57,9 @@ impl Default for SwallowConfig {
             heartbeat: 0.02,
             slice: 0.01,
             cores_per_worker: 4,
+            push_retries: default_push_retries(),
+            retry_backoff: default_retry_backoff(),
+            liveness_misses: default_liveness_misses(),
         }
     }
 }
@@ -83,5 +110,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bandwidth_rejected() {
         SwallowConfig::default().with_bandwidth(0.0);
+    }
+
+    #[test]
+    fn recovery_knobs_have_serde_defaults() {
+        let c = SwallowConfig::default();
+        assert_eq!(c.push_retries, 8);
+        assert!((c.retry_backoff - 0.05).abs() < 1e-12);
+        assert_eq!(c.liveness_misses, 25);
+        // A config serialized before the recovery knobs existed still
+        // deserializes, picking up the defaults.
+        let mut v = serde_json::to_value(&c).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("push_retries");
+        obj.remove("retry_backoff");
+        obj.remove("liveness_misses");
+        let back: SwallowConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(back, c);
     }
 }

@@ -1,0 +1,118 @@
+//! The unified runtime error type.
+//!
+//! Every fallible `SwallowContext` entry point returns [`SwallowError`].
+//! Variants split into *retryable* conditions — transient unavailability the
+//! caller may wait out ([`SwallowError::Timeout`],
+//! [`SwallowError::WorkerDown`]) — and *fatal* ones where retrying cannot
+//! help (missing blocks, closed channels, bad configuration). The
+//! [`SwallowError::is_retryable`] predicate encodes that split so callers
+//! can branch without matching every variant.
+
+use std::fmt;
+
+use crate::messages::{BlockId, CoflowRef, WorkerId};
+
+/// Errors surfaced by the runtime API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwallowError {
+    /// Worker id out of range.
+    UnknownWorker(WorkerId),
+    /// No such coflow registered.
+    UnknownCoflow(CoflowRef),
+    /// The block is not part of the coflow, was never staged, or its staged
+    /// payload died with a crashed worker (re-stage it via
+    /// `SwallowContext::restage`).
+    BlockMissing(BlockId),
+    /// `pull` gave up waiting for the sender's push to land.
+    Timeout {
+        /// The block the receiver was waiting for.
+        block: BlockId,
+    },
+    /// The worker is (still) unavailable after the configured retries.
+    WorkerDown {
+        /// The unavailable endpoint.
+        worker: WorkerId,
+    },
+    /// An internal runtime channel was closed (the runtime is shutting
+    /// down or has panicked).
+    ChannelClosed {
+        /// Which channel, e.g. `"to_master"`.
+        channel: &'static str,
+    },
+    /// `SwallowContext::builder()` was given an unusable configuration.
+    InvalidConfig(String),
+}
+
+impl SwallowError {
+    /// Whether waiting and retrying the failed call can succeed.
+    ///
+    /// `Timeout` and `WorkerDown` describe transient states — the sender may
+    /// still push, a crashed worker may restart. Everything else is a
+    /// programming or configuration error that no amount of retrying fixes.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SwallowError::Timeout { .. } | SwallowError::WorkerDown { .. }
+        )
+    }
+}
+
+impl fmt::Display for SwallowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwallowError::UnknownWorker(w) => write!(f, "unknown worker {w}"),
+            SwallowError::UnknownCoflow(c) => write!(f, "unknown coflow {}", c.0),
+            SwallowError::BlockMissing(b) => write!(f, "block {} is missing", b.0),
+            SwallowError::Timeout { block } => {
+                write!(f, "timed out waiting for block {}", block.0)
+            }
+            SwallowError::WorkerDown { worker } => write!(f, "worker {worker} is down"),
+            SwallowError::ChannelClosed { channel } => {
+                write!(f, "runtime channel {channel:?} is closed")
+            }
+            SwallowError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SwallowError {}
+
+/// The pre-0.2 name of [`SwallowError`].
+#[deprecated(note = "renamed to SwallowError")]
+pub type CoreError = SwallowError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_split() {
+        assert!(SwallowError::Timeout { block: BlockId(1) }.is_retryable());
+        assert!(SwallowError::WorkerDown {
+            worker: WorkerId(2)
+        }
+        .is_retryable());
+        assert!(!SwallowError::BlockMissing(BlockId(1)).is_retryable());
+        assert!(!SwallowError::UnknownWorker(WorkerId(9)).is_retryable());
+        assert!(!SwallowError::ChannelClosed {
+            channel: "to_master"
+        }
+        .is_retryable());
+        assert!(!SwallowError::InvalidConfig("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            SwallowError::WorkerDown {
+                worker: WorkerId(3)
+            }
+            .to_string(),
+            "worker w3 is down"
+        );
+        assert_eq!(
+            SwallowError::Timeout { block: BlockId(7) }.to_string(),
+            "timed out waiting for block 7"
+        );
+    }
+}

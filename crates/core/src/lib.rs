@@ -21,7 +21,11 @@
 //! ```no_run
 //! use swallow_core::{SwallowConfig, SwallowContext, WorkerId};
 //!
-//! let ctx = SwallowContext::new(SwallowConfig::default(), 4);
+//! let ctx = SwallowContext::builder()
+//!     .config(SwallowConfig::default())
+//!     .workers(4)
+//!     .build()
+//!     .expect("valid configuration");
 //! // Stage shuffle output on executor 0 destined for executor 1…
 //! let block = ctx.stage(WorkerId(0), WorkerId(1), b"intermediate data".to_vec());
 //! let flows = ctx.hook(WorkerId(0));
@@ -38,13 +42,15 @@
 pub mod api;
 pub mod bucket;
 pub mod config;
+pub mod error;
 pub mod master;
 pub mod messages;
 pub mod shuffle;
 pub mod store;
 pub mod worker;
 
-pub use api::SwallowContext;
+pub use api::{PushReport, SwallowContext, SwallowContextBuilder};
 pub use config::SwallowConfig;
+pub use error::SwallowError;
 pub use messages::{BlockId, CoflowRef, FlowInfo, SchResult, WorkerId};
 pub use shuffle::{run_shuffle, ShuffleJob, ShuffleReport};

@@ -1,7 +1,7 @@
 //! The Swallow master: coflow registry, measurement aggregation and FVDF
 //! scheduling decisions.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
 use crate::config::SwallowConfig;
@@ -32,6 +32,10 @@ pub struct Master {
     next_ref: u64,
     /// Latest heartbeat per worker.
     latest: BTreeMap<WorkerId, Measurement>,
+    /// Heartbeat arrival time per worker (the failure detector's input).
+    last_seen: BTreeMap<WorkerId, f64>,
+    /// Workers currently declared dead by the failure detector.
+    down: BTreeSet<WorkerId>,
     policy: FvdfPolicy,
     profile: CodecProfile,
     /// Total wire bytes observed across all completed transfers.
@@ -53,6 +57,8 @@ impl Master {
             coflows: BTreeMap::new(),
             next_ref: 1,
             latest: BTreeMap::new(),
+            last_seen: BTreeMap::new(),
+            down: BTreeSet::new(),
             policy: FvdfPolicy::new(),
             profile,
             wire_bytes: 0,
@@ -135,6 +141,12 @@ impl Master {
                     worker: m.worker.0,
                     depth: m.staged_blocks,
                 });
+                // A heartbeat from a worker the failure detector had given
+                // up on means it restarted: re-register it.
+                if self.down.remove(&m.worker) {
+                    self.trace(|| TraceEvent::WorkerRecovered { worker: m.worker.0 });
+                }
+                self.last_seen.insert(m.worker, m.at);
                 self.latest.insert(m.worker, m);
             }
             ToMaster::TransferComplete {
@@ -147,6 +159,59 @@ impl Master {
                     state.done.insert(flow, wire_bytes);
                 }
             }
+        }
+    }
+
+    /// Failure-detector sweep: declare down every worker whose last
+    /// heartbeat is older than `window` seconds at time `now`, and return
+    /// the *newly* declared ones. Detection only — the caller decides
+    /// whether to take destructive recovery action (it can tell a genuine
+    /// crash apart from a stalled machine).
+    pub fn liveness_sweep(&mut self, now: f64, window: f64) -> Vec<WorkerId> {
+        let mut newly_down = Vec::new();
+        for (&w, &at) in &self.last_seen {
+            if now - at > window && self.down.insert(w) {
+                newly_down.push(w);
+            }
+        }
+        for &w in &newly_down {
+            self.trace(|| TraceEvent::WorkerDown { worker: w.0 });
+        }
+        newly_down
+    }
+
+    /// Workers currently declared down.
+    pub fn down_workers(&self) -> Vec<WorkerId> {
+        self.down.iter().copied().collect()
+    }
+
+    /// Crash recovery for `worker`: any completed transfer whose data lived
+    /// on it is lost, so its flows are re-queued (their `done` entries are
+    /// removed and the wire-byte accounting is rolled back). The affected
+    /// coflows become incomplete again and will re-transfer on the next
+    /// push.
+    pub fn fail_worker(&mut self, worker: WorkerId) {
+        let mut requeued: Vec<(CoflowRef, usize)> = Vec::new();
+        for (&r, state) in &mut self.coflows {
+            let lost: Vec<FlowId> = state
+                .info
+                .flows
+                .iter()
+                .filter(|f| f.dst == worker && state.done.contains_key(&f.flow))
+                .map(|f| f.flow)
+                .collect();
+            if lost.is_empty() {
+                continue;
+            }
+            for flow in &lost {
+                if let Some(wire) = state.done.remove(flow) {
+                    self.wire_bytes = self.wire_bytes.saturating_sub(wire);
+                }
+            }
+            requeued.push((r, lost.len()));
+        }
+        for (r, flows) in requeued {
+            self.trace(|| TraceEvent::FlowsRequeued { coflow: r.0, flows });
         }
     }
 
@@ -340,6 +405,68 @@ mod tests {
         let sched = m.scheduling(&[r]);
         assert!(!sched.compress[&FlowId(1)]);
         assert!(sched.rates[&FlowId(1)] > 0.0);
+    }
+
+    fn beat(worker: u32, at: f64) -> ToMaster {
+        ToMaster::Measure(Measurement {
+            worker: WorkerId(worker),
+            at,
+            cpu_util: 0.0,
+            bytes_sent: 0,
+            staged_blocks: 0,
+        })
+    }
+
+    #[test]
+    fn liveness_sweep_detects_and_heartbeat_reregisters() {
+        let mut m = Master::new(SwallowConfig::default(), 2);
+        m.handle(beat(0, 1.0));
+        m.handle(beat(1, 1.0));
+        // Both fresh at t=1.1 — nothing declared.
+        assert!(m.liveness_sweep(1.1, 0.5).is_empty());
+        // Worker 1 keeps beating, worker 0 goes silent.
+        m.handle(beat(1, 2.0));
+        let newly = m.liveness_sweep(2.1, 0.5);
+        assert_eq!(newly, vec![WorkerId(0)]);
+        assert_eq!(m.down_workers(), vec![WorkerId(0)]);
+        // A second sweep reports it only once.
+        assert!(m.liveness_sweep(2.2, 0.5).is_empty());
+        // A late heartbeat re-registers it.
+        m.handle(beat(0, 3.0));
+        assert!(m.down_workers().is_empty());
+    }
+
+    #[test]
+    fn fail_worker_requeues_flows_and_rolls_back_wire_bytes() {
+        let mut m = Master::new(SwallowConfig::default(), 4);
+        let r = m.add(CoflowInfo {
+            flows: vec![flow(1, 0, 1, 100, true), flow(2, 0, 2, 100, true)],
+        });
+        for (id, wire) in [(1u64, 60u64), (2, 70)] {
+            m.handle(ToMaster::TransferComplete {
+                coflow: r,
+                flow: FlowId(id),
+                wire_bytes: wire,
+            });
+        }
+        assert!(m.is_complete(r));
+        assert_eq!(m.traffic().0, 130);
+        // Worker 1 dies: the flow whose data it held re-queues; the flow
+        // that landed on worker 2 survives.
+        m.fail_worker(WorkerId(1));
+        assert!(!m.is_complete(r));
+        assert_eq!(m.traffic().0, 70);
+        // The re-queued flow is offered to the scheduler again.
+        let sched = m.scheduling(&[r]);
+        assert!(sched.compress.contains_key(&FlowId(1)));
+        assert!(!sched.compress.contains_key(&FlowId(2)));
+        // Completing it again restores the coflow.
+        m.handle(ToMaster::TransferComplete {
+            coflow: r,
+            flow: FlowId(1),
+            wire_bytes: 60,
+        });
+        assert!(m.is_complete(r));
     }
 
     #[test]

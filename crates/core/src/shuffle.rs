@@ -10,7 +10,8 @@
 
 use std::time::{Duration, Instant};
 
-use crate::api::{CoreError, SwallowContext};
+use crate::api::SwallowContext;
+use crate::error::SwallowError;
 use crate::messages::{BlockId, CoflowRef, WorkerId};
 use swallow_compress::apps::synthesize_with_ratio;
 
@@ -72,7 +73,7 @@ impl ShuffleReport {
 /// Run the shuffle to completion on `ctx`. Pushers and pullers run on their
 /// own threads; the call returns when every block has been pulled and
 /// verified (length check — contents are checksummed by the codec).
-pub fn run_shuffle(ctx: &SwallowContext, job: &ShuffleJob) -> Result<ShuffleReport, CoreError> {
+pub fn run_shuffle(ctx: &SwallowContext, job: &ShuffleJob) -> Result<ShuffleReport, SwallowError> {
     assert!(
         !job.mappers.is_empty() && !job.reducers.is_empty(),
         "need mappers and reducers"
@@ -129,7 +130,7 @@ pub fn run_shuffle(ctx: &SwallowContext, job: &ShuffleJob) -> Result<ShuffleRepo
     for p in pullers {
         let len = p.join().expect("puller thread")?;
         if len != job.bytes_per_block {
-            return Err(CoreError::UnknownBlock(BlockId(0)));
+            return Err(SwallowError::BlockMissing(BlockId(0)));
         }
     }
     let duration = start.elapsed();
@@ -160,7 +161,11 @@ mod tests {
         if !compress {
             cfg = cfg.without_compression();
         }
-        SwallowContext::new(cfg, 6)
+        SwallowContext::builder()
+            .config(cfg)
+            .workers(6)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -188,7 +193,11 @@ mod tests {
             if !compress {
                 cfg = cfg.without_compression();
             }
-            SwallowContext::new(cfg, 6)
+            SwallowContext::builder()
+                .config(cfg)
+                .workers(6)
+                .build()
+                .unwrap()
         };
         let job = ShuffleJob::all_to_all(2, 2, 150_000);
         let with_ctx = slow(true);

@@ -36,21 +36,45 @@ impl BlockStore {
     }
 
     /// Blocking lookup with timeout. Returns `None` on timeout.
+    ///
+    /// Edge cases are defined, not panics: a zero timeout is a non-blocking
+    /// probe, and a timeout too large to convert into a deadline (e.g.
+    /// `Duration::MAX`) waits indefinitely.
     pub fn wait_for(&self, coflow: CoflowRef, block: BlockId, timeout: Duration) -> Option<Bytes> {
-        let deadline = std::time::Instant::now() + timeout;
         let mut guard = self.blocks.lock();
+        if let Some(b) = guard.get(&(coflow, block)) {
+            return Some(b.clone());
+        }
+        if timeout.is_zero() {
+            return None;
+        }
+        let Some(deadline) = std::time::Instant::now().checked_add(timeout) else {
+            // The deadline overflows the clock: wait until the block shows
+            // up, however long that takes.
+            loop {
+                self.arrived.wait(&mut guard);
+                if let Some(b) = guard.get(&(coflow, block)) {
+                    return Some(b.clone());
+                }
+            }
+        };
         loop {
-            if let Some(b) = guard.get(&(coflow, block)) {
-                return Some(b.clone());
-            }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                return None;
-            }
             if self.arrived.wait_until(&mut guard, deadline).timed_out() {
                 return guard.get(&(coflow, block)).cloned();
             }
+            if let Some(b) = guard.get(&(coflow, block)) {
+                return Some(b.clone());
+            }
         }
+    }
+
+    /// Wipe the store entirely — the crash-recovery reset: a restarted
+    /// worker comes back with empty storage, like a rebooted machine.
+    pub fn clear(&self) -> usize {
+        let mut guard = self.blocks.lock();
+        let dropped = guard.len();
+        guard.clear();
+        dropped
     }
 
     /// Drop every block of a coflow (the `remove()` cleanup).
@@ -104,6 +128,44 @@ mod tests {
         let s = BlockStore::new();
         let got = s.wait_for(CoflowRef(1), BlockId(2), Duration::from_millis(30));
         assert!(got.is_none());
+    }
+
+    #[test]
+    fn zero_timeout_is_a_nonblocking_probe() {
+        let s = BlockStore::new();
+        let start = std::time::Instant::now();
+        assert!(s
+            .wait_for(CoflowRef(1), BlockId(1), Duration::ZERO)
+            .is_none());
+        assert!(start.elapsed() < Duration::from_millis(50));
+        s.put(CoflowRef(1), BlockId(1), Bytes::from_static(b"now"));
+        assert_eq!(
+            s.wait_for(CoflowRef(1), BlockId(1), Duration::ZERO)
+                .unwrap(),
+            &b"now"[..]
+        );
+    }
+
+    #[test]
+    fn max_timeout_waits_forever_instead_of_panicking() {
+        // `Instant::now() + Duration::MAX` overflows; wait_for must fall
+        // back to an unbounded wait, satisfied by a later put.
+        let s = Arc::new(BlockStore::new());
+        let s2 = s.clone();
+        let waiter =
+            std::thread::spawn(move || s2.wait_for(CoflowRef(5), BlockId(5), Duration::MAX));
+        std::thread::sleep(Duration::from_millis(30));
+        s.put(CoflowRef(5), BlockId(5), Bytes::from_static(b"eventually"));
+        assert_eq!(waiter.join().unwrap().unwrap(), &b"eventually"[..]);
+    }
+
+    #[test]
+    fn clear_wipes_everything() {
+        let s = BlockStore::new();
+        s.put(CoflowRef(1), BlockId(1), Bytes::from_static(b"a"));
+        s.put(CoflowRef(2), BlockId(2), Bytes::from_static(b"b"));
+        assert_eq!(s.clear(), 2);
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::messages::{BlockId, CoflowRef, FlowInfo, Measurement, ToMaster, Worke
 use crate::store::BlockStore;
 use swallow_compress::{codec, is_compressible, stream};
 use swallow_fabric::FlowId;
+use swallow_faults::Injector;
 use swallow_trace::{TraceEvent, Tracer};
 
 /// A staged outgoing block, captured by `hook()`.
@@ -91,6 +92,21 @@ impl Worker {
         let mut staged = self.staged.lock();
         let idx = staged.iter().position(|s| s.info.block == block)?;
         Some(staged.swap_remove(idx))
+    }
+
+    /// Re-stage a payload under its *existing* flow/block identity — the
+    /// recovery path after a crash wiped the staged copy (the analogue of
+    /// re-reading a shuffle file from disk).
+    pub fn restage(&self, info: FlowInfo, data: Bytes) {
+        self.staged.lock().push(StagedBlock { info, data });
+    }
+
+    /// Simulate the worker process dying: staged blocks and received
+    /// storage vanish, exactly what a machine restart loses. Identity and
+    /// port limiters survive (they model the NIC, not the process).
+    pub fn crash_reset(&self) {
+        self.staged.lock().clear();
+        self.store.clear();
     }
 
     /// Number of staged blocks.
@@ -173,11 +189,17 @@ impl Worker {
 
     /// Spawn the measurement daemon: heartbeats to the master until
     /// `shutdown` flips. Returns the join handle.
+    ///
+    /// The fault `injector` is consulted every beat: while this worker is
+    /// crashed or inside a heartbeat-drop window the daemon stays silent
+    /// (and skips the Heartbeat trace event), which is what the master's
+    /// failure detector observes as a missed heartbeat.
     pub fn spawn_daemon(
         self: &Arc<Self>,
         to_master: Sender<ToMaster>,
         heartbeat: f64,
         shutdown: Arc<AtomicBool>,
+        injector: Injector,
         tracer: Tracer,
     ) -> std::thread::JoinHandle<()> {
         let worker = Arc::clone(self);
@@ -185,6 +207,10 @@ impl Worker {
         std::thread::spawn(move || {
             while !shutdown.load(Ordering::SeqCst) {
                 let at = start.elapsed().as_secs_f64();
+                if injector.heartbeat_dropped(worker.id.0, at) {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(heartbeat));
+                    continue;
+                }
                 let m = Measurement {
                     worker: worker.id,
                     at,
@@ -283,6 +309,24 @@ mod tests {
         assert!(compressed);
         assert!((wire as usize) < data.len() / 4);
         assert_eq!(b.store.get(CoflowRef(9), BlockId(99)).unwrap(), data);
+    }
+
+    #[test]
+    fn crash_reset_wipes_state_and_restage_recovers_it() {
+        let w = Worker::new(WorkerId(0), &cfg());
+        let data = Bytes::from(vec![b'x'; 500]);
+        let info = w.stage(FlowId(1), BlockId(1), WorkerId(1), data.clone());
+        w.store
+            .put(CoflowRef(1), BlockId(2), Bytes::from_static(b"rx"));
+        w.crash_reset();
+        assert_eq!(w.staged_count(), 0);
+        assert!(w.store.is_empty());
+        assert!(w.take_staged(BlockId(1)).is_none());
+        // Recovery re-stages the same payload under the same identity.
+        w.restage(info.clone(), data);
+        let back = w.take_staged(BlockId(1)).unwrap();
+        assert_eq!(back.info, info);
+        assert_eq!(back.data.len(), 500);
     }
 
     #[test]

@@ -55,6 +55,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
+use swallow_faults::Injector;
 use swallow_trace::{DenialReason, RescheduleCause, TraceEvent, Tracer};
 
 /// When the engine re-invokes the policy.
@@ -101,6 +102,10 @@ pub struct SimConfig {
     /// and bit-identity guarantees of the fast path are untouched (pinned by
     /// `tests/alloc_count.rs`).
     pub tracer: Tracer,
+    /// Fault injector consulted at every slice boundary. Defaults to the
+    /// empty plan, whose queries short-circuit, so fault-free runs keep the
+    /// zero-alloc fast path and bit-identical results.
+    pub faults: Injector,
 }
 
 impl Default for SimConfig {
@@ -116,6 +121,7 @@ impl Default for SimConfig {
             model_decompression: false,
             skip_ahead: true,
             tracer: Tracer::disabled(),
+            faults: Injector::default(),
         }
     }
 }
@@ -178,6 +184,18 @@ impl SimConfig {
     /// forwards a clone to the policy via [`Policy::set_tracer`].
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attach a fault injector (see [`swallow_faults`]). Flows touching a
+    /// crashed worker are idled until its restart, degraded links scale the
+    /// rates crossing them, and revoked cores shrink the compression budget
+    /// (denied flows fall back to raw transmission). Every window boundary
+    /// forces a reschedule and emits `fault_injected` / `fault_cleared`
+    /// trace events; skip-ahead never jumps across one, so faulted runs stay
+    /// bit-identical between the fast and naive paths.
+    pub fn with_faults(mut self, faults: Injector) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -407,12 +425,13 @@ impl ActiveFlow {
 }
 
 /// Keep the highest-priority reschedule trigger seen so far (arrival beats
-/// completion beats raw-exhaustion beats periodic).
+/// fault beats completion beats raw-exhaustion beats periodic).
 fn upgrade_cause(slot: &mut Option<RescheduleCause>, cause: RescheduleCause) {
     fn rank(c: RescheduleCause) -> u8 {
         match c {
-            RescheduleCause::Initial => 4,
-            RescheduleCause::Arrival => 3,
+            RescheduleCause::Initial => 5,
+            RescheduleCause::Arrival => 4,
+            RescheduleCause::Fault => 3,
             RescheduleCause::Completion => 2,
             RescheduleCause::RawExhausted => 1,
             RescheduleCause::Periodic => 0,
@@ -468,6 +487,11 @@ pub struct Engine {
     /// Flow id → slot in `active`.
     index: FxHashMap<FlowId, usize>,
     coflow_meta: BTreeMap<CoflowId, CoflowMeta>,
+    /// Earliest unobserved fault-plan boundary; `None` once the plan is
+    /// exhausted (or empty). The loop refuses to skip past it and the stall
+    /// safety net stays disarmed while one is pending, since a future
+    /// boundary can unblock flows that look stuck now.
+    next_fault: Option<f64>,
     // ---- reusable scratch ----
     /// Id-sorted flow snapshots handed to the policy (moved in and out of
     /// the `FabricView` so the buffer survives across reschedules).
@@ -517,6 +541,7 @@ impl Engine {
             fabric.num_nodes(),
             "CPU model must cover every fabric node"
         );
+        let next_fault = config.faults.next_change_after(f64::NEG_INFINITY);
         Self {
             fabric,
             cpu,
@@ -525,6 +550,7 @@ impl Engine {
             active: Vec::new(),
             index: FxHashMap::default(),
             coflow_meta: BTreeMap::new(),
+            next_fault,
             view_scratch: Vec::new(),
             ids_scratch: Vec::new(),
             completed_scratch: Vec::new(),
@@ -669,6 +695,38 @@ impl Engine {
                 upgrade_cause(&mut pending_cause, RescheduleCause::Arrival);
             }
             needs_schedule |= admitted;
+
+            // Observe every fault-plan boundary reached by this slice: emit
+            // the window transitions and force a reschedule so the changed
+            // capacities (downed workers, degraded links, revoked cores)
+            // take effect. Events are stamped with the boundary time, which
+            // both the naive and skip-ahead paths observe at the same slice.
+            while let Some(boundary) = self.next_fault {
+                if boundary > now + 1e-12 {
+                    break;
+                }
+                if tracer.is_enabled() {
+                    for tr in self.config.faults.transitions_at(boundary) {
+                        tracer.emit(boundary, || {
+                            if tr.begins {
+                                TraceEvent::FaultInjected {
+                                    kind: tr.kind.to_string(),
+                                    node: tr.node,
+                                }
+                            } else {
+                                TraceEvent::FaultCleared {
+                                    kind: tr.kind.to_string(),
+                                    node: tr.node,
+                                }
+                            }
+                        });
+                    }
+                }
+                needs_schedule = true;
+                upgrade_cause(&mut pending_cause, RescheduleCause::Fault);
+                self.next_fault = self.config.faults.next_change_after(boundary);
+            }
+
             if self.active.is_empty() {
                 continue;
             }
@@ -693,8 +751,16 @@ impl Engine {
                 let outstanding = view.flows.len();
                 alloc = policy.allocate(&view);
                 alloc.clamp_with_scratch(&view, &mut port_scratch);
+                Self::apply_fault_limits(
+                    &self.config.faults,
+                    &self.index,
+                    &self.active,
+                    &mut alloc,
+                    now,
+                );
                 let kept_rate = Self::enforce_cpu(
                     &self.cpu,
+                    &self.config.faults,
                     &self.index,
                     &self.active,
                     &mut cpu_used,
@@ -878,10 +944,13 @@ impl Engine {
             idx += 1;
             let now = idx as f64 * delta;
 
-            // Stall and horizon safety nets.
+            // Stall and horizon safety nets. A pending fault boundary keeps
+            // the net disarmed: flows idled by a crash window are expected
+            // to sit still until the restart boundary re-enables them.
             if !progressed && !admitted {
                 stall_slices += 1;
-                let blocked_forever = self.pending.is_empty() && stall_slices > 3;
+                let blocked_forever =
+                    self.pending.is_empty() && stall_slices > 3 && self.next_fault.is_none();
                 if blocked_forever {
                     events.push(now, EventKind::HorizonReached);
                     tracer.emit(now, || TraceEvent::HorizonReached);
@@ -1003,6 +1072,19 @@ impl Engine {
                 None => return idx,
             }
         }
+        // Next fault-plan boundary: the slice observing it reschedules with
+        // changed capacities, so it must run through the full loop. This is
+        // what keeps faulted runs bit-identical between the fast and naive
+        // paths — a jump never crosses a capacity change.
+        if let Some(b) = self.next_fault {
+            if b <= idx as f64 * delta + 1e-12 {
+                return idx;
+            }
+            match first_slice_satisfying(b / delta, idx, |j| b <= j as f64 * delta + 1e-12) {
+                Some(j) => target = target.min(j),
+                None => return idx,
+            }
+        }
         // Horizon: the loop breaks after processing slice j when
         // (j+1)·δ > max_time; that slice must be processed naively.
         let mt = self.config.max_time;
@@ -1041,17 +1123,55 @@ impl Engine {
         }
     }
 
+    /// Apply fault-plan capacity limits to a freshly clamped allocation:
+    /// flows touching a crashed worker are idled (their bytes cannot move
+    /// until the restart boundary reschedules them back in), and rates
+    /// crossing a degraded port are scaled by the active factor. Scaling
+    /// down never oversubscribes, so no re-clamp is needed; running before
+    /// CPU admission means an idled flow no longer requests a core.
+    fn apply_fault_limits(
+        faults: &Injector,
+        index: &FxHashMap<FlowId, usize>,
+        active: &[ActiveFlow],
+        alloc: &mut Allocation,
+        now: f64,
+    ) {
+        if faults.is_empty() {
+            return;
+        }
+        for (id, cmd) in alloc.iter_mut() {
+            let Some(&slot) = index.get(&id) else {
+                continue;
+            };
+            let spec = &active[slot].p.spec;
+            if faults.is_worker_down(spec.src.0, now) || faults.is_worker_down(spec.dst.0, now) {
+                *cmd = FlowCommand::IDLE;
+                continue;
+            }
+            let factor = faults
+                .link_factor(spec.src.0, now)
+                .min(faults.link_factor(spec.dst.0, now));
+            if factor < 1.0 && cmd.rate > 0.0 {
+                cmd.rate *= factor;
+            }
+        }
+    }
+
     /// Limit compression commands per sender to the node's free cores; the
     /// paper's compression strategy requires "CPU resources are enough"
     /// (Pseudocode 1, line 4). Flows whose raw part is already exhausted
-    /// cannot usefully compress either. A flow denied compression falls back
-    /// to *transmitting at its policy-assigned rate* rather than idling —
-    /// idling would discard bandwidth the policy already reserved for it.
-    /// Returns true when any fallback kept a positive rate (the caller
-    /// re-clamps, since compressing flows are invisible to port loads).
+    /// cannot usefully compress either, and a fault plan can revoke cores
+    /// the CPU model would otherwise grant. A flow denied compression falls
+    /// back to *transmitting at its policy-assigned rate* rather than
+    /// idling — idling would discard bandwidth the policy already reserved
+    /// for it; this is also the graceful-degradation path for mid-run core
+    /// revocation. Returns true when any fallback kept a positive rate (the
+    /// caller re-clamps, since compressing flows are invisible to port
+    /// loads).
     #[allow(clippy::too_many_arguments)]
     fn enforce_cpu(
         cpu: &CpuModel,
+        faults: &Injector,
         index: &FxHashMap<FlowId, usize>,
         active: &[ActiveFlow],
         cpu_used: &mut Vec<u32>,
@@ -1077,10 +1197,17 @@ impl Engine {
                 Some(DenialReason::Incompressible)
             } else if p.raw <= VOLUME_EPS {
                 Some(DenialReason::RawExhausted)
-            } else if cpu_used[p.spec.src.index()] >= cpu.free_cores(p.spec.src, now) {
-                Some(DenialReason::NoFreeCore)
             } else {
-                None
+                let used = cpu_used[p.spec.src.index()];
+                let free = cpu.free_cores(p.spec.src, now);
+                let granted = free.saturating_sub(faults.revoked_cores(p.spec.src.0, now));
+                if used < granted {
+                    None
+                } else if used < free {
+                    Some(DenialReason::CoreRevoked)
+                } else {
+                    Some(DenialReason::NoFreeCore)
+                }
             };
             match denial {
                 Some(reason) => {
@@ -2044,5 +2171,163 @@ mod trace_tests {
                 reason: DenialReason::NoFreeCore,
             }
         )));
+    }
+
+    #[test]
+    fn link_degradation_slows_the_flow() {
+        use swallow_faults::FaultPlan;
+        // Sender's link at half capacity for [0, 6): 50 B/s × 6 s = 300 bytes,
+        // then the remaining 700 at full rate → fct = 6 + 7 = 13.
+        let fabric = Fabric::uniform(2, 100.0);
+        let plan = FaultPlan::new().degrade_link(0, 0.5, 0.0, 6.0);
+        let res = Engine::new(
+            fabric,
+            single_flow_trace(1000.0),
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_reschedule(Reschedule::EventsOnly)
+                .with_faults(plan.injector()),
+        )
+        .run(&mut FairSharePolicy);
+        assert!(res.all_complete());
+        assert!((res.avg_fct() - 13.0).abs() < 0.1, "fct={}", res.avg_fct());
+    }
+
+    #[test]
+    fn worker_crash_stalls_then_recovers() {
+        use swallow_faults::FaultPlan;
+        // The receiver dies over [2, 5): 200 bytes move before the crash, the
+        // flow idles through it, and the remaining 800 finish by t = 13.
+        let fabric = Fabric::uniform(2, 100.0);
+        let plan = FaultPlan::new().crash(1, 2.0, Some(5.0));
+        let sink = Arc::new(CollectSink::new());
+        let res = Engine::new(
+            fabric,
+            single_flow_trace(1000.0),
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_reschedule(Reschedule::EventsOnly)
+                .with_faults(plan.injector())
+                .with_tracer(Tracer::with_sink(sink.clone())),
+        )
+        .run(&mut FairSharePolicy);
+        assert!(res.all_complete());
+        assert!((res.avg_fct() - 13.0).abs() < 0.1, "fct={}", res.avg_fct());
+        // Both window edges surface as trace events stamped with fault time.
+        let records = sink.snapshot();
+        let injected = records
+            .iter()
+            .find(|r| matches!(r.event, TraceEvent::FaultInjected { node: 1, .. }))
+            .expect("crash window open event");
+        assert!((injected.t - 2.0).abs() < 1e-9, "t={}", injected.t);
+        let cleared = records
+            .iter()
+            .find(|r| matches!(r.event, TraceEvent::FaultCleared { node: 1, .. }))
+            .expect("crash window close event");
+        assert!((cleared.t - 5.0).abs() < 1e-9, "t={}", cleared.t);
+    }
+
+    #[test]
+    fn core_revocation_falls_back_to_transmit() {
+        use swallow_faults::FaultPlan;
+        struct CompressAll;
+        impl Policy for CompressAll {
+            fn name(&self) -> &str {
+                "compress-all"
+            }
+            fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
+                let mut a = Allocation::new();
+                for f in &view.flows {
+                    if f.raw > VOLUME_EPS && f.compressible {
+                        a.set(
+                            f.id,
+                            FlowCommand {
+                                rate: 50.0,
+                                compress: true,
+                            },
+                        );
+                    } else {
+                        a.set(f.id, FlowCommand::transmit(50.0));
+                    }
+                }
+                a
+            }
+        }
+        // The sender's only core is revoked for the whole run: compression is
+        // denied with `CoreRevoked` and the flow degrades to raw transmit at
+        // the rate the policy asked for, still completing.
+        let sink = Arc::new(CollectSink::new());
+        let fabric = Fabric::uniform(2, 100.0);
+        let cpu = CpuModel::unconstrained(2, 1);
+        let spec = Arc::new(ConstCompression::new("test", 1000.0, 0.5));
+        let plan = FaultPlan::new().revoke_cores(0, 1, 0.0, 1e9);
+        let res = Engine::new(
+            fabric,
+            single_flow_trace(100.0),
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_cpu(cpu)
+                .with_compression(spec)
+                .with_faults(plan.injector())
+                .with_tracer(Tracer::with_sink(sink.clone())),
+        )
+        .run(&mut CompressAll);
+        assert!(res.all_complete());
+        // Nothing was compressed: every byte went out raw.
+        assert_eq!(res.traffic_reduction(), 0.0);
+        assert!((res.total_wire_bytes() - 100.0).abs() < 1e-6);
+        assert!(sink.snapshot().iter().any(|r| matches!(
+            r.event,
+            TraceEvent::CompressionDenied {
+                flow: 0,
+                node: 0,
+                reason: DenialReason::CoreRevoked,
+            }
+        )));
+    }
+
+    #[test]
+    fn permanent_crash_terminates_via_stall_net() {
+        use swallow_faults::FaultPlan;
+        // A crash with no restart leaves the flow idle forever; the stall net
+        // re-arms once the last fault boundary has been observed and the run
+        // terminates incomplete instead of hanging.
+        let fabric = Fabric::uniform(2, 100.0);
+        let plan = FaultPlan::new().crash(1, 2.0, None);
+        let res = Engine::new(
+            fabric,
+            single_flow_trace(1000.0),
+            SimConfig::default()
+                .with_slice(0.01)
+                .with_reschedule(Reschedule::EventsOnly)
+                .with_faults(plan.injector()),
+        )
+        .run(&mut FairSharePolicy);
+        assert!(!res.all_complete());
+        assert!(res.makespan.is_finite());
+        // It made progress right up to the crash.
+        assert!((res.total_wire_bytes() - 200.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn fault_run_is_bit_identical_with_skip_ahead() {
+        use swallow_faults::FaultPlan;
+        // Fault boundaries must be observed on the same slice in the skip
+        // path as in the naive loop, or the two runs diverge.
+        let plan = FaultPlan::new()
+            .crash(1, 2.0, Some(5.0))
+            .degrade_link(2, 0.5, 4.0, 10.0);
+        let fabric = Fabric::uniform(3, 100.0);
+        let cfg = SimConfig::default()
+            .with_slice(0.01)
+            .with_reschedule(Reschedule::EventsOnly)
+            .with_sampling(0.5)
+            .with_faults(plan.injector());
+        let fast =
+            Engine::new(fabric.clone(), staggered_trace(), cfg.clone()).run(&mut FairSharePolicy);
+        let naive = Engine::new(fabric, staggered_trace(), cfg.without_skip_ahead())
+            .run(&mut FairSharePolicy);
+        assert!(fast.all_complete());
+        assert_bit_identical(&fast, &naive);
     }
 }

@@ -17,6 +17,8 @@ pub enum RescheduleCause {
     Initial,
     /// A coflow was admitted this slice.
     Arrival,
+    /// A fault-plan window opened or closed this slice (capacity changed).
+    Fault,
     /// A flow or coflow finished this slice.
     Completion,
     /// A compressing flow ran out of raw bytes (its rate profile changed).
@@ -31,6 +33,9 @@ pub enum RescheduleCause {
 pub enum DenialReason {
     /// The source node has no free compression core this slice.
     NoFreeCore,
+    /// A fault plan revoked the cores the flow would have used; it falls
+    /// back to raw transmission.
+    CoreRevoked,
     /// The flow has no raw bytes left to compress.
     RawExhausted,
     /// The flow's payload is marked incompressible.
@@ -113,6 +118,25 @@ pub enum TraceEvent {
     SlotWait { job: u64, wait_secs: f64 },
     /// Modeled garbage-collection pause attributed to a job stage.
     GcPause { job: u64, stage: String, secs: f64 },
+
+    // ---- swallow-faults injection & recovery ----
+    /// A fault-plan window opened on `node` (`kind` is the
+    /// `FaultKind::label()` of the fault).
+    FaultInjected { kind: String, node: u32 },
+    /// A fault-plan window closed on `node` (restart / capacity restored).
+    FaultCleared { kind: String, node: u32 },
+    /// The master's failure detector declared `worker` dead after missing
+    /// its heartbeats.
+    WorkerDown { worker: u32 },
+    /// A previously dead/suspected worker heartbeated again and was
+    /// re-registered.
+    WorkerRecovered { worker: u32 },
+    /// The master re-queued `flows` transfers of `coflow` whose data died
+    /// with a crashed worker, and corrected the coflow's moved volume.
+    FlowsRequeued { coflow: u64, flows: usize },
+    /// `push()` hit an unavailable worker and is retrying with exponential
+    /// backoff (`attempt` starts at 1).
+    PushRetry { flow: u64, attempt: u32 },
 }
 
 impl TraceEvent {
@@ -144,6 +168,12 @@ impl TraceEvent {
             TraceEvent::StageTransition { .. } => "stage_transition",
             TraceEvent::SlotWait { .. } => "slot_wait",
             TraceEvent::GcPause { .. } => "gc_pause",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::FaultCleared { .. } => "fault_cleared",
+            TraceEvent::WorkerDown { .. } => "worker_down",
+            TraceEvent::WorkerRecovered { .. } => "worker_recovered",
+            TraceEvent::FlowsRequeued { .. } => "flows_requeued",
+            TraceEvent::PushRetry { .. } => "push_retry",
         }
     }
 
@@ -173,6 +203,12 @@ impl TraceEvent {
             | BlockPushed { .. }
             | BlockReleased { .. } => "core",
             StageTransition { .. } | SlotWait { .. } | GcPause { .. } => "cluster",
+            FaultInjected { .. }
+            | FaultCleared { .. }
+            | WorkerDown { .. }
+            | WorkerRecovered { .. }
+            | FlowsRequeued { .. }
+            | PushRetry { .. } => "fault",
         }
     }
 }
@@ -242,6 +278,15 @@ mod tests {
             }
             .category(),
             "cluster"
+        );
+        assert_eq!(TraceEvent::WorkerDown { worker: 1 }.category(), "fault");
+        assert_eq!(
+            TraceEvent::FaultInjected {
+                kind: "worker_crash".into(),
+                node: 1
+            }
+            .category(),
+            "fault"
         );
     }
 }

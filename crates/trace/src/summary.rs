@@ -81,6 +81,20 @@ impl TraceSummary {
             latency_max_us: counters.latency_max_us(),
         }
     }
+
+    /// The summary with every wall-clock-derived field zeroed
+    /// (`reschedule_latency`, `latency_mean_us`, `latency_max_us`). All
+    /// remaining fields are pure functions of the simulated run, so two runs
+    /// of the same seeded scenario serialize to byte-identical JSON — this
+    /// is the view the `paper faults` artifact writes and CI diffs.
+    pub fn deterministic(&self) -> Self {
+        Self {
+            reschedule_latency: Vec::new(),
+            latency_mean_us: 0.0,
+            latency_max_us: 0,
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +132,27 @@ mod tests {
         // Round-trips through JSON for the artifact writer.
         let back: TraceSummary = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn deterministic_view_strips_only_wall_clock_fields() {
+        let c = Counters::new();
+        c.slices(10);
+        c.skipped(30);
+        c.count_event("rescheduled");
+        c.reschedule_latency(7e-6);
+        let s = TraceSummary::from_counters(&c);
+        let d = s.deterministic();
+        assert!(d.reschedule_latency.is_empty());
+        assert_eq!(d.latency_mean_us, 0.0);
+        assert_eq!(d.latency_max_us, 0);
+        // Everything else survives untouched.
+        assert_eq!(d.events_total, s.events_total);
+        assert_eq!(d.events_by_kind, s.events_by_kind);
+        assert_eq!(d.slices_processed, s.slices_processed);
+        assert_eq!(d.slices_skipped, s.slices_skipped);
+        assert_eq!(d.skip_jumps, s.skip_jumps);
+        assert_eq!(d.skip_ahead_hit_ratio, s.skip_ahead_hit_ratio);
+        assert_eq!(d.reschedules, s.reschedules);
     }
 }

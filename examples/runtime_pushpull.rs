@@ -13,7 +13,11 @@ use swallow_repro::core::{SwallowConfig, SwallowContext, WorkerId};
 fn main() {
     // Four workers on an emulated 10 MB/s fabric — slow enough that the
     // Eq. 3 gate opens and compression visibly shortens the transfers.
-    let ctx = SwallowContext::new(SwallowConfig::default().with_bandwidth(10e6), 4);
+    let ctx = SwallowContext::builder()
+        .config(SwallowConfig::default().with_bandwidth(10e6))
+        .workers(4)
+        .build()
+        .expect("valid configuration");
 
     // Two map tasks on workers 0 and 1 each produce one block for workers
     // 2 and 3 (a 2×2 shuffle). Payloads synthesize Sort-like data (~45%

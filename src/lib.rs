@@ -20,6 +20,9 @@
 //! * [`metrics`] — CDFs, percentiles, improvement factors, text tables.
 //! * [`trace`] — structured event tracing threaded through every layer:
 //!   ring/JSONL/Chrome-trace sinks, per-run counters and summaries.
+//! * [`faults`] — deterministic fault injection: seeded [`faults::FaultPlan`]s
+//!   (crashes, heartbeat loss, link degradation, slow pushes, core
+//!   revocation) consumed by the engine, the runtime and the cluster model.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@ pub use swallow_cluster as cluster;
 pub use swallow_compress as compress;
 pub use swallow_core as core;
 pub use swallow_fabric as fabric;
+pub use swallow_faults as faults;
 pub use swallow_metrics as metrics;
 pub use swallow_sched as sched;
 pub use swallow_trace as trace;
@@ -62,11 +66,12 @@ pub use swallow_workload as workload;
 /// The most common imports in one place.
 pub mod prelude {
     pub use swallow_compress::{CodecProfile, HibenchApp, SizeRatioModel, Table2};
-    pub use swallow_core::{SwallowConfig, SwallowContext, WorkerId};
+    pub use swallow_core::{SwallowConfig, SwallowContext, SwallowError, WorkerId};
     pub use swallow_fabric::view::{CompressionSpec, ConstCompression};
     pub use swallow_fabric::{
         units, Coflow, CpuModel, CpuTrace, Engine, Fabric, FlowSpec, Policy, SimConfig, SimResult,
     };
+    pub use swallow_faults::{FaultPlan, Injector};
     pub use swallow_metrics::{improvement, Cdf, Table};
     pub use swallow_sched::{
         Algorithm, CoflowOrder, FvdfConfig, FvdfPolicy, OrderedPolicy, PffPolicy,

@@ -1,0 +1,178 @@
+//! Fault injection and recovery, end to end: crashed workers stall and
+//! restart, lost heartbeats trip the failure detector and re-register,
+//! seeded engine-level fault replays are deterministic, and FVDF requeue
+//! under crash/restart plans never deadlocks the engine.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use swallow_repro::compress::apps::synthesize_with_ratio;
+use swallow_repro::core::{SwallowConfig, SwallowContext, WorkerId};
+use swallow_repro::fabric::{Coflow, Engine, Fabric, FlowSpec, SimConfig};
+use swallow_repro::faults::FaultPlan;
+use swallow_repro::sched::Algorithm;
+use swallow_repro::trace::{CollectSink, EventWaiter, TraceEvent, Tracer};
+
+fn config() -> SwallowConfig {
+    SwallowConfig {
+        link_bandwidth: 25e6,
+        heartbeat: 0.01,
+        ..SwallowConfig::default()
+    }
+}
+
+/// A push launched while the receiver is inside a crash window retries with
+/// backoff (emitting `push_retry`) and succeeds once the worker restarts.
+#[test]
+fn crash_during_push_recovers_after_restart() {
+    let sink = Arc::new(CollectSink::new());
+    let cfg = SwallowConfig {
+        retry_backoff: 0.02,
+        ..config()
+    };
+    let ctx = SwallowContext::builder()
+        .config(cfg)
+        .workers(2)
+        .faults(FaultPlan::new().crash(1, 0.0, Some(0.3)).injector())
+        .tracer(Tracer::with_sink(sink.clone()))
+        .build()
+        .unwrap();
+    let payload = synthesize_with_ratio(0.4, 60_000, 1);
+    let b = ctx.stage(WorkerId(0), WorkerId(1), payload.clone());
+    let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
+    let sched = ctx.scheduling(&[coflow]);
+    ctx.alloc(&sched);
+    // The receiver is dead right now; the default retry budget (8 attempts,
+    // exponential from 20 ms) comfortably spans the 0.3 s outage.
+    ctx.push(coflow, b).expect("push recovers after restart");
+    let data = ctx.pull(coflow, b).expect("pull");
+    assert_eq!(&data[..], &payload[..]);
+    assert!(ctx.is_complete(coflow));
+    let retries = sink
+        .snapshot()
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::PushRetry { .. }))
+        .count();
+    assert!(
+        retries >= 1,
+        "the crash window must force at least one retry"
+    );
+    ctx.shutdown();
+}
+
+/// A heartbeat brown-out (no crash) trips the failure detector — the master
+/// declares the worker down, then re-registers it when beats resume. No
+/// destructive recovery runs, because the injector confirms no crash.
+#[test]
+fn heartbeat_loss_declares_down_then_reregisters() {
+    let waiter = Arc::new(EventWaiter::new());
+    let cfg = SwallowConfig {
+        liveness_misses: 5,
+        ..config()
+    };
+    let ctx = SwallowContext::builder()
+        .config(cfg)
+        .workers(3)
+        // Worker 1 beats for 100 ms, goes silent for 400 ms, then resumes.
+        .faults(FaultPlan::new().drop_heartbeats(1, 0.1, 0.5).injector())
+        .tracer(Tracer::with_sink(waiter.clone()))
+        .build()
+        .unwrap();
+    assert!(
+        waiter.wait_for_event(Duration::from_secs(10), |e| matches!(
+            e,
+            TraceEvent::WorkerDown { worker: 1 }
+        )),
+        "failure detector never declared worker 1 down"
+    );
+    assert!(
+        waiter.wait_for_event(Duration::from_secs(10), |e| matches!(
+            e,
+            TraceEvent::WorkerRecovered { worker: 1 }
+        )),
+        "returning heartbeats never re-registered worker 1"
+    );
+    // Once recovered, the runtime is fully usable again.
+    let payload = synthesize_with_ratio(0.4, 20_000, 2);
+    let b = ctx.stage(WorkerId(0), WorkerId(1), payload);
+    let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));
+    ctx.push(coflow, b).expect("push after recovery");
+    assert!(ctx.pull(coflow, b).is_ok());
+    ctx.shutdown();
+}
+
+fn small_trace() -> Vec<Coflow> {
+    vec![
+        Coflow::builder(0)
+            .arrival(0.0)
+            .flow(FlowSpec::new(0, 0, 1, 1000.0))
+            .flow(FlowSpec::new(1, 0, 2, 400.0))
+            .build(),
+        Coflow::builder(1)
+            .arrival(1.5)
+            .flow(FlowSpec::new(2, 1, 2, 700.0))
+            .build(),
+        Coflow::builder(2)
+            .arrival(4.0)
+            .flow(FlowSpec::new(3, 2, 0, 300.0))
+            .build(),
+    ]
+}
+
+/// Two engine replays of the same seeded fault plan produce identical event
+/// streams — the property `paper faults --seed N` builds on.
+#[test]
+fn seeded_engine_fault_replay_is_deterministic() {
+    let run = || {
+        let plan = FaultPlan::seeded(42, 3, 30.0);
+        let sink = Arc::new(CollectSink::new());
+        let config = SimConfig::default()
+            .with_slice(0.05)
+            .with_faults(plan.injector())
+            .with_tracer(Tracer::with_sink(sink.clone()));
+        let mut policy = Algorithm::Fvdf.make();
+        let res =
+            Engine::new(Fabric::uniform(3, 100.0), small_trace(), config).run(policy.as_mut());
+        (format!("{:?}", sink.snapshot()), format!("{res:?}"))
+    };
+    let (events_a, res_a) = run();
+    let (events_b, res_b) = run();
+    assert_eq!(events_a, events_b, "same seed must replay identically");
+    assert_eq!(res_a, res_b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FVDF under an arbitrary crash-with-restart plan never wedges: the
+    /// engine requeues the dead worker's flows and finishes every coflow.
+    #[test]
+    fn fvdf_requeue_under_crash_restart_never_deadlocks(
+        worker in 0u32..3,
+        at in 0.0f64..8.0,
+        down_for in 0.1f64..5.0,
+        sizes in proptest::collection::vec(100.0f64..2000.0, 3..6),
+    ) {
+        let mut coflows = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let src = (i % 3) as u32;
+            let dst = ((i + 1) % 3) as u32;
+            coflows.push(
+                Coflow::builder(i as u64)
+                    .arrival(i as f64 * 0.7)
+                    .flow(FlowSpec::new(i as u64, src, dst, size))
+                    .build(),
+            );
+        }
+        let plan = FaultPlan::new().crash(worker, at, Some(at + down_for));
+        let config = SimConfig::default()
+            .with_slice(0.05)
+            .with_faults(plan.injector());
+        let mut policy = Algorithm::Fvdf.make();
+        let res = Engine::new(Fabric::uniform(3, 100.0), coflows, config)
+            .run(policy.as_mut());
+        prop_assert!(res.all_complete(), "crash/restart plan wedged the engine");
+        prop_assert!(res.makespan.is_finite());
+    }
+}

@@ -17,7 +17,11 @@ fn config() -> SwallowConfig {
 
 #[test]
 fn concurrent_coflows_from_many_threads() {
-    let ctx = SwallowContext::new(config(), 6);
+    let ctx = SwallowContext::builder()
+        .config(config())
+        .workers(6)
+        .build()
+        .unwrap();
     let mut handles = Vec::new();
     for t in 0..4u64 {
         let ctx = ctx.clone();
@@ -51,7 +55,11 @@ fn concurrent_coflows_from_many_threads() {
 
 #[test]
 fn shuffle_pattern_all_to_all() {
-    let ctx = SwallowContext::new(config(), 4);
+    let ctx = SwallowContext::builder()
+        .config(config())
+        .workers(4)
+        .build()
+        .unwrap();
     // 2 mappers × 2 reducers.
     let mut blocks = Vec::new();
     for m in 0..2u32 {
@@ -104,7 +112,12 @@ fn heartbeats_flow_during_transfers() {
     // measurement, so a second event per worker guarantees the first message
     // reached the channel — `cluster_status` then must see all three.
     let waiter = Arc::new(EventWaiter::new());
-    let ctx = SwallowContext::new_with_tracer(config(), 3, Tracer::with_sink(waiter.clone()));
+    let ctx = SwallowContext::builder()
+        .config(config())
+        .workers(3)
+        .tracer(Tracer::with_sink(waiter.clone()))
+        .build()
+        .unwrap();
     let heartbeats_from_all = |recs: &[swallow_repro::trace::TraceRecord]| {
         (0..3u32).all(|w| {
             recs.iter()
@@ -125,7 +138,11 @@ fn heartbeats_flow_during_transfers() {
 
 #[test]
 fn mixed_compressible_and_incompressible_blocks() {
-    let ctx = SwallowContext::new(config(), 2);
+    let ctx = SwallowContext::builder()
+        .config(config())
+        .workers(2)
+        .build()
+        .unwrap();
     let compressible = synthesize_with_ratio(0.3, 80_000, 1);
     let incompressible = synthesize_with_ratio(1.0, 80_000, 2);
     let b1 = ctx.stage(WorkerId(0), WorkerId(1), compressible);
@@ -148,7 +165,12 @@ fn remove_releases_blocks_mid_flight() {
     // event is seen, the store cleanup has happened and the failing pull is
     // deterministic.
     let waiter = Arc::new(EventWaiter::new());
-    let ctx = SwallowContext::new_with_tracer(config(), 2, Tracer::with_sink(waiter.clone()));
+    let ctx = SwallowContext::builder()
+        .config(config())
+        .workers(2)
+        .tracer(Tracer::with_sink(waiter.clone()))
+        .build()
+        .unwrap();
     let payload = synthesize_with_ratio(0.4, 50_000, 3);
     let b = ctx.stage(WorkerId(0), WorkerId(1), payload);
     let coflow = ctx.add(ctx.aggregate(ctx.hook(WorkerId(0))));

@@ -100,6 +100,24 @@ fn one_of_each() -> Vec<TraceEvent> {
             stage: "map".to_string(),
             secs: 0.1,
         },
+        FaultInjected {
+            kind: "worker_crash".to_string(),
+            node: 1,
+        },
+        FaultCleared {
+            kind: "worker_crash".to_string(),
+            node: 1,
+        },
+        WorkerDown { worker: 1 },
+        WorkerRecovered { worker: 1 },
+        FlowsRequeued {
+            coflow: 1,
+            flows: 2,
+        },
+        PushRetry {
+            flow: 1,
+            attempt: 1,
+        },
     ]
 }
 
