@@ -9,5 +9,6 @@ pub mod fig2;
 pub mod fig4;
 pub mod fig6;
 pub mod fig7;
+pub mod oracle_cmd;
 pub mod tables;
 pub mod trace_cmd;

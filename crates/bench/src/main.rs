@@ -12,6 +12,10 @@
 //!   faults <experiment> [--seed N] — replay under a seeded fault plan
 //!          (fig6a | small), reporting per-policy CCT inflation; same seed
 //!          yields a byte-identical TRACE_summary.json
+//!   oracle <experiment> [--seed N] [--refresh-golden] — full correctness
+//!          oracle (fig6a | small): online invariants, three-path
+//!          differential replay, analytic bounds, golden-figure compare;
+//!          writes ORACLE_report.json and exits non-zero on any failure
 //!   all   — everything in paper order
 //! ```
 //!
@@ -19,7 +23,7 @@
 //! suppresses narrative output; JSON artifacts are still written.)
 
 use swallow_bench::experiments::{bench_engine, ext, fig1, fig2, fig4, fig6, fig7, tables};
-use swallow_bench::experiments::{faults_cmd, trace_cmd};
+use swallow_bench::experiments::{faults_cmd, oracle_cmd, trace_cmd};
 use swallow_bench::report;
 
 fn usage() -> ! {
@@ -30,6 +34,7 @@ fn usage() -> ! {
          \x20     ext ext1 ext2 ext3 ext4 ext5 bench-engine all\n\
          \x20     trace <experiment> [--out <path>]\n\
          \x20     faults <experiment> [--seed N]\n\
+         \x20     oracle <experiment> [--seed N] [--refresh-golden]\n\
          (table6 prints with fig6e, table7 with fig7b;\n\
          \x20bench-engine times the skip-ahead fast path vs the naive slice\n\
          \x20loop on the fig6 trace and writes BENCH_engine.json;\n\
@@ -38,6 +43,8 @@ fn usage() -> ! {
          \x20faults replays fig6a|small under a seeded fault plan, prints\n\
          \x20per-policy CCT inflation and writes a deterministic\n\
          \x20TRACE_summary.json (same seed => identical bytes);\n\
+         \x20oracle checks invariants, replay equivalence, analytic bounds\n\
+         \x20and the committed golden figure, writing ORACLE_report.json;\n\
          \x20--quiet suppresses narrative output, artifacts still written)"
     );
     std::process::exit(2);
@@ -138,6 +145,36 @@ fn main() {
                 i += 2;
             }
             faults_cmd::run(&experiment, seed);
+        } else if args[i] == "oracle" {
+            let Some(experiment) = args.get(i + 1) else {
+                eprintln!("usage: paper oracle <experiment> [--seed N] [--refresh-golden]");
+                std::process::exit(2);
+            };
+            let experiment = experiment.clone();
+            i += 2;
+            let mut seed = 7u64;
+            let mut refresh = false;
+            loop {
+                match args.get(i).map(String::as_str) {
+                    Some("--seed") => {
+                        let Some(n) = args.get(i + 1) else {
+                            eprintln!("paper oracle: --seed needs a number");
+                            std::process::exit(2);
+                        };
+                        seed = n.parse().unwrap_or_else(|_| {
+                            eprintln!("paper oracle: --seed needs a number, got {n:?}");
+                            std::process::exit(2);
+                        });
+                        i += 2;
+                    }
+                    Some("--refresh-golden") => {
+                        refresh = true;
+                        i += 1;
+                    }
+                    _ => break,
+                }
+            }
+            oracle_cmd::run(&experiment, seed, refresh);
         } else {
             dispatch(&args[i]);
             i += 1;

@@ -1,0 +1,84 @@
+//! Engine-side hook for online correctness checking.
+//!
+//! A [`SimConfig::with_check`](crate::SimConfig::with_check) observer is
+//! invoked at every slice boundary the engine *visits* with a read-only
+//! snapshot of the live flows and the commands in force. Because flow state
+//! and commands are segment-constant between reschedules (the closed-form
+//! invariant the skip-ahead fast path rests on), the boundaries the fast
+//! path visits are exactly the ones where anything can change — so a checker
+//! attached to either path sees every distinct (state, command) pair the
+//! simulation ever produces.
+//!
+//! The hook is deliberately defined here, in `swallow-fabric`, so the engine
+//! does not depend on the oracle crate; `swallow-oracle` implements
+//! [`EngineCheck`] with the actual invariants. The observer must not mutate
+//! anything the engine owns (it only receives shared references), which is
+//! what keeps checked runs bit-identical to unchecked ones.
+
+use crate::alloc::FlowCommand;
+use crate::ids::{CoflowId, FlowId, NodeId};
+use crate::port::Fabric;
+use swallow_faults::Injector;
+
+/// Read-only snapshot of one live flow at a slice boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckedFlow {
+    /// Flow identifier.
+    pub id: FlowId,
+    /// Owning coflow.
+    pub coflow: CoflowId,
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Original raw size in bytes.
+    pub original_size: f64,
+    /// Raw (uncompressed) bytes still to dispose.
+    pub raw: f64,
+    /// Compressed bytes produced but not yet transmitted.
+    pub compressed: f64,
+    /// Bytes that have crossed the wire so far.
+    pub wire_bytes: f64,
+    /// Raw bytes fed through the compressor so far.
+    pub compressed_input: f64,
+    /// Whether the workload marked this flow compressible.
+    pub compressible: bool,
+    /// Command in force for the current segment.
+    pub cmd: FlowCommand,
+    /// Compression ratio ξ the engine would apply to this flow.
+    pub ratio: f64,
+}
+
+impl CheckedFlow {
+    /// Remaining volume `V = d + D` (raw plus compressed backlog).
+    pub fn volume(&self) -> f64 {
+        self.raw + self.compressed
+    }
+}
+
+/// Everything an [`EngineCheck`] can see at one slice boundary.
+pub struct CheckCtx<'a> {
+    /// Boundary time `idx · δ`.
+    pub now: f64,
+    /// Slice length δ in seconds.
+    pub slice: f64,
+    /// Port capacities.
+    pub fabric: &'a Fabric,
+    /// The fault injector in force (empty for clean runs).
+    pub faults: &'a Injector,
+    /// Live flows, sorted by flow id.
+    pub flows: &'a [CheckedFlow],
+    /// Compression speed `R` in bytes/s (0 when compression is disabled).
+    pub compression_speed: f64,
+}
+
+/// A read-only observer of engine slice boundaries.
+///
+/// Implementations take `&self` and must be `Send + Sync`: the engine holds
+/// the checker behind an `Arc` inside its (cloneable) config, and callers
+/// typically keep a second handle to collect results afterwards.
+pub trait EngineCheck: Send + Sync {
+    /// Called at every visited slice boundary with at least one live flow,
+    /// after the policy's allocation (if any) has been applied.
+    fn at_boundary(&self, ctx: &CheckCtx<'_>);
+}

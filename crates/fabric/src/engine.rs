@@ -40,6 +40,7 @@
 //! increment would have reached.
 
 use crate::alloc::{Allocation, FlowCommand, PortScratch};
+use crate::check::{CheckCtx, CheckedFlow, EngineCheck};
 use crate::coflow::Coflow;
 use crate::cpu::CpuModel;
 use crate::event::{EventKind, EventLog};
@@ -106,6 +107,10 @@ pub struct SimConfig {
     /// empty plan, whose queries short-circuit, so fault-free runs keep the
     /// zero-alloc fast path and bit-identical results.
     pub faults: Injector,
+    /// Read-only boundary observer (see [`crate::check`]). `None` by
+    /// default: the only cost of the disabled path is one branch per
+    /// boundary, so the zero-alloc and bit-identity guarantees hold.
+    pub check: Option<Arc<dyn EngineCheck>>,
 }
 
 impl Default for SimConfig {
@@ -122,6 +127,7 @@ impl Default for SimConfig {
             skip_ahead: true,
             tracer: Tracer::disabled(),
             faults: Injector::default(),
+            check: None,
         }
     }
 }
@@ -196,6 +202,15 @@ impl SimConfig {
     /// bit-identical between the fast and naive paths.
     pub fn with_faults(mut self, faults: Injector) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attach a read-only boundary observer (see [`crate::check`]). The
+    /// engine calls it at every visited slice boundary with live flows,
+    /// after the policy's allocation has been applied; `swallow-oracle`
+    /// implements it with the online invariant checker.
+    pub fn with_check(mut self, check: Arc<dyn EngineCheck>) -> Self {
+        self.check = Some(check);
         self
     }
 }
@@ -390,26 +405,42 @@ impl ActiveFlow {
         }
     }
 
-    /// Write the closed-form state after `n` slices into `self.p`.
-    fn materialize(&mut self, n: u64, speed: f64, delta: f64) {
+    /// Closed-form `(raw, compressed, wire_bytes, compressed_input)` after
+    /// `n` slices of this segment, without touching `self.p`.
+    fn state_at(&self, n: u64, speed: f64, delta: f64) -> (f64, f64, f64, f64) {
         if self.cmd.compress {
             let consumed = self.compress_consumed(n, speed, delta);
-            self.p.raw = self.base_raw - consumed;
-            self.p.compressed = self.base_compressed + consumed * self.ratio;
-            self.p.compressed_input = self.base_cinput + consumed;
-            self.p.wire_bytes = self.base_wire;
+            (
+                self.base_raw - consumed,
+                self.base_compressed + consumed * self.ratio,
+                self.base_wire,
+                self.base_cinput + consumed,
+            )
         } else if self.cmd.rate > 0.0 {
             let (fc, fr) = self.tx_parts(n, delta);
-            self.p.raw = self.base_raw - fr;
-            self.p.compressed = self.base_compressed - fc;
-            self.p.wire_bytes = self.base_wire + (fc + fr);
-            self.p.compressed_input = self.base_cinput;
+            (
+                self.base_raw - fr,
+                self.base_compressed - fc,
+                self.base_wire + (fc + fr),
+                self.base_cinput,
+            )
         } else {
-            self.p.raw = self.base_raw;
-            self.p.compressed = self.base_compressed;
-            self.p.wire_bytes = self.base_wire;
-            self.p.compressed_input = self.base_cinput;
+            (
+                self.base_raw,
+                self.base_compressed,
+                self.base_wire,
+                self.base_cinput,
+            )
         }
+    }
+
+    /// Write the closed-form state after `n` slices into `self.p`.
+    fn materialize(&mut self, n: u64, speed: f64, delta: f64) {
+        let (raw, compressed, wire, cinput) = self.state_at(n, speed, delta);
+        self.p.raw = raw;
+        self.p.compressed = compressed;
+        self.p.wire_bytes = wire;
+        self.p.compressed_input = cinput;
     }
 
     /// Start a new segment at `boundary` under `cmd`; `self.p` must already
@@ -504,6 +535,9 @@ pub struct Engine {
     cpu_used: Vec<u32>,
     /// Per-node port-load accounting for the feasibility clamp.
     port_scratch: PortScratch,
+    /// Id-sorted flow snapshots for the boundary observer (unused — and
+    /// never grown — unless `config.check` is set).
+    check_scratch: Vec<CheckedFlow>,
 }
 
 struct CoflowMeta {
@@ -556,6 +590,7 @@ impl Engine {
             completed_scratch: Vec::new(),
             cpu_used: Vec::new(),
             port_scratch: PortScratch::default(),
+            check_scratch: Vec::new(),
         }
     }
 
@@ -816,6 +851,12 @@ impl Engine {
                 }
             }
 
+            // Boundary observer (no-op without a checker). Commands and the
+            // closed-form state only change at visited boundaries, so this
+            // sees every distinct (state, command) configuration whether or
+            // not skip-ahead jumps the quiescent stretches in between.
+            self.observe_boundary(now, idx, speed, delta);
+
             // Quiescent skip-ahead (EventsOnly only; under EverySlice the
             // policy must run at every boundary).
             if self.config.skip_ahead && self.config.reschedule == Reschedule::EventsOnly {
@@ -999,6 +1040,42 @@ impl Engine {
             makespan,
             reschedules,
         }
+    }
+
+    /// Hand the boundary observer an id-sorted snapshot of every live flow,
+    /// evaluated at boundary `idx` via the non-mutating closed forms.
+    fn observe_boundary(&mut self, now: f64, idx: u64, speed: f64, delta: f64) {
+        let Some(check) = self.config.check.as_ref() else {
+            return;
+        };
+        self.check_scratch.clear();
+        for af in &self.active {
+            let n = idx - af.seg;
+            let (raw, compressed, wire_bytes, compressed_input) = af.state_at(n, speed, delta);
+            self.check_scratch.push(CheckedFlow {
+                id: af.p.spec.id,
+                coflow: af.p.coflow,
+                src: af.p.spec.src,
+                dst: af.p.spec.dst,
+                original_size: af.p.spec.size,
+                raw,
+                compressed,
+                wire_bytes,
+                compressed_input,
+                compressible: af.p.spec.compressible,
+                cmd: af.cmd,
+                ratio: af.ratio,
+            });
+        }
+        self.check_scratch.sort_unstable_by_key(|f| f.id);
+        check.at_boundary(&CheckCtx {
+            now,
+            slice: delta,
+            fabric: &self.fabric,
+            faults: &self.config.faults,
+            flows: &self.check_scratch,
+            compression_speed: speed,
+        });
     }
 
     /// Materialize every active flow's state at boundary `idx`.

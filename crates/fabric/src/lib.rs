@@ -40,6 +40,7 @@
 //! ```
 
 pub mod alloc;
+pub mod check;
 pub mod coflow;
 pub mod cpu;
 pub mod engine;
@@ -54,6 +55,7 @@ pub mod units;
 pub mod view;
 
 pub use alloc::{Allocation, FlowCommand};
+pub use check::{CheckCtx, CheckedFlow, EngineCheck};
 pub use coflow::{Coflow, CoflowBuilder};
 pub use cpu::{CpuModel, CpuTrace};
 pub use engine::{CoflowRecord, Engine, FlowRecord, SimConfig, SimResult};

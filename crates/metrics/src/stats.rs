@@ -140,4 +140,36 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.sum, 0.0);
     }
+
+    #[test]
+    fn percentile_single_sample_is_constant() {
+        for p in [0.0, 12.5, 50.0, 95.0, 100.0] {
+            assert_eq!(percentile(&[42.0], p), 42.0);
+        }
+    }
+
+    #[test]
+    fn percentile_with_duplicates() {
+        // rank = p/100 · (n−1); duplicates make interpolation a no-op
+        // inside the tied run.
+        let v = [1.0, 2.0, 2.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, 25.0), 2.0);
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 75.0), 2.0);
+        // Between the run and the max: linear blend.
+        assert!((percentile(&v, 90.0) - 2.6).abs() < 1e-12);
+        // All-equal sample: every percentile is the value.
+        assert_eq!(percentile(&[4.0; 6], 37.0), 4.0);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = summarize(&[3.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.median, 3.5);
+        assert_eq!(s.p95, 3.5);
+        assert_eq!(s.max, 3.5);
+        assert_eq!(s.sum, 3.5);
+    }
 }

@@ -1,0 +1,156 @@
+//! Analytic lower-bound certificates over simulation results.
+//!
+//! `crates/sched/src/bounds.rs` derives the standard concurrent-open-shop
+//! lower bounds (isolation CCT, average CCT, makespan, average FCT). No
+//! schedule — optimal or not — can beat them, so any measured metric below
+//! its bound is a simulator bug, not a good policy. This module evaluates
+//! every bound against a [`SimResult`] and returns a [`BoundReport`] with
+//! the margins, optionally mirroring failures to a [`Tracer`] as
+//! `bound_violated` events.
+//!
+//! Compression tightens the comparison: with the best achievable ratio
+//! `ξ*` (the minimum over the workload's flow sizes), at least `ξ* · V`
+//! bytes must still cross the wire, so the bounds are evaluated at `ξ*`
+//! and remain valid lower bounds for *any* compression decision the
+//! engine actually made.
+
+use swallow_fabric::view::CompressionSpec;
+use swallow_fabric::{Coflow, Fabric, SimResult};
+use swallow_sched::{avg_cct_bound, avg_fct_bound, isolation_cct_bound, makespan_bound};
+use swallow_trace::{TraceEvent, Tracer};
+
+/// One metric-vs-bound comparison.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BoundCheck {
+    /// Metric name (`avg_cct`, `avg_fct`, `makespan`, `isolation_cct`).
+    pub metric: String,
+    /// Measured value.
+    pub value: f64,
+    /// Analytic lower bound.
+    pub bound: f64,
+    /// `value − bound`; meaningfully negative means the bound is violated.
+    pub margin: f64,
+    /// True when the measured value respects the bound (within slack).
+    pub ok: bool,
+}
+
+/// The full set of bound comparisons for one run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BoundReport {
+    /// Best-case compression ratio the bounds were evaluated at.
+    pub xi: f64,
+    /// Individual comparisons.
+    pub checks: Vec<BoundCheck>,
+    /// True when every comparison passed.
+    pub ok: bool,
+}
+
+impl BoundReport {
+    /// The comparisons that failed.
+    pub fn failures(&self) -> impl Iterator<Item = &BoundCheck> {
+        self.checks.iter().filter(|c| !c.ok)
+    }
+}
+
+/// The best compression ratio any flow in the workload can achieve under
+/// `spec` (clamped to `[0, 1]`); `1.0` when compression is disabled
+/// (`speed ≤ 0`, so no flow ever compresses).
+pub fn best_case_ratio(coflows: &[Coflow], spec: &dyn CompressionSpec) -> f64 {
+    if spec.speed() <= 0.0 {
+        return 1.0;
+    }
+    coflows
+        .iter()
+        .flat_map(|c| &c.flows)
+        .map(|f| spec.ratio(f.size))
+        .fold(1.0f64, f64::min)
+        .clamp(0.0, 1.0)
+}
+
+/// Slack for a bound comparison: absolute `1e-6` plus `1e-9` relative,
+/// covering the engine's slice-quantization *downward* only through float
+/// noise (the bounds themselves are exact; completions are recorded at
+/// slice boundaries, i.e. late, never early).
+fn slack(bound: f64) -> f64 {
+    1e-6 + 1e-9 * bound.abs()
+}
+
+/// Evaluate every analytic lower bound against `result`.
+///
+/// `result` must be complete ([`SimResult::all_complete`]) — averages over
+/// partially finished runs would compare incomparable populations. `xi` is
+/// the best-case compression ratio (see [`best_case_ratio`]); pass `1.0`
+/// for compression-free runs. Failures are mirrored to `tracer` as
+/// `bound_violated` events when one is supplied.
+pub fn check_lower_bounds(
+    coflows: &[Coflow],
+    fabric: &Fabric,
+    result: &SimResult,
+    xi: f64,
+    tracer: Option<&Tracer>,
+) -> BoundReport {
+    assert!(
+        result.all_complete(),
+        "bound checks need a fully completed run"
+    );
+    let mut checks = Vec::new();
+    let mut push = |metric: &str, value: f64, bound: f64| {
+        let ok = value + slack(bound) >= bound;
+        if !ok {
+            if let Some(t) = tracer {
+                t.emit(result.makespan, || TraceEvent::BoundViolated {
+                    metric: metric.to_string(),
+                    value,
+                    bound,
+                });
+            }
+        }
+        checks.push(BoundCheck {
+            metric: metric.to_string(),
+            value,
+            bound,
+            margin: value - bound,
+            ok,
+        });
+    };
+
+    push(
+        "avg_cct",
+        result.avg_cct(),
+        avg_cct_bound(coflows, fabric, xi),
+    );
+    push(
+        "avg_fct",
+        result.avg_fct(),
+        avg_fct_bound(coflows, fabric, xi),
+    );
+    push(
+        "makespan",
+        result.makespan,
+        makespan_bound(coflows, fabric, xi),
+    );
+
+    // Per-coflow isolation bounds, reported as the single worst margin so
+    // the report stays small while still covering every coflow.
+    let mut worst: Option<(f64, f64)> = None; // (cct, bound) with min margin
+    for c in coflows {
+        let bound = isolation_cct_bound(c, fabric, xi);
+        let Some(rec) = result.coflows.iter().find(|r| r.id == c.id) else {
+            continue;
+        };
+        let Some(cct) = rec.cct() else { continue };
+        let keep = match worst {
+            Some((v, b)) => (cct - bound) < (v - b),
+            None => true,
+        };
+        if keep {
+            worst = Some((cct, bound));
+        }
+    }
+    if let Some((cct, bound)) = worst {
+        push("isolation_cct", cct, bound);
+    }
+
+    let ok = checks.iter().all(|c| c.ok);
+    BoundReport { xi, checks, ok }
+}

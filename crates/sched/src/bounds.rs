@@ -179,4 +179,82 @@ mod tests {
         let fabric = Fabric::uniform(2, 1.0);
         makespan_bound(&[], &fabric, 1.5);
     }
+
+    /// A 2-machine fabric at 10 B/s with two coflows small enough to work
+    /// through by hand:
+    ///
+    /// * C0 (arrival 0): f0 ships 40 B from 0→1, f1 ships 20 B from 1→0.
+    ///   Port loads: egress₀ = ingress₁ = 40, egress₁ = ingress₀ = 20, so
+    ///   the bottleneck needs 40/10 = 4 s.
+    /// * C1 (arrival 3): f2 ships 10 B from 0→1 — bottleneck 1 s.
+    fn hand_trace() -> Vec<Coflow> {
+        vec![
+            Coflow::builder(0)
+                .flow(FlowSpec::new(0, 0, 1, 40.0))
+                .flow(FlowSpec::new(1, 1, 0, 20.0))
+                .build(),
+            Coflow::builder(1)
+                .arrival(3.0)
+                .flow(FlowSpec::new(2, 0, 1, 10.0))
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn hand_computed_isolation_bounds_on_a_two_by_two_fabric() {
+        let fabric = Fabric::uniform(2, 10.0);
+        let coflows = hand_trace();
+        assert!((isolation_cct_bound(&coflows[0], &fabric, 1.0) - 4.0).abs() < 1e-12);
+        assert!((isolation_cct_bound(&coflows[1], &fabric, 1.0) - 1.0).abs() < 1e-12);
+        // ξ scales linearly.
+        assert!((isolation_cct_bound(&coflows[0], &fabric, 0.25) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_avg_cct_bound() {
+        let fabric = Fabric::uniform(2, 10.0);
+        let coflows = hand_trace();
+        // Mean of the isolation bounds: (4 + 1) / 2.
+        assert!((avg_cct_bound(&coflows, &fabric, 1.0) - 2.5).abs() < 1e-12);
+        assert!((avg_cct_bound(&coflows, &fabric, 0.5) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_makespan_bound() {
+        let fabric = Fabric::uniform(2, 10.0);
+        let coflows = hand_trace();
+        // Port term: egress₀ carries 40 + 10 = 50 B → 5 s from t = 0.
+        // Coflow term: max(0 + 4, 3 + 1) = 4 s. Port term wins.
+        assert!((makespan_bound(&coflows, &fabric, 1.0) - 5.0).abs() < 1e-12);
+        // At ξ = 0.5 the port term halves to 2.5 s but C1 still cannot
+        // finish before its arrival plus isolation: max(3 + 0.5, 2) = 3.5.
+        assert!((makespan_bound(&coflows, &fabric, 0.5) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_avg_fct_bound() {
+        let fabric = Fabric::uniform(2, 10.0);
+        let coflows = hand_trace();
+        // Per flow: 40/10, 20/10, 10/10 → mean 7/3.
+        assert!((avg_fct_bound(&coflows, &fabric, 1.0) - 7.0 / 3.0).abs() < 1e-12);
+        assert!((avg_fct_bound(&coflows, &fabric, 0.5) - 3.5 / 3.0).abs() < 1e-12);
+    }
+
+    /// Asymmetric ports: the bound must divide by each flow's own path.
+    #[test]
+    fn hand_computed_bounds_on_asymmetric_ports() {
+        // egress = [10, 5], ingress = [5, 10].
+        let fabric = Fabric::new(vec![10.0, 5.0], vec![5.0, 10.0]);
+        let coflows = vec![Coflow::builder(0)
+            .flow(FlowSpec::new(0, 0, 1, 30.0))
+            .build()];
+        // f0: egress₀ = 10, ingress₁ = 10 → bottleneck 3 s.
+        assert!((isolation_cct_bound(&coflows[0], &fabric, 1.0) - 3.0).abs() < 1e-12);
+        // Reverse direction would be capped at 5 B/s instead.
+        let reverse = vec![Coflow::builder(1)
+            .flow(FlowSpec::new(1, 1, 0, 30.0))
+            .build()];
+        assert!((isolation_cct_bound(&reverse[0], &fabric, 1.0) - 6.0).abs() < 1e-12);
+        assert!((avg_fct_bound(&reverse, &fabric, 1.0) - 6.0).abs() < 1e-12);
+    }
 }

@@ -137,6 +137,25 @@ pub enum TraceEvent {
     /// `push()` hit an unavailable worker and is retrying with exponential
     /// backoff (`attempt` starts at 1).
     PushRetry { flow: u64, attempt: u32 },
+
+    // ---- swallow-oracle correctness checks ----
+    /// The online invariant checker caught a violation at a slice boundary
+    /// (`invariant` is the stable [`swallow-oracle`] invariant name; `flow`
+    /// and `node` identify the offender when the invariant is per-flow or
+    /// per-port).
+    InvariantViolated {
+        invariant: String,
+        flow: Option<u64>,
+        node: Option<u32>,
+        detail: String,
+    },
+    /// A simulated statistic beat its analytic lower bound — the bound
+    /// certificate (Varys-style isolation/makespan/FCT bounds) was violated.
+    BoundViolated {
+        metric: String,
+        value: f64,
+        bound: f64,
+    },
 }
 
 impl TraceEvent {
@@ -174,6 +193,8 @@ impl TraceEvent {
             TraceEvent::WorkerRecovered { .. } => "worker_recovered",
             TraceEvent::FlowsRequeued { .. } => "flows_requeued",
             TraceEvent::PushRetry { .. } => "push_retry",
+            TraceEvent::InvariantViolated { .. } => "invariant_violated",
+            TraceEvent::BoundViolated { .. } => "bound_violated",
         }
     }
 
@@ -209,6 +230,7 @@ impl TraceEvent {
             | WorkerRecovered { .. }
             | FlowsRequeued { .. }
             | PushRetry { .. } => "fault",
+            InvariantViolated { .. } | BoundViolated { .. } => "oracle",
         }
     }
 }

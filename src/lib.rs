@@ -23,6 +23,9 @@
 //! * [`faults`] — deterministic fault injection: seeded [`faults::FaultPlan`]s
 //!   (crashes, heartbeat loss, link degradation, slow pushes, core
 //!   revocation) consumed by the engine, the runtime and the cluster model.
+//! * [`oracle`] — the correctness oracle: online invariant checking hooked
+//!   into the engine, three-path differential replay, analytic lower-bound
+//!   certificates and golden paper-figure regression.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,7 @@ pub use swallow_core as core;
 pub use swallow_fabric as fabric;
 pub use swallow_faults as faults;
 pub use swallow_metrics as metrics;
+pub use swallow_oracle as oracle;
 pub use swallow_sched as sched;
 pub use swallow_trace as trace;
 pub use swallow_workload as workload;
@@ -73,6 +77,10 @@ pub mod prelude {
     };
     pub use swallow_faults::{FaultPlan, Injector};
     pub use swallow_metrics::{improvement, Cdf, Table};
+    pub use swallow_oracle::{
+        best_case_ratio, check_lower_bounds, differential_replay, CheckConfig, GoldenFigure,
+        InvariantChecker,
+    };
     pub use swallow_sched::{
         Algorithm, CoflowOrder, FvdfConfig, FvdfPolicy, OrderedPolicy, PffPolicy,
         ProfiledCompression, SrtfPolicy, WssPolicy,

@@ -1,0 +1,115 @@
+//! Metamorphic relations: transformations of the *input* whose effect on
+//! the *output* is known a priori, so no golden values are needed.
+//!
+//! * Doubling every flow's volume (arrivals at zero) at least doubles every
+//!   coflow's CCT — the doubled system can at best be a 2× time-stretch of
+//!   the original.
+//! * Uniformly raising every port's capacity never worsens average CCT.
+//! * Disabling compression never reduces total wire bytes.
+//!
+//! Slack of a few slices (δ = 0.01) absorbs completion-time quantization.
+
+use std::sync::Arc;
+use swallow_repro::fabric::engine::Reschedule;
+use swallow_repro::prelude::*;
+
+const BW: f64 = 1_000_000.0;
+const SLACK: f64 = 0.05;
+
+/// A deterministic 5-coflow workload over 6 nodes, all arriving at t = 0,
+/// with sizes in units of seconds at port capacity. `scale` multiplies
+/// every flow volume.
+fn workload(scale: f64) -> Vec<Coflow> {
+    let shapes: &[&[(u32, u32, f64)]] = &[
+        &[(0, 1, 1.2), (0, 2, 0.4)],
+        &[(1, 2, 0.8), (3, 4, 0.8), (1, 5, 0.3)],
+        &[(2, 3, 2.0)],
+        &[(4, 5, 0.6), (4, 0, 1.0)],
+        &[(5, 0, 0.2), (5, 1, 0.2), (5, 2, 0.2)],
+    ];
+    let mut next_flow = 0u64;
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(cid, flows)| {
+            let mut b = Coflow::builder(cid as u64);
+            for &(src, dst, secs) in *flows {
+                b = b.flow(FlowSpec::new(next_flow, src, dst, secs * BW * scale));
+                next_flow += 1;
+            }
+            b.build()
+        })
+        .collect()
+}
+
+fn run(coflows: Vec<Coflow>, fabric: Fabric, alg: Algorithm, compress: bool) -> SimResult {
+    let mut config = SimConfig::default()
+        .with_slice(0.01)
+        .with_reschedule(Reschedule::EventsOnly);
+    if compress {
+        let c: Arc<dyn CompressionSpec> = Arc::new(ProfiledCompression::constant(Table2::Lz4));
+        config = config.with_compression(c);
+    }
+    let mut policy = alg.make();
+    let res = Engine::new(fabric, coflows, config).run(policy.as_mut());
+    assert!(res.all_complete(), "{} stalled", alg.name());
+    res
+}
+
+#[test]
+fn doubling_volumes_at_least_doubles_every_cct() {
+    for alg in [Algorithm::Fvdf, Algorithm::Srtf, Algorithm::Fifo] {
+        let base = run(workload(1.0), Fabric::uniform(6, BW), alg, false);
+        let doubled = run(workload(2.0), Fabric::uniform(6, BW), alg, false);
+        for (b, d) in base.coflows.iter().zip(&doubled.coflows) {
+            assert_eq!(b.id, d.id);
+            let (cb, cd) = (b.cct().unwrap(), d.cct().unwrap());
+            assert!(
+                cd + SLACK >= 2.0 * cb,
+                "{}: coflow {} CCT {cd} vs doubled bound {}",
+                alg.name(),
+                b.id,
+                2.0 * cb
+            );
+        }
+    }
+}
+
+#[test]
+fn more_port_capacity_never_worsens_fvdf_avg_cct() {
+    let base = run(
+        workload(1.0),
+        Fabric::uniform(6, BW),
+        Algorithm::Fvdf,
+        false,
+    );
+    for factor in [1.5, 2.0, 4.0] {
+        let faster = run(
+            workload(1.0),
+            Fabric::uniform(6, BW * factor),
+            Algorithm::Fvdf,
+            false,
+        );
+        assert!(
+            faster.avg_cct() <= base.avg_cct() + SLACK,
+            "×{factor} capacity worsened avg CCT: {} vs {}",
+            faster.avg_cct(),
+            base.avg_cct()
+        );
+    }
+}
+
+#[test]
+fn disabling_compression_never_reduces_wire_bytes() {
+    for alg in [Algorithm::Fvdf, Algorithm::Srtf] {
+        let enabled = run(workload(1.0), Fabric::uniform(6, BW), alg, true);
+        let disabled = run(workload(1.0), Fabric::uniform(6, BW), alg, false);
+        assert!(
+            enabled.total_wire_bytes() <= disabled.total_wire_bytes() + 1.0,
+            "{}: {} vs {}",
+            alg.name(),
+            enabled.total_wire_bytes(),
+            disabled.total_wire_bytes()
+        );
+    }
+}

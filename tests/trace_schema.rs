@@ -118,6 +118,17 @@ fn one_of_each() -> Vec<TraceEvent> {
             flow: 1,
             attempt: 1,
         },
+        InvariantViolated {
+            invariant: "port_capacity".to_string(),
+            flow: Some(1),
+            node: Some(0),
+            detail: "egress load 2.0 exceeds cap 1.0".to_string(),
+        },
+        BoundViolated {
+            metric: "avg_cct".to_string(),
+            value: 0.5,
+            bound: 1.0,
+        },
     ]
 }
 
