@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use swallow_bench::scenario::{
-    self, lz4, run_algorithm, run_algorithm_skip, std_fabric, std_trace, StdScale,
+    self, lz4, run_algorithm, run_algorithm_mode, std_fabric, std_trace, StdScale,
 };
-use swallow_fabric::{units, Fabric};
+use swallow_fabric::{units, EngineMode, Fabric};
 use swallow_sched::Algorithm;
 
 fn bench_algorithms(c: &mut Criterion) {
@@ -61,16 +61,19 @@ fn bench_fig6_replay(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(5));
-    for (label, skip) in [("skip_ahead", true), ("naive_slices", false)] {
+    for (label, mode) in [
+        ("skip_ahead", EngineMode::SkipAhead),
+        ("naive_slices", EngineMode::NaiveSlice),
+    ] {
         group.bench_function(BenchmarkId::new("loop", label), |b| {
             b.iter(|| {
-                let res = run_algorithm_skip(
+                let res = run_algorithm_mode(
                     Algorithm::Fvdf,
                     &fabric,
                     &trace.coflows,
                     Some(lz4()),
                     0.01,
-                    skip,
+                    mode,
                 );
                 assert!(res.all_complete());
                 res.makespan

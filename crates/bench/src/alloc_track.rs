@@ -1,0 +1,52 @@
+//! Process-wide allocation counting for the perf record.
+//!
+//! `paper bench-engine` reports allocations per replay alongside wall-clock
+//! (a fast path that starts allocating per slice is a regression even
+//! before it shows up in seconds). The counter is a thin wrapper over the
+//! system allocator bumping one relaxed atomic per `alloc`/`realloc`; the
+//! `paper` binary installs it via `#[global_allocator]`. Library tests and
+//! criterion benches do not install it, so [`allocations`] simply stays at
+//! zero there and callers must treat the count as best-effort.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Counting wrapper over the system allocator. Install with
+/// `#[global_allocator]` in a binary to make [`allocations`] live.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Heap allocations observed so far (0 unless [`CountingAlloc`] is the
+/// global allocator).
+pub fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Allocations performed while running `f`.
+pub fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocations();
+    let out = f();
+    (allocations() - before, out)
+}

@@ -1,117 +1,420 @@
-//! `paper bench-engine` — wall-clock benchmark of the engine fast path.
+//! `paper bench-engine` — the engine-mode scale sweep and the committed
+//! perf record `BENCH_engine.json`.
 //!
-//! Replays the canonical Fig. 6(a) trace (80 coflows × 4 flows over 24
-//! nodes at 400 Mbps, FVDF + LZ4, δ = 10 ms) twice: once with the
-//! quiescent skip-ahead enabled (the default) and once forced through the
-//! naive slice-by-slice loop. Both runs must produce bit-identical
-//! `SimResult`s; the speedup and the equivalence verdict are printed and
-//! recorded in `BENCH_engine.json` in the working directory.
+//! Each sweep cell replays a seeded [`swallow_workload::gen::scale`] trace
+//! (FVDF + LZ4, δ = 1 ms, `EventsOnly`) once per engine mode, reporting
+//! wall-clock, reschedules, heap allocations per replay and the skip-ahead
+//! hit ratio, and asserting that every mode's `SimResult` is bit-identical.
+//! Results are *appended* to `BENCH_engine.json` under a stable schema
+//! ([`SCHEMA`]), so the committed file records the perf trajectory across
+//! PRs; when a fast mode's speedup over the naive loop falls below
+//! [`GATE_RATIO`] of the last committed speedup for the same tier, the
+//! command exits non-zero. Speedup ratios (not raw seconds) are gated
+//! because both legs of a ratio ran on the same machine.
+//!
+//! The naive slice loop is only replayed up to [`NAIVE_MAX_COFLOWS`]
+//! coflows — beyond that it takes minutes by design; that gap is the point
+//! of the fast modes — and skipped cells are reported explicitly rather
+//! than silently capped.
 
 use std::time::Instant;
 
-use crate::scenario::{self, run_algorithm_skip, DEFAULT_SLICE};
-use swallow_fabric::{units, Fabric, SimResult};
+use crate::alloc_track;
+use crate::scenario;
+use serde_json::{json, Map, Value};
+use swallow_fabric::engine::Reschedule;
+use swallow_fabric::{units, Coflow, Engine, EngineMode, Fabric, SimConfig, SimResult};
 use swallow_sched::Algorithm;
+use swallow_trace::{RingSink, Tracer};
+use swallow_workload::gen::scale;
+use swallow_workload::CoflowGen;
 
-/// Repetitions per variant; the minimum wall-clock is reported.
+/// Stable schema tag; bump only with a migration note in DESIGN.md.
+pub const SCHEMA: &str = "swallow-bench-engine/v2";
+
+/// Slice length for the scale tiers. Much finer than the harness default:
+/// the tiers measure how well the fast modes avoid visiting quiescent
+/// boundaries, so the naive loop must have many boundaries to walk.
+pub const BENCH_SLICE: f64 = 0.001;
+
+/// Largest tier the naive slice loop is still asked to replay.
+pub const NAIVE_MAX_COFLOWS: usize = 100_000;
+
+/// A fast mode must keep at least this fraction of the committed speedup.
+pub const GATE_RATIO: f64 = 0.75;
+
+/// Repetitions per cell on the smaller tiers; best wall-clock is recorded.
 const REPS: usize = 3;
 
-fn timed(reps: usize, mut f: impl FnMut() -> SimResult) -> (f64, SimResult) {
-    let mut best = f64::INFINITY;
-    let mut out = None;
-    for _ in 0..reps {
-        let start = Instant::now();
-        let res = f();
-        best = best.min(start.elapsed().as_secs_f64());
-        out = Some(res);
-    }
-    (best, out.expect("reps >= 1"))
+/// One sweep cell: a coflow count × port count pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tier {
+    /// Number of coflows in the generated trace.
+    pub coflows: usize,
+    /// Number of fabric ports (nodes).
+    pub ports: usize,
 }
 
-/// Run the benchmark and write `BENCH_engine.json`.
-pub fn run() {
-    let bw = units::mbps(400.0);
-    let trace = scenario::fig6_trace(bw, 80, 4.0, 0x6A);
-    let fabric = Fabric::uniform(trace.num_nodes, bw);
-    let comp = scenario::lz4();
-    let mut run_with = |skip: bool| {
-        run_algorithm_skip(
-            Algorithm::Fvdf,
-            &fabric,
-            &trace.coflows,
-            Some(comp.clone()),
-            DEFAULT_SLICE,
-            skip,
-        )
+impl Tier {
+    /// Human label used in reports and as the record key ("100k/1k").
+    pub fn label(&self) -> String {
+        format!("{}/{}", human(self.coflows), human(self.ports))
+    }
+}
+
+fn human(n: usize) -> String {
+    if n >= 1_000_000 && n % 1_000_000 == 0 {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1000 && n % 1000 == 0 {
+        format!("{}k", n / 1000)
+    } else {
+        n.to_string()
+    }
+}
+
+/// The default sweep: the rising diagonal of the
+/// {1k, 10k, 100k, 1M} × {100, 1k, 10k} grid. Off-diagonal cells add little
+/// information per unit wall-clock (port count only matters once the coflow
+/// count saturates it) but stay reachable via `--tiers`.
+pub fn default_tiers() -> Vec<Tier> {
+    vec![
+        Tier {
+            coflows: 1000,
+            ports: 100,
+        },
+        Tier {
+            coflows: 10_000,
+            ports: 1000,
+        },
+        Tier {
+            coflows: 100_000,
+            ports: 1000,
+        },
+        Tier {
+            coflows: 1_000_000,
+            ports: 10_000,
+        },
+    ]
+}
+
+/// The `--quick` sweep (CI bench-smoke): the 10k-coflow tier only.
+pub fn quick_tiers() -> Vec<Tier> {
+    vec![Tier {
+        coflows: 10_000,
+        ports: 1000,
+    }]
+}
+
+fn parse_count(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (num, mult) = match t.char_indices().last()? {
+        (i, 'k') | (i, 'K') => (&t[..i], 1000usize),
+        (i, 'm') | (i, 'M') => (&t[..i], 1_000_000),
+        _ => (t, 1),
     };
+    num.parse::<usize>()
+        .ok()
+        .map(|n| n * mult)
+        .filter(|&n| n > 0)
+}
 
-    // Warm up caches/allocator before timing either variant.
-    let _ = run_with(true);
-    let (fast_secs, fast) = timed(REPS, || run_with(true));
-    let (baseline_secs, baseline) = timed(REPS, || run_with(false));
+/// Parse the `--tiers` syntax: comma-separated `COFLOWSxPORTS` cells with
+/// optional `k`/`M` suffixes, e.g. `10kx1k,1Mx10k`.
+pub fn parse_tiers(s: &str) -> Result<Vec<Tier>, String> {
+    let mut tiers = Vec::new();
+    for cell in s.split(',') {
+        let (c, p) = cell
+            .split_once(['x', 'X'])
+            .ok_or_else(|| format!("tier {cell:?} is not COFLOWSxPORTS (e.g. 10kx1k)"))?;
+        let coflows = parse_count(c).ok_or_else(|| format!("bad coflow count in {cell:?}"))?;
+        let ports = parse_count(p).ok_or_else(|| format!("bad port count in {cell:?}"))?;
+        tiers.push(Tier { coflows, ports });
+    }
+    if tiers.is_empty() {
+        return Err("empty tier list".into());
+    }
+    Ok(tiers)
+}
 
-    let identical = fast.flows == baseline.flows
-        && fast.coflows == baseline.coflows
-        && fast.makespan.to_bits() == baseline.makespan.to_bits();
-    let speedup = baseline_secs / fast_secs;
+/// What to sweep and whether to enforce the regression gate.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Sweep cells, in run order.
+    pub tiers: Vec<Tier>,
+    /// Exit non-zero when a fast mode regresses vs the committed baseline.
+    pub gate: bool,
+}
 
-    crate::report!("engine wall-clock — fig6 trace (80 coflows, 24 nodes, FVDF+LZ4, δ=10 ms)");
-    crate::report!(
-        "  naive slice loop : {:.4} s (best of {REPS})",
-        baseline_secs
-    );
-    crate::report!("  skip-ahead       : {:.4} s (best of {REPS})", fast_secs);
-    crate::report!("  speedup          : {:.2}x", speedup);
-    crate::report!(
-        "  outputs identical: {} (makespan {:.6} s, {} flows, {} coflows)",
-        identical,
-        fast.makespan,
-        fast.flows.len(),
-        fast.coflows.len()
-    );
-    assert!(identical, "skip-ahead diverged from the naive slice loop");
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self {
+            tiers: default_tiers(),
+            gate: true,
+        }
+    }
+}
 
-    let json = serde_json::json!({
-        "benchmark": "engine trace replay",
-        "trace": "fig6_trace(400 Mbps, 80 coflows, width 4, seed 0x6A)",
-        "policy": "fvdf",
-        "compression": "lz4",
-        "slice_secs": DEFAULT_SLICE,
-        "reps": REPS,
-        "baseline_secs": baseline_secs,
-        "fast_secs": fast_secs,
-        "speedup": speedup,
-        "outputs_identical": identical,
-        "makespan_secs": fast.makespan,
-        "reschedules_fast": fast.reschedules,
-        "reschedules_baseline": baseline.reschedules,
-    });
+/// Every engine mode the sweep compares, in report order.
+fn mode_list() -> Vec<(&'static str, EngineMode)> {
+    vec![
+        ("naive", EngineMode::NaiveSlice),
+        ("skip_ahead", EngineMode::SkipAhead),
+    ]
+}
+
+/// Run the default sweep (the plain `paper bench-engine` spelling).
+pub fn run() {
+    run_with(&BenchOpts::default());
+}
+
+/// Run the sweep, append to `BENCH_engine.json`, enforce the gate.
+pub fn run_with(opts: &BenchOpts) {
     let path = "BENCH_engine.json";
-    std::fs::write(path, format!("{:#}\n", json)).expect("write BENCH_engine.json");
-    crate::report!("  wrote {path}");
+    let committed = load_entries(path);
+    let mut entries = committed.clone();
+    let mut fresh = Vec::new();
+    for tier in &opts.tiers {
+        let entry = bench_tier(*tier);
+        fresh.push(entry.clone());
+        entries.push(entry);
+    }
+    let doc = json!({ "schema": SCHEMA, "entries": entries });
+    std::fs::write(path, format!("{doc:#}\n")).expect("write BENCH_engine.json");
+    crate::report!(
+        "wrote {path} ({} committed + {} new entries)",
+        committed.len(),
+        fresh.len()
+    );
+    // The record is written *before* the gate verdict so a failing run
+    // still leaves the numbers on disk for inspection.
+    let failures = gate_failures(&committed, &fresh);
+    for f in &failures {
+        eprintln!("bench-engine gate: {f}");
+    }
+    if opts.gate && !failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// One full replay of `coflows` under `mode`. The optional tracer is for
+/// the *instrumented* (untimed) pass only — the tracer itself allocates,
+/// so it must never ride along on a timed rep.
+fn replay(
+    fabric: &Fabric,
+    coflows: Vec<Coflow>,
+    mode: EngineMode,
+    tracer: Option<Tracer>,
+) -> SimResult {
+    let mut config = SimConfig::default()
+        .with_slice(BENCH_SLICE)
+        .with_reschedule(Reschedule::EventsOnly)
+        .with_mode(mode)
+        .with_compression(scenario::lz4());
+    if let Some(t) = tracer {
+        config = config.with_tracer(t);
+    }
+    let mut policy = Algorithm::Fvdf.make();
+    Engine::new(fabric.clone(), coflows, config).run(policy.as_mut())
+}
+
+fn bench_tier(tier: Tier) -> Value {
+    let cfg = scale(tier.coflows, tier.ports);
+    let coflows = CoflowGen::new(cfg.clone()).generate();
+    let fabric = Fabric::uniform(cfg.num_nodes, units::gbps(1.0));
+    crate::report!(
+        "tier {} — {} coflows over {} ports, FVDF+LZ4, δ={} s, EventsOnly",
+        tier.label(),
+        tier.coflows,
+        cfg.num_nodes,
+        BENCH_SLICE
+    );
+
+    let mut modes_json = Map::new();
+    let mut timings: Vec<(&'static str, f64)> = Vec::new();
+    let mut results: Vec<(&'static str, SimResult)> = Vec::new();
+    for (name, mode) in mode_list() {
+        if mode == EngineMode::NaiveSlice && tier.coflows > NAIVE_MAX_COFLOWS {
+            crate::report!(
+                "  {name:<12}: skipped (the naive loop is only replayed up to {} coflows)",
+                human(NAIVE_MAX_COFLOWS)
+            );
+            continue;
+        }
+        let reps = if tier.coflows >= 100_000 { 1 } else { REPS };
+        if tier.coflows <= 10_000 {
+            // Warm up caches/allocator on the small tiers, where a cold
+            // first rep would dominate the best-of statistics.
+            let _ = replay(&fabric, coflows.clone(), mode, None);
+        }
+        let mut best = f64::INFINITY;
+        let mut allocs = 0u64;
+        let mut out = None;
+        for _ in 0..reps {
+            let trace_copy = coflows.clone(); // cloned outside the timed region
+            let start = Instant::now();
+            let (a, res) =
+                alloc_track::allocations_during(|| replay(&fabric, trace_copy, mode, None));
+            best = best.min(start.elapsed().as_secs_f64());
+            allocs = a;
+            out = Some(res);
+        }
+        let res = out.expect("reps >= 1");
+        // The skip-ahead hit ratio comes from a separate instrumented pass:
+        // the ratio is a property of the (deterministic) trajectory, not of
+        // the timing, so an untimed run reports it faithfully.
+        let hit = if mode == EngineMode::NaiveSlice {
+            None
+        } else {
+            let tracer = Tracer::new(RingSink::new(64));
+            let _ = replay(&fabric, coflows.clone(), mode, Some(tracer.clone()));
+            tracer.summary().map(|s| s.skip_ahead_hit_ratio)
+        };
+        match hit {
+            Some(h) => crate::report!(
+                "  {name:<12}: {best:>10.4} s  (best of {reps}, {} reschedules, {allocs} allocs/run, skip hit {h:.4})",
+                res.reschedules
+            ),
+            None => crate::report!(
+                "  {name:<12}: {best:>10.4} s  (best of {reps}, {} reschedules, {allocs} allocs/run)",
+                res.reschedules
+            ),
+        }
+        modes_json.insert(
+            name.to_string(),
+            json!({
+                "secs": best,
+                "reps": reps,
+                "reschedules": res.reschedules,
+                "allocs_per_run": allocs,
+                "skip_hit_ratio": hit,
+            }),
+        );
+        timings.push((name, best));
+        results.push((name, res));
+    }
+
+    // Bit-identity across every mode that ran, against the first.
+    let mut identical = true;
+    if let Some((ref_name, ref_res)) = results.first() {
+        for (name, res) in &results[1..] {
+            let same = res.flows == ref_res.flows
+                && res.coflows == ref_res.coflows
+                && res.makespan.to_bits() == ref_res.makespan.to_bits()
+                && res.reschedules == ref_res.reschedules;
+            if !same {
+                identical = false;
+                eprintln!(
+                    "bench-engine: {name} diverged from {ref_name} on tier {}",
+                    tier.label()
+                );
+            }
+        }
+    }
+    assert!(identical, "engine modes diverged — see stderr");
+
+    let mut speedups = Map::new();
+    if let Some(&(_, naive_secs)) = timings.iter().find(|(n, _)| *n == "naive") {
+        for &(name, secs) in timings.iter().filter(|(n, _)| *n != "naive") {
+            let x = naive_secs / secs;
+            crate::report!("  speedup vs naive: {name} {x:.2}x");
+            speedups.insert(name.to_string(), json!(x));
+        }
+    }
+    let makespan = results.first().map(|(_, r)| r.makespan).unwrap_or_default();
+    crate::report!("  outputs identical: {identical} (simulated makespan {makespan:.3} s)");
+
+    json!({
+        "label": tier.label(),
+        "n_coflows": tier.coflows,
+        "n_ports": cfg.num_nodes,
+        "seed": cfg.seed,
+        "policy": "FVDF",
+        "compression": "lz4",
+        "slice_secs": BENCH_SLICE,
+        "modes": Value::Object(modes_json),
+        "speedup_vs_naive": Value::Object(speedups),
+        "identical": identical,
+        "makespan_secs": makespan,
+    })
+}
+
+/// Entries of an existing `BENCH_engine.json`, or empty when the file is
+/// missing, unparseable, or from a pre-v2 schema (those are not
+/// append-compatible; the record restarts).
+fn load_entries(path: &str) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = serde_json::from_str::<Value>(&text) else {
+        return Vec::new();
+    };
+    if doc.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+        return Vec::new();
+    }
+    doc.get("entries")
+        .and_then(Value::as_array)
+        .cloned()
+        .unwrap_or_default()
+}
+
+/// Regression-gate verdicts: every fresh entry with a recorded
+/// speedup-vs-naive is compared against the *last* committed entry for the
+/// same tier label; a mode whose speedup fell below [`GATE_RATIO`] of the
+/// committed figure produces one failure line.
+pub fn gate_failures(committed: &[Value], fresh: &[Value]) -> Vec<String> {
+    let mut out = Vec::new();
+    for e in fresh {
+        let label = e["label"].as_str().unwrap_or_default();
+        let Some(new_sp) = e.get("speedup_vs_naive").and_then(Value::as_object) else {
+            continue;
+        };
+        let baseline = committed.iter().rev().find(|c| {
+            c["label"] == e["label"]
+                && c.get("speedup_vs_naive")
+                    .and_then(Value::as_object)
+                    .is_some_and(|m| !m.is_empty())
+        });
+        let Some(base) = baseline else { continue };
+        let base_sp = base["speedup_vs_naive"].as_object().expect("checked above");
+        for (mode, v) in new_sp {
+            let (Some(new_x), Some(base_x)) =
+                (v.as_f64(), base_sp.get(mode).and_then(Value::as_f64))
+            else {
+                continue;
+            };
+            if new_x < GATE_RATIO * base_x {
+                out.push(format!(
+                    "tier {label}, mode {mode}: speedup {new_x:.2}x is below \
+                     {GATE_RATIO} × committed baseline {base_x:.2}x"
+                ));
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::run_algorithm_mode;
 
     #[test]
     fn fast_and_naive_replays_agree_on_a_small_trace() {
         let bw = units::mbps(400.0);
         let trace = scenario::fig6_trace(bw, 12, 3.0, 0x6A);
         let fabric = Fabric::uniform(trace.num_nodes, bw);
-        let run = |skip: bool| {
-            run_algorithm_skip(
+        let run = |mode| {
+            run_algorithm_mode(
                 Algorithm::Fvdf,
                 &fabric,
                 &trace.coflows,
                 Some(scenario::lz4()),
-                DEFAULT_SLICE,
-                skip,
+                scenario::DEFAULT_SLICE,
+                mode,
             )
         };
-        let fast = run(true);
-        let naive = run(false);
+        let fast = run(EngineMode::SkipAhead);
+        let naive = run(EngineMode::NaiveSlice);
         assert!(fast.all_complete());
         assert_eq!(fast.flows, naive.flows);
         assert_eq!(fast.coflows, naive.coflows);
@@ -120,5 +423,75 @@ mod tests {
             fast.reschedules <= naive.reschedules,
             "skip-ahead should never reschedule more often"
         );
+    }
+
+    #[test]
+    fn scale_tier_modes_agree_end_to_end() {
+        // A miniature cell of the sweep, through the same `replay` path.
+        let cfg = scale(60, 16);
+        let coflows = CoflowGen::new(cfg.clone()).generate();
+        let fabric = Fabric::uniform(cfg.num_nodes, units::gbps(1.0));
+        let fast = replay(&fabric, coflows.clone(), EngineMode::SkipAhead, None);
+        let naive = replay(&fabric, coflows, EngineMode::NaiveSlice, None);
+        assert!(fast.all_complete(), "scale tier must complete");
+        assert_eq!(fast.flows, naive.flows);
+        assert_eq!(fast.coflows, naive.coflows);
+        assert_eq!(fast.makespan.to_bits(), naive.makespan.to_bits());
+    }
+
+    #[test]
+    fn tier_labels_and_parsing_round_trip() {
+        let big = Tier {
+            coflows: 100_000,
+            ports: 1000,
+        };
+        assert_eq!(big.label(), "100k/1k");
+        let huge = Tier {
+            coflows: 1_000_000,
+            ports: 10_000,
+        };
+        assert_eq!(huge.label(), "1M/10k");
+        let tiers = parse_tiers("1kx100,1Mx10k").unwrap();
+        assert_eq!(
+            tiers,
+            vec![
+                Tier {
+                    coflows: 1000,
+                    ports: 100
+                },
+                Tier {
+                    coflows: 1_000_000,
+                    ports: 10_000
+                }
+            ]
+        );
+        assert!(parse_tiers("12;34").is_err());
+        assert!(parse_tiers("0x10").is_err());
+        assert!(parse_tiers("").is_err());
+    }
+
+    #[test]
+    fn gate_fires_only_below_threshold() {
+        let old = vec![json!({
+            "label": "10k/1k",
+            "speedup_vs_naive": { "skip_ahead": 10.0 },
+        })];
+        let ok = vec![json!({
+            "label": "10k/1k",
+            "speedup_vs_naive": { "skip_ahead": 8.0 },
+        })];
+        assert!(gate_failures(&old, &ok).is_empty());
+        let bad = vec![json!({
+            "label": "10k/1k",
+            "speedup_vs_naive": { "skip_ahead": 7.0 },
+        })];
+        assert_eq!(gate_failures(&old, &bad).len(), 1);
+        // Unknown tiers and an empty baseline never fire.
+        let other = vec![json!({
+            "label": "1k/100",
+            "speedup_vs_naive": { "skip_ahead": 0.1 },
+        })];
+        assert!(gate_failures(&old, &other).is_empty());
+        assert!(gate_failures(&[], &bad).is_empty());
     }
 }

@@ -11,6 +11,7 @@
 //! but the *shape* — who wins, by what factor, where crossovers sit — is the
 //! reproduction target. See `EXPERIMENTS.md` for the recorded comparison.
 
+pub mod alloc_track;
 pub mod experiments;
 pub mod parallel;
 pub mod report;

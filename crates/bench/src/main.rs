@@ -6,7 +6,10 @@
 //!
 //!   fig1  fig2  fig4  fig6a fig6b fig6c fig6d fig6e fig6f
 //!   fig7a fig7b fig7c table1 table2 table3 table5 table8
-//!   bench-engine — engine wall-clock benchmark (writes BENCH_engine.json)
+//!   bench-engine [--quick] [--tiers LIST] [--no-gate] — engine-mode scale
+//!          sweep (naive vs skip-ahead on seeded `scale` tiers), appending
+//!          to BENCH_engine.json and exiting non-zero when a fast mode
+//!          regresses >25% vs the committed speedup baseline
 //!   trace <experiment> [--out <path>] — traced replay (fig6 | small);
 //!          .jsonl streams events, .json writes a Chrome trace document
 //!   faults <experiment> [--seed N] — replay under a seeded fault plan
@@ -26,18 +29,28 @@ use swallow_bench::experiments::{bench_engine, ext, fig1, fig2, fig4, fig6, fig7
 use swallow_bench::experiments::{faults_cmd, oracle_cmd, trace_cmd};
 use swallow_bench::report;
 
+// Makes `bench-engine`'s allocations-per-replay column live; a no-op cost
+// for every other subcommand (one relaxed atomic bump per allocation).
+#[global_allocator]
+static GLOBAL: swallow_bench::alloc_track::CountingAlloc =
+    swallow_bench::alloc_track::CountingAlloc;
+
 fn usage() -> ! {
     eprintln!(
         "usage: paper [--quiet] <cmd> [<cmd> …]\n\
          cmds: fig1 fig2 fig4 fig6 fig6a fig6b fig6c fig6d fig6e fig6f\n\
          \x20     fig7 fig7a fig7b fig7c table1 table2 table3 table5 table8\n\
-         \x20     ext ext1 ext2 ext3 ext4 ext5 bench-engine all\n\
+         \x20     ext ext1 ext2 ext3 ext4 ext5 all\n\
+         \x20     bench-engine [--quick] [--tiers LIST] [--no-gate]\n\
          \x20     trace <experiment> [--out <path>]\n\
          \x20     faults <experiment> [--seed N]\n\
          \x20     oracle <experiment> [--seed N] [--refresh-golden]\n\
          (table6 prints with fig6e, table7 with fig7b;\n\
-         \x20bench-engine times the skip-ahead fast path vs the naive slice\n\
-         \x20loop on the fig6 trace and writes BENCH_engine.json;\n\
+         \x20bench-engine sweeps the engine modes over seeded scale tiers\n\
+         \x20(naive vs skip-ahead), appends to BENCH_engine.json and exits\n\
+         \x20non-zero on a >25% speedup regression vs the committed record;\n\
+         \x20--quick runs the 10k-coflow tier only, --tiers takes\n\
+         \x20COFLOWSxPORTS cells like 10kx1k,1Mx10k;\n\
          \x20trace replays fig6|small with the structured tracer attached,\n\
          \x20exports the events and writes TRACE_summary.json;\n\
          \x20faults replays fig6a|small under a seeded fault plan, prints\n\
@@ -175,6 +188,36 @@ fn main() {
                 }
             }
             oracle_cmd::run(&experiment, seed, refresh);
+        } else if args[i] == "bench-engine" {
+            i += 1;
+            let mut opts = bench_engine::BenchOpts::default();
+            loop {
+                match args.get(i).map(String::as_str) {
+                    Some("--quick") => {
+                        opts.tiers = bench_engine::quick_tiers();
+                        i += 1;
+                    }
+                    Some("--no-gate") => {
+                        opts.gate = false;
+                        i += 1;
+                    }
+                    Some("--tiers") => {
+                        let Some(list) = args.get(i + 1) else {
+                            eprintln!(
+                                "paper bench-engine: --tiers needs a list (e.g. 10kx1k,1Mx10k)"
+                            );
+                            std::process::exit(2);
+                        };
+                        opts.tiers = bench_engine::parse_tiers(list).unwrap_or_else(|e| {
+                            eprintln!("paper bench-engine: {e}");
+                            std::process::exit(2);
+                        });
+                        i += 2;
+                    }
+                    _ => break,
+                }
+            }
+            bench_engine::run_with(&opts);
         } else {
             dispatch(&args[i]);
             i += 1;

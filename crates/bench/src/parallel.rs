@@ -8,24 +8,29 @@
 //! the simulations themselves are seeded and single-threaded).
 //!
 //! The worker count defaults to the machine's available parallelism, capped
-//! by the number of cells; set `SWALLOW_JOBS=1` to force the old sequential
-//! behaviour (or any other count to bound CPU usage).
+//! by the number of cells; set `SWALLOW_THREADS=1` to force the old
+//! sequential behaviour (or any other count to bound CPU usage). The same
+//! variable governs the sharded engine's scoped pool, so one knob bounds
+//! the whole harness; `SWALLOW_JOBS` is honored as a legacy alias.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of workers for a grid of `items` cells: the `SWALLOW_JOBS`
-/// environment override if set and positive, else the machine's available
-/// parallelism — never more than the number of cells.
+/// Number of workers for a grid of `items` cells: the `SWALLOW_THREADS`
+/// environment override if set and positive (legacy alias: `SWALLOW_JOBS`),
+/// else the machine's available parallelism. Never more than the number of
+/// cells, and never more than the available parallelism — an oversized
+/// override cannot oversubscribe the machine.
 pub fn worker_count(items: usize) -> usize {
-    let configured = std::env::var("SWALLOW_JOBS")
-        .ok()
+    let configured = ["SWALLOW_THREADS", "SWALLOW_JOBS"]
+        .iter()
+        .find_map(|var| std::env::var(var).ok())
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0);
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    configured.unwrap_or(hw).min(items.max(1))
+    configured.unwrap_or(hw).min(hw).min(items.max(1))
 }
 
 /// Apply `f` to every item on a scoped worker pool and return the results
@@ -114,5 +119,21 @@ mod tests {
         assert_eq!(worker_count(0), 1);
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(1024) >= 1);
+    }
+
+    #[test]
+    fn worker_count_honors_env_and_hardware_caps() {
+        // Env vars are process-global, but the sibling tests only *use*
+        // worker counts (any count is correct for them), so a transient
+        // override here cannot make them fail.
+        std::env::set_var("SWALLOW_THREADS", "1");
+        assert_eq!(worker_count(64), 1);
+        // An oversized override is capped by the available parallelism.
+        std::env::set_var("SWALLOW_THREADS", "999999");
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(worker_count(1 << 20), hw);
+        std::env::remove_var("SWALLOW_THREADS");
     }
 }

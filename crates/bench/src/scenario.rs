@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 use swallow_fabric::view::CompressionSpec;
-use swallow_fabric::{units, Coflow, Engine, Fabric, SimConfig, SimResult};
+use swallow_fabric::{units, Coflow, Engine, EngineMode, Fabric, SimConfig, SimResult};
 use swallow_sched::Algorithm;
 use swallow_workload::gen::{fig1_size_dist_scaled, CoflowGen, GenConfig, Sizing};
 use swallow_workload::{SizeDist, Trace};
@@ -109,26 +109,31 @@ pub fn run_algorithm(
     compression: Option<Arc<dyn CompressionSpec>>,
     slice: f64,
 ) -> SimResult {
-    run_algorithm_skip(alg, fabric, coflows, compression, slice, true)
+    run_algorithm_mode(
+        alg,
+        fabric,
+        coflows,
+        compression,
+        slice,
+        EngineMode::SkipAhead,
+    )
 }
 
-/// [`run_algorithm`] with explicit control of the engine's quiescent
-/// skip-ahead fast path — `skip_ahead: false` replays every slice naively,
-/// which is the baseline the engine benchmarks compare against.
-pub fn run_algorithm_skip(
+/// [`run_algorithm`] with explicit control of the engine's time-advance
+/// mode — [`EngineMode::NaiveSlice`] replays every slice naively, which is
+/// the baseline the engine benchmarks compare against.
+pub fn run_algorithm_mode(
     alg: Algorithm,
     fabric: &Fabric,
     coflows: &[Coflow],
     compression: Option<Arc<dyn CompressionSpec>>,
     slice: f64,
-    skip_ahead: bool,
+    mode: EngineMode,
 ) -> SimResult {
     let mut config = SimConfig::default()
         .with_slice(slice)
-        .with_reschedule(swallow_fabric::engine::Reschedule::EventsOnly);
-    if !skip_ahead {
-        config = config.without_skip_ahead();
-    }
+        .with_reschedule(swallow_fabric::engine::Reschedule::EventsOnly)
+        .with_mode(mode);
     if let Some(c) = compression {
         config = config.with_compression(c);
     }

@@ -95,6 +95,15 @@ pub struct SwallowContext {
     inner: Arc<Ctx>,
 }
 
+impl std::fmt::Debug for SwallowContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwallowContext")
+            .field("workers", &self.inner.workers.len())
+            .field("shutdown", &self.inner.shutdown.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
 /// Process-wide singleton backing [`SwallowContext::get_instance`].
 static INSTANCE: std::sync::OnceLock<SwallowContext> = std::sync::OnceLock::new();
 

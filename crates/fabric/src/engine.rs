@@ -71,6 +71,26 @@ pub enum Reschedule {
     EventsOnly,
 }
 
+/// How the engine advances simulated time between events.
+///
+/// Every mode produces **bit-identical** [`SimResult`]s: they all evaluate
+/// the same closed-form segment expressions at the same boundaries and run
+/// the identical detection/retirement code at every visited boundary. The
+/// modes differ only in *which quiescent boundaries they bother to visit*
+/// (see the module docs; the equivalence is pinned by the fast-path tests
+/// here and by `swallow-oracle::differential_replay`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// Visit every slice boundary one by one — the reference loop the
+    /// other modes are diffed against.
+    NaiveSlice,
+    /// Quiescent skip-ahead (the default): at each visited boundary, scan
+    /// the active flows for the earliest future slice at which anything
+    /// observable happens and jump straight to it. Only effective under
+    /// [`Reschedule::EventsOnly`]; `EverySlice` must visit every boundary.
+    SkipAhead,
+}
+
 /// Engine configuration.
 #[derive(Clone)]
 pub struct SimConfig {
@@ -93,11 +113,11 @@ pub struct SimConfig {
     /// (the paper omits it, citing Table II's speed asymmetry; enabling
     /// this quantifies the omission).
     pub model_decompression: bool,
-    /// Quiescent skip-ahead: under [`Reschedule::EventsOnly`], jump over
-    /// slices in which provably nothing observable happens. Produces
-    /// bit-identical results to the slice-by-slice loop (see the module
-    /// docs); disable only to exercise the naive path in equivalence tests.
-    pub skip_ahead: bool,
+    /// Time-advance mode (see [`EngineMode`]). Every mode produces
+    /// bit-identical results; [`EngineMode::SkipAhead`] is the default.
+    /// Select [`EngineMode::NaiveSlice`] only to exercise the reference
+    /// path in equivalence tests and benchmarks.
+    pub mode: EngineMode,
     /// Structured-event tracer. Disabled by default: every emission site is
     /// then a single branch that never builds the event, so the zero-alloc
     /// and bit-identity guarantees of the fast path are untouched (pinned by
@@ -124,7 +144,7 @@ impl Default for SimConfig {
             max_time: 1e7,
             record_events: false,
             model_decompression: false,
-            skip_ahead: true,
+            mode: EngineMode::SkipAhead,
             tracer: Tracer::disabled(),
             faults: Injector::default(),
             check: None,
@@ -180,9 +200,15 @@ impl SimConfig {
     /// Force the naive slice-by-slice loop (no quiescent skip-ahead). The
     /// results are bit-identical either way; this exists for the
     /// equivalence suite and for allocation/throughput measurements of the
-    /// naive path.
+    /// naive path. Shorthand for `with_mode(EngineMode::NaiveSlice)`.
     pub fn without_skip_ahead(mut self) -> Self {
-        self.skip_ahead = false;
+        self.mode = EngineMode::NaiveSlice;
+        self
+    }
+
+    /// Select the time-advance mode (see [`EngineMode`]).
+    pub fn with_mode(mut self, mode: EngineMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -483,6 +509,11 @@ fn upgrade_cause(slot: &mut Option<RescheduleCause>, cause: RescheduleCause) {
 /// the correction loops do not converge quickly — callers treat that as
 /// "don't skip", which is always safe.
 fn first_slice_satisfying(est: f64, n0: u64, pred: impl Fn(u64) -> bool) -> Option<u64> {
+    // An estimate beyond u64 range (e.g. a denormally small rate) can never
+    // be corrected by the bounded search below; "don't skip" is always safe.
+    if est.is_finite() && est >= u64::MAX as f64 {
+        return None;
+    }
     let mut n = if est.is_finite() && est > (n0 + 1) as f64 {
         est as u64
     } else {
@@ -490,7 +521,7 @@ fn first_slice_satisfying(est: f64, n0: u64, pred: impl Fn(u64) -> bool) -> Opti
     };
     let mut guard = 0u32;
     while !pred(n) {
-        n += 1;
+        n = n.checked_add(1)?;
         guard += 1;
         if guard > 64 {
             return None;
@@ -859,7 +890,9 @@ impl Engine {
 
             // Quiescent skip-ahead (EventsOnly only; under EverySlice the
             // policy must run at every boundary).
-            if self.config.skip_ahead && self.config.reschedule == Reschedule::EventsOnly {
+            if self.config.mode != EngineMode::NaiveSlice
+                && self.config.reschedule == Reschedule::EventsOnly
+            {
                 let sample_due = self.config.sample_interval.map(|_| next_sample);
                 let target = self.skip_target(idx, speed, delta, sample_due);
                 if target > idx {
@@ -1378,7 +1411,7 @@ mod tests {
     use crate::policy::FairSharePolicy;
     use crate::units;
 
-    fn single_flow_trace(size: f64) -> Vec<Coflow> {
+    pub(super) fn single_flow_trace(size: f64) -> Vec<Coflow> {
         vec![Coflow::builder(0)
             .arrival(0.0)
             .flow(FlowSpec::new(0, 0, 1, size))
@@ -1978,7 +2011,7 @@ mod fast_path_tests {
         assert!((f0.wire_bytes - 50.0).abs() < 1.0, "wire={}", f0.wire_bytes);
     }
 
-    fn staggered_trace() -> Vec<Coflow> {
+    pub(super) fn staggered_trace() -> Vec<Coflow> {
         vec![
             Coflow::builder(0)
                 .arrival(0.0)
@@ -1996,7 +2029,7 @@ mod fast_path_tests {
         ]
     }
 
-    fn assert_bit_identical(fast: &SimResult, naive: &SimResult) {
+    pub(super) fn assert_bit_identical(fast: &SimResult, naive: &SimResult) {
         assert_eq!(fast.flows, naive.flows);
         assert_eq!(fast.coflows, naive.coflows);
         assert_eq!(fast.makespan.to_bits(), naive.makespan.to_bits());
@@ -2110,6 +2143,8 @@ mod fast_path_tests {
 
 #[cfg(test)]
 mod trace_tests {
+    use super::fast_path_tests::{assert_bit_identical, staggered_trace};
+    use super::tests::single_flow_trace;
     use super::*;
     use crate::flow::FlowSpec;
     use crate::policy::FairSharePolicy;

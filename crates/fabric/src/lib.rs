@@ -58,7 +58,7 @@ pub use alloc::{Allocation, FlowCommand};
 pub use check::{CheckCtx, CheckedFlow, EngineCheck};
 pub use coflow::{Coflow, CoflowBuilder};
 pub use cpu::{CpuModel, CpuTrace};
-pub use engine::{CoflowRecord, Engine, FlowRecord, SimConfig, SimResult};
+pub use engine::{CoflowRecord, Engine, EngineMode, FlowRecord, SimConfig, SimResult};
 pub use event::{Event, EventKind, EventLog};
 pub use flow::{FlowProgress, FlowSpec};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use crate::invariants::{CheckConfig, InvariantChecker, Violation};
-use swallow_fabric::{Coflow, Engine, Fabric, Policy, SimConfig, SimResult};
+use swallow_fabric::{Coflow, Engine, EngineMode, Fabric, Policy, SimConfig, SimResult};
 use swallow_faults::FaultPlan;
 
 /// Cap on the mismatch lines recorded per leg pair.
@@ -98,14 +98,11 @@ pub fn differential_replay(
         result
     };
 
-    let fast = run("skip_ahead", &|mut c| {
-        c.skip_ahead = true;
-        c
-    });
+    let fast = run("skip_ahead", &|c| c.with_mode(EngineMode::SkipAhead));
     let naive = run("naive", &|c| c.without_skip_ahead());
-    let faulted = run("empty_faults", &|mut c| {
-        c.skip_ahead = true;
-        c.with_faults(FaultPlan::new().injector())
+    let faulted = run("empty_faults", &|c| {
+        c.with_mode(EngineMode::SkipAhead)
+            .with_faults(FaultPlan::new().injector())
     });
 
     let mut mismatches = Vec::new();

@@ -73,7 +73,8 @@ pub mod prelude {
     pub use swallow_core::{SwallowConfig, SwallowContext, SwallowError, WorkerId};
     pub use swallow_fabric::view::{CompressionSpec, ConstCompression};
     pub use swallow_fabric::{
-        units, Coflow, CpuModel, CpuTrace, Engine, Fabric, FlowSpec, Policy, SimConfig, SimResult,
+        units, Coflow, CpuModel, CpuTrace, Engine, EngineMode, Fabric, FlowSpec, Policy, SimConfig,
+        SimResult,
     };
     pub use swallow_faults::{FaultPlan, Injector};
     pub use swallow_metrics::{improvement, Cdf, Table};
