@@ -2,7 +2,9 @@
 //! perf record `BENCH_engine.json`.
 //!
 //! Each sweep cell replays a seeded [`swallow_workload::gen::scale`] trace
-//! (FVDF + LZ4, δ = 1 ms, `EventsOnly`) once per engine mode, reporting
+//! (FVDF + LZ4, δ = 1 ms, `EventsOnly`) once per engine mode — the naive
+//! slice loop, quiescent skip-ahead, the event-driven heap, and the
+//! event-driven heap with the sharded passes requested — reporting
 //! wall-clock, reschedules, heap allocations per replay and the skip-ahead
 //! hit ratio, and asserting that every mode's `SimResult` is bit-identical.
 //! Results are *appended* to `BENCH_engine.json` under a stable schema
@@ -63,9 +65,9 @@ impl Tier {
 }
 
 fn human(n: usize) -> String {
-    if n >= 1_000_000 && n % 1_000_000 == 0 {
+    if n >= 1_000_000 && n.is_multiple_of(1_000_000) {
         format!("{}M", n / 1_000_000)
-    } else if n >= 1000 && n % 1000 == 0 {
+    } else if n >= 1000 && n.is_multiple_of(1000) {
         format!("{}k", n / 1000)
     } else {
         n.to_string()
@@ -154,11 +156,43 @@ impl Default for BenchOpts {
     }
 }
 
-/// Every engine mode the sweep compares, in report order.
-fn mode_list() -> Vec<(&'static str, EngineMode)> {
+/// One engine configuration the sweep compares.
+struct ModeSpec {
+    name: &'static str,
+    mode: EngineMode,
+    /// Worker request forwarded to [`SimConfig::with_threads`]; the
+    /// effective count resolves through `swallow_fabric::shard::thread_budget`
+    /// (`SWALLOW_THREADS` overrides, capped at the hardware parallelism).
+    threads: Option<usize>,
+}
+
+/// Every engine mode the sweep compares, in report order. `event_sharded`
+/// requests every available core; with the default shard threshold the
+/// fan-out only engages when enough flows are simultaneously active, so on
+/// sweep tiers with a small active set it measures the sharded code path's
+/// bookkeeping overhead, not a parallel speedup — that is reported as-is.
+fn mode_list() -> Vec<ModeSpec> {
     vec![
-        ("naive", EngineMode::NaiveSlice),
-        ("skip_ahead", EngineMode::SkipAhead),
+        ModeSpec {
+            name: "naive",
+            mode: EngineMode::NaiveSlice,
+            threads: None,
+        },
+        ModeSpec {
+            name: "skip_ahead",
+            mode: EngineMode::SkipAhead,
+            threads: None,
+        },
+        ModeSpec {
+            name: "event",
+            mode: EngineMode::EventDriven,
+            threads: None,
+        },
+        ModeSpec {
+            name: "event_sharded",
+            mode: EngineMode::EventDriven,
+            threads: Some(usize::MAX),
+        },
     ]
 }
 
@@ -203,6 +237,7 @@ fn replay(
     fabric: &Fabric,
     coflows: Vec<Coflow>,
     mode: EngineMode,
+    threads: Option<usize>,
     tracer: Option<Tracer>,
 ) -> SimResult {
     let mut config = SimConfig::default()
@@ -210,6 +245,9 @@ fn replay(
         .with_reschedule(Reschedule::EventsOnly)
         .with_mode(mode)
         .with_compression(scenario::lz4());
+    if let Some(n) = threads {
+        config = config.with_threads(n);
+    }
     if let Some(t) = tracer {
         config = config.with_tracer(t);
     }
@@ -232,7 +270,8 @@ fn bench_tier(tier: Tier) -> Value {
     let mut modes_json = Map::new();
     let mut timings: Vec<(&'static str, f64)> = Vec::new();
     let mut results: Vec<(&'static str, SimResult)> = Vec::new();
-    for (name, mode) in mode_list() {
+    for spec in mode_list() {
+        let (name, mode) = (spec.name, spec.mode);
         if mode == EngineMode::NaiveSlice && tier.coflows > NAIVE_MAX_COFLOWS {
             crate::report!(
                 "  {name:<12}: skipped (the naive loop is only replayed up to {} coflows)",
@@ -244,7 +283,7 @@ fn bench_tier(tier: Tier) -> Value {
         if tier.coflows <= 10_000 {
             // Warm up caches/allocator on the small tiers, where a cold
             // first rep would dominate the best-of statistics.
-            let _ = replay(&fabric, coflows.clone(), mode, None);
+            let _ = replay(&fabric, coflows.clone(), mode, spec.threads, None);
         }
         let mut best = f64::INFINITY;
         let mut allocs = 0u64;
@@ -252,8 +291,9 @@ fn bench_tier(tier: Tier) -> Value {
         for _ in 0..reps {
             let trace_copy = coflows.clone(); // cloned outside the timed region
             let start = Instant::now();
-            let (a, res) =
-                alloc_track::allocations_during(|| replay(&fabric, trace_copy, mode, None));
+            let (a, res) = alloc_track::allocations_during(|| {
+                replay(&fabric, trace_copy, mode, spec.threads, None)
+            });
             best = best.min(start.elapsed().as_secs_f64());
             allocs = a;
             out = Some(res);
@@ -266,7 +306,13 @@ fn bench_tier(tier: Tier) -> Value {
             None
         } else {
             let tracer = Tracer::new(RingSink::new(64));
-            let _ = replay(&fabric, coflows.clone(), mode, Some(tracer.clone()));
+            let _ = replay(
+                &fabric,
+                coflows.clone(),
+                mode,
+                spec.threads,
+                Some(tracer.clone()),
+            );
             tracer.summary().map(|s| s.skip_ahead_hit_ratio)
         };
         match hit {
@@ -431,12 +477,29 @@ mod tests {
         let cfg = scale(60, 16);
         let coflows = CoflowGen::new(cfg.clone()).generate();
         let fabric = Fabric::uniform(cfg.num_nodes, units::gbps(1.0));
-        let fast = replay(&fabric, coflows.clone(), EngineMode::SkipAhead, None);
-        let naive = replay(&fabric, coflows, EngineMode::NaiveSlice, None);
+        let fast = replay(&fabric, coflows.clone(), EngineMode::SkipAhead, None, None);
+        let event = replay(
+            &fabric,
+            coflows.clone(),
+            EngineMode::EventDriven,
+            None,
+            None,
+        );
+        let sharded = replay(
+            &fabric,
+            coflows.clone(),
+            EngineMode::EventDriven,
+            Some(2),
+            None,
+        );
+        let naive = replay(&fabric, coflows, EngineMode::NaiveSlice, None, None);
         assert!(fast.all_complete(), "scale tier must complete");
-        assert_eq!(fast.flows, naive.flows);
-        assert_eq!(fast.coflows, naive.coflows);
-        assert_eq!(fast.makespan.to_bits(), naive.makespan.to_bits());
+        for other in [&naive, &event, &sharded] {
+            assert_eq!(fast.flows, other.flows);
+            assert_eq!(fast.coflows, other.coflows);
+            assert_eq!(fast.makespan.to_bits(), other.makespan.to_bits());
+            assert_eq!(fast.reschedules, other.reschedules);
+        }
     }
 
     #[test]

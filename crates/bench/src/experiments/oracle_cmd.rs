@@ -7,7 +7,7 @@
 //! 1. replays the workload through the naive slice loop, the skip-ahead
 //!    fast path and the empty-fault-plan path, with a fresh online
 //!    [`InvariantChecker`] on every leg, and demands **zero** violations
-//!    and **bit-exact** agreement between the three paths;
+//!    and **bit-exact** agreement between the five replay legs;
 //! 2. checks every measured metric against the analytic lower bounds
 //!    (isolation / average CCT, makespan, average FCT) at the workload's
 //!    best-case compression ratio;
@@ -249,7 +249,7 @@ mod tests {
     use swallow_oracle::differential_replay;
 
     /// An 8-coflow miniature of the oracle loop: every policy replays
-    /// bit-exactly across the three engine paths with zero invariant
+    /// bit-exactly across all engine paths with zero invariant
     /// violations and metrics above the analytic floors.
     #[test]
     fn oracle_loop_is_clean_at_smoke_scale() {

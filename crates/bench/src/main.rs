@@ -16,7 +16,7 @@
 //!          (fig6a | small), reporting per-policy CCT inflation; same seed
 //!          yields a byte-identical TRACE_summary.json
 //!   oracle <experiment> [--seed N] [--refresh-golden] — full correctness
-//!          oracle (fig6a | small): online invariants, three-path
+//!          oracle (fig6a | small): online invariants, multi-path
 //!          differential replay, analytic bounds, golden-figure compare;
 //!          writes ORACLE_report.json and exits non-zero on any failure
 //!   all   — everything in paper order

@@ -186,8 +186,7 @@ impl Allocation {
                     continue;
                 }
                 let Some(f) = view.flow(*id) else { continue };
-                scratch.egress[f.src.index()] += cmd.rate;
-                scratch.ingress[f.dst.index()] += cmd.rate;
+                scratch.add(f.src.index(), f.dst.index(), cmd.rate);
             }
             // All scale factors are derived from the same load snapshot, then
             // applied together — a second pass over the (unchanged) loads.
@@ -197,8 +196,8 @@ impl Allocation {
                     continue;
                 }
                 let Some(f) = view.flow(*id) else { continue };
-                let e_over = scratch.egress[f.src.index()] / view.fabric.egress_cap(f.src);
-                let i_over = scratch.ingress[f.dst.index()] / view.fabric.ingress_cap(f.dst);
+                let e_over = scratch.egress_at(f.src.index()) / view.fabric.egress_cap(f.src);
+                let i_over = scratch.ingress_at(f.dst.index()) / view.fabric.ingress_cap(f.dst);
                 let over = e_over.max(i_over);
                 if over > 1.0 {
                     cmd.rate *= 1.0 / over;
@@ -213,21 +212,149 @@ impl Allocation {
 }
 
 /// Reusable dense per-port accumulators (indexed by [`NodeId::index`]).
+///
+/// Accumulation goes through [`PortScratch::add`], which records the port
+/// indices it dirties; [`PortScratch::reset`] then zeroes only those,
+/// making the reset `O(ports actually loaded)` instead of `O(fabric size)`
+/// — the difference between microseconds and nothing at 10k ports × millions
+/// of reschedules. The invariant is that every entry outside the touched
+/// list is exactly `0.0`, which holds because `add` is the only mutator.
 #[derive(Debug, Clone, Default)]
 pub struct PortScratch {
-    /// Per-node egress accumulator.
-    pub egress: Vec<f64>,
-    /// Per-node ingress accumulator.
-    pub ingress: Vec<f64>,
+    egress: Vec<f64>,
+    ingress: Vec<f64>,
+    touched: Vec<u32>,
 }
 
 impl PortScratch {
-    /// Zero both buffers and make sure they cover `n` nodes.
+    /// Zero every touched entry and make sure the buffers cover `n` nodes.
     pub fn reset(&mut self, n: usize) {
-        self.egress.clear();
-        self.egress.resize(n, 0.0);
-        self.ingress.clear();
-        self.ingress.resize(n, 0.0);
+        if self.egress.len() < n {
+            self.egress.resize(n, 0.0);
+            self.ingress.resize(n, 0.0);
+        }
+        for &i in &self.touched {
+            self.egress[i as usize] = 0.0;
+            self.ingress[i as usize] = 0.0;
+        }
+        self.touched.clear();
+    }
+
+    /// Add `rate` to the egress load of port `src` and the ingress load of
+    /// port `dst`, recording both as touched.
+    #[inline]
+    pub fn add(&mut self, src: usize, dst: usize, rate: f64) {
+        if self.egress[src] == 0.0 && self.ingress[src] == 0.0 {
+            self.touched.push(src as u32);
+        }
+        self.egress[src] += rate;
+        if self.egress[dst] == 0.0 && self.ingress[dst] == 0.0 {
+            self.touched.push(dst as u32);
+        }
+        self.ingress[dst] += rate;
+    }
+
+    /// Accumulated egress load at port index `i`.
+    #[inline]
+    pub fn egress_at(&self, i: usize) -> f64 {
+        self.egress[i]
+    }
+
+    /// Accumulated ingress load at port index `i`.
+    #[inline]
+    pub fn ingress_at(&self, i: usize) -> f64 {
+        self.ingress[i]
+    }
+}
+
+/// Reusable dense per-node counters with the same touched-list reset trick
+/// as [`PortScratch`]: [`TouchedCounters::inc`] records which slots became
+/// non-zero, so [`TouchedCounters::reset`] is `O(slots incremented)` rather
+/// than `O(fabric size)`. Used for the per-sender compression-core
+/// accounting in the engine's CPU admission pass and in FVDF's β decisions.
+#[derive(Debug, Clone, Default)]
+pub struct TouchedCounters {
+    vals: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl TouchedCounters {
+    /// Zero every touched counter and make sure the buffer covers `n` slots.
+    pub fn reset(&mut self, n: usize) {
+        if self.vals.len() < n {
+            self.vals.resize(n, 0);
+        }
+        for &i in &self.touched {
+            self.vals[i as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    /// Current count at slot `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        self.vals[i]
+    }
+
+    /// Increment slot `i`, recording it as touched on the 0 → 1 transition.
+    #[inline]
+    pub fn inc(&mut self, i: usize) {
+        if self.vals[i] == 0 {
+            self.touched.push(i as u32);
+        }
+        self.vals[i] += 1;
+    }
+}
+
+/// Caller-owned buffers for [`water_fill_with`], so repeated fills perform
+/// no per-call allocation once the buffers have grown to the fabric size,
+/// plus the parallelism settings for the binding-port scan.
+///
+/// The rounds iterate a deduplicated list of the ports the demands actually
+/// touch instead of every port in the fabric, which turns each round from
+/// `O(fabric size)` into `O(demand ports)`. The binding-port minimum is the
+/// `f64::min` over that list; min over non-NaN values is order-independent,
+/// so iterating the touched list (or sharding it across workers and folding
+/// the per-chunk minima in chunk order) is bit-identical to the dense scan.
+#[derive(Debug, Clone)]
+pub struct WaterFillScratch {
+    rates: Vec<f64>,
+    frozen: Vec<bool>,
+    egress_left: Vec<f64>,
+    ingress_left: Vec<f64>,
+    e_cnt: Vec<usize>,
+    i_cnt: Vec<usize>,
+    ports: Vec<u32>,
+    seen: Vec<bool>,
+    workers: usize,
+    threshold: usize,
+}
+
+impl Default for WaterFillScratch {
+    fn default() -> Self {
+        Self {
+            rates: Vec::new(),
+            frozen: Vec::new(),
+            egress_left: Vec::new(),
+            ingress_left: Vec::new(),
+            e_cnt: Vec::new(),
+            i_cnt: Vec::new(),
+            ports: Vec::new(),
+            seen: Vec::new(),
+            workers: 1,
+            threshold: crate::shard::DEFAULT_SHARD_THRESHOLD,
+        }
+    }
+}
+
+impl WaterFillScratch {
+    /// Enable the sharded binding-port scan: fills with at least
+    /// `shard_threshold` touched ports split the min-share scan across
+    /// `workers` scoped threads (the result stays bit-identical; see the
+    /// struct docs). `workers == 1` keeps every fill fully serial.
+    pub fn set_parallelism(&mut self, workers: usize, shard_threshold: usize) {
+        self.workers = workers.max(1);
+        self.threshold = shard_threshold;
     }
 }
 
@@ -237,80 +364,119 @@ impl PortScratch {
 ///
 /// `demands` are `(flow, src, dst)` triples; the return maps each flow to its
 /// fair rate. This is the core of PFF/FAIR and of work-conserving backfill.
-/// Internally the fill runs over dense per-node arrays (no map churn in the
-/// rounds); only the returned map is allocated.
+/// Convenience wrapper over [`water_fill_with`] with throwaway buffers.
 pub fn water_fill(fabric: &Fabric, demands: &[(FlowId, NodeId, NodeId)]) -> BTreeMap<FlowId, f64> {
+    let mut scratch = WaterFillScratch::default();
+    water_fill_with(fabric, demands, &mut scratch)
+}
+
+/// [`water_fill`] with caller-owned buffers and optional sharding of the
+/// binding-port scan (see [`WaterFillScratch`]); only the returned map is
+/// allocated.
+pub fn water_fill_with(
+    fabric: &Fabric,
+    demands: &[(FlowId, NodeId, NodeId)],
+    scratch: &mut WaterFillScratch,
+) -> BTreeMap<FlowId, f64> {
     let n = fabric.num_nodes();
-    let mut rates = vec![0.0f64; demands.len()];
-    let mut frozen = vec![false; demands.len()];
-    let mut egress_left = vec![0.0f64; n];
-    let mut ingress_left = vec![0.0f64; n];
-    let mut e_touched = vec![false; n];
-    let mut i_touched = vec![false; n];
-    for (_, s, d) in demands {
-        if !e_touched[s.index()] {
-            e_touched[s.index()] = true;
-            egress_left[s.index()] = fabric.egress_cap(*s);
-        }
-        if !i_touched[d.index()] {
-            i_touched[d.index()] = true;
-            ingress_left[d.index()] = fabric.ingress_cap(*d);
+    let s = scratch;
+    s.rates.clear();
+    s.rates.resize(demands.len(), 0.0);
+    s.frozen.clear();
+    s.frozen.resize(demands.len(), false);
+    if s.egress_left.len() < n {
+        s.egress_left.resize(n, 0.0);
+        s.ingress_left.resize(n, 0.0);
+        s.e_cnt.resize(n, 0);
+        s.i_cnt.resize(n, 0);
+        s.seen.resize(n, false);
+    }
+    // Deduplicated list of the ports these demands touch; `seen` markers are
+    // unwound at the end so the buffer is clean for the next call. Remaining
+    // capacity is (re)initialized here for every listed port, so stale values
+    // from a previous fill are never read.
+    s.ports.clear();
+    for (_, src, dst) in demands {
+        for node in [*src, *dst] {
+            let p = node.index();
+            if !s.seen[p] {
+                s.seen[p] = true;
+                s.ports.push(p as u32);
+                s.egress_left[p] = fabric.egress_cap(node);
+                s.ingress_left[p] = fabric.ingress_cap(node);
+            }
         }
     }
-    let mut e_cnt = vec![0usize; n];
-    let mut i_cnt = vec![0usize; n];
 
     loop {
         // Count unfrozen flows at each port.
-        e_cnt.iter_mut().for_each(|c| *c = 0);
-        i_cnt.iter_mut().for_each(|c| *c = 0);
+        for &p in &s.ports {
+            s.e_cnt[p as usize] = 0;
+            s.i_cnt[p as usize] = 0;
+        }
         let mut live = 0usize;
-        for (k, (_, s, d)) in demands.iter().enumerate() {
-            if !frozen[k] {
-                e_cnt[s.index()] += 1;
-                i_cnt[d.index()] += 1;
+        for (k, (_, src, dst)) in demands.iter().enumerate() {
+            if !s.frozen[k] {
+                s.e_cnt[src.index()] += 1;
+                s.i_cnt[dst.index()] += 1;
                 live += 1;
             }
         }
         if live == 0 {
             break;
         }
-        // The binding port is the one with the smallest fair share.
-        let mut min_share = f64::INFINITY;
-        for node in 0..n {
-            if e_cnt[node] > 0 {
-                min_share = min_share.min(egress_left[node] / e_cnt[node] as f64);
+        // The binding port is the one with the smallest fair share. Ports
+        // with no unfrozen flow contribute nothing, so scanning the touched
+        // list covers the full candidate set; sharding the scan folds the
+        // per-chunk minima in chunk order (bit-identical either way).
+        let min_share = {
+            let chunk_min = |chunk: &[u32]| {
+                let mut m = f64::INFINITY;
+                for &p in chunk {
+                    let p = p as usize;
+                    if s.e_cnt[p] > 0 {
+                        m = m.min(s.egress_left[p] / s.e_cnt[p] as f64);
+                    }
+                    if s.i_cnt[p] > 0 {
+                        m = m.min(s.ingress_left[p] / s.i_cnt[p] as f64);
+                    }
+                }
+                m
+            };
+            if s.workers > 1 && s.ports.len() >= s.threshold.max(1) {
+                crate::shard::map_chunks(&s.ports, s.workers, chunk_min)
+                    .into_iter()
+                    .fold(f64::INFINITY, f64::min)
+            } else {
+                chunk_min(&s.ports)
             }
-            if i_cnt[node] > 0 {
-                min_share = min_share.min(ingress_left[node] / i_cnt[node] as f64);
-            }
-        }
+        };
         if !min_share.is_finite() || min_share <= 0.0 {
             break;
         }
         // Raise every unfrozen flow by the share; freeze flows at saturated
         // ports.
-        for (k, (_, s, d)) in demands.iter().enumerate() {
-            if frozen[k] {
+        for (k, (_, src, dst)) in demands.iter().enumerate() {
+            if s.frozen[k] {
                 continue;
             }
-            rates[k] += min_share;
-            egress_left[s.index()] -= min_share;
-            ingress_left[d.index()] -= min_share;
+            s.rates[k] += min_share;
+            s.egress_left[src.index()] -= min_share;
+            s.ingress_left[dst.index()] -= min_share;
         }
         const EPS: f64 = 1e-9;
         let mut any = false;
         let mut all_frozen = true;
-        for (k, (_, s, d)) in demands.iter().enumerate() {
-            if frozen[k] {
+        for (k, (_, src, dst)) in demands.iter().enumerate() {
+            if s.frozen[k] {
                 continue;
             }
-            let e_sat =
-                e_cnt[s.index()] > 0 && egress_left[s.index()] <= EPS * fabric.egress_cap(*s);
-            let i_sat =
-                i_cnt[d.index()] > 0 && ingress_left[d.index()] <= EPS * fabric.ingress_cap(*d);
+            let e_sat = s.e_cnt[src.index()] > 0
+                && s.egress_left[src.index()] <= EPS * fabric.egress_cap(*src);
+            let i_sat = s.i_cnt[dst.index()] > 0
+                && s.ingress_left[dst.index()] <= EPS * fabric.ingress_cap(*dst);
             if e_sat || i_sat {
-                frozen[k] = true;
+                s.frozen[k] = true;
                 any = true;
             } else {
                 all_frozen = false;
@@ -325,10 +491,13 @@ pub fn water_fill(fabric: &Fabric, demands: &[(FlowId, NodeId, NodeId)]) -> BTre
             break;
         }
     }
+    for &p in &s.ports {
+        s.seen[p as usize] = false;
+    }
     demands
         .iter()
-        .zip(rates)
-        .map(|((f, _, _), r)| (*f, r))
+        .zip(&s.rates)
+        .map(|((f, _, _), r)| (*f, *r))
         .collect()
 }
 
@@ -379,6 +548,40 @@ mod tests {
     fn water_fill_empty() {
         let fabric = Fabric::uniform(2, 1.0);
         assert!(water_fill(&fabric, &[]).is_empty());
+    }
+
+    #[test]
+    fn water_fill_sharded_scan_is_bit_identical_to_serial() {
+        // A congested many-port instance with uneven caps so several rounds
+        // run and the binding port moves around.
+        let n = 64usize;
+        let caps: Vec<f64> = (0..n).map(|i| 4.0 + (i % 7) as f64).collect();
+        let fabric = Fabric::new(caps.clone(), caps);
+        let mut demands = Vec::new();
+        for i in 0..200u64 {
+            let s = (i * 13 % n as u64) as u32;
+            let d = (i * 29 % n as u64) as u32;
+            if s != d {
+                demands.push((FlowId(i), NodeId(s), NodeId(d)));
+            }
+        }
+        let serial = water_fill(&fabric, &demands);
+        for workers in [2, 3, 8] {
+            let mut scratch = WaterFillScratch::default();
+            scratch.set_parallelism(workers, 1);
+            let sharded = water_fill_with(&fabric, &demands, &mut scratch);
+            assert_eq!(serial.len(), sharded.len());
+            for (f, r) in &serial {
+                assert_eq!(
+                    r.to_bits(),
+                    sharded[f].to_bits(),
+                    "flow {f:?} diverged at workers={workers}"
+                );
+            }
+            // Reusing the scratch must also be clean.
+            let again = water_fill_with(&fabric, &demands, &mut scratch);
+            assert_eq!(again, sharded);
+        }
     }
 
     #[test]

@@ -39,11 +39,12 @@
 //! jumping over `k` slices lands on exactly the boundary the per-slice
 //! increment would have reached.
 
-use crate::alloc::{Allocation, FlowCommand, PortScratch};
+use crate::alloc::{Allocation, FlowCommand, PortScratch, TouchedCounters};
 use crate::check::{CheckCtx, CheckedFlow, EngineCheck};
 use crate::coflow::Coflow;
 use crate::cpu::CpuModel;
 use crate::event::{EventKind, EventLog};
+use crate::evq::{self, EventQueue};
 use crate::flow::FlowProgress;
 use crate::fx::FxHashMap;
 use crate::ids::{CoflowId, FlowId, NodeId};
@@ -53,6 +54,7 @@ use crate::sample::{Sample, Timeline};
 use crate::view::{CompressionSpec, ConstCompression, FabricView, FlowView};
 use crate::VOLUME_EPS;
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -89,6 +91,15 @@ pub enum EngineMode {
     /// observable happens and jump straight to it. Only effective under
     /// [`Reschedule::EventsOnly`]; `EverySlice` must visit every boundary.
     SkipAhead,
+    /// Event-driven: keep a min-heap of predicted completion / exhaustion /
+    /// arrival / fault boundaries (see [`crate::evq`]) and jump
+    /// boundary-to-boundary with an `O(1)` peek while the system is
+    /// quiescent, rebuilding the heap only after an event fires. The heap
+    /// entries are computed by the same closed-form search `SkipAhead` runs,
+    /// so results stay bit-identical; the win over `SkipAhead` is
+    /// asymptotic — no `O(active)` rescan at every visited boundary. Like
+    /// `SkipAhead`, only effective under [`Reschedule::EventsOnly`].
+    EventDriven,
 }
 
 /// Engine configuration.
@@ -131,6 +142,15 @@ pub struct SimConfig {
     /// default: the only cost of the disabled path is one branch per
     /// boundary, so the zero-alloc and bit-identity guarantees hold.
     pub check: Option<Arc<dyn EngineCheck>>,
+    /// Worker-thread request for the sharded passes, resolved through
+    /// [`crate::shard::thread_budget`] (the `SWALLOW_THREADS` environment
+    /// override wins; everything is capped at `available_parallelism`).
+    /// `None` (the default) means serial unless the override is set.
+    /// Results are bit-identical for every worker count.
+    pub threads: Option<usize>,
+    /// Minimum active-flow (or touched-port) count before a shardable pass
+    /// actually fans out; below it the spawn/join overhead dominates.
+    pub shard_threshold: usize,
 }
 
 impl Default for SimConfig {
@@ -148,6 +168,8 @@ impl Default for SimConfig {
             tracer: Tracer::disabled(),
             faults: Injector::default(),
             check: None,
+            threads: None,
+            shard_threshold: crate::shard::DEFAULT_SHARD_THRESHOLD,
         }
     }
 }
@@ -237,6 +259,22 @@ impl SimConfig {
     /// implements it with the online invariant checker.
     pub fn with_check(mut self, check: Arc<dyn EngineCheck>) -> Self {
         self.check = Some(check);
+        self
+    }
+
+    /// Request up to `n` workers for the sharded passes (ledger
+    /// materialization, the water-fill binding-port scan). The effective
+    /// count is resolved through [`crate::shard::thread_budget`]:
+    /// `SWALLOW_THREADS` overrides, and everything is capped at the
+    /// hardware parallelism. Results are bit-identical for any count.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Set the minimum element count before a shardable pass fans out.
+    pub fn with_shard_threshold(mut self, threshold: usize) -> Self {
+        self.shard_threshold = threshold;
         self
     }
 }
@@ -562,13 +600,21 @@ pub struct Engine {
     ids_scratch: Vec<FlowId>,
     /// Flows that completed within the current slice.
     completed_scratch: Vec<(FlowId, f64)>,
-    /// Per-node compression-core accounting.
+    /// Per-node compression-core accounting for timeline samples.
     cpu_used: Vec<u32>,
+    /// Per-node compression-core accounting for the CPU admission pass
+    /// (touched-list reset; separate from `cpu_used` so sampling and
+    /// admission never alias one buffer).
+    core_scratch: TouchedCounters,
     /// Per-node port-load accounting for the feasibility clamp.
     port_scratch: PortScratch,
     /// Id-sorted flow snapshots for the boundary observer (unused — and
     /// never grown — unless `config.check` is set).
     check_scratch: Vec<CheckedFlow>,
+    /// Next-event heap for [`EngineMode::EventDriven`] (see [`crate::evq`]).
+    evq: EventQueue,
+    /// Resolved worker count for the sharded passes (1 = fully serial).
+    workers: usize,
 }
 
 struct CoflowMeta {
@@ -607,6 +653,7 @@ impl Engine {
             "CPU model must cover every fabric node"
         );
         let next_fault = config.faults.next_change_after(f64::NEG_INFINITY);
+        let workers = crate::shard::thread_budget(config.threads);
         Self {
             fabric,
             cpu,
@@ -620,8 +667,11 @@ impl Engine {
             ids_scratch: Vec::new(),
             completed_scratch: Vec::new(),
             cpu_used: Vec::new(),
+            core_scratch: TouchedCounters::default(),
             port_scratch: PortScratch::default(),
             check_scratch: Vec::new(),
+            evq: EventQueue::new(),
+            workers,
         }
     }
 
@@ -631,6 +681,7 @@ impl Engine {
         let speed = self.config.compression.speed();
         let tracer = self.config.tracer.clone();
         policy.set_tracer(tracer.clone());
+        policy.set_parallelism(self.workers, self.config.shard_threshold);
         // Highest-priority trigger seen since the last policy invocation
         // (arrival > completion > raw-exhausted); `None` means the next
         // reschedule is purely periodic.
@@ -759,6 +810,9 @@ impl Engine {
             }
             if admitted {
                 upgrade_cause(&mut pending_cause, RescheduleCause::Arrival);
+                // The active set and the pending head changed; queued
+                // arrival/completion predictions are stale.
+                self.evq.mark_dirty();
             }
             needs_schedule |= admitted;
 
@@ -791,6 +845,9 @@ impl Engine {
                 needs_schedule = true;
                 upgrade_cause(&mut pending_cause, RescheduleCause::Fault);
                 self.next_fault = self.config.faults.next_change_after(boundary);
+                // The queued fault entry was consumed; predictions must be
+                // re-derived against the next boundary.
+                self.evq.mark_dirty();
             }
 
             if self.active.is_empty() {
@@ -810,7 +867,7 @@ impl Engine {
                 self.materialize_all(idx, speed, delta);
                 // Pull scratch out of `self` so the immutable view borrow
                 // and the mutable scratch uses can coexist.
-                let mut cpu_used = std::mem::take(&mut self.cpu_used);
+                let mut cpu_used = std::mem::take(&mut self.core_scratch);
                 let mut port_scratch = std::mem::take(&mut self.port_scratch);
                 let flows = std::mem::take(&mut self.view_scratch);
                 let view = self.view_into(now, flows);
@@ -843,7 +900,7 @@ impl Engine {
                 let FabricView { mut flows, .. } = view;
                 flows.clear();
                 self.view_scratch = flows;
-                self.cpu_used = cpu_used;
+                self.core_scratch = cpu_used;
                 self.port_scratch = port_scratch;
                 self.apply_betas(&alloc, now, &mut events);
                 if let Some(started) = started {
@@ -879,6 +936,9 @@ impl Engine {
                         af.reset_segment(idx, cmd);
                     }
                     prev_applied = Some(alloc.clone());
+                    // Every segment was re-based; queued finish-time
+                    // predictions are stale.
+                    self.evq.mark_dirty();
                 }
             }
 
@@ -894,7 +954,11 @@ impl Engine {
                 && self.config.reschedule == Reschedule::EventsOnly
             {
                 let sample_due = self.config.sample_interval.map(|_| next_sample);
-                let target = self.skip_target(idx, speed, delta, sample_due);
+                let target = if self.config.mode == EngineMode::EventDriven {
+                    self.event_target(idx, speed, delta, sample_due)
+                } else {
+                    self.skip_target(idx, speed, delta, sample_due)
+                };
                 if target > idx {
                     tracer.emit(now, || TraceEvent::SkipAhead {
                         from_slice: idx,
@@ -1000,11 +1064,19 @@ impl Engine {
                 needs_schedule = true;
                 upgrade_cause(&mut pending_cause, RescheduleCause::Completion);
             }
+            if !completed.is_empty() {
+                // Completion entries were consumed and the active set
+                // changed shape.
+                self.evq.mark_dirty();
+            }
             completed.clear();
             self.completed_scratch = completed;
             if raw_exhausted {
                 needs_schedule = true;
                 upgrade_cause(&mut pending_cause, RescheduleCause::RawExhausted);
+                // The exhaust entry that predicted this transition was
+                // consumed.
+                self.evq.mark_dirty();
             }
 
             // Timeline sample (before advancing, attributed to this slice).
@@ -1111,8 +1183,18 @@ impl Engine {
         });
     }
 
-    /// Materialize every active flow's state at boundary `idx`.
+    /// Materialize every active flow's state at boundary `idx`. Each flow's
+    /// update reads and writes only that flow, so with enough active flows
+    /// the pass fans out across the shard pool; being purely element-wise,
+    /// the result is identical to the serial loop for any worker count.
     fn materialize_all(&mut self, idx: u64, speed: f64, delta: f64) {
+        if self.workers > 1 && self.active.len() >= self.config.shard_threshold.max(1) {
+            crate::shard::for_each_mut(&mut self.active, self.workers, |af| {
+                let n = idx - af.seg;
+                af.materialize(n, speed, delta);
+            });
+            return;
+        }
         for af in &mut self.active {
             let n = idx - af.seg;
             af.materialize(n, speed, delta);
@@ -1212,6 +1294,142 @@ impl Engine {
         }
     }
 
+    /// Rebuild the event heap at boundary `idx`: one entry per predicted
+    /// flow completion / raw exhaustion, plus the next admission and the
+    /// next fault boundary. Every entry is computed by the exact closed-form
+    /// search [`Self::skip_target`] runs, and none of the computed targets
+    /// depends on `idx` (each is the unique minimal crossing slice of a
+    /// monotone predicate over unchanged segment state), so the entries
+    /// stay valid at every later boundary until [`EventQueue::mark_dirty`]
+    /// is called. Returns `false` — leaving the queue dirty — whenever
+    /// `skip_target` would have refused to skip (`first_slice_satisfying`
+    /// non-convergence, an already-complete transmitting flow, a fault
+    /// boundary due now); the caller then advances naively, which is always
+    /// safe.
+    fn rebuild_events(&mut self, idx: u64, speed: f64, delta: f64) -> bool {
+        let mut heap = std::mem::take(&mut self.evq.heap);
+        heap.clear();
+        let mut any_progress = false;
+        let mut ok = true;
+        for af in &self.active {
+            let n0 = idx - af.seg;
+            if af.cmd.compress {
+                if speed <= 0.0 || af.raw_at(n0, speed, delta) <= VOLUME_EPS {
+                    continue;
+                }
+                any_progress = true;
+                let est = (af.base_raw - VOLUME_EPS) / (speed * delta);
+                let found =
+                    first_slice_satisfying(est, n0, |n| af.raw_at(n, speed, delta) <= VOLUME_EPS);
+                match found {
+                    Some(n) => {
+                        heap.push(Reverse((af.seg + n - 1, af.p.spec.id.0, evq::KIND_EXHAUST)))
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            } else if af.cmd.rate > 0.0 {
+                if af.volume_at(n0, speed, delta) <= VOLUME_EPS {
+                    // Already complete (exotic command sequence); the naive
+                    // path retires it this slice, so don't skip over that.
+                    ok = false;
+                    break;
+                }
+                any_progress = true;
+                let est = (af.base_raw + af.base_compressed - VOLUME_EPS) / (af.cmd.rate * delta);
+                let found = first_slice_satisfying(est, n0, |n| {
+                    af.volume_at(n, speed, delta) <= VOLUME_EPS
+                });
+                match found {
+                    Some(n) => heap.push(Reverse((
+                        af.seg + n - 1,
+                        af.p.spec.id.0,
+                        evq::KIND_COMPLETE,
+                    ))),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if ok {
+            if let Some(c) = self.pending.last() {
+                let arr = c.arrival;
+                let est = (arr - 1e-12) / delta;
+                match first_slice_satisfying(est, idx, |b| arr <= b as f64 * delta + 1e-12) {
+                    Some(b) => heap.push(Reverse((b, evq::NO_FLOW, evq::KIND_ARRIVAL))),
+                    None => ok = false,
+                }
+            }
+        }
+        if ok {
+            if let Some(b) = self.next_fault {
+                if b <= idx as f64 * delta + 1e-12 {
+                    ok = false;
+                } else {
+                    match first_slice_satisfying(b / delta, idx, |j| b <= j as f64 * delta + 1e-12)
+                    {
+                        Some(j) => heap.push(Reverse((j, evq::NO_FLOW, evq::KIND_FAULT))),
+                        None => ok = false,
+                    }
+                }
+            }
+        }
+        self.evq.heap = heap;
+        if ok {
+            self.evq.any_progress = any_progress;
+            self.evq.dirty = false;
+        }
+        ok
+    }
+
+    /// Event-driven counterpart of [`Self::skip_target`]: rebuild the heap
+    /// if dirty, then combine an `O(1)` peek at the earliest queued boundary
+    /// with the two per-call bounds (`skip_target`'s sample and horizon
+    /// clauses, verbatim). Clause-by-clause this returns exactly what
+    /// `skip_target` returns at every boundary the event-driven run visits
+    /// — see [`crate::evq`] for the argument — so the two modes retire,
+    /// reschedule and sample at identical instants.
+    fn event_target(&mut self, idx: u64, speed: f64, delta: f64, next_sample: Option<f64>) -> u64 {
+        if self.evq.dirty && !self.rebuild_events(idx, speed, delta) {
+            return idx;
+        }
+        if !self.evq.any_progress && self.pending.is_empty() {
+            // The stall counter must tick slice-by-slice towards termination.
+            return idx;
+        }
+        let mut target = self.evq.peek_slice().unwrap_or(u64::MAX);
+        // Next timeline sample (taken while processing slice j with
+        // j·δ ≥ next_sample).
+        if let Some(ns) = next_sample {
+            if idx as f64 * delta >= ns {
+                return idx;
+            }
+            match first_slice_satisfying(ns / delta, idx, |j| j as f64 * delta >= ns) {
+                Some(j) => target = target.min(j),
+                None => return idx,
+            }
+        }
+        // Horizon: the loop breaks after processing slice j when
+        // (j+1)·δ > max_time; that slice must be processed naively.
+        let mt = self.config.max_time;
+        if (idx + 1) as f64 * delta > mt {
+            return idx;
+        }
+        match first_slice_satisfying(mt / delta, idx, |j| (j + 1) as f64 * delta > mt) {
+            Some(j) => target = target.min(j),
+            None => return idx,
+        }
+        if target == u64::MAX {
+            idx
+        } else {
+            target.max(idx)
+        }
+    }
+
     /// Build the policy-facing snapshot at `now`, reusing `flows` as the
     /// backing buffer (it is returned to the scratch slot afterwards).
     fn view_into(&self, now: f64, mut flows: Vec<FlowView>) -> FabricView<'_> {
@@ -1284,13 +1502,12 @@ impl Engine {
         faults: &Injector,
         index: &FxHashMap<FlowId, usize>,
         active: &[ActiveFlow],
-        cpu_used: &mut Vec<u32>,
+        cpu_used: &mut TouchedCounters,
         alloc: &mut Allocation,
         now: f64,
         tracer: &Tracer,
     ) -> bool {
-        cpu_used.clear();
-        cpu_used.resize(cpu.num_nodes(), 0);
+        cpu_used.reset(cpu.num_nodes());
         let mut kept_rate = false;
         // Allocation iterates in ascending flow id, so core grants keep the
         // deterministic first-come-first-served-by-id order.
@@ -1308,7 +1525,7 @@ impl Engine {
             } else if p.raw <= VOLUME_EPS {
                 Some(DenialReason::RawExhausted)
             } else {
-                let used = cpu_used[p.spec.src.index()];
+                let used = cpu_used.get(p.spec.src.index());
                 let free = cpu.free_cores(p.spec.src, now);
                 let granted = free.saturating_sub(faults.revoked_cores(p.spec.src.0, now));
                 if used < granted {
@@ -1334,7 +1551,7 @@ impl Engine {
                         flow: id.0,
                         node: p.spec.src.0,
                     });
-                    cpu_used[p.spec.src.index()] += 1;
+                    cpu_used.inc(p.spec.src.index());
                 }
             }
         }
@@ -1426,7 +1643,7 @@ mod tests {
             single_flow_trace(1000.0),
             SimConfig::default().with_slice(0.1),
         );
-        let res = engine.run(&mut FairSharePolicy);
+        let res = engine.run(&mut FairSharePolicy::default());
         assert!(res.all_complete());
         // 1000 bytes at 100 B/s = 10 s.
         assert!((res.avg_fct() - 10.0).abs() < 1e-6, "fct={}", res.avg_fct());
@@ -1448,7 +1665,7 @@ mod tests {
                 .build(),
         ];
         let engine = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.05));
-        let res = engine.run(&mut FairSharePolicy);
+        let res = engine.run(&mut FairSharePolicy::default());
         assert!(res.all_complete());
         // Fair share: both at 50 B/s until t=10 (f0 done), then f1 at 100.
         // f1 remaining 500 at t=10 → done at 15.
@@ -1472,7 +1689,7 @@ mod tests {
                 .build(),
         ];
         let engine = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.1));
-        let res = engine.run(&mut FairSharePolicy);
+        let res = engine.run(&mut FairSharePolicy::default());
         assert!(res.all_complete());
         // f0 runs alone [0,5) at 100 B/s → 500 left; then shares at 50 B/s.
         // f1 (100 bytes) done at 5 + 2 = 7; f0 then full rate: 500−100=400
@@ -1491,7 +1708,7 @@ mod tests {
             .flow(FlowSpec::new(0, 0, 1, 100.0))
             .build()];
         let engine = Engine::new(fabric, coflows, SimConfig::default().with_slice(0.01));
-        let res = engine.run(&mut FairSharePolicy);
+        let res = engine.run(&mut FairSharePolicy::default());
         assert!(res.all_complete());
         // CCT is measured from the coflow's own arrival.
         assert!((res.avg_cct() - 1.0).abs() < 0.05, "cct={}", res.avg_cct());
@@ -1507,7 +1724,7 @@ mod tests {
             .flow(FlowSpec::new(1, 0, 1, 100.0))
             .build()];
         let engine = Engine::new(fabric, coflows, SimConfig::default());
-        let res = engine.run(&mut FairSharePolicy);
+        let res = engine.run(&mut FairSharePolicy::default());
         assert!(res.all_complete());
         assert_eq!(res.flows[0].fct().unwrap(), 0.0);
         assert!(res.flows[1].fct().unwrap() > 0.9);
@@ -1518,7 +1735,7 @@ mod tests {
         let fabric = Fabric::uniform(2, 100.0);
         let coflows = vec![Coflow::builder(0).arrival(2.0).build()];
         let engine = Engine::new(fabric, coflows, SimConfig::default());
-        let res = engine.run(&mut FairSharePolicy);
+        let res = engine.run(&mut FairSharePolicy::default());
         assert_eq!(res.coflows.len(), 1);
         assert_eq!(res.coflows[0].cct(), Some(0.0));
     }
@@ -1686,7 +1903,7 @@ mod tests {
             coflows.clone(),
             SimConfig::default().with_slice(0.01),
         )
-        .run(&mut FairSharePolicy);
+        .run(&mut FairSharePolicy::default());
         let events_only = Engine::new(
             fabric,
             coflows,
@@ -1694,7 +1911,7 @@ mod tests {
                 .with_slice(0.01)
                 .with_reschedule(Reschedule::EventsOnly),
         )
-        .run(&mut FairSharePolicy);
+        .run(&mut FairSharePolicy::default());
         assert!(every.all_complete() && events_only.all_complete());
         assert!(events_only.reschedules < every.reschedules);
         // Same fluid trajectory → nearly identical FCTs.
@@ -1840,7 +2057,7 @@ mod instrumentation_tests {
             trace(),
             SimConfig::default().with_slice(0.05).with_sampling(0.5),
         );
-        let res = engine.run(&mut FairSharePolicy);
+        let res = engine.run(&mut FairSharePolicy::default());
         assert!(res.all_complete());
         let samples = res.timeline.samples();
         assert!(!samples.is_empty());
@@ -1867,7 +2084,7 @@ mod instrumentation_tests {
             trace(),
             SimConfig::default().with_slice(0.05).with_events(),
         );
-        let res = engine.run(&mut FairSharePolicy);
+        let res = engine.run(&mut FairSharePolicy::default());
         let events = res.events.events();
         assert!(!events.is_empty());
         // Timestamps never decrease by more than a slice (completion events
@@ -1909,7 +2126,7 @@ mod instrumentation_tests {
                 ..SimConfig::default().with_slice(0.1).with_events()
             },
         );
-        let res = engine.run(&mut FairSharePolicy);
+        let res = engine.run(&mut FairSharePolicy::default());
         assert!(!res.all_complete());
         assert_eq!(res.coflows.len(), 1);
         assert_eq!(res.coflows[0].completed_at, None);
@@ -1930,7 +2147,7 @@ mod instrumentation_tests {
             trace(),
             SimConfig::default().with_slice(0.01),
         );
-        let res = engine.run(&mut FairSharePolicy);
+        let res = engine.run(&mut FairSharePolicy::default());
         let last = res
             .flows
             .iter()
@@ -2044,10 +2261,10 @@ mod fast_path_tests {
             .with_slice(0.01)
             .with_reschedule(Reschedule::EventsOnly)
             .with_sampling(0.5);
-        let fast =
-            Engine::new(fabric.clone(), staggered_trace(), cfg.clone()).run(&mut FairSharePolicy);
+        let fast = Engine::new(fabric.clone(), staggered_trace(), cfg.clone())
+            .run(&mut FairSharePolicy::default());
         let naive = Engine::new(fabric, staggered_trace(), cfg.without_skip_ahead())
-            .run(&mut FairSharePolicy);
+            .run(&mut FairSharePolicy::default());
         assert!(fast.all_complete());
         assert_bit_identical(&fast, &naive);
     }
@@ -2103,7 +2320,7 @@ mod fast_path_tests {
             coflows.clone(),
             SimConfig::default().with_slice(0.01),
         )
-        .run(&mut FairSharePolicy);
+        .run(&mut FairSharePolicy::default());
         let events_only = Engine::new(
             fabric,
             coflows,
@@ -2111,7 +2328,7 @@ mod fast_path_tests {
                 .with_slice(0.01)
                 .with_reschedule(Reschedule::EventsOnly),
         )
-        .run(&mut FairSharePolicy);
+        .run(&mut FairSharePolicy::default());
         assert_eq!(every.flows, events_only.flows);
         assert_eq!(every.coflows, events_only.coflows);
         assert_eq!(every.makespan.to_bits(), events_only.makespan.to_bits());
@@ -2134,7 +2351,7 @@ mod fast_path_tests {
                 .with_slice(0.001)
                 .with_reschedule(Reschedule::EventsOnly),
         )
-        .run(&mut FairSharePolicy);
+        .run(&mut FairSharePolicy::default());
         assert!(res.all_complete());
         assert!((res.avg_fct() - 10.0).abs() < 1e-6);
         assert!(res.reschedules <= 2, "reschedules={}", res.reschedules);
@@ -2169,14 +2386,14 @@ mod trace_tests {
         let cfg = SimConfig::default()
             .with_slice(0.01)
             .with_reschedule(Reschedule::EventsOnly);
-        let plain =
-            Engine::new(fabric.clone(), two_coflow_trace(), cfg.clone()).run(&mut FairSharePolicy);
+        let plain = Engine::new(fabric.clone(), two_coflow_trace(), cfg.clone())
+            .run(&mut FairSharePolicy::default());
         let traced = Engine::new(
             fabric,
             two_coflow_trace(),
             cfg.with_tracer(Tracer::new(CollectSink::new())),
         )
-        .run(&mut FairSharePolicy);
+        .run(&mut FairSharePolicy::default());
         assert_eq!(plain.flows, traced.flows);
         assert_eq!(plain.coflows, traced.coflows);
         assert_eq!(plain.makespan.to_bits(), traced.makespan.to_bits());
@@ -2196,7 +2413,7 @@ mod trace_tests {
                 .with_reschedule(Reschedule::EventsOnly)
                 .with_tracer(tracer.clone()),
         )
-        .run(&mut FairSharePolicy);
+        .run(&mut FairSharePolicy::default());
         assert!(res.all_complete());
         let records = sink.snapshot();
         let count = |kind: &str| records.iter().filter(|r| r.event.kind() == kind).count();
@@ -2300,7 +2517,7 @@ mod trace_tests {
                 .with_reschedule(Reschedule::EventsOnly)
                 .with_faults(plan.injector()),
         )
-        .run(&mut FairSharePolicy);
+        .run(&mut FairSharePolicy::default());
         assert!(res.all_complete());
         assert!((res.avg_fct() - 13.0).abs() < 0.1, "fct={}", res.avg_fct());
     }
@@ -2322,7 +2539,7 @@ mod trace_tests {
                 .with_faults(plan.injector())
                 .with_tracer(Tracer::with_sink(sink.clone())),
         )
-        .run(&mut FairSharePolicy);
+        .run(&mut FairSharePolicy::default());
         assert!(res.all_complete());
         assert!((res.avg_fct() - 13.0).abs() < 0.1, "fct={}", res.avg_fct());
         // Both window edges surface as trace events stamped with fault time.
@@ -2414,7 +2631,7 @@ mod trace_tests {
                 .with_reschedule(Reschedule::EventsOnly)
                 .with_faults(plan.injector()),
         )
-        .run(&mut FairSharePolicy);
+        .run(&mut FairSharePolicy::default());
         assert!(!res.all_complete());
         assert!(res.makespan.is_finite());
         // It made progress right up to the crash.
@@ -2435,10 +2652,10 @@ mod trace_tests {
             .with_reschedule(Reschedule::EventsOnly)
             .with_sampling(0.5)
             .with_faults(plan.injector());
-        let fast =
-            Engine::new(fabric.clone(), staggered_trace(), cfg.clone()).run(&mut FairSharePolicy);
+        let fast = Engine::new(fabric.clone(), staggered_trace(), cfg.clone())
+            .run(&mut FairSharePolicy::default());
         let naive = Engine::new(fabric, staggered_trace(), cfg.without_skip_ahead())
-            .run(&mut FairSharePolicy);
+            .run(&mut FairSharePolicy::default());
         assert!(fast.all_complete());
         assert_bit_identical(&fast, &naive);
     }

@@ -1,0 +1,122 @@
+//! The event-driven engine core: a next-event heap over predicted flow
+//! finish times, coflow arrivals and fault-window boundaries.
+//!
+//! [`EventQueue`] is deliberately dumb storage — the engine owns the
+//! prediction logic (`Engine::rebuild_events`) because predictions read the
+//! closed-form segment state of every active flow. The queue holds one
+//! entry per *future observable boundary*: the slice index at which a flow
+//! completes or exhausts its raw part, the next coflow is admitted, or the
+//! next fault window opens/closes. Timeline samples and the horizon are
+//! cheap per-call bounds and are never queued.
+//!
+//! # The dirty protocol
+//!
+//! Entries are only valid while the quantities they were computed from are
+//! unchanged: a flow's `(seg, base_*, cmd)` segment, the head of the
+//! pending-arrival queue, and the next fault boundary. Every mutation of
+//! those — a rebase after a changed allocation, an admission, a fault
+//! observation, a retirement, a raw exhaustion — calls
+//! [`EventQueue::mark_dirty`], and the next `event_target` query rebuilds
+//! the heap from scratch before trusting it. Rebuilding costs
+//! `O(active · log active)`, but only runs when an event actually fired;
+//! quiescent boundaries reuse the heap with an `O(1)` peek, which is what
+//! the skip-ahead scan cannot do (it re-derives every flow's finish slice
+//! at every visited boundary).
+//!
+//! # Why this is bit-identical to skip-ahead
+//!
+//! Each entry's slice index is computed by the *same*
+//! `first_slice_satisfying` search over the *same* closed-form predicate
+//! that `skip_target` uses, from the same segment bases — and those targets
+//! (`seg + n − 1`) do not depend on the boundary the search was issued
+//! from. So a clean heap's minimum equals the minimum `skip_target` would
+//! compute, and both paths jump to the same boundary. When a prediction
+//! fails to converge the rebuild reports failure, the queue stays dirty and
+//! the engine advances one slice at a time — visiting *extra* quiescent
+//! boundaries is always safe (the naive mode visits all of them), only
+//! skipping an observable one would not be.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Entry kind: a predicted flow completion.
+pub(crate) const KIND_COMPLETE: u8 = 0;
+/// Entry kind: a predicted raw-exhaustion of a compressing flow.
+pub(crate) const KIND_EXHAUST: u8 = 1;
+/// Entry kind: the next coflow admission boundary.
+pub(crate) const KIND_ARRIVAL: u8 = 2;
+/// Entry kind: the next fault-plan window boundary.
+pub(crate) const KIND_FAULT: u8 = 3;
+
+/// Marker id for entries not tied to a flow (arrival/fault boundaries).
+pub(crate) const NO_FLOW: u64 = u64::MAX;
+
+/// A min-heap of `(slice, flow id, kind)` boundary predictions plus the
+/// validity state of the dirty protocol (see the module docs).
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    /// Min-heap of future observable boundaries. The slice index is the
+    /// only semantically meaningful key; flow id and kind break ties
+    /// deterministically and label entries for debugging.
+    pub(crate) heap: BinaryHeap<Reverse<(u64, u64, u8)>>,
+    /// True when the heap may be stale and must be rebuilt before use.
+    /// Starts true so the first query always builds.
+    pub(crate) dirty: bool,
+    /// Whether any active flow was making progress at the last rebuild.
+    /// Only meaningful while `dirty` is false; the stall safety net must
+    /// tick slice-by-slice when nothing progresses.
+    pub(crate) any_progress: bool,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            dirty: true,
+            any_progress: false,
+        }
+    }
+
+    /// Invalidate every queued prediction; the next query rebuilds.
+    #[inline]
+    pub(crate) fn mark_dirty(&mut self) {
+        self.dirty = true;
+    }
+
+    /// Slice index of the earliest queued boundary, if any.
+    #[inline]
+    pub(crate) fn peek_slice(&self) -> Option<u64> {
+        self.heap.peek().map(|&Reverse((slice, _, _))| slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_dirty_and_empty() {
+        let q = EventQueue::new();
+        assert!(q.dirty);
+        assert!(!q.any_progress);
+        assert_eq!(q.peek_slice(), None);
+    }
+
+    #[test]
+    fn peek_returns_the_minimum_slice() {
+        let mut q = EventQueue::new();
+        q.heap.push(Reverse((90, 7, KIND_COMPLETE)));
+        q.heap.push(Reverse((12, NO_FLOW, KIND_ARRIVAL)));
+        q.heap.push(Reverse((40, 3, KIND_EXHAUST)));
+        q.heap.push(Reverse((12, NO_FLOW, KIND_FAULT)));
+        assert_eq!(q.peek_slice(), Some(12));
+    }
+
+    #[test]
+    fn mark_dirty_flips_the_flag() {
+        let mut q = EventQueue::new();
+        q.dirty = false;
+        q.mark_dirty();
+        assert!(q.dirty);
+    }
+}

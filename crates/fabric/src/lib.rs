@@ -45,16 +45,18 @@ pub mod coflow;
 pub mod cpu;
 pub mod engine;
 pub mod event;
+mod evq;
 pub mod flow;
 pub mod fx;
 pub mod ids;
 pub mod policy;
 pub mod port;
 pub mod sample;
+pub mod shard;
 pub mod units;
 pub mod view;
 
-pub use alloc::{Allocation, FlowCommand};
+pub use alloc::{Allocation, FlowCommand, TouchedCounters, WaterFillScratch};
 pub use check::{CheckCtx, CheckedFlow, EngineCheck};
 pub use coflow::{Coflow, CoflowBuilder};
 pub use cpu::{CpuModel, CpuTrace};

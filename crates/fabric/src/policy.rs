@@ -4,7 +4,7 @@
 //! only fixes the contract and ships [`FairSharePolicy`] so the engine can be
 //! tested and documented without a circular dependency.
 
-use crate::alloc::{water_fill, Allocation, FlowCommand};
+use crate::alloc::{water_fill_with, Allocation, FlowCommand, WaterFillScratch};
 use crate::coflow::Coflow;
 use crate::ids::CoflowId;
 use crate::view::FabricView;
@@ -40,13 +40,26 @@ pub trait Policy {
     fn set_tracer(&mut self, tracer: swallow_trace::Tracer) {
         let _ = tracer;
     }
+
+    /// Hand the policy the engine's resolved worker budget and shard
+    /// threshold so shardable inner loops (e.g. the water-fill binding-port
+    /// scan) can fan out. Called once at the start of
+    /// [`crate::Engine::run`], before any `allocate`. Implementations must
+    /// keep results bit-identical for every worker count; the default
+    /// ignores the hint, which is always correct.
+    fn set_parallelism(&mut self, workers: usize, shard_threshold: usize) {
+        let _ = (workers, shard_threshold);
+    }
 }
 
 /// Per-flow max-min fair sharing with no compression — the network-layer
 /// default the paper calls PFF when discussed per flow. Kept here as the
-/// engine's reference policy.
+/// engine's reference policy. Holds a [`WaterFillScratch`] so repeated
+/// allocations reuse buffers and honor the engine's parallelism hint.
 #[derive(Debug, Default, Clone)]
-pub struct FairSharePolicy;
+pub struct FairSharePolicy {
+    fill: WaterFillScratch,
+}
 
 impl Policy for FairSharePolicy {
     fn name(&self) -> &str {
@@ -55,7 +68,7 @@ impl Policy for FairSharePolicy {
 
     fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
         let demands: Vec<_> = view.flows.iter().map(|f| (f.id, f.src, f.dst)).collect();
-        let rates = water_fill(view.fabric, &demands);
+        let rates = water_fill_with(view.fabric, &demands, &mut self.fill);
         let mut alloc = Allocation::new();
         for (flow, rate) in rates {
             if rate > 0.0 {
@@ -63,6 +76,10 @@ impl Policy for FairSharePolicy {
             }
         }
         alloc
+    }
+
+    fn set_parallelism(&mut self, workers: usize, shard_threshold: usize) {
+        self.fill.set_parallelism(workers, shard_threshold);
     }
 }
 
@@ -111,7 +128,7 @@ mod tests {
             compression: &comp,
             flows,
         };
-        let mut p = FairSharePolicy;
+        let mut p = FairSharePolicy::default();
         let alloc = p.allocate(&view);
         assert_eq!(alloc.len(), 2);
         assert!((alloc.get(FlowId(1)).rate - 6.0).abs() < 1e-9);

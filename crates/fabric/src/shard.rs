@@ -1,0 +1,160 @@
+//! Scoped-thread fan-out helpers for sharding per-port and per-flow state.
+//!
+//! The engine's shardable passes — the closed-form ledger update
+//! (`materialize_all`) and the water-filling min-share scan — partition
+//! their state by element or by port index, run each shard on a scoped
+//! thread, and fold the shard results **in shard order**. Determinism is by
+//! construction:
+//!
+//! * element-wise passes (materializing flow ledgers) write disjoint
+//!   elements and perform no reduction at all;
+//! * reductions (the binding-port min) fold per-shard partial results
+//!   sequentially in ascending shard index, and the `f64::min` of
+//!   non-NaN values is order-independent anyway — so the sharded result is
+//!   bit-identical to the serial scan, not merely deterministic.
+//!
+//! Worker counts resolve through [`thread_budget`]: the `SWALLOW_THREADS`
+//! environment override wins (the same variable the bench harness fan-out
+//! honors), capped at `available_parallelism`; without it a configured
+//! request is capped the same way, and the default is 1 (fully serial, the
+//! bit-for-bit reference behavior).
+
+/// Default minimum element count before a shardable pass fans out.
+/// Below this the scoped-thread spawn/join overhead (~10 µs) exceeds the
+/// work being split; the engine's sweep workloads keep only a handful of
+/// concurrently active flows, so sharding stays off there by design.
+pub const DEFAULT_SHARD_THRESHOLD: usize = 4096;
+
+/// Resolve a worker count: the `SWALLOW_THREADS` environment override if
+/// set and positive, else `requested`, either capped at
+/// `available_parallelism`; `None` (and no override) means 1.
+pub fn thread_budget(requested: Option<usize>) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let configured = std::env::var("SWALLOW_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .or(requested);
+    configured.map_or(1, |n| n.clamp(1, hw))
+}
+
+/// Run `f` on every element of `items`, split into at most `workers`
+/// contiguous chunks on scoped threads. Purely element-wise: no reduction,
+/// so the result is identical to the serial loop for any worker count.
+pub fn for_each_mut<T, F>(items: &mut [T], workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let w = workers.min(items.len()).max(1);
+    if w == 1 {
+        for item in items.iter_mut() {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(w);
+    std::thread::scope(|s| {
+        for part in items.chunks_mut(chunk) {
+            let f = &f;
+            s.spawn(move || {
+                for item in part {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// Map contiguous chunks of `items` (at most `workers` of them) on scoped
+/// threads and return the per-chunk results **in chunk order** — the
+/// deterministic reduction order for folds over the shards.
+pub fn map_chunks<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let w = workers.min(items.len()).max(1);
+    if w == 1 {
+        return vec![f(items)];
+    }
+    let chunk = items.len().div_ceil(w);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                let f = &f;
+                s.spawn(move || f(part))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_each_mut_matches_serial_for_any_worker_count() {
+        let reference: Vec<u64> = (0..1000u64).map(|i| i * i + 7).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let mut v: Vec<u64> = (0..1000).collect();
+            for_each_mut(&mut v, workers, |x| *x = *x * *x + 7);
+            assert_eq!(v, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        let items: Vec<f64> = (0..257).map(|i| 1000.0 - i as f64).collect();
+        let serial_min = items.iter().copied().fold(f64::INFINITY, f64::min);
+        for workers in [1, 2, 5, 16] {
+            let minima = map_chunks(&items, workers, |chunk| {
+                chunk.iter().copied().fold(f64::INFINITY, f64::min)
+            });
+            assert!(minima.len() <= workers);
+            let folded = minima.into_iter().fold(f64::INFINITY, f64::min);
+            assert_eq!(folded.to_bits(), serial_min.to_bits(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn helpers_handle_empty_and_tiny_inputs() {
+        let mut empty: Vec<u32> = Vec::new();
+        for_each_mut(&mut empty, 8, |_| unreachable!());
+        assert!(map_chunks(&empty, 8, |c: &[u32]| c.len()) == vec![0]);
+        let mut one = vec![5u32];
+        for_each_mut(&mut one, 8, |x| *x += 1);
+        assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn thread_budget_honors_override_and_caps_at_hardware() {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // No override, no request → fully serial.
+        std::env::remove_var("SWALLOW_THREADS");
+        assert_eq!(thread_budget(None), 1);
+        assert_eq!(thread_budget(Some(usize::MAX)), hw);
+        assert_eq!(thread_budget(Some(1)), 1);
+        // The environment override wins over the request and is capped.
+        std::env::set_var("SWALLOW_THREADS", "1");
+        assert_eq!(thread_budget(Some(usize::MAX)), 1);
+        std::env::set_var("SWALLOW_THREADS", "999999");
+        assert_eq!(thread_budget(None), hw);
+        // Garbage and non-positive values fall back to the request.
+        std::env::set_var("SWALLOW_THREADS", "zero");
+        assert_eq!(thread_budget(Some(1)), 1);
+        std::env::set_var("SWALLOW_THREADS", "0");
+        assert_eq!(thread_budget(None), 1);
+        std::env::remove_var("SWALLOW_THREADS");
+    }
+}

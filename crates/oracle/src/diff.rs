@@ -1,17 +1,18 @@
-//! Differential replay: one workload, three engine paths, zero tolerance.
+//! Differential replay: one workload, five engine legs, zero tolerance.
 //!
 //! The engine promises that the naive slice-by-slice loop, the quiescent
-//! skip-ahead fast path, and the faults-enabled path under an *empty*
-//! [`FaultPlan`] all produce **bit-identical** results. This module replays
-//! a workload through all three and diffs every outcome — per-flow
+//! skip-ahead fast path, the event-driven heap path (serial and sharded),
+//! and the faults-enabled path under an *empty* [`FaultPlan`] all produce
+//! **bit-identical** results. This module replays a workload through all
+//! five and diffs every outcome — per-flow
 //! completion times, wire bytes, compressor input, per-coflow CCTs, the
 //! makespan and the reschedule count — at the `f64::to_bits` level. Any
 //! mismatch is a semantic regression in one of the paths, found without
 //! knowing which one is right.
 //!
 //! Each leg can also carry its own fresh [`InvariantChecker`], so one call
-//! yields both the equivalence verdict and invariant coverage of all three
-//! code paths.
+//! yields both the equivalence verdict and invariant coverage of every
+//! code path.
 
 use std::sync::Arc;
 
@@ -25,7 +26,8 @@ const MAX_MISMATCHES: usize = 20;
 /// Invariant verdict of one replay leg.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct LegReport {
-    /// Leg label: `skip_ahead`, `naive` or `empty_faults`.
+    /// Leg label: `skip_ahead`, `naive`, `event`, `event_sharded` or
+    /// `empty_faults`.
     pub leg: String,
     /// Slice boundaries the checker observed.
     pub boundaries: u64,
@@ -42,7 +44,7 @@ pub struct DifferentialOutcome {
     /// figures instead of re-running).
     pub result: SimResult,
     /// Human-readable bit-level differences between the legs; empty means
-    /// the three paths agree exactly.
+    /// every path agrees exactly.
     pub mismatches: Vec<String>,
     /// Per-leg invariant verdicts (empty when checking was disabled).
     pub legs: Vec<LegReport>,
@@ -60,7 +62,9 @@ impl DifferentialOutcome {
     }
 }
 
-/// Replay `coflows` through the three engine paths and diff the outcomes.
+/// Replay `coflows` through five engine legs (skip-ahead, naive,
+/// event-driven, event-driven with forced sharding, empty-fault-plan) and
+/// diff the outcomes.
 ///
 /// `base` supplies slice length, compression, CPU model and rescheduling
 /// cadence; its `skip_ahead`, `faults` and `check` fields are overridden per
@@ -100,6 +104,14 @@ pub fn differential_replay(
 
     let fast = run("skip_ahead", &|c| c.with_mode(EngineMode::SkipAhead));
     let naive = run("naive", &|c| c.without_skip_ahead());
+    let event = run("event", &|c| c.with_mode(EngineMode::EventDriven));
+    // Force the sharded passes on (threshold 0, two workers) so this leg
+    // exercises the scoped-thread fan-out even on tiny workloads.
+    let event_sharded = run("event_sharded", &|c| {
+        c.with_mode(EngineMode::EventDriven)
+            .with_threads(2)
+            .with_shard_threshold(0)
+    });
     let faulted = run("empty_faults", &|c| {
         c.with_mode(EngineMode::SkipAhead)
             .with_faults(FaultPlan::new().injector())
@@ -107,6 +119,14 @@ pub fn differential_replay(
 
     let mut mismatches = Vec::new();
     diff_results("skip_ahead", &fast, "naive", &naive, &mut mismatches);
+    diff_results("skip_ahead", &fast, "event", &event, &mut mismatches);
+    diff_results(
+        "skip_ahead",
+        &fast,
+        "event_sharded",
+        &event_sharded,
+        &mut mismatches,
+    );
     diff_results(
         "skip_ahead",
         &fast,

@@ -245,7 +245,7 @@ mod tests {
     fn hand_computed_bounds_on_asymmetric_ports() {
         // egress = [10, 5], ingress = [5, 10].
         let fabric = Fabric::new(vec![10.0, 5.0], vec![5.0, 10.0]);
-        let coflows = vec![Coflow::builder(0)
+        let coflows = [Coflow::builder(0)
             .flow(FlowSpec::new(0, 0, 1, 30.0))
             .build()];
         // f0: egress₀ = 10, ingress₁ = 10 → bottleneck 3 s.

@@ -19,7 +19,8 @@
 use crate::util::{ordered_backfill_with, Residual};
 use std::collections::BTreeMap;
 use swallow_fabric::{
-    Allocation, Coflow, CoflowId, FabricView, FlowCommand, FlowId, NodeId, Policy, VOLUME_EPS,
+    Allocation, Coflow, CoflowId, FabricView, FlowCommand, FlowId, NodeId, Policy, TouchedCounters,
+    VOLUME_EPS,
 };
 use swallow_trace::{TraceEvent, Tracer};
 
@@ -83,7 +84,7 @@ pub struct FvdfPolicy {
     starved: Vec<CoflowId>,
     // Scratch buffers reused across reschedules so `allocate` performs no
     // steady-state heap allocation beyond the returned `Allocation`.
-    cores_used: Vec<u32>,
+    cores_used: TouchedCounters,
     cids: Vec<CoflowId>,
     plan_flows: Vec<FlowPlan>,
     plan_index: Vec<(CoflowId, f64, u32, u32)>,
@@ -105,7 +106,7 @@ impl FvdfPolicy {
             config,
             priority: BTreeMap::new(),
             starved: Vec::new(),
-            cores_used: Vec::new(),
+            cores_used: TouchedCounters::default(),
             cids: Vec::new(),
             plan_flows: Vec::new(),
             plan_index: Vec::new(),
@@ -200,8 +201,7 @@ impl Policy for FvdfPolicy {
         // Track CPU cores committed to compression per sender while making
         // the β decisions, so "CPU resources are enough" (Pseudocode 1,
         // line 4) accounts for flows already granted a core this round.
-        cores_used.clear();
-        cores_used.resize(view.fabric.num_nodes(), 0);
+        cores_used.reset(view.fabric.num_nodes());
 
         // Distinct active coflows, ascending — same order `coflow_ids()`
         // produces, without the per-call vector.
@@ -222,7 +222,7 @@ impl Policy for FvdfPolicy {
                 let b = view.min_port_cap(f);
                 let xi = view.compression.ratio(f.original_size);
                 // CompressionStrategy (Pseudocode 1).
-                let cpu_ok = cores_used[f.src.index()] < view.free_cores(f.src);
+                let cpu_ok = cores_used.get(f.src.index()) < view.free_cores(f.src);
                 let gate_open = match self.config.gate {
                     GateMode::PerFlow => r_speed * (1.0 - xi) > b,
                     GateMode::AlwaysOn => r_speed > 0.0,
@@ -234,7 +234,7 @@ impl Policy for FvdfPolicy {
                     && cpu_ok
                     && gate_open;
                 if beta {
-                    cores_used[f.src.index()] += 1;
+                    cores_used.inc(f.src.index());
                 }
                 // Eq. (7): worst-case expected FCT assuming compression is
                 // disabled after the current slice.

@@ -5,10 +5,19 @@ use std::collections::BTreeMap;
 use swallow_fabric::{Allocation, FabricView, FlowCommand, FlowId, NodeId};
 
 /// Residual egress/ingress capacity during an allocation pass.
+///
+/// Reserved ports are recorded in a touched list so [`Residual::reset`] can
+/// restore only the entries a pass actually drained — `O(ports used)`
+/// instead of `O(fabric size)`, which is what keeps per-reschedule cost flat
+/// on 10k-port fabrics. The lazy restore assumes consecutive resets see the
+/// same fabric whenever the node count is unchanged (true for every in-tree
+/// caller: a policy holds one `Residual` and an engine run has one fabric);
+/// a changed node count forces a full rebuild.
 #[derive(Debug, Clone)]
 pub struct Residual {
     egress: Vec<f64>,
     ingress: Vec<f64>,
+    touched: Vec<u32>,
 }
 
 impl Residual {
@@ -26,24 +35,44 @@ impl Residual {
         Self {
             egress: Vec::new(),
             ingress: Vec::new(),
+            touched: Vec::new(),
         }
     }
 
-    /// Refill from the full port capacities of the fabric in `view`,
-    /// reusing the existing buffers.
+    /// Refill from the full port capacities of the fabric in `view`. When
+    /// the buffers already cover the fabric, only the ports touched since
+    /// the last reset are restored (see the struct docs); the values written
+    /// are the same capacities a full rebuild would write, so the two paths
+    /// are bit-identical.
     pub fn reset(&mut self, view: &FabricView<'_>) {
         let n = view.fabric.num_nodes();
+        if self.egress.len() == n && self.touched.len() < n {
+            for &i in &self.touched {
+                let node = NodeId(i);
+                self.egress[i as usize] = view.fabric.egress_cap(node);
+                self.ingress[i as usize] = view.fabric.ingress_cap(node);
+            }
+            self.touched.clear();
+            return;
+        }
         self.egress.clear();
         self.ingress.clear();
         self.egress
             .extend((0..n).map(|i| view.fabric.egress_cap(NodeId(i as u32))));
         self.ingress
             .extend((0..n).map(|i| view.fabric.ingress_cap(NodeId(i as u32))));
+        self.touched.clear();
     }
 
     /// Number of ports tracked.
     pub fn num_nodes(&self) -> usize {
         self.egress.len()
+    }
+
+    /// Record port index `i` as dirtied, so the next lazy reset restores it.
+    #[inline]
+    fn touch(&mut self, i: usize) {
+        self.touched.push(i as u32);
     }
 
     /// Bandwidth still available on the `src → dst` path.
@@ -54,8 +83,12 @@ impl Residual {
     /// Reserve up to `rate` on the path; returns what was actually granted.
     pub fn take(&mut self, src: NodeId, dst: NodeId, rate: f64) -> f64 {
         let granted = rate.min(self.available(src, dst)).max(0.0);
-        self.egress[src.index()] -= granted;
-        self.ingress[dst.index()] -= granted;
+        if granted > 0.0 {
+            self.egress[src.index()] -= granted;
+            self.ingress[dst.index()] -= granted;
+            self.touch(src.index());
+            self.touch(dst.index());
+        }
         granted
     }
 
@@ -100,11 +133,32 @@ pub fn water_fill_weighted_rounds(
     let mut frozen: Vec<bool> = demands.iter().map(|&(_, _, _, w)| w <= 0.0).collect();
     let mut e_w: Vec<f64> = vec![0.0; num_nodes];
     let mut i_w: Vec<f64> = vec![0.0; num_nodes];
+    // Deduplicated list of ports the positive-weight demands touch. The
+    // rounds iterate it instead of every port in the fabric (the min over
+    // non-NaN shares is order-independent, so this is bit-identical to the
+    // dense scan), and the residual's lazy reset needs the same marks for
+    // the direct capacity subtractions below.
+    let mut seen = vec![false; num_nodes];
+    let mut ports: Vec<u32> = Vec::new();
+    for &(_, s, d, w) in demands {
+        if w <= 0.0 {
+            continue;
+        }
+        for p in [s.index(), d.index()] {
+            if !seen[p] {
+                seen[p] = true;
+                ports.push(p as u32);
+                residual.touch(p);
+            }
+        }
+    }
 
     for _round in 0..demands.len() + 1 {
         // Sum of unfrozen weights per port.
-        e_w.iter_mut().for_each(|w| *w = 0.0);
-        i_w.iter_mut().for_each(|w| *w = 0.0);
+        for &p in &ports {
+            e_w[p as usize] = 0.0;
+            i_w[p as usize] = 0.0;
+        }
         let mut any_unfrozen = false;
         for (i, &(_, s, d, w)) in demands.iter().enumerate() {
             if !frozen[i] {
@@ -118,14 +172,13 @@ pub fn water_fill_weighted_rounds(
         }
         // Largest per-unit-weight increment before some port saturates.
         let mut inc = f64::INFINITY;
-        for (n, w) in e_w.iter().enumerate() {
-            if *w > 0.0 {
-                inc = inc.min(residual.egress[n] / w);
+        for &p in &ports {
+            let p = p as usize;
+            if e_w[p] > 0.0 {
+                inc = inc.min(residual.egress[p] / e_w[p]);
             }
-        }
-        for (n, w) in i_w.iter().enumerate() {
-            if *w > 0.0 {
-                inc = inc.min(residual.ingress[n] / w);
+            if i_w[p] > 0.0 {
+                inc = inc.min(residual.ingress[p] / i_w[p]);
             }
         }
         if !inc.is_finite() || inc <= 0.0 {
@@ -326,6 +379,25 @@ mod tests {
         assert_eq!(r.ingress(NodeId(1)), 6.0);
         // Nothing left on the path.
         assert_eq!(r.take(NodeId(0), NodeId(1), 1.0), 0.0);
+    }
+
+    #[test]
+    fn lazy_reset_restores_full_capacity() {
+        let fx = Fixture::new(4, 10.0);
+        let view = fx.view(vec![]);
+        let mut r = Residual::new(&view);
+        // Drain some ports via take() and via the weighted fill's direct
+        // subtractions, then reset; every port must be back at capacity.
+        r.take(NodeId(0), NodeId(1), 4.0);
+        let _ = water_fill_weighted(&mut r, &[(FlowId(1), NodeId(2), NodeId(3), 1.0)]);
+        r.reset(&view);
+        for i in 0..4u32 {
+            assert_eq!(r.egress(NodeId(i)), 10.0, "egress {i}");
+            assert_eq!(r.ingress(NodeId(i)), 10.0, "ingress {i}");
+        }
+        // A second reset (nothing touched) is a no-op.
+        r.reset(&view);
+        assert_eq!(r.available(NodeId(0), NodeId(1)), 10.0);
     }
 
     #[test]

@@ -218,7 +218,7 @@ mod tests {
     fn schedulable_end_to_end() {
         use swallow_fabric::{Engine, Fabric, SimConfig};
         let coflows = FbMix::new(25, 10, 1e6, 5).generate();
-        let mut policy = swallow_fabric::policy::FairSharePolicy;
+        let mut policy = swallow_fabric::policy::FairSharePolicy::default();
         let res = Engine::new(
             Fabric::uniform(10, 12.5e6),
             coflows,
