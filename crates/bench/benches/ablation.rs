@@ -104,7 +104,7 @@ fn bench_ablation(c: &mut Criterion) {
     ];
     for (name, cfg, comp, resched) in variants {
         let cct = sim(cfg.clone(), comp.clone(), resched);
-        println!("ablation {name}: avg CCT = {cct:.2} s");
+        swallow_bench::report!("ablation {name}: avg CCT = {cct:.2} s");
         group.bench_function(BenchmarkId::new("variant", name), |b| {
             b.iter(|| sim(cfg.clone(), comp.clone(), resched))
         });

@@ -108,18 +108,23 @@ fn main() {
         }
     }
     let (score, c1_dst, c2_src, c2_dst, rows) = best.expect("search space non-empty");
-    println!("best total |error| = {score:.3}");
-    println!(
+    swallow_bench::report!("best total |error| = {score:.3}");
+    swallow_bench::report!(
         "C1: (0→{}, 4u) (1→{}, 4u) (2→{}, 2u)",
-        c1_dst[0], c1_dst[1], c1_dst[2]
+        c1_dst[0],
+        c1_dst[1],
+        c1_dst[2]
     );
-    println!(
+    swallow_bench::report!(
         "C2: ({}→{}, 2u) ({}→{}, 3u)",
-        c2_src[0], c2_dst[0], c2_src[1], c2_dst[1]
+        c2_src[0],
+        c2_dst[0],
+        c2_src[1],
+        c2_dst[1]
     );
-    println!("{:<10} {:>8} {:>8}   (paper FCT/CCT)", "alg", "FCT", "CCT");
+    swallow_bench::report!("{:<10} {:>8} {:>8}   (paper FCT/CCT)", "alg", "FCT", "CCT");
     for ((alg, fct, cct), (_, t_fct, t_cct)) in rows.iter().zip(TARGETS.iter()) {
-        println!(
+        swallow_bench::report!(
             "{:<10} {:>8.2} {:>8.2}   ({:.1}/{:.1})",
             alg.name(),
             fct,

@@ -19,20 +19,32 @@
 //! of the fast modes — and skipped cells are reported explicitly rather
 //! than silently capped.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::alloc_track;
+use crate::rss;
 use crate::scenario;
 use serde_json::{json, Map, Value};
 use swallow_fabric::engine::Reschedule;
 use swallow_fabric::{units, Coflow, Engine, EngineMode, Fabric, SimConfig, SimResult};
+use swallow_metrics::Telemetry;
 use swallow_sched::Algorithm;
 use swallow_trace::{RingSink, Tracer};
 use swallow_workload::gen::scale;
 use swallow_workload::CoflowGen;
 
 /// Stable schema tag; bump only with a migration note in DESIGN.md.
-pub const SCHEMA: &str = "swallow-bench-engine/v2";
+/// v3 adds per-mode `peak_rss_bytes` and `mean_port_util` — a pure superset
+/// of v2, so v2 records remain loadable (see [`COMPAT_SCHEMAS`]).
+pub const SCHEMA: &str = "swallow-bench-engine/v3";
+
+/// Earlier schemas whose entries are append-compatible with [`SCHEMA`].
+pub const COMPAT_SCHEMAS: &[&str] = &["swallow-bench-engine/v2"];
+
+/// Telemetry stride for the instrumented (untimed) pass that measures mean
+/// port utilization.
+const TELEMETRY_STRIDE: u64 = 64;
 
 /// Slice length for the scale tiers. Much finer than the harness default:
 /// the tiers measure how well the fast modes avoid visiting quiescent
@@ -223,7 +235,7 @@ pub fn run_with(opts: &BenchOpts) {
     // still leaves the numbers on disk for inspection.
     let failures = gate_failures(&committed, &fresh);
     for f in &failures {
-        eprintln!("bench-engine gate: {f}");
+        crate::warn!("bench-engine gate: {f}");
     }
     if opts.gate && !failures.is_empty() {
         std::process::exit(1);
@@ -239,6 +251,7 @@ fn replay(
     mode: EngineMode,
     threads: Option<usize>,
     tracer: Option<Tracer>,
+    telemetry: Option<Arc<Telemetry>>,
 ) -> SimResult {
     let mut config = SimConfig::default()
         .with_slice(BENCH_SLICE)
@@ -250,6 +263,9 @@ fn replay(
     }
     if let Some(t) = tracer {
         config = config.with_tracer(t);
+    }
+    if let Some(t) = telemetry {
+        config = config.with_telemetry(t);
     }
     let mut policy = Algorithm::Fvdf.make();
     Engine::new(fabric.clone(), coflows, config).run(policy.as_mut())
@@ -283,8 +299,11 @@ fn bench_tier(tier: Tier) -> Value {
         if tier.coflows <= 10_000 {
             // Warm up caches/allocator on the small tiers, where a cold
             // first rep would dominate the best-of statistics.
-            let _ = replay(&fabric, coflows.clone(), mode, spec.threads, None);
+            let _ = replay(&fabric, coflows.clone(), mode, spec.threads, None, None);
         }
+        // Peak RSS brackets the timed reps only: reset after the warmup,
+        // read before the instrumented pass (which allocates on purpose).
+        rss::reset_peak();
         let mut best = f64::INFINITY;
         let mut allocs = 0u64;
         let mut out = None;
@@ -292,36 +311,47 @@ fn bench_tier(tier: Tier) -> Value {
             let trace_copy = coflows.clone(); // cloned outside the timed region
             let start = Instant::now();
             let (a, res) = alloc_track::allocations_during(|| {
-                replay(&fabric, trace_copy, mode, spec.threads, None)
+                replay(&fabric, trace_copy, mode, spec.threads, None, None)
             });
             best = best.min(start.elapsed().as_secs_f64());
             allocs = a;
             out = Some(res);
         }
+        let peak_rss = rss::peak_bytes();
         let res = out.expect("reps >= 1");
-        // The skip-ahead hit ratio comes from a separate instrumented pass:
-        // the ratio is a property of the (deterministic) trajectory, not of
-        // the timing, so an untimed run reports it faithfully.
-        let hit = if mode == EngineMode::NaiveSlice {
-            None
+        // The skip-ahead hit ratio and mean port utilization come from a
+        // separate instrumented pass: both are properties of the
+        // (deterministic) trajectory, not of the timing, so an untimed run
+        // with the tracer and telemetry attached reports them faithfully.
+        let (hit, mean_port_util) = if mode == EngineMode::NaiveSlice {
+            (None, None)
         } else {
             let tracer = Tracer::new(RingSink::new(64));
+            let telemetry = Arc::new(Telemetry::with_stride(TELEMETRY_STRIDE));
             let _ = replay(
                 &fabric,
                 coflows.clone(),
                 mode,
                 spec.threads,
                 Some(tracer.clone()),
+                Some(telemetry.clone()),
             );
-            tracer.summary().map(|s| s.skip_ahead_hit_ratio)
+            let samples = telemetry.samples();
+            let util = (!samples.is_empty()).then(|| {
+                samples.iter().map(|s| s.mean_port_util).sum::<f64>() / samples.len() as f64
+            });
+            (tracer.summary().map(|s| s.skip_ahead_hit_ratio), util)
         };
-        match hit {
-            Some(h) => crate::report!(
-                "  {name:<12}: {best:>10.4} s  (best of {reps}, {} reschedules, {allocs} allocs/run, skip hit {h:.4})",
+        let rss_col = peak_rss
+            .map(|b| format!("{:.0} MB", b as f64 / (1 << 20) as f64))
+            .unwrap_or_else(|| "n/a".into());
+        match (hit, mean_port_util) {
+            (Some(h), Some(u)) => crate::report!(
+                "  {name:<12}: {best:>10.4} s  (best of {reps}, {} reschedules, {allocs} allocs/run, peak RSS {rss_col}, mean port util {u:.4}, skip hit {h:.4})",
                 res.reschedules
             ),
-            None => crate::report!(
-                "  {name:<12}: {best:>10.4} s  (best of {reps}, {} reschedules, {allocs} allocs/run)",
+            _ => crate::report!(
+                "  {name:<12}: {best:>10.4} s  (best of {reps}, {} reschedules, {allocs} allocs/run, peak RSS {rss_col})",
                 res.reschedules
             ),
         }
@@ -333,6 +363,8 @@ fn bench_tier(tier: Tier) -> Value {
                 "reschedules": res.reschedules,
                 "allocs_per_run": allocs,
                 "skip_hit_ratio": hit,
+                "peak_rss_bytes": peak_rss,
+                "mean_port_util": mean_port_util,
             }),
         );
         timings.push((name, best));
@@ -349,7 +381,7 @@ fn bench_tier(tier: Tier) -> Value {
                 && res.reschedules == ref_res.reschedules;
             if !same {
                 identical = false;
-                eprintln!(
+                crate::warn!(
                     "bench-engine: {name} diverged from {ref_name} on tier {}",
                     tier.label()
                 );
@@ -386,7 +418,8 @@ fn bench_tier(tier: Tier) -> Value {
 
 /// Entries of an existing `BENCH_engine.json`, or empty when the file is
 /// missing, unparseable, or from a pre-v2 schema (those are not
-/// append-compatible; the record restarts).
+/// append-compatible; the record restarts). v2 entries load under v3 —
+/// the new per-mode fields are additive and the gate ignores them.
 fn load_entries(path: &str) -> Vec<Value> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return Vec::new();
@@ -394,7 +427,8 @@ fn load_entries(path: &str) -> Vec<Value> {
     let Ok(doc) = serde_json::from_str::<Value>(&text) else {
         return Vec::new();
     };
-    if doc.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+    let schema = doc.get("schema").and_then(Value::as_str);
+    if schema != Some(SCHEMA) && !schema.is_some_and(|s| COMPAT_SCHEMAS.contains(&s)) {
         return Vec::new();
     }
     doc.get("entries")
@@ -477,11 +511,19 @@ mod tests {
         let cfg = scale(60, 16);
         let coflows = CoflowGen::new(cfg.clone()).generate();
         let fabric = Fabric::uniform(cfg.num_nodes, units::gbps(1.0));
-        let fast = replay(&fabric, coflows.clone(), EngineMode::SkipAhead, None, None);
+        let fast = replay(
+            &fabric,
+            coflows.clone(),
+            EngineMode::SkipAhead,
+            None,
+            None,
+            None,
+        );
         let event = replay(
             &fabric,
             coflows.clone(),
             EngineMode::EventDriven,
+            None,
             None,
             None,
         );
@@ -491,8 +533,9 @@ mod tests {
             EngineMode::EventDriven,
             Some(2),
             None,
+            None,
         );
-        let naive = replay(&fabric, coflows, EngineMode::NaiveSlice, None, None);
+        let naive = replay(&fabric, coflows, EngineMode::NaiveSlice, None, None, None);
         assert!(fast.all_complete(), "scale tier must complete");
         for other in [&naive, &event, &sharded] {
             assert_eq!(fast.flows, other.flows);
@@ -556,5 +599,50 @@ mod tests {
         })];
         assert!(gate_failures(&old, &other).is_empty());
         assert!(gate_failures(&[], &bad).is_empty());
+    }
+
+    #[test]
+    fn gate_tolerates_v3_only_fields() {
+        // v2 baseline entries have no peak_rss_bytes / mean_port_util; the
+        // gate compares speedups only, so mixed records never fire on the
+        // new columns.
+        let old = vec![json!({
+            "label": "10k/1k",
+            "speedup_vs_naive": { "event": 12.0 },
+        })];
+        let fresh = vec![json!({
+            "label": "10k/1k",
+            "speedup_vs_naive": { "event": 11.0 },
+            "modes": { "event": { "peak_rss_bytes": 123456, "mean_port_util": 0.2 } },
+        })];
+        assert!(gate_failures(&old, &fresh).is_empty());
+    }
+
+    #[test]
+    fn load_entries_accepts_v2_and_v3() {
+        let dir = std::env::temp_dir().join("swallow_bench_schema_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, doc: &Value| {
+            let p = dir.join(name);
+            std::fs::write(&p, format!("{doc:#}\n")).unwrap();
+            p.to_str().unwrap().to_string()
+        };
+        let entry = json!({ "label": "1k/100" });
+        let v2 = write(
+            "v2.json",
+            &json!({ "schema": "swallow-bench-engine/v2", "entries": [entry.clone()] }),
+        );
+        let v3 = write(
+            "v3.json",
+            &json!({ "schema": SCHEMA, "entries": [entry.clone()] }),
+        );
+        let v1 = write(
+            "v1.json",
+            &json!({ "schema": "swallow-bench-engine/v1", "entries": [entry] }),
+        );
+        assert_eq!(load_entries(&v2).len(), 1);
+        assert_eq!(load_entries(&v3).len(), 1);
+        assert!(load_entries(&v1).is_empty(), "pre-v2 records restart");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -2,6 +2,7 @@
 //! next to the paper-reported ones.
 
 pub mod bench_engine;
+pub mod dash_cmd;
 pub mod ext;
 pub mod faults_cmd;
 pub mod fig1;

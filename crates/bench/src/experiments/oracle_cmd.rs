@@ -17,21 +17,27 @@
 //!
 //! The full verdict is written to `ORACLE_report.json` (the CI
 //! `oracle-smoke` job uploads it), and the process exits non-zero on any
-//! violation, mismatch, bound failure or golden drift. `--refresh-golden`
+//! violation, mismatch, bound failure or golden drift. On failure a
+//! post-mortem [`FlightRecord`] — the last telemetry samples and trace
+//! events of a re-run of the first failing policy — is dumped to
+//! `FLIGHT_record.json` alongside the report. `--refresh-golden`
 //! instead rewrites the golden from the measured values — commit the
 //! result only after a deliberate, reviewed behavior change.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::scenario::{self, DEFAULT_SLICE};
 use swallow_fabric::engine::Reschedule;
-use swallow_fabric::{units, CpuModel, Fabric, SimConfig};
-use swallow_metrics::Table;
+use swallow_fabric::{units, CpuModel, Engine, Fabric, SimConfig};
+use swallow_metrics::flight::DEFAULT_FLIGHT_DEPTH;
+use swallow_metrics::{FlightRecord, Table, Telemetry};
 use swallow_oracle::{
     best_case_ratio, check_lower_bounds, differential_replay, BoundReport, CheckConfig,
     GoldenFigure, GoldenReport, LegReport,
 };
 use swallow_sched::Algorithm;
+use swallow_trace::{CollectSink, Tracer};
 
 /// Experiments the oracle command can replay.
 pub const EXPERIMENTS: &[&str] = &["fig6a", "small"];
@@ -211,15 +217,38 @@ pub fn run(experiment: &str, seed: u64, refresh_golden: bool) {
         if !g.ok {
             failures = failures.max(1);
             for d in g.diffs.iter().filter(|d| !d.ok) {
-                eprintln!(
+                crate::warn!(
                     "golden drift: {} measured {:?}, expected {}",
-                    d.policy, d.measured, d.expected
+                    d.policy,
+                    d.measured,
+                    d.expected
                 );
             }
         }
     }
 
     let ok = failures == 0;
+    // Post-mortem: before reporting a failure, re-run the first failing
+    // policy with the flight recorder riding along and freeze the tail.
+    if !ok {
+        let failing = report_failing_policy(&verdicts, &golden);
+        let reason = failing
+            .map(flight_reason)
+            .unwrap_or_else(|| "golden drift (unmeasured policy)".to_string());
+        let alg = failing
+            .and_then(|v| POLICIES.iter().find(|a| policy_key(**a) == v.policy))
+            .copied()
+            .unwrap_or(Algorithm::Fvdf);
+        write_flight_record(
+            &fabric,
+            &trace.coflows,
+            &base,
+            alg,
+            &reason,
+            experiment,
+            seed,
+        );
+    }
     let report = OracleReport {
         experiment: experiment.to_string(),
         seed,
@@ -234,13 +263,90 @@ pub fn run(experiment: &str, seed: u64, refresh_golden: bool) {
     crate::report!("  wrote {out}");
 
     if !ok {
-        eprintln!(
+        crate::warn!(
             "paper oracle: {failures} polic{} failed the oracle",
             if failures == 1 { "y" } else { "ies" }
         );
         std::process::exit(1);
     }
     crate::report!("  all policies: zero invariant violations, bit-exact replay, bounds respected");
+}
+
+/// The first verdict that failed any oracle check (same predicate the
+/// summary table uses).
+fn report_failing_policy<'a>(
+    verdicts: &'a [PolicyVerdict],
+    golden: &Option<GoldenReport>,
+) -> Option<&'a PolicyVerdict> {
+    verdicts.iter().find(|v| {
+        let golden_bad = golden
+            .as_ref()
+            .map(|g| {
+                g.diffs
+                    .iter()
+                    .filter(|d| d.policy == v.policy)
+                    .any(|d| !d.ok)
+            })
+            .unwrap_or(false);
+        v.violations > 0 || !v.mismatches.is_empty() || !v.bounds.ok || golden_bad
+    })
+}
+
+/// Human-readable trigger string for the flight record.
+fn flight_reason(v: &PolicyVerdict) -> String {
+    if v.violations > 0 {
+        format!("{}: {} invariant violation(s)", v.policy, v.violations)
+    } else if !v.mismatches.is_empty() {
+        format!("{}: replay mismatch: {}", v.policy, v.mismatches[0])
+    } else if !v.bounds.ok {
+        format!("{}: analytic bound violated", v.policy)
+    } else {
+        format!("{}: golden drift", v.policy)
+    }
+}
+
+/// Re-run `alg` with the telemetry sampler and a collecting tracer riding
+/// along, then dump the trailing window to `FLIGHT_record.json`.
+fn write_flight_record(
+    fabric: &Fabric,
+    coflows: &[swallow_fabric::Coflow],
+    base: &SimConfig,
+    alg: Algorithm,
+    reason: &str,
+    experiment: &str,
+    seed: u64,
+) {
+    let telemetry = Arc::new(Telemetry::with_stride(1));
+    let sink = Arc::new(CollectSink::new());
+    let tracer = Tracer::with_sink(sink.clone());
+    let config = base
+        .clone()
+        .with_telemetry(telemetry.clone())
+        .with_tracer(tracer.clone());
+    let mut policy = alg.make();
+    let _ = Engine::new(fabric.clone(), coflows.to_vec(), config).run(policy.as_mut());
+    tracer.flush();
+    let events: Vec<serde_json::Value> = sink
+        .snapshot()
+        .iter()
+        .filter_map(|r| serde_json::to_value(r).ok())
+        .collect();
+    let rec = FlightRecord::capture(
+        reason,
+        experiment,
+        seed,
+        &telemetry.snapshot(),
+        events,
+        DEFAULT_FLIGHT_DEPTH,
+    );
+    match rec.write(std::path::Path::new("FLIGHT_record.json")) {
+        Ok(()) => crate::report!(
+            "  wrote FLIGHT_record.json ({} samples, {} trace events): {reason}",
+            rec.samples.len(),
+            rec.trace_events.len()
+        ),
+        Err(e) => crate::warn!("paper oracle: cannot write FLIGHT_record.json: {e}"),
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ pub mod alloc_track;
 pub mod experiments;
 pub mod parallel;
 pub mod report;
+pub mod rss;
 pub mod scenario;
 
 pub use parallel::parallel_map;

@@ -18,7 +18,12 @@
 //!   oracle <experiment> [--seed N] [--refresh-golden] — full correctness
 //!          oracle (fig6a | small): online invariants, multi-path
 //!          differential replay, analytic bounds, golden-figure compare;
-//!          writes ORACLE_report.json and exits non-zero on any failure
+//!          writes ORACLE_report.json and exits non-zero on any failure;
+//!          on failure also dumps a FLIGHT_record.json post-mortem
+//!   dash  <experiment> [--seed N] [--stride K] — telemetry replay
+//!          (fig6a | small): strided sampler + phase profiler, writing
+//!          DASH_report.{json,html,prom,jsonl}; the .json view is
+//!          deterministic (same seed+stride ⇒ identical bytes)
 //!   all   — everything in paper order
 //! ```
 //!
@@ -26,7 +31,7 @@
 //! suppresses narrative output; JSON artifacts are still written.)
 
 use swallow_bench::experiments::{bench_engine, ext, fig1, fig2, fig4, fig6, fig7, tables};
-use swallow_bench::experiments::{faults_cmd, oracle_cmd, trace_cmd};
+use swallow_bench::experiments::{dash_cmd, faults_cmd, oracle_cmd, trace_cmd};
 use swallow_bench::report;
 
 // Makes `bench-engine`'s allocations-per-replay column live; a no-op cost
@@ -45,6 +50,7 @@ fn usage() -> ! {
          \x20     trace <experiment> [--out <path>]\n\
          \x20     faults <experiment> [--seed N]\n\
          \x20     oracle <experiment> [--seed N] [--refresh-golden]\n\
+         \x20     dash <experiment> [--seed N] [--stride K]\n\
          (table6 prints with fig6e, table7 with fig7b;\n\
          \x20bench-engine sweeps the engine modes over seeded scale tiers\n\
          \x20(naive vs skip-ahead), appends to BENCH_engine.json and exits\n\
@@ -57,7 +63,11 @@ fn usage() -> ! {
          \x20per-policy CCT inflation and writes a deterministic\n\
          \x20TRACE_summary.json (same seed => identical bytes);\n\
          \x20oracle checks invariants, replay equivalence, analytic bounds\n\
-         \x20and the committed golden figure, writing ORACLE_report.json;\n\
+         \x20and the committed golden figure, writing ORACLE_report.json\n\
+         \x20(plus a FLIGHT_record.json post-mortem on failure);\n\
+         \x20dash replays with the telemetry sampler + phase profiler and\n\
+         \x20writes DASH_report.{{json,html,prom,jsonl}} — the .json is\n\
+         \x20deterministic, the .html is a self-contained SVG dashboard;\n\
          \x20--quiet suppresses narrative output, artifacts still written)"
     );
     std::process::exit(2);
@@ -188,6 +198,43 @@ fn main() {
                 }
             }
             oracle_cmd::run(&experiment, seed, refresh);
+        } else if args[i] == "dash" {
+            let Some(experiment) = args.get(i + 1) else {
+                eprintln!("usage: paper dash <experiment> [--seed N] [--stride K]");
+                std::process::exit(2);
+            };
+            let experiment = experiment.clone();
+            i += 2;
+            let mut seed = 7u64;
+            let mut stride = 1u64;
+            loop {
+                match args.get(i).map(String::as_str) {
+                    Some("--seed") => {
+                        let Some(n) = args.get(i + 1) else {
+                            eprintln!("paper dash: --seed needs a number");
+                            std::process::exit(2);
+                        };
+                        seed = n.parse().unwrap_or_else(|_| {
+                            eprintln!("paper dash: --seed needs a number, got {n:?}");
+                            std::process::exit(2);
+                        });
+                        i += 2;
+                    }
+                    Some("--stride") => {
+                        let Some(n) = args.get(i + 1) else {
+                            eprintln!("paper dash: --stride needs a number");
+                            std::process::exit(2);
+                        };
+                        stride = n.parse().unwrap_or_else(|_| {
+                            eprintln!("paper dash: --stride needs a number, got {n:?}");
+                            std::process::exit(2);
+                        });
+                        i += 2;
+                    }
+                    _ => break,
+                }
+            }
+            dash_cmd::run(&experiment, seed, stride);
         } else if args[i] == "bench-engine" {
             i += 1;
             let mut opts = bench_engine::BenchOpts::default();

@@ -34,6 +34,16 @@ macro_rules! report {
     };
 }
 
+/// Failure diagnostics that explain a non-zero exit. Routed to stderr and
+/// never suppressed: under `--quiet` the exit code is the contract, and a
+/// bare `exit(1)` with no reason on record is undebuggable in CI.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        eprintln!($($arg)*)
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

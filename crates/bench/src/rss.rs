@@ -1,0 +1,60 @@
+//! Peak-RSS measurement for the bench sweep (Linux only).
+//!
+//! `VmHWM` in `/proc/self/status` is the process's resident-set high-water
+//! mark; writing `5` to `/proc/self/clear_refs` resets it, so the pair
+//! brackets a measured region: reset before the timed replays, read after.
+//! Both calls degrade gracefully — on other platforms, or when procfs is
+//! restricted, [`peak_bytes`] returns `None` and the report column shows
+//! `n/a` instead of failing the sweep.
+
+/// Reset the peak-RSS watermark (best-effort; a no-op where unsupported).
+pub fn reset_peak() {
+    #[cfg(target_os = "linux")]
+    {
+        let _ = std::fs::write("/proc/self/clear_refs", "5");
+    }
+}
+
+/// Current peak-RSS watermark in bytes, if the platform exposes one.
+pub fn peak_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_positive_where_supported() {
+        if let Some(b) = peak_bytes() {
+            // Any live process has at least a page resident.
+            assert!(b > 4096, "implausible peak RSS: {b}");
+        }
+    }
+
+    #[test]
+    fn reset_then_touch_registers_growth() {
+        reset_peak();
+        let Some(before) = peak_bytes() else { return };
+        // Touch ~8 MB so the watermark must move if the reset took effect;
+        // either way the reading stays monotone after the reset.
+        let buf = vec![1u8; 8 << 20];
+        std::hint::black_box(&buf);
+        let after = peak_bytes().unwrap();
+        assert!(after >= before);
+    }
+}

@@ -59,6 +59,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 use swallow_faults::Injector;
+use swallow_metrics::telemetry::{
+    port_util_bucket, Phase, Telemetry, TelemetrySample, PORT_UTIL_BUCKETS,
+};
 use swallow_trace::{DenialReason, RescheduleCause, TraceEvent, Tracer};
 
 /// When the engine re-invokes the policy.
@@ -151,6 +154,12 @@ pub struct SimConfig {
     /// Minimum active-flow (or touched-port) count before a shardable pass
     /// actually fans out; below it the spawn/join overhead dominates.
     pub shard_threshold: usize,
+    /// Telemetry collector (see [`swallow_metrics::Telemetry`]): a strided
+    /// time-series sampler at visited slice/event boundaries plus the
+    /// engine phase profiler. `None` by default — the disabled path is a
+    /// single branch per boundary with no wall-clock reads, preserving the
+    /// zero-alloc guarantee pinned by `tests/alloc_count.rs`.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for SimConfig {
@@ -170,6 +179,7 @@ impl Default for SimConfig {
             check: None,
             threads: None,
             shard_threshold: crate::shard::DEFAULT_SHARD_THRESHOLD,
+            telemetry: None,
         }
     }
 }
@@ -275,6 +285,18 @@ impl SimConfig {
     /// Set the minimum element count before a shardable pass fans out.
     pub fn with_shard_threshold(mut self, threshold: usize) -> Self {
         self.shard_threshold = threshold;
+        self
+    }
+
+    /// Attach a telemetry collector (see [`swallow_metrics::Telemetry`]).
+    /// The engine records a [`TelemetrySample`] at every `stride`-th visited
+    /// boundary and feeds the phase profiler (materialization, event-queue
+    /// maintenance, hooks, the full scheduling decision); the collector is
+    /// also forwarded to the policy via [`Policy::set_telemetry`] so the
+    /// water-fill scan can time itself. Telemetry never changes simulation
+    /// results — samples are pure reads of engine state.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -611,6 +633,16 @@ pub struct Engine {
     /// Id-sorted flow snapshots for the boundary observer (unused — and
     /// never grown — unless `config.check` is set).
     check_scratch: Vec<CheckedFlow>,
+    /// Per-port load accumulators for telemetry samples (unused — and never
+    /// grown — unless `config.telemetry` is set).
+    tele_egress: Vec<f64>,
+    /// Ingress-side counterpart of `tele_egress`.
+    tele_ingress: Vec<f64>,
+    /// Cumulative wire bytes of retired flows (telemetry running total; the
+    /// active flows' share is evaluated per sample via the closed forms).
+    retired_wire: f64,
+    /// Cumulative compression savings of retired flows, raw minus wire.
+    retired_saved: f64,
     /// Next-event heap for [`EngineMode::EventDriven`] (see [`crate::evq`]).
     evq: EventQueue,
     /// Resolved worker count for the sharded passes (1 = fully serial).
@@ -670,6 +702,10 @@ impl Engine {
             core_scratch: TouchedCounters::default(),
             port_scratch: PortScratch::default(),
             check_scratch: Vec::new(),
+            tele_egress: Vec::new(),
+            tele_ingress: Vec::new(),
+            retired_wire: 0.0,
+            retired_saved: 0.0,
             evq: EventQueue::new(),
             workers,
         }
@@ -682,6 +718,8 @@ impl Engine {
         let tracer = self.config.tracer.clone();
         policy.set_tracer(tracer.clone());
         policy.set_parallelism(self.workers, self.config.shard_threshold);
+        let telemetry = self.config.telemetry.clone();
+        policy.set_telemetry(telemetry.clone());
         // Highest-priority trigger seen since the last policy invocation
         // (arrival > completion > raw-exhausted); `None` means the next
         // reschedule is purely periodic.
@@ -710,6 +748,13 @@ impl Engine {
 
         while !self.active.is_empty() || !self.pending.is_empty() {
             let mut now = idx as f64 * delta;
+            // One instrumentation decision per visited boundary: at stride
+            // `k` every `k`-th boundary pays for the phase timers *and* the
+            // sample; the rest reduce to this one branch. The flag is also
+            // published through `Telemetry::is_active` for sites outside
+            // this loop (the policy's water-fill timer, the event-queue
+            // rebuild).
+            let tele_active = telemetry.as_deref().is_some_and(Telemetry::begin_boundary);
             // Fast-forward over idle gaps: jump to the slice boundary at or
             // after the next arrival.
             if self.active.is_empty() {
@@ -857,14 +902,22 @@ impl Engine {
             // Invoke the policy when due.
             if needs_schedule || self.config.reschedule == Reschedule::EverySlice {
                 // Wall-clock cost of the decision (policy + feasibility
-                // clamps); read only when tracing so the disabled path stays
-                // free of syscalls.
-                let started = if tracer.is_enabled() {
+                // clamps); read only when tracing or profiling so the
+                // disabled path stays free of syscalls.
+                let started = if tracer.is_enabled() || tele_active {
                     Some(Instant::now())
                 } else {
                     None
                 };
                 self.materialize_all(idx, speed, delta);
+                if tele_active {
+                    if let (Some(t), Some(s)) = (telemetry.as_deref(), started) {
+                        // Materialization runs first, so its phase shares
+                        // the decision's start instant (one syscall, not
+                        // two).
+                        t.record_phase(Phase::Materialize, s.elapsed());
+                    }
+                }
                 // Pull scratch out of `self` so the immutable view borrow
                 // and the mutable scratch uses can coexist.
                 let mut cpu_used = std::mem::take(&mut self.core_scratch);
@@ -904,7 +957,17 @@ impl Engine {
                 self.port_scratch = port_scratch;
                 self.apply_betas(&alloc, now, &mut events);
                 if let Some(started) = started {
-                    tracer.reschedule_latency(started.elapsed().as_secs_f64());
+                    let elapsed = started.elapsed();
+                    if tracer.is_enabled() {
+                        tracer.reschedule_latency(elapsed.as_secs_f64());
+                    }
+                    if tele_active {
+                        if let Some(t) = telemetry.as_deref() {
+                            // The full decision: materialize + policy +
+                            // clamps + CPU admission + β application.
+                            t.record_phase(Phase::Schedule, elapsed);
+                        }
+                    }
                 }
                 let cause = if reschedules == 0 {
                     RescheduleCause::Initial
@@ -945,8 +1008,14 @@ impl Engine {
             // Boundary observer (no-op without a checker). Commands and the
             // closed-form state only change at visited boundaries, so this
             // sees every distinct (state, command) configuration whether or
-            // not skip-ahead jumps the quiescent stretches in between.
+            // not skip-ahead jumps the quiescent stretches in between. Timed
+            // only when a checker is actually installed — profiling the
+            // one-branch disabled path would drown the histogram in zeros.
+            let hooks_started = (tele_active && self.config.check.is_some()).then(Instant::now);
             self.observe_boundary(now, idx, speed, delta);
+            if let (Some(t), Some(s)) = (telemetry.as_deref(), hooks_started) {
+                t.record_phase(Phase::Hooks, s.elapsed());
+            }
 
             // Quiescent skip-ahead (EventsOnly only; under EverySlice the
             // policy must run at every boundary).
@@ -1034,6 +1103,10 @@ impl Engine {
                 rec.completed_at = Some(t);
                 rec.wire_bytes = p.wire_bytes;
                 rec.compressed_input = p.compressed_input;
+                // Retired-flow byte ledger for telemetry samples: bytes that
+                // crossed the wire, and bytes compression kept off it.
+                self.retired_wire += p.wire_bytes;
+                self.retired_saved += p.compressed_input * (1.0 - af.ratio);
                 makespan = makespan.max(t);
                 events.push(t, EventKind::FlowCompleted(id));
                 tracer.emit(t, || TraceEvent::FlowCompleted {
@@ -1084,6 +1157,17 @@ impl Engine {
                 if now >= next_sample {
                     timeline.push(self.sample(now, &alloc));
                     next_sample = now + interval;
+                }
+            }
+
+            // Telemetry sample at every `stride`-th visited boundary. Pure
+            // reads of engine state — the sample never feeds back into the
+            // simulation, so results are bit-identical with telemetry on or
+            // off.
+            if tele_active {
+                if let Some(t) = telemetry.as_deref() {
+                    let s = self.telemetry_sample(now, idx, &alloc, speed, delta, reschedules);
+                    t.record_sample(s);
                 }
             }
 
@@ -1307,6 +1391,7 @@ impl Engine {
     /// boundary due now); the caller then advances naively, which is always
     /// safe.
     fn rebuild_events(&mut self, idx: u64, speed: f64, delta: f64) -> bool {
+        self.evq.rebuilds += 1;
         let mut heap = std::mem::take(&mut self.evq.heap);
         heap.clear();
         let mut any_progress = false;
@@ -1394,8 +1479,20 @@ impl Engine {
     /// — see [`crate::evq`] for the argument — so the two modes retire,
     /// reschedule and sample at identical instants.
     fn event_target(&mut self, idx: u64, speed: f64, delta: f64, next_sample: Option<f64>) -> u64 {
-        if self.evq.dirty && !self.rebuild_events(idx, speed, delta) {
-            return idx;
+        if self.evq.dirty {
+            let started = self
+                .config
+                .telemetry
+                .as_deref()
+                .is_some_and(Telemetry::is_active)
+                .then(Instant::now);
+            let ok = self.rebuild_events(idx, speed, delta);
+            if let (Some(t), Some(s)) = (self.config.telemetry.as_deref(), started) {
+                t.record_phase(Phase::EventQueue, s.elapsed());
+            }
+            if !ok {
+                return idx;
+            }
         }
         if !self.evq.any_progress && self.pending.is_empty() {
             // The stall counter must tick slice-by-slice towards termination.
@@ -1618,6 +1715,127 @@ impl Engine {
             tx_rate,
             net_util: (tx_rate / total_egress).min(1.0),
             compressing,
+        }
+    }
+
+    /// Assemble one telemetry sample at boundary `idx` (time `now`). Pure
+    /// reads of engine state through the same closed forms the simulation
+    /// advances by — nothing here feeds back into scheduling, so runs are
+    /// bit-identical with telemetry on or off. Scratch (`tele_egress`,
+    /// `tele_ingress`, `cpu_used`) only grows when telemetry is enabled,
+    /// preserving the zero-allocation guarantee of the disabled path.
+    fn telemetry_sample(
+        &mut self,
+        now: f64,
+        idx: u64,
+        alloc: &Allocation,
+        speed: f64,
+        delta: f64,
+        reschedules: usize,
+    ) -> TelemetrySample {
+        let n = self.fabric.num_nodes();
+        self.tele_egress.clear();
+        self.tele_egress.resize(n, 0.0);
+        self.tele_ingress.clear();
+        self.tele_ingress.resize(n, 0.0);
+        self.cpu_used.clear();
+        self.cpu_used.resize(n, 0);
+        let mut tx_rate = 0.0;
+        let mut transmitting = 0u64;
+        let mut compressing = 0u64;
+        for (id, cmd) in alloc.iter() {
+            let Some(&slot) = self.index.get(&id) else {
+                continue;
+            };
+            let af = &self.active[slot];
+            if cmd.compress {
+                compressing += 1;
+                self.cpu_used[af.p.spec.src.index()] += 1;
+            } else if cmd.rate > 0.0 {
+                transmitting += 1;
+                tx_rate += cmd.rate;
+                self.tele_egress[af.p.spec.src.index()] += cmd.rate;
+                self.tele_ingress[af.p.spec.dst.index()] += cmd.rate;
+            }
+        }
+        // Port-utilization statistics over all 2n ports (each node's egress
+        // and ingress side counts as one port).
+        let mut util_hist = [0u64; PORT_UTIL_BUCKETS];
+        let mut util_sum = 0.0;
+        let mut util_max = 0.0f64;
+        let mut busy_ports = 0u64;
+        let mut total_egress = 0.0;
+        let mut total_cores = 0.0;
+        let mut busy_cores = 0.0;
+        for i in 0..n {
+            let node = NodeId(i as u32);
+            let ecap = self.fabric.egress_cap(node);
+            let icap = self.fabric.ingress_cap(node);
+            total_egress += ecap;
+            let eu = if ecap > 0.0 {
+                self.tele_egress[i] / ecap
+            } else {
+                0.0
+            };
+            let iu = if icap > 0.0 {
+                self.tele_ingress[i] / icap
+            } else {
+                0.0
+            };
+            for u in [eu, iu] {
+                util_sum += u;
+                util_max = util_max.max(u);
+                if u > 0.0 {
+                    busy_ports += 1;
+                }
+                util_hist[port_util_bucket(u)] += 1;
+            }
+            let cores = self.cpu.cores(node) as f64;
+            total_cores += cores;
+            busy_cores += self.cpu.background_util(node, now) * cores;
+            busy_cores += self.cpu_used[i] as f64;
+        }
+        // Byte ledger: retired totals plus every live flow's closed-form
+        // contribution at this boundary.
+        let mut bytes_on_wire = self.retired_wire;
+        let mut bytes_saved = self.retired_saved;
+        for af in &self.active {
+            let (_, _, wire, cinput) = af.state_at(idx - af.seg, speed, delta);
+            bytes_on_wire += wire;
+            bytes_saved += cinput * (1.0 - af.ratio);
+        }
+        TelemetrySample {
+            time: now,
+            slice_idx: idx,
+            active_coflows: self.coflow_meta.len() as u64,
+            pending_coflows: self.pending.len() as u64,
+            transmitting_flows: transmitting,
+            compressing_flows: compressing,
+            tx_rate,
+            net_util: if total_egress > 0.0 {
+                (tx_rate / total_egress).min(1.0)
+            } else {
+                0.0
+            },
+            mean_port_util: if n > 0 {
+                util_sum / (2 * n) as f64
+            } else {
+                0.0
+            },
+            max_port_util: util_max,
+            busy_ports,
+            port_util_hist: util_hist,
+            cpu_occupancy: if total_cores > 0.0 {
+                (busy_cores / total_cores).min(1.0)
+            } else {
+                0.0
+            },
+            evq_depth: self.evq.heap.len() as u64,
+            evq_dirty_marks: self.evq.dirty_marks,
+            evq_rebuilds: self.evq.rebuilds,
+            bytes_on_wire,
+            bytes_saved,
+            reschedules: reschedules as u64,
         }
     }
 }

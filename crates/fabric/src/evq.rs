@@ -66,6 +66,12 @@ pub(crate) struct EventQueue {
     /// Only meaningful while `dirty` is false; the stall safety net must
     /// tick slice-by-slice when nothing progresses.
     pub(crate) any_progress: bool,
+    /// Cumulative [`Self::mark_dirty`] calls (telemetry: how often queued
+    /// predictions were invalidated).
+    pub(crate) dirty_marks: u64,
+    /// Cumulative heap rebuilds attempted (telemetry: how often the dirty
+    /// protocol actually paid the `O(active · log active)` cost).
+    pub(crate) rebuilds: u64,
 }
 
 impl EventQueue {
@@ -74,6 +80,8 @@ impl EventQueue {
             heap: BinaryHeap::new(),
             dirty: true,
             any_progress: false,
+            dirty_marks: 0,
+            rebuilds: 0,
         }
     }
 
@@ -81,6 +89,7 @@ impl EventQueue {
     #[inline]
     pub(crate) fn mark_dirty(&mut self) {
         self.dirty = true;
+        self.dirty_marks += 1;
     }
 
     /// Slice index of the earliest queued boundary, if any.
@@ -118,5 +127,14 @@ mod tests {
         q.dirty = false;
         q.mark_dirty();
         assert!(q.dirty);
+    }
+
+    #[test]
+    fn dirty_marks_accumulate() {
+        let mut q = EventQueue::new();
+        q.mark_dirty();
+        q.mark_dirty();
+        assert_eq!(q.dirty_marks, 2);
+        assert_eq!(q.rebuilds, 0);
     }
 }

@@ -50,6 +50,17 @@ pub trait Policy {
     fn set_parallelism(&mut self, workers: usize, shard_threshold: usize) {
         let _ = (workers, shard_threshold);
     }
+
+    /// Hand the policy the engine's telemetry collector (see
+    /// [`swallow_metrics::Telemetry`]) so scheduler-internal phases — the
+    /// water-fill scan above all — can feed the phase profiler. Called once
+    /// at the start of [`crate::Engine::run`]; `None` (the default
+    /// configuration) means telemetry is disabled and the policy must not
+    /// time anything. The default implementation discards the handle, so
+    /// stateless policies need no change.
+    fn set_telemetry(&mut self, telemetry: Option<std::sync::Arc<swallow_metrics::Telemetry>>) {
+        let _ = telemetry;
+    }
 }
 
 /// Per-flow max-min fair sharing with no compression — the network-layer

@@ -3,12 +3,22 @@
 //! Statistics and reporting shared by the experiment harness: empirical
 //! CDFs, percentiles, pairwise improvement factors ("FVDF speeds up CCT by
 //! 1.47× over SEBF") and aligned plain-text tables matching the paper's
-//! presentation.
+//! presentation — plus the runtime telemetry layer: the shared log-scale
+//! latency histogram ([`hist`]), the strided time-series sampler and engine
+//! phase profiler ([`telemetry`]), Prometheus/JSONL/HTML exporters
+//! ([`export`]) and the post-mortem flight recorder ([`flight`]).
 
 pub mod cdf;
+pub mod export;
+pub mod flight;
+pub mod hist;
 pub mod report;
 pub mod stats;
+pub mod telemetry;
 
 pub use cdf::Cdf;
+pub use flight::FlightRecord;
+pub use hist::{AtomicLogHistogram, LogHistogram, LOG2_BUCKETS};
 pub use report::{improvement, Table};
 pub use stats::{jain_index, mean, percentile, summarize, Summary};
+pub use telemetry::{Phase, Telemetry, TelemetrySample, TelemetrySnapshot};

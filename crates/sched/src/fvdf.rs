@@ -18,10 +18,13 @@
 
 use crate::util::{ordered_backfill_with, Residual};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
 use swallow_fabric::{
     Allocation, Coflow, CoflowId, FabricView, FlowCommand, FlowId, NodeId, Policy, TouchedCounters,
     VOLUME_EPS,
 };
+use swallow_metrics::{Phase, Telemetry};
 use swallow_trace::{TraceEvent, Tracer};
 
 /// How the compression decision is made — the granularity axis of the
@@ -91,6 +94,9 @@ pub struct FvdfPolicy {
     flow_order: Vec<FlowId>,
     residual: Residual,
     tracer: Tracer,
+    /// Engine telemetry handle; when present the water-fill scan feeds the
+    /// phase profiler (see [`swallow_metrics::telemetry::Phase::WaterFill`]).
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl FvdfPolicy {
@@ -113,6 +119,7 @@ impl FvdfPolicy {
             flow_order: Vec::new(),
             residual: Residual::empty(),
             tracer: Tracer::disabled(),
+            telemetry: None,
         }
     }
 
@@ -182,6 +189,10 @@ impl Policy for FvdfPolicy {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_telemetry(&mut self, telemetry: Option<Arc<Telemetry>>) {
+        self.telemetry = telemetry;
     }
 
     fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
@@ -276,7 +287,16 @@ impl Policy for FvdfPolicy {
 
         // VolumeDisposal (Pseudocode 2, lines 24–35): compress β-flows; give
         // transmitting flows the minimum rate r = V_f / Γ_C on the residual
-        // capacity.
+        // capacity. The residual scan plus backfill is the water-fill phase
+        // of the profiler; the Instant is read only when telemetry is on.
+        // Only time water-fill on boundaries the collector marked as
+        // instrumented (Telemetry::begin_boundary in the engine loop) so
+        // profiling cost scales with the stride, not the boundary count.
+        let wf_started = self
+            .telemetry
+            .as_deref()
+            .is_some_and(|t| t.is_active())
+            .then(Instant::now);
         residual.reset(view);
         let mut alloc = Allocation::with_capacity(view.flows.len());
         flow_order.clear();
@@ -316,6 +336,9 @@ impl Policy for FvdfPolicy {
             // Varys backfilling rule), keeping the allocation work-
             // conserving without inverting the Γ order.
             ordered_backfill_with(view, &mut alloc, &flow_order, &mut residual);
+        }
+        if let (Some(t), Some(s)) = (self.telemetry.as_deref(), wf_started) {
+            t.record_phase(Phase::WaterFill, s.elapsed());
         }
 
         self.cores_used = cores_used;

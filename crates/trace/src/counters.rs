@@ -1,12 +1,19 @@
 //! Compact per-slice counters: atomics sized for the hot loop, aggregated
 //! into a [`crate::TraceSummary`] at the end of a run.
+//!
+//! The reschedule-latency histogram is the workspace-shared
+//! [`swallow_metrics::AtomicLogHistogram`] — one histogram type serves the
+//! tracer, the engine phase profiler and the dashboards, with identical
+//! bucket edges everywhere.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use swallow_metrics::hist::{self, AtomicLogHistogram, LogHistogram};
+
 /// Number of log2 latency buckets (covers 1 µs … ~18 minutes).
-pub const LATENCY_BUCKETS: usize = 31;
+pub const LATENCY_BUCKETS: usize = hist::LOG2_BUCKETS;
 
 /// Shared counters behind an enabled [`crate::Tracer`]. All methods take
 /// `&self`; relaxed atomics are enough because readers only aggregate after
@@ -19,9 +26,7 @@ pub struct Counters {
     slices_skipped: AtomicU64,
     skip_jumps: AtomicU64,
     reschedules: AtomicU64,
-    latency_buckets: [AtomicU64; LATENCY_BUCKETS],
-    latency_sum_us: AtomicU64,
-    latency_max_us: AtomicU64,
+    latency: AtomicLogHistogram,
 }
 
 impl Counters {
@@ -50,25 +55,23 @@ impl Counters {
     /// Record one reschedule that took `secs` of wall-clock time.
     pub fn reschedule_latency(&self, secs: f64) {
         self.reschedules.fetch_add(1, Ordering::Relaxed);
-        let us = (secs * 1e6).max(0.0) as u64;
-        self.latency_buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
-        self.latency_max_us.fetch_max(us, Ordering::Relaxed);
+        self.latency.record_secs(secs);
     }
 
     /// Log2 bucket index for a microsecond latency: bucket `i` holds
     /// `[2^(i-1), 2^i)` µs, bucket 0 holds sub-microsecond calls.
     pub fn bucket_of(us: u64) -> usize {
-        if us == 0 {
-            0
-        } else {
-            ((64 - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
-        }
+        hist::bucket_of(us)
     }
 
     /// Upper bound (inclusive-exclusive edge) of bucket `i`, in µs.
     pub fn bucket_edge(i: usize) -> u64 {
-        1u64 << i
+        hist::bucket_edge(i)
+    }
+
+    /// Snapshot of the reschedule-latency histogram.
+    pub fn latency_histogram(&self) -> LogHistogram {
+        self.latency.snapshot()
     }
 
     pub(crate) fn events_total(&self) -> u64 {
@@ -99,18 +102,6 @@ impl Counters {
     pub(crate) fn reschedules(&self) -> u64 {
         self.reschedules.load(Ordering::Relaxed)
     }
-
-    pub(crate) fn latency_bucket(&self, i: usize) -> u64 {
-        self.latency_buckets[i].load(Ordering::Relaxed)
-    }
-
-    pub(crate) fn latency_sum_us(&self) -> u64 {
-        self.latency_sum_us.load(Ordering::Relaxed)
-    }
-
-    pub(crate) fn latency_max_us(&self) -> u64 {
-        self.latency_max_us.load(Ordering::Relaxed)
-    }
 }
 
 #[cfg(test)]
@@ -134,10 +125,12 @@ mod tests {
         c.reschedule_latency(10e-6);
         c.reschedule_latency(100e-6);
         assert_eq!(c.reschedules(), 2);
-        assert_eq!(c.latency_sum_us(), 110);
-        assert_eq!(c.latency_max_us(), 100);
-        assert_eq!(c.latency_bucket(Counters::bucket_of(10)), 1);
-        assert_eq!(c.latency_bucket(Counters::bucket_of(100)), 1);
+        let h = c.latency_histogram();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum_us, 110);
+        assert_eq!(h.max_us, 100);
+        assert_eq!(h.buckets[Counters::bucket_of(10)], 1);
+        assert_eq!(h.buckets[Counters::bucket_of(100)], 1);
     }
 
     #[test]

@@ -20,8 +20,12 @@ mod sink;
 mod summary;
 mod tracer;
 
-pub use counters::Counters;
+pub use counters::{Counters, LATENCY_BUCKETS};
 pub use event::{DenialReason, RescheduleCause, TraceEvent, TraceRecord};
 pub use sink::{ChromeTraceSink, CollectSink, EventWaiter, JsonlSink, RingSink, Sink};
 pub use summary::{LatencyBucket, TraceSummary};
 pub use tracer::Tracer;
+// The latency histogram is the workspace-shared type from swallow-metrics;
+// re-exported so downstream crates need no direct metrics dependency to
+// consume trace histograms.
+pub use swallow_metrics::hist::{AtomicLogHistogram, LogHistogram, LOG2_BUCKETS};

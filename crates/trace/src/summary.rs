@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::counters::{Counters, LATENCY_BUCKETS};
+use crate::counters::Counters;
 
 /// One bar of the reschedule-latency histogram.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,16 +50,11 @@ impl TraceSummary {
         let skipped = counters.slices_skipped();
         let total_slices = processed + skipped;
         let reschedules = counters.reschedules();
-        let mut buckets = Vec::new();
-        for i in 0..LATENCY_BUCKETS {
-            let count = counters.latency_bucket(i);
-            if count > 0 {
-                buckets.push(LatencyBucket {
-                    le_us: Counters::bucket_edge(i),
-                    count,
-                });
-            }
-        }
+        let latency = counters.latency_histogram();
+        let buckets: Vec<LatencyBucket> = latency
+            .nonzero_buckets()
+            .map(|(le_us, count)| LatencyBucket { le_us, count })
+            .collect();
         Self {
             events_total: counters.events_total(),
             events_by_kind: counters.by_kind(),
@@ -73,12 +68,8 @@ impl TraceSummary {
             },
             reschedules,
             reschedule_latency: buckets,
-            latency_mean_us: if reschedules == 0 {
-                0.0
-            } else {
-                counters.latency_sum_us() as f64 / reschedules as f64
-            },
-            latency_max_us: counters.latency_max_us(),
+            latency_mean_us: latency.mean_us(),
+            latency_max_us: latency.max_us,
         }
     }
 

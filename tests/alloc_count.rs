@@ -4,6 +4,13 @@
 //! heap allocations, because per-slice work reuses the engine's scratch
 //! buffers and only events (completions, reschedules) touch the heap.
 //!
+//! The same equality pins the telemetry layer's zero-cost-when-disabled
+//! guarantee: with no `Telemetry` attached (the `SimConfig` default), every
+//! sampler and phase-profiler site in the loop reduces to an `is_some()`
+//! branch — no `Instant::now()`, no sample assembly, no scratch growth. A
+//! single allocation (or syscall-driven buffer) per boundary would break
+//! the coarse-vs-fine equality below.
+//!
 //! This file is its own integration-test binary so the `#[global_allocator]`
 //! hook cannot interfere with any other test, and it contains a single test
 //! function so no concurrent test pollutes the counter.
@@ -74,7 +81,10 @@ fn replay(slice: f64) -> SimResult {
             // An explicitly disabled tracer must stay zero-cost: every
             // emission site reduces to one branch and the event-constructor
             // closures never run, so the allocation counts below are
-            // unchanged from a tracer-free build.
+            // unchanged from a tracer-free build. Telemetry is likewise
+            // disabled here by default (`telemetry: None`): the sampler and
+            // phase-profiler hooks share the same guarantee and the same
+            // proof.
             .with_tracer(Tracer::disabled()),
     )
     .run(policy.as_mut())
