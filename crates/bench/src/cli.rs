@@ -1,0 +1,195 @@
+//! Shared spec-driven argument parsing for the `paper` binary.
+//!
+//! Every subcommand used to hand-roll its own `args.get(i)` loop with its
+//! own error messages and exit paths; [`CommonArgs`] replaces those with one
+//! declaration per command — required positionals, value flags, switches —
+//! and a single usage/error path ([`Parsed::die`]): `paper <cmd>: <why>`
+//! followed by the command's usage line, exit code 2.
+//!
+//! Parsing is sequencing-aware: the `paper` binary accepts several
+//! subcommands in one invocation (`paper fig1 replay t.fb`), so
+//! [`CommonArgs::parse`] consumes the declared positionals, then declared
+//! flags, and stops at the first token it does not own — that token is the
+//! next subcommand and stays for the caller's dispatch loop.
+
+/// Declaration of one subcommand's argument surface.
+pub struct CommonArgs {
+    cmd: &'static str,
+    usage: &'static str,
+    positionals: Vec<&'static str>,
+    value_flags: Vec<&'static str>,
+    switches: Vec<&'static str>,
+}
+
+/// The parsed arguments of one subcommand invocation.
+pub struct Parsed {
+    cmd: &'static str,
+    usage: &'static str,
+    positionals: Vec<String>,
+    values: Vec<(&'static str, String)>,
+    switches: Vec<&'static str>,
+}
+
+impl CommonArgs {
+    /// Start a spec for `cmd`; `usage` is the one-line synopsis printed on
+    /// every argument error.
+    pub fn new(cmd: &'static str, usage: &'static str) -> Self {
+        Self {
+            cmd,
+            usage,
+            positionals: Vec::new(),
+            value_flags: Vec::new(),
+            switches: Vec::new(),
+        }
+    }
+
+    /// Require a positional argument (consumed in declaration order).
+    pub fn positional(mut self, name: &'static str) -> Self {
+        self.positionals.push(name);
+        self
+    }
+
+    /// Accept `flag <value>`.
+    pub fn value_flag(mut self, flag: &'static str) -> Self {
+        self.value_flags.push(flag);
+        self
+    }
+
+    /// Accept a bare `flag`.
+    pub fn switch(mut self, flag: &'static str) -> Self {
+        self.switches.push(flag);
+        self
+    }
+
+    /// Consume this command's arguments from `args` starting at `*i` (just
+    /// past the subcommand token), leaving `*i` on the first token that
+    /// belongs to the next subcommand.
+    pub fn parse(&self, args: &[String], i: &mut usize) -> Parsed {
+        let mut parsed = Parsed {
+            cmd: self.cmd,
+            usage: self.usage,
+            positionals: Vec::new(),
+            values: Vec::new(),
+            switches: Vec::new(),
+        };
+        for name in &self.positionals {
+            match args.get(*i) {
+                Some(tok) if !tok.starts_with('-') => {
+                    parsed.positionals.push(tok.clone());
+                    *i += 1;
+                }
+                _ => parsed.die(&format!("missing <{name}>")),
+            }
+        }
+        while let Some(tok) = args.get(*i) {
+            if let Some(flag) = self.switches.iter().find(|f| **f == tok.as_str()) {
+                parsed.switches.push(flag);
+                *i += 1;
+            } else if let Some(flag) = self.value_flags.iter().find(|f| **f == tok.as_str()) {
+                let Some(value) = args.get(*i + 1) else {
+                    parsed.die(&format!("{flag} needs a value"));
+                };
+                parsed.values.push((flag, value.clone()));
+                *i += 2;
+            } else {
+                break;
+            }
+        }
+        parsed
+    }
+}
+
+impl Parsed {
+    /// The `idx`-th declared positional (always present: `parse` dies on a
+    /// missing one).
+    pub fn positional(&self, idx: usize) -> &str {
+        &self.positionals[idx]
+    }
+
+    /// Raw value of a flag, if given (last occurrence wins).
+    pub fn flag(&self, flag: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(f, _)| *f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether a switch was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.switches.contains(&flag)
+    }
+
+    /// Typed flag value with a default; dies on an unparsable value.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> T {
+        match self.flag(flag) {
+            None => default,
+            Some(text) => text
+                .parse()
+                .unwrap_or_else(|_| self.die(&format!("{flag} needs a valid value, got {text:?}"))),
+        }
+    }
+
+    /// The single usage/error path: `paper <cmd>: <why>`, the usage line,
+    /// exit 2.
+    pub fn die(&self, why: &str) -> ! {
+        eprintln!("paper {}: {why}\nusage: {}", self.cmd, self.usage);
+        std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn spec() -> CommonArgs {
+        CommonArgs::new("demo", "paper demo <experiment> [--seed N] [--fast]")
+            .positional("experiment")
+            .value_flag("--seed")
+            .switch("--fast")
+    }
+
+    #[test]
+    fn positionals_then_flags_then_stop() {
+        let argv = args(&["fig6a", "--seed", "9", "--fast", "fig1"]);
+        let mut i = 0;
+        let p = spec().parse(&argv, &mut i);
+        assert_eq!(p.positional(0), "fig6a");
+        assert_eq!(p.get_or("--seed", 7u64), 9);
+        assert!(p.has("--fast"));
+        // The next subcommand is left unconsumed.
+        assert_eq!(i, 4);
+        assert_eq!(argv[i], "fig1");
+    }
+
+    #[test]
+    fn defaults_apply_when_flags_absent() {
+        let argv = args(&["small"]);
+        let mut i = 0;
+        let p = spec().parse(&argv, &mut i);
+        assert_eq!(p.get_or("--seed", 7u64), 7);
+        assert!(!p.has("--fast"));
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    fn unknown_flag_stops_parsing() {
+        let argv = args(&["small", "--unknown"]);
+        let mut i = 0;
+        let _ = spec().parse(&argv, &mut i);
+        // Left for the dispatch loop, which rejects it via usage().
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    fn last_flag_occurrence_wins() {
+        let argv = args(&["small", "--seed", "1", "--seed", "2"]);
+        let mut i = 0;
+        let p = spec().parse(&argv, &mut i);
+        assert_eq!(p.get_or("--seed", 0u64), 2);
+    }
+}

@@ -12,6 +12,7 @@
 //! reproduction target. See `EXPERIMENTS.md` for the recorded comparison.
 
 pub mod alloc_track;
+pub mod cli;
 pub mod experiments;
 pub mod parallel;
 pub mod report;

@@ -24,14 +24,27 @@
 //!          (fig6a | small): strided sampler + phase profiler, writing
 //!          DASH_report.{json,html,prom,jsonl}; the .json view is
 //!          deterministic (same seed+stride ⇒ identical bytes)
+//!   replay <trace> [--policy P] [--bg F] [--seed N] [--ports N]
+//!          [--modes M] [--wrap] [--out <path>] — stream a public
+//!          Facebook-format (or JSON/CSV) trace through the policy panel
+//!          with the invariant checker attached, demanding bit-identical
+//!          results across engine modes; --bg reserves a port-capacity
+//!          fraction for background traffic; writes REPLAY_report.json
+//!          (deterministic bytes) and exits non-zero on any failure
+//!   tracegen [--out <path>] [--coflows N] [--machines N] [--gap-ms F]
+//!          [--max-mb N] [--seed N] — stream a synthetic Facebook-format
+//!          trace to disk (constant memory; same seed ⇒ identical bytes)
 //!   all   — everything in paper order
 //! ```
 //!
 //! (`table6` is printed by `fig6e`, `table7` by `fig7b`. `--quiet`
 //! suppresses narrative output; JSON artifacts are still written.)
 
+use swallow_bench::cli::CommonArgs;
 use swallow_bench::experiments::{bench_engine, ext, fig1, fig2, fig4, fig6, fig7, tables};
-use swallow_bench::experiments::{dash_cmd, faults_cmd, oracle_cmd, trace_cmd};
+use swallow_bench::experiments::{
+    dash_cmd, faults_cmd, oracle_cmd, replay_cmd, trace_cmd, tracegen_cmd,
+};
 use swallow_bench::report;
 
 // Makes `bench-engine`'s allocations-per-replay column live; a no-op cost
@@ -51,6 +64,10 @@ fn usage() -> ! {
          \x20     faults <experiment> [--seed N]\n\
          \x20     oracle <experiment> [--seed N] [--refresh-golden]\n\
          \x20     dash <experiment> [--seed N] [--stride K]\n\
+         \x20     replay <trace> [--policy P] [--bg F] [--seed N] [--ports N]\n\
+         \x20            [--modes skip,event,naive] [--wrap] [--out <path>]\n\
+         \x20     tracegen [--out <path>] [--coflows N] [--machines N]\n\
+         \x20            [--gap-ms F] [--max-mb N] [--seed N]\n\
          (table6 prints with fig6e, table7 with fig7b;\n\
          \x20bench-engine sweeps the engine modes over seeded scale tiers\n\
          \x20(naive vs skip-ahead), appends to BENCH_engine.json and exits\n\
@@ -68,6 +85,11 @@ fn usage() -> ! {
          \x20dash replays with the telemetry sampler + phase profiler and\n\
          \x20writes DASH_report.{{json,html,prom,jsonl}} — the .json is\n\
          \x20deterministic, the .html is a self-contained SVG dashboard;\n\
+         \x20replay streams a public coflow-benchmark trace through the\n\
+         \x20policy panel (never materialized) with the invariant checker\n\
+         \x20attached and demands bit-identical CCT tables across engine\n\
+         \x20modes, writing a deterministic REPLAY_report.json;\n\
+         \x20tracegen streams a synthetic Facebook-format trace to disk;\n\
          \x20--quiet suppresses narrative output, artifacts still written)"
     );
     std::process::exit(2);
@@ -95,7 +117,6 @@ fn dispatch(cmd: &str) {
         "table5" => tables::table5(),
         "table8" => tables::table8(),
         "tables" => tables::run_all(),
-        "bench-engine" => bench_engine::run(),
         "ext" => ext::run(),
         "ext1" => ext::ext_codec_selection(),
         "ext2" => ext::ext_decompression(),
@@ -131,143 +152,134 @@ fn main() {
     }
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "trace" {
-            let Some(experiment) = args.get(i + 1) else {
-                eprintln!("usage: paper trace <experiment> [--out <path>]");
-                std::process::exit(2);
-            };
-            let experiment = experiment.clone();
-            i += 2;
-            let mut out = String::from("trace.json");
-            if args.get(i).map(String::as_str) == Some("--out") {
-                let Some(path) = args.get(i + 1) else {
-                    eprintln!("paper trace: --out needs a path");
-                    std::process::exit(2);
+        let cmd = args[i].clone();
+        i += 1;
+        match cmd.as_str() {
+            "trace" => {
+                let p = CommonArgs::new("trace", "paper trace <experiment> [--out <path>]")
+                    .positional("experiment")
+                    .value_flag("--out")
+                    .parse(&args, &mut i);
+                trace_cmd::run(p.positional(0), p.flag("--out").unwrap_or("trace.json"));
+            }
+            "faults" => {
+                let p = CommonArgs::new("faults", "paper faults <experiment> [--seed N]")
+                    .positional("experiment")
+                    .value_flag("--seed")
+                    .parse(&args, &mut i);
+                faults_cmd::run(p.positional(0), p.get_or("--seed", 7u64));
+            }
+            "oracle" => {
+                let p = CommonArgs::new(
+                    "oracle",
+                    "paper oracle <experiment> [--seed N] [--refresh-golden]",
+                )
+                .positional("experiment")
+                .value_flag("--seed")
+                .switch("--refresh-golden")
+                .parse(&args, &mut i);
+                oracle_cmd::run(
+                    p.positional(0),
+                    p.get_or("--seed", 7u64),
+                    p.has("--refresh-golden"),
+                );
+            }
+            "dash" => {
+                let p = CommonArgs::new("dash", "paper dash <experiment> [--seed N] [--stride K]")
+                    .positional("experiment")
+                    .value_flag("--seed")
+                    .value_flag("--stride")
+                    .parse(&args, &mut i);
+                dash_cmd::run(
+                    p.positional(0),
+                    p.get_or("--seed", 7u64),
+                    p.get_or("--stride", 1u64),
+                );
+            }
+            "bench-engine" => {
+                let p = CommonArgs::new(
+                    "bench-engine",
+                    "paper bench-engine [--quick] [--tiers LIST] [--no-gate]",
+                )
+                .switch("--quick")
+                .switch("--no-gate")
+                .value_flag("--tiers")
+                .parse(&args, &mut i);
+                let mut opts = bench_engine::BenchOpts::default();
+                if p.has("--quick") {
+                    opts.tiers = bench_engine::quick_tiers();
+                }
+                opts.gate = !p.has("--no-gate");
+                if let Some(list) = p.flag("--tiers") {
+                    opts.tiers = bench_engine::parse_tiers(list)
+                        .unwrap_or_else(|e| p.die(&format!("--tiers: {e}")));
+                }
+                bench_engine::run_with(&opts);
+            }
+            "replay" => {
+                let p = CommonArgs::new(
+                    "replay",
+                    "paper replay <trace> [--policy P] [--bg F] [--seed N] [--ports N] \
+                     [--modes skip,event,naive] [--wrap] [--out <path>]",
+                )
+                .positional("trace")
+                .value_flag("--policy")
+                .value_flag("--bg")
+                .value_flag("--seed")
+                .value_flag("--ports")
+                .value_flag("--modes")
+                .value_flag("--out")
+                .switch("--wrap")
+                .parse(&args, &mut i);
+                let mut opts = replay_cmd::ReplayOpts {
+                    trace: p.positional(0).to_string(),
+                    policy: p.flag("--policy").map(str::to_string),
+                    bg: p.get_or("--bg", 0.0f64),
+                    seed: p.get_or("--seed", 7u64),
+                    wrap: p.has("--wrap"),
+                    out: p.flag("--out").unwrap_or("REPLAY_report.json").to_string(),
+                    ..replay_cmd::ReplayOpts::default()
                 };
-                out = path.clone();
-                i += 2;
+                if let Some(ports) = p.flag("--ports") {
+                    opts.ports = Some(
+                        ports
+                            .parse()
+                            .unwrap_or_else(|_| p.die(&format!("--ports: bad count {ports:?}"))),
+                    );
+                }
+                if let Some(modes) = p.flag("--modes") {
+                    opts.modes = modes.split(',').map(str::to_string).collect();
+                }
+                if !(0.0..1.0).contains(&opts.bg) {
+                    p.die(&format!("--bg must be in [0, 1), got {}", opts.bg));
+                }
+                replay_cmd::run(&opts);
             }
-            trace_cmd::run(&experiment, &out);
-        } else if args[i] == "faults" {
-            let Some(experiment) = args.get(i + 1) else {
-                eprintln!("usage: paper faults <experiment> [--seed N]");
-                std::process::exit(2);
-            };
-            let experiment = experiment.clone();
-            i += 2;
-            let mut seed = 7u64;
-            if args.get(i).map(String::as_str) == Some("--seed") {
-                let Some(n) = args.get(i + 1) else {
-                    eprintln!("paper faults: --seed needs a number");
-                    std::process::exit(2);
+            "tracegen" => {
+                let p = CommonArgs::new(
+                    "tracegen",
+                    "paper tracegen [--out <path>] [--coflows N] [--machines N] \
+                     [--gap-ms F] [--max-mb N] [--seed N]",
+                )
+                .value_flag("--out")
+                .value_flag("--coflows")
+                .value_flag("--machines")
+                .value_flag("--gap-ms")
+                .value_flag("--max-mb")
+                .value_flag("--seed")
+                .parse(&args, &mut i);
+                let defaults = tracegen_cmd::TracegenOpts::default();
+                let opts = tracegen_cmd::TracegenOpts {
+                    out: p.flag("--out").unwrap_or(&defaults.out).to_string(),
+                    coflows: p.get_or("--coflows", defaults.coflows),
+                    machines: p.get_or("--machines", defaults.machines),
+                    gap_ms: p.get_or("--gap-ms", defaults.gap_ms),
+                    max_mb: p.get_or("--max-mb", defaults.max_mb),
+                    seed: p.get_or("--seed", defaults.seed),
                 };
-                seed = n.parse().unwrap_or_else(|_| {
-                    eprintln!("paper faults: --seed needs a number, got {n:?}");
-                    std::process::exit(2);
-                });
-                i += 2;
+                tracegen_cmd::run(&opts);
             }
-            faults_cmd::run(&experiment, seed);
-        } else if args[i] == "oracle" {
-            let Some(experiment) = args.get(i + 1) else {
-                eprintln!("usage: paper oracle <experiment> [--seed N] [--refresh-golden]");
-                std::process::exit(2);
-            };
-            let experiment = experiment.clone();
-            i += 2;
-            let mut seed = 7u64;
-            let mut refresh = false;
-            loop {
-                match args.get(i).map(String::as_str) {
-                    Some("--seed") => {
-                        let Some(n) = args.get(i + 1) else {
-                            eprintln!("paper oracle: --seed needs a number");
-                            std::process::exit(2);
-                        };
-                        seed = n.parse().unwrap_or_else(|_| {
-                            eprintln!("paper oracle: --seed needs a number, got {n:?}");
-                            std::process::exit(2);
-                        });
-                        i += 2;
-                    }
-                    Some("--refresh-golden") => {
-                        refresh = true;
-                        i += 1;
-                    }
-                    _ => break,
-                }
-            }
-            oracle_cmd::run(&experiment, seed, refresh);
-        } else if args[i] == "dash" {
-            let Some(experiment) = args.get(i + 1) else {
-                eprintln!("usage: paper dash <experiment> [--seed N] [--stride K]");
-                std::process::exit(2);
-            };
-            let experiment = experiment.clone();
-            i += 2;
-            let mut seed = 7u64;
-            let mut stride = 1u64;
-            loop {
-                match args.get(i).map(String::as_str) {
-                    Some("--seed") => {
-                        let Some(n) = args.get(i + 1) else {
-                            eprintln!("paper dash: --seed needs a number");
-                            std::process::exit(2);
-                        };
-                        seed = n.parse().unwrap_or_else(|_| {
-                            eprintln!("paper dash: --seed needs a number, got {n:?}");
-                            std::process::exit(2);
-                        });
-                        i += 2;
-                    }
-                    Some("--stride") => {
-                        let Some(n) = args.get(i + 1) else {
-                            eprintln!("paper dash: --stride needs a number");
-                            std::process::exit(2);
-                        };
-                        stride = n.parse().unwrap_or_else(|_| {
-                            eprintln!("paper dash: --stride needs a number, got {n:?}");
-                            std::process::exit(2);
-                        });
-                        i += 2;
-                    }
-                    _ => break,
-                }
-            }
-            dash_cmd::run(&experiment, seed, stride);
-        } else if args[i] == "bench-engine" {
-            i += 1;
-            let mut opts = bench_engine::BenchOpts::default();
-            loop {
-                match args.get(i).map(String::as_str) {
-                    Some("--quick") => {
-                        opts.tiers = bench_engine::quick_tiers();
-                        i += 1;
-                    }
-                    Some("--no-gate") => {
-                        opts.gate = false;
-                        i += 1;
-                    }
-                    Some("--tiers") => {
-                        let Some(list) = args.get(i + 1) else {
-                            eprintln!(
-                                "paper bench-engine: --tiers needs a list (e.g. 10kx1k,1Mx10k)"
-                            );
-                            std::process::exit(2);
-                        };
-                        opts.tiers = bench_engine::parse_tiers(list).unwrap_or_else(|e| {
-                            eprintln!("paper bench-engine: {e}");
-                            std::process::exit(2);
-                        });
-                        i += 2;
-                    }
-                    _ => break,
-                }
-            }
-            bench_engine::run_with(&opts);
-        } else {
-            dispatch(&args[i]);
-            i += 1;
+            _ => dispatch(&cmd),
         }
     }
 }

@@ -77,6 +77,17 @@ impl fmt::Display for SwallowError {
 
 impl std::error::Error for SwallowError {}
 
+/// Trace-ingestion failures surface through the runtime API as configuration
+/// errors: a trace that does not parse, or whose machine slots do not fit the
+/// fabric, is unusable input in exactly the sense of
+/// [`SwallowError::InvalidConfig`] — not retryable, fixed only by supplying a
+/// different trace or fabric.
+impl From<swallow_workload::WorkloadError> for SwallowError {
+    fn from(e: swallow_workload::WorkloadError) -> Self {
+        SwallowError::InvalidConfig(e.to_string())
+    }
+}
+
 /// The pre-0.2 name of [`SwallowError`].
 #[deprecated(note = "renamed to SwallowError")]
 pub type CoreError = SwallowError;
@@ -114,5 +125,27 @@ mod tests {
             SwallowError::Timeout { block: BlockId(7) }.to_string(),
             "timed out waiting for block 7"
         );
+    }
+
+    #[test]
+    fn workload_errors_convert_to_invalid_config() {
+        use swallow_workload::{MachineMap, StreamingTrace};
+
+        // A trace whose mappers reference slots beyond a 4-port fabric must
+        // come back as a structured `InvalidConfig`, never a panic.
+        let wide = "1 0 6 1 2 3 4 5 6 1 1:100\n";
+        let map = MachineMap::strict(4).unwrap();
+        let err = StreamingTrace::new(wide.as_bytes(), map)
+            .next()
+            .expect("one record")
+            .expect_err("slot 5 exceeds a 4-port fabric");
+        let converted: SwallowError = err.into();
+        match &converted {
+            SwallowError::InvalidConfig(why) => {
+                assert!(why.contains("exceeds"), "unexpected message: {why}");
+                assert!(!converted.is_retryable());
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 }

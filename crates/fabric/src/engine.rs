@@ -160,6 +160,14 @@ pub struct SimConfig {
     /// single branch per boundary with no wall-clock reads, preserving the
     /// zero-alloc guarantee pinned by `tests/alloc_count.rs`.
     pub telemetry: Option<Arc<Telemetry>>,
+    /// Fraction of every port's capacity occupied by non-coflow background
+    /// traffic, in `[0, 1)` — CoflowSim's `bandwidth *= 1 - background_flow`
+    /// model. The engine derates the fabric once at construction, so every
+    /// consumer (policy view, feasibility clamps, invariant checker,
+    /// telemetry) sees the same shrunken capacities and all time-advance
+    /// modes stay bit-identical by construction. `0.0` (the default) is an
+    /// exact no-op.
+    pub background_traffic: f64,
 }
 
 impl Default for SimConfig {
@@ -180,6 +188,7 @@ impl Default for SimConfig {
             threads: None,
             shard_threshold: crate::shard::DEFAULT_SHARD_THRESHOLD,
             telemetry: None,
+            background_traffic: 0.0,
         }
     }
 }
@@ -297,6 +306,20 @@ impl SimConfig {
     /// results — samples are pure reads of engine state.
     pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Reserve `fraction ∈ [0, 1)` of every port for background traffic
+    /// (CoflowSim's `bandwidth *= 1 - background_flow`). Coflows compete
+    /// for the remaining `1 - fraction` of each port; a run with
+    /// `background_traffic = f` over capacity `C` is bit-identical to a run
+    /// with no background traffic over capacity `C · (1 - f)`.
+    pub fn with_background_traffic(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "background traffic fraction must be in [0, 1)"
+        );
+        self.background_traffic = fraction;
         self
     }
 }
@@ -603,7 +626,18 @@ pub struct Engine {
     cpu: CpuModel,
     config: SimConfig,
     /// Pending coflows sorted by arrival, latest first (pop from the back).
+    /// When an arrival stream is attached this holds at most one coflow —
+    /// the lookahead [`Engine::refill`] keeps topped up — so the loop's
+    /// `pending.last()` / `pending.is_empty()` reads stay valid unchanged.
     pending: Vec<Coflow>,
+    /// Lazily consumed arrival stream ([`Engine::from_arrivals`]); `None`
+    /// once exhausted, so `pending.is_empty()` again means "no more work".
+    arrivals: Option<Box<dyn Iterator<Item = Coflow> + Send>>,
+    /// Largest arrival pulled from the stream so far; streamed arrivals
+    /// must be time-sorted (the lookahead is one coflow deep, so an
+    /// out-of-order arrival could otherwise be admitted late and silently
+    /// reorder the simulation).
+    stream_floor: f64,
     /// Live flows, unordered (completion retires via `swap_remove`).
     active: Vec<ActiveFlow>,
     /// Flow id → slot in `active`.
@@ -675,6 +709,44 @@ impl Engine {
             }
         }
         coflows.sort_by(|a, b| b.arrival.total_cmp(&a.arrival));
+        let mut eng = Self::build(fabric, config);
+        eng.pending = coflows;
+        eng
+    }
+
+    /// Build an engine fed by a lazily consumed, time-sorted arrival
+    /// stream instead of a materialized trace. The engine holds a
+    /// one-coflow lookahead, so peak memory tracks the *active* set, not
+    /// the trace length — this is how multi-GB trace files replay without
+    /// materializing.
+    ///
+    /// Unlike [`Engine::new`], validation is necessarily lazy: node bounds
+    /// and duplicate flow ids are checked as each coflow is pulled, and a
+    /// stream whose arrivals go backwards panics at the offending coflow.
+    /// Equal-arrival coflows are admitted in stream order.
+    pub fn from_arrivals(
+        fabric: Fabric,
+        arrivals: Box<dyn Iterator<Item = Coflow> + Send>,
+        config: SimConfig,
+    ) -> Self {
+        let mut eng = Self::build(fabric, config);
+        eng.arrivals = Some(arrivals);
+        eng.refill();
+        eng
+    }
+
+    /// Shared construction: resolve the CPU model and worker budget, apply
+    /// the background-traffic derate, and start with an empty trace.
+    fn build(fabric: Fabric, config: SimConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.background_traffic),
+            "background traffic fraction must be in [0, 1)"
+        );
+        let fabric = if config.background_traffic > 0.0 {
+            fabric.derate(1.0 - config.background_traffic)
+        } else {
+            fabric
+        };
         let cpu = config
             .cpu
             .clone()
@@ -690,7 +762,9 @@ impl Engine {
             fabric,
             cpu,
             config,
-            pending: coflows,
+            pending: Vec::new(),
+            arrivals: None,
+            stream_floor: f64::NEG_INFINITY,
             active: Vec::new(),
             index: FxHashMap::default(),
             coflow_meta: BTreeMap::new(),
@@ -708,6 +782,42 @@ impl Engine {
             retired_saved: 0.0,
             evq: EventQueue::new(),
             workers,
+        }
+    }
+
+    /// Top up the one-coflow lookahead from the arrival stream. Invariant:
+    /// outside this call, `pending` is empty with `arrivals` attached only
+    /// if the stream is exhausted — every site that pops `pending` refills
+    /// immediately, so the loop's `pending.last()` / `pending.is_empty()`
+    /// reads (idle fast-forward, skip/event targets, the stall net) keep
+    /// their materialized-trace meaning.
+    fn refill(&mut self) {
+        if !self.pending.is_empty() {
+            return;
+        }
+        if let Some(stream) = self.arrivals.as_mut() {
+            match stream.next() {
+                Some(c) => {
+                    assert!(
+                        c.arrival >= self.stream_floor,
+                        "arrival stream must be time-sorted: coflow {} arrives at {} \
+                         after the stream reached {}",
+                        c.id,
+                        c.arrival,
+                        self.stream_floor
+                    );
+                    self.stream_floor = c.arrival;
+                    for f in &c.flows {
+                        assert!(
+                            self.fabric.contains(f.src) && self.fabric.contains(f.dst),
+                            "flow {} references a node outside the fabric",
+                            f.id
+                        );
+                    }
+                    self.pending.push(c);
+                }
+                None => self.arrivals = None,
+            }
         }
     }
 
@@ -746,6 +856,10 @@ impl Engine {
         let mut coflow_records: Vec<CoflowRecord> = Vec::new();
         let mut makespan = 0.0f64;
 
+        // Establish the refill invariant before the first boundary (a
+        // stream-fed engine primed it at construction; this is a no-op
+        // there and for materialized traces).
+        self.refill();
         while !self.active.is_empty() || !self.pending.is_empty() {
             let mut now = idx as f64 * delta;
             // One instrumentation decision per visited boundary: at stride
@@ -773,6 +887,9 @@ impl Engine {
                 .is_some_and(|c| c.arrival <= now + 1e-12)
             {
                 let c = self.pending.pop().unwrap();
+                // Keep the lookahead full so this loop's condition (and the
+                // skip/event targets downstream) see the next arrival.
+                self.refill();
                 admitted = true;
                 events.push(now, EventKind::CoflowArrived(c.id));
                 tracer.emit(now, || TraceEvent::CoflowArrived {
@@ -798,14 +915,19 @@ impl Engine {
                         // Zero-sized flows finish the moment they arrive.
                         let mut rec = rec;
                         rec.completed_at = Some(c.arrival);
-                        flow_records.insert(spec.id, rec);
+                        let prior = flow_records.insert(spec.id, rec);
+                        assert!(prior.is_none(), "duplicate flow id {}", spec.id);
                         events.push(now, EventKind::FlowCompleted(spec.id));
                         tracer.emit(now, || TraceEvent::FlowCompleted {
                             flow: spec.id.0,
                             coflow: c.id.0,
                         });
                     } else {
-                        flow_records.insert(spec.id, rec);
+                        // Streamed traces are validated lazily, so the
+                        // duplicate-id check `Engine::new` runs eagerly
+                        // happens here instead.
+                        let prior = flow_records.insert(spec.id, rec);
+                        assert!(prior.is_none(), "duplicate flow id {}", spec.id);
                         tracer.emit(now, || TraceEvent::FlowStarted {
                             flow: spec.id.0,
                             coflow: c.id.0,
@@ -2485,6 +2607,123 @@ mod fast_path_tests {
             .run(&mut FairSharePolicy::default());
         assert!(fast.all_complete());
         assert_bit_identical(&fast, &naive);
+    }
+
+    #[test]
+    fn streamed_arrivals_match_materialized_trace() {
+        // A stream-fed engine must reproduce the materialized run bit for
+        // bit, in every time-advance mode.
+        let fabric = Fabric::uniform(3, 100.0);
+        for mode in [
+            EngineMode::NaiveSlice,
+            EngineMode::SkipAhead,
+            EngineMode::EventDriven,
+        ] {
+            let cfg = SimConfig::default()
+                .with_slice(0.01)
+                .with_reschedule(Reschedule::EventsOnly)
+                .with_mode(mode)
+                .with_sampling(0.5);
+            let materialized = Engine::new(fabric.clone(), staggered_trace(), cfg.clone())
+                .run(&mut FairSharePolicy::default());
+            let streamed =
+                Engine::from_arrivals(fabric.clone(), Box::new(staggered_trace().into_iter()), cfg)
+                    .run(&mut FairSharePolicy::default());
+            assert!(streamed.all_complete());
+            assert_bit_identical(&streamed, &materialized);
+        }
+    }
+
+    #[test]
+    fn empty_stream_completes_immediately() {
+        let res = Engine::from_arrivals(
+            Fabric::uniform(2, 100.0),
+            Box::new(std::iter::empty()),
+            SimConfig::default(),
+        )
+        .run(&mut FairSharePolicy::default());
+        assert!(res.all_complete());
+        assert_eq!(res.flows.len(), 0);
+        assert_eq!(res.makespan, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-sorted")]
+    fn unsorted_stream_is_rejected() {
+        let mut coflows = staggered_trace();
+        coflows.reverse();
+        Engine::from_arrivals(
+            Fabric::uniform(3, 100.0),
+            Box::new(coflows.into_iter()),
+            SimConfig::default(),
+        )
+        .run(&mut FairSharePolicy::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate flow id")]
+    fn streamed_duplicate_flow_ids_rejected() {
+        let coflows = vec![
+            Coflow::builder(0)
+                .arrival(0.0)
+                .flow(FlowSpec::new(7, 0, 1, 100.0))
+                .build(),
+            Coflow::builder(1)
+                .arrival(0.5)
+                .flow(FlowSpec::new(7, 1, 0, 100.0))
+                .build(),
+        ];
+        Engine::from_arrivals(
+            Fabric::uniform(2, 100.0),
+            Box::new(coflows.into_iter()),
+            SimConfig::default(),
+        )
+        .run(&mut FairSharePolicy::default());
+    }
+
+    #[test]
+    fn background_traffic_equals_derated_capacity() {
+        // bg = 0.5 over 200 B/s ports must be bit-identical to bg = 0 over
+        // 100 B/s ports — the capacity model is exactly a fabric derate.
+        let cfg = SimConfig::default()
+            .with_slice(0.01)
+            .with_reschedule(Reschedule::EventsOnly);
+        let derated = Engine::new(Fabric::uniform(3, 100.0), staggered_trace(), cfg.clone())
+            .run(&mut FairSharePolicy::default());
+        let background = Engine::new(
+            Fabric::uniform(3, 200.0),
+            staggered_trace(),
+            cfg.with_background_traffic(0.5),
+        )
+        .run(&mut FairSharePolicy::default());
+        assert!(background.all_complete());
+        assert_bit_identical(&background, &derated);
+    }
+
+    #[test]
+    fn background_traffic_slows_completion() {
+        let cfg = SimConfig::default().with_slice(0.01);
+        let clear = Engine::new(Fabric::uniform(3, 100.0), staggered_trace(), cfg.clone())
+            .run(&mut FairSharePolicy::default());
+        let busy = Engine::new(
+            Fabric::uniform(3, 100.0),
+            staggered_trace(),
+            cfg.with_background_traffic(0.25),
+        )
+        .run(&mut FairSharePolicy::default());
+        assert!(busy.all_complete());
+        assert!(
+            busy.avg_cct() > clear.avg_cct() * 1.2,
+            "bg cct={} clear cct={}",
+            busy.avg_cct(),
+            clear.avg_cct()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "background traffic fraction")]
+    fn full_background_traffic_rejected() {
+        SimConfig::default().with_background_traffic(1.0);
     }
 
     #[test]

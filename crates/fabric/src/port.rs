@@ -67,6 +67,21 @@ impl Fabric {
     pub fn contains(&self, node: NodeId) -> bool {
         node.index() < self.num_nodes()
     }
+
+    /// The fabric with every port scaled to `factor` of its capacity —
+    /// the CoflowSim background-traffic model (`bandwidth *= 1 -
+    /// background_flow`): a fixed fraction of each port is occupied by
+    /// non-coflow traffic, so coflows see a uniformly derated fabric.
+    pub fn derate(&self, factor: f64) -> Fabric {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "derate factor must be in (0, 1]"
+        );
+        Fabric {
+            egress: self.egress.iter().map(|c| c * factor).collect(),
+            ingress: self.ingress.iter().map(|c| c * factor).collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +111,24 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         Fabric::uniform(2, 0.0);
+    }
+
+    #[test]
+    fn derate_scales_every_port() {
+        let f = Fabric::new(vec![10.0, 20.0], vec![5.0, 40.0]).derate(0.75);
+        assert_eq!(f.egress_cap(NodeId(0)), 7.5);
+        assert_eq!(f.egress_cap(NodeId(1)), 15.0);
+        assert_eq!(f.ingress_cap(NodeId(0)), 3.75);
+        assert_eq!(f.min_cap(), 3.75);
+        // factor 1 is exact identity, bit for bit.
+        let g = Fabric::new(vec![10.0, 20.0], vec![5.0, 40.0]);
+        assert_eq!(g.derate(1.0), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "derate factor")]
+    fn full_derate_rejected() {
+        Fabric::uniform(2, 1.0).derate(0.0);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Structured errors for workload construction and trace ingestion.
+//!
+//! Generators and importers in this crate cannot name
+//! `swallow_core::SwallowError` (the core runtime depends on the scheduler,
+//! which depends on this crate), so they report through [`WorkloadError`];
+//! `swallow-core` provides `From<WorkloadError> for SwallowError`, mapping
+//! every variant onto `SwallowError::InvalidConfig`, so `?` at the runtime
+//! boundary surfaces trace/generator problems as structured configuration
+//! errors instead of panics.
+
+use crate::trace::TraceError;
+use std::fmt;
+
+/// What went wrong while building a workload or ingesting a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A generator or machine-map configuration is unusable (e.g. a trace
+    /// record placing a mapper on a machine slot beyond the fabric).
+    InvalidConfig(String),
+    /// A trace line failed to parse (1-based line number and reason).
+    Parse {
+        /// 1-based line number in the trace file.
+        line: usize,
+        /// What was wrong with the line.
+        msg: String,
+    },
+    /// An I/O failure while reading a trace file.
+    Io(String),
+}
+
+impl WorkloadError {
+    /// Shorthand for a parse failure at `line`.
+    pub fn parse(line: usize, msg: impl Into<String>) -> Self {
+        WorkloadError::Parse {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig(why) => write!(f, "invalid workload config: {why}"),
+            WorkloadError::Parse { line, msg } => write!(f, "trace line {line}: {msg}"),
+            WorkloadError::Io(why) => write!(f, "trace io: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<TraceError> for WorkloadError {
+    fn from(e: TraceError) -> Self {
+        match e {
+            TraceError::BadRow(row) => {
+                WorkloadError::parse(row, "expected 7 comma-separated fields")
+            }
+            TraceError::BadField { row, field } => {
+                WorkloadError::parse(row, format!("bad field `{field}`"))
+            }
+            TraceError::Json(msg) => WorkloadError::Parse { line: 0, msg },
+        }
+    }
+}
+
+impl From<std::io::Error> for WorkloadError {
+    fn from(e: std::io::Error) -> Self {
+        WorkloadError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WorkloadError::parse(3, "truncated record");
+        assert_eq!(e.to_string(), "trace line 3: truncated record");
+        let e = WorkloadError::InvalidConfig("mapper slot 9 beyond 4 ports".into());
+        assert!(e.to_string().contains("mapper slot 9"));
+    }
+
+    #[test]
+    fn trace_error_converts() {
+        let e: WorkloadError = TraceError::BadRow(2).into();
+        assert!(matches!(e, WorkloadError::Parse { line: 2, .. }));
+    }
+}

@@ -1,0 +1,653 @@
+//! The classic Facebook coflow-benchmark trace format.
+//!
+//! The format — used by the public Facebook map-reduce trace and by every
+//! simulator in the coflow lineage (Varys, Aalo, CoflowSim, and the
+//! "Experimental Analysis of Algorithms for Coflow Scheduling" benchmark
+//! suite) — is line-oriented plain text:
+//!
+//! ```text
+//! <num_machines> <num_coflows>          # optional header, first line only
+//! <coflow_id> <arrival_ms> <num_mappers> <m1> … <mk> <num_reducers> <r1:mb1> … <rj:mbj>
+//! ```
+//!
+//! Machine slots are **1-based** rack ids; arrival times are milliseconds;
+//! reducer sizes are megabytes. Each reducer's bytes are split evenly across
+//! the mappers, so a record expands to `num_mappers × num_reducers` flows of
+//! `mb · 1e6 / num_mappers` bytes each — the CoflowSim expansion.
+//!
+//! The parser is allocation-light and streaming: [`StreamingTrace`] reads one
+//! line at a time from any [`BufRead`], reuses a single line buffer and a
+//! single [`FbRecord`] scratch, and yields [`Coflow`]s without ever holding
+//! the file (or the whole trace) in memory — multi-GB traces parse in
+//! O(longest line) space plus a duplicate-id set. Records round-trip:
+//! [`FbRecord::write_line`] emits the canonical form, and
+//! `write → parse → write` is byte-exact (pinned by a proptest).
+
+use crate::error::WorkloadError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+use swallow_fabric::{units, Coflow, FlowSpec};
+
+/// The optional first line of a trace: cluster size and record count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FbHeader {
+    /// Number of machines the trace's slots reference.
+    pub num_machines: usize,
+    /// Number of coflow records the writer claimed.
+    pub num_coflows: usize,
+}
+
+/// One trace record, kept in the file's own units (milliseconds, megabytes,
+/// 1-based machine slots) so that parsing and writing are lossless — the
+/// even split across mappers happens only in [`FbRecord::to_coflow`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FbRecord {
+    /// Coflow id.
+    pub id: u64,
+    /// Arrival time in milliseconds.
+    pub arrival_ms: f64,
+    /// Mapper machine slots (1-based).
+    pub mappers: Vec<u32>,
+    /// Reducer machine slots (1-based) with their shuffle size in MB.
+    pub reducers: Vec<(u32, f64)>,
+}
+
+impl FbRecord {
+    /// Flows this record expands to.
+    pub fn num_flows(&self) -> usize {
+        self.mappers.len() * self.reducers.len()
+    }
+
+    /// Total megabytes across reducers.
+    pub fn total_mb(&self) -> f64 {
+        self.reducers.iter().map(|&(_, mb)| mb).sum()
+    }
+
+    /// Parse one record line into `self` (reusing its buffers). `line` is
+    /// the 1-based line number used in errors.
+    pub fn parse_line(&mut self, text: &str, line: usize) -> Result<(), WorkloadError> {
+        let mut tok = text.split_ascii_whitespace();
+        let mut next = |what: &str| {
+            tok.next().ok_or_else(|| {
+                WorkloadError::parse(line, format!("truncated record: missing {what}"))
+            })
+        };
+        self.id = parse_num(next("coflow id")?, line, "coflow id")?;
+        self.arrival_ms = parse_float(next("arrival time")?, line, "arrival time")?;
+        let nm: usize = parse_num(next("mapper count")?, line, "mapper count")?;
+        self.mappers.clear();
+        for _ in 0..nm {
+            self.mappers.push(parse_num(
+                next("mapper location")?,
+                line,
+                "mapper location",
+            )?);
+        }
+        let nr: usize = parse_num(next("reducer count")?, line, "reducer count")?;
+        self.reducers.clear();
+        for _ in 0..nr {
+            let t = next("reducer entry")?;
+            let (slot, mb) = t.split_once(':').ok_or_else(|| {
+                WorkloadError::parse(line, format!("reducer entry `{t}` is not `loc:size_mb`"))
+            })?;
+            let slot = parse_num(slot, line, "reducer location")?;
+            let mb = parse_float(mb, line, "reducer size")?;
+            if mb < 0.0 {
+                return Err(WorkloadError::parse(
+                    line,
+                    format!("negative reducer size {mb}"),
+                ));
+            }
+            self.reducers.push((slot, mb));
+        }
+        if self.arrival_ms < 0.0 {
+            return Err(WorkloadError::parse(
+                line,
+                format!("negative arrival time {}", self.arrival_ms),
+            ));
+        }
+        if let Some(extra) = tok.next() {
+            return Err(WorkloadError::parse(
+                line,
+                format!("trailing token `{extra}` after {nr} reducer entries"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Append the canonical form of this record (no trailing newline) to
+    /// `out`. Floats use Rust's shortest-round-trip formatting, so writing a
+    /// parsed record reproduces the canonical text byte-for-byte.
+    pub fn write_line(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{} {} {}",
+            self.id,
+            self.arrival_ms,
+            self.mappers.len()
+        );
+        for m in &self.mappers {
+            let _ = write!(out, " {m}");
+        }
+        let _ = write!(out, " {}", self.reducers.len());
+        for &(slot, mb) in &self.reducers {
+            let _ = write!(out, " {slot}:{mb}");
+        }
+    }
+
+    /// Expand into a [`Coflow`] over fabric ports: `num_mappers × num_reducers`
+    /// flows, each carrying an even share of its reducer's megabytes, with
+    /// arrival converted to seconds. Flow ids are drawn densely from
+    /// `next_flow_id`. Fails if any machine slot does not map onto the
+    /// fabric (see [`MachineMap`]).
+    pub fn to_coflow(
+        &self,
+        map: &MachineMap,
+        next_flow_id: &mut u64,
+        line: usize,
+    ) -> Result<Coflow, WorkloadError> {
+        let mut builder = Coflow::builder(self.id).arrival(self.arrival_ms * units::ms(1.0));
+        let share = 1.0 / self.mappers.len().max(1) as f64;
+        for &m in &self.mappers {
+            let src = map.port(m, line)?;
+            for &(r, mb) in &self.reducers {
+                let dst = map.port(r, line)?;
+                let size = (mb * units::MB * share).max(0.0);
+                builder = builder.flow(FlowSpec::new(*next_flow_id, src, dst, size));
+                *next_flow_id += 1;
+            }
+        }
+        Ok(builder.build())
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(t: &str, line: usize, what: &str) -> Result<T, WorkloadError> {
+    t.parse()
+        .map_err(|_| WorkloadError::parse(line, format!("non-numeric {what} `{t}`")))
+}
+
+fn parse_float(t: &str, line: usize, what: &str) -> Result<f64, WorkloadError> {
+    let v: f64 = parse_num(t, line, what)?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(WorkloadError::parse(
+            line,
+            format!("non-finite {what} `{t}`"),
+        ))
+    }
+}
+
+/// Maps the trace's 1-based machine slots onto fabric ports `0..ports`.
+///
+/// * [`MachineMap::strict`] — slot `s` becomes port `s - 1`; a slot beyond
+///   the fabric is a structured [`WorkloadError::InvalidConfig`] (imported
+///   traces wider than the fabric must not panic downstream).
+/// * [`MachineMap::wrapping`] — slot `s` becomes port `(s - 1) % ports`,
+///   folding a large trace onto a small fabric (useful for smoke tests; it
+///   changes contention, so label results accordingly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineMap {
+    ports: usize,
+    wrap: bool,
+}
+
+impl MachineMap {
+    /// Strict mapping onto a `ports`-machine fabric.
+    pub fn strict(ports: usize) -> Result<Self, WorkloadError> {
+        Self::build(ports, false)
+    }
+
+    /// Wrapping (modulo) mapping onto a `ports`-machine fabric.
+    pub fn wrapping(ports: usize) -> Result<Self, WorkloadError> {
+        Self::build(ports, true)
+    }
+
+    fn build(ports: usize, wrap: bool) -> Result<Self, WorkloadError> {
+        if ports < 2 {
+            return Err(WorkloadError::InvalidConfig(format!(
+                "machine map needs at least two fabric ports, got {ports}"
+            )));
+        }
+        Ok(Self { ports, wrap })
+    }
+
+    /// The fabric size this map targets.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Map a 1-based machine slot onto a port, or explain why it cannot.
+    pub fn port(&self, slot: u32, line: usize) -> Result<u32, WorkloadError> {
+        if slot == 0 {
+            return Err(WorkloadError::parse(
+                line,
+                "machine slot 0 (the format numbers machines from 1)",
+            ));
+        }
+        let raw = (slot - 1) as usize;
+        if raw < self.ports {
+            Ok(raw as u32)
+        } else if self.wrap {
+            Ok((raw % self.ports) as u32)
+        } else {
+            Err(WorkloadError::InvalidConfig(format!(
+                "trace line {line}: machine slot {slot} exceeds the {}-port fabric \
+                 (grow the fabric, pass an explicit port count, or use a wrapping map)",
+                self.ports
+            )))
+        }
+    }
+}
+
+/// Streaming iterator over a Facebook-format trace: yields one [`Coflow`]
+/// per record without materializing the trace.
+///
+/// Memory use is O(longest line) plus one `u64` per coflow id seen (for
+/// duplicate detection) — independent of file size. The iterator fuses
+/// after the first error.
+pub struct StreamingTrace<R: BufRead> {
+    input: R,
+    map: MachineMap,
+    line_buf: String,
+    rec: FbRecord,
+    line_no: usize,
+    next_flow_id: u64,
+    seen_ids: HashSet<u64>,
+    header: Option<FbHeader>,
+    header_checked: bool,
+    done: bool,
+}
+
+impl<R: BufRead> StreamingTrace<R> {
+    /// Stream records from `input`, mapping machine slots through `map`.
+    pub fn new(input: R, map: MachineMap) -> Self {
+        Self {
+            input,
+            map,
+            line_buf: String::new(),
+            rec: FbRecord::default(),
+            line_no: 0,
+            next_flow_id: 0,
+            seen_ids: HashSet::new(),
+            header: None,
+            header_checked: false,
+            done: false,
+        }
+    }
+
+    /// The header, if the trace has one. Reads (at most) the first line.
+    pub fn header(&mut self) -> Result<Option<FbHeader>, WorkloadError> {
+        self.check_header()?;
+        Ok(self.header)
+    }
+
+    /// Read the next non-empty, non-comment line into `line_buf`; `false`
+    /// at EOF.
+    fn next_line(&mut self) -> Result<bool, WorkloadError> {
+        loop {
+            self.line_buf.clear();
+            if self.input.read_line(&mut self.line_buf)? == 0 {
+                return Ok(false);
+            }
+            self.line_no += 1;
+            let t = self.line_buf.trim();
+            if !t.is_empty() && !t.starts_with('#') {
+                return Ok(true);
+            }
+        }
+    }
+
+    /// Inspect the first content line: exactly two integer tokens is the
+    /// `<num_machines> <num_coflows>` header (a record needs ≥ 4 tokens).
+    /// The line is left in `line_buf` for the record path when it is not a
+    /// header (`line_buf` is emptied when it was).
+    fn check_header(&mut self) -> Result<(), WorkloadError> {
+        if self.header_checked {
+            return Ok(());
+        }
+        self.header_checked = true;
+        if !self.next_line()? {
+            self.done = true;
+            self.line_buf.clear();
+            return Ok(());
+        }
+        let mut tok = self.line_buf.split_ascii_whitespace();
+        if let (Some(a), Some(b), None) = (tok.next(), tok.next(), tok.next()) {
+            if let (Ok(m), Ok(n)) = (a.parse::<usize>(), b.parse::<usize>()) {
+                self.header = Some(FbHeader {
+                    num_machines: m,
+                    num_coflows: n,
+                });
+                self.line_buf.clear();
+            }
+        }
+        Ok(())
+    }
+
+    fn next_coflow(&mut self) -> Result<Option<Coflow>, WorkloadError> {
+        self.check_header()?;
+        if self.done {
+            return Ok(None);
+        }
+        // The header check may have left the first record in `line_buf`.
+        if self.line_buf.trim().is_empty() && !self.next_line()? {
+            return Ok(None);
+        }
+        let line_no = self.line_no;
+        // Move the text out so `rec.parse_line` can borrow `self.rec`
+        // mutably; swap back afterwards to keep the buffer's capacity.
+        let text = std::mem::take(&mut self.line_buf);
+        let parsed = self.rec.parse_line(&text, line_no);
+        self.line_buf = text;
+        self.line_buf.clear();
+        parsed?;
+        if !self.seen_ids.insert(self.rec.id) {
+            return Err(WorkloadError::parse(
+                line_no,
+                format!("duplicate coflow id {}", self.rec.id),
+            ));
+        }
+        let coflow = self
+            .rec
+            .to_coflow(&self.map, &mut self.next_flow_id, line_no)?;
+        Ok(Some(coflow))
+    }
+}
+
+impl<R: BufRead> Iterator for StreamingTrace<R> {
+    type Item = Result<Coflow, WorkloadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_coflow() {
+            Ok(Some(c)) => Some(Ok(c)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Configuration of the synthetic Facebook-format trace generator — the
+/// ingest benchmark's source of arbitrarily large, deterministic traces.
+/// Sizes are heavy-tailed (log-uniform in `[1, max_mb]` MB, echoing the
+/// benchmark traces' integer-MB sizes), arrivals are Poisson in integer
+/// milliseconds, and placements are sampled without replacement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FbGen {
+    /// Records to emit.
+    pub num_coflows: u64,
+    /// Machines in the cluster (slots are 1-based).
+    pub num_machines: u32,
+    /// Mean inter-arrival gap, milliseconds.
+    pub mean_gap_ms: f64,
+    /// Largest mapper count per record.
+    pub max_mappers: u32,
+    /// Largest reducer count per record.
+    pub max_reducers: u32,
+    /// Largest per-reducer size, MB.
+    pub max_mb: u32,
+    /// RNG seed; generation is fully deterministic.
+    pub seed: u64,
+}
+
+impl Default for FbGen {
+    fn default() -> Self {
+        Self {
+            num_coflows: 1000,
+            num_machines: 150,
+            mean_gap_ms: 100.0,
+            max_mappers: 5,
+            max_reducers: 5,
+            max_mb: 1000,
+            seed: 0xFBFB,
+        }
+    }
+}
+
+impl FbGen {
+    /// Stream the trace (header line included) to `w`, returning the bytes
+    /// written. Memory use is O(1) in `num_coflows`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<u64> {
+        assert!(self.num_machines >= 2, "need at least two machines");
+        assert!(self.max_mappers >= 1 && self.max_reducers >= 1 && self.max_mb >= 1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut line = String::new();
+        let mut rec = FbRecord::default();
+        let mut written = 0u64;
+        line.clear();
+        let _ = writeln!(line, "{} {}", self.num_machines, self.num_coflows);
+        w.write_all(line.as_bytes())?;
+        written += line.len() as u64;
+        let mut t_ms = 0.0f64;
+        for id in 0..self.num_coflows {
+            if id > 0 {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t_ms = (t_ms - self.mean_gap_ms * u.ln()).round();
+            }
+            rec.id = id;
+            rec.arrival_ms = t_ms;
+            let nm = rng.gen_range(1..=self.max_mappers.min(self.num_machines));
+            let nr = rng.gen_range(1..=self.max_reducers.min(self.num_machines));
+            sample_slots(&mut rng, self.num_machines, nm, &mut rec.mappers);
+            rec.reducers.clear();
+            let mut slots = Vec::new();
+            sample_slots(&mut rng, self.num_machines, nr, &mut slots);
+            for slot in slots {
+                // Log-uniform integer MB in [1, max_mb].
+                let mb = (self.max_mb as f64).powf(rng.gen::<f64>()).round().max(1.0);
+                rec.reducers.push((slot, mb));
+            }
+            line.clear();
+            rec.write_line(&mut line);
+            line.push('\n');
+            w.write_all(line.as_bytes())?;
+            written += line.len() as u64;
+        }
+        Ok(written)
+    }
+}
+
+/// Sample `n` distinct 1-based slots from `1..=machines` into `out`.
+fn sample_slots(rng: &mut StdRng, machines: u32, n: u32, out: &mut Vec<u32>) {
+    out.clear();
+    while out.len() < n as usize {
+        let s = rng.gen_range(1..=machines);
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn rec(text: &str) -> FbRecord {
+        let mut r = FbRecord::default();
+        r.parse_line(text, 1).expect("record parses");
+        r
+    }
+
+    #[test]
+    fn record_parses_and_expands() {
+        let r = rec("7 250 2 1 3 2 2:40 5:10");
+        assert_eq!(r.id, 7);
+        assert_eq!(r.arrival_ms, 250.0);
+        assert_eq!(r.mappers, vec![1, 3]);
+        assert_eq!(r.reducers, vec![(2, 40.0), (5, 10.0)]);
+        assert_eq!(r.num_flows(), 4);
+        let map = MachineMap::strict(6).unwrap();
+        let mut fid = 0u64;
+        let c = r.to_coflow(&map, &mut fid, 1).unwrap();
+        assert_eq!(c.id.0, 7);
+        assert_eq!(c.arrival, 0.25);
+        assert_eq!(c.num_flows(), 4);
+        // Reducer 2's 40 MB splits evenly across the two mappers.
+        assert_eq!(c.flows[0].src.0, 0);
+        assert_eq!(c.flows[0].dst.0, 1);
+        assert_eq!(c.flows[0].size, 20.0 * units::MB);
+        assert_eq!(fid, 4);
+        assert!((c.total_bytes() - 50.0 * units::MB).abs() < 1e-3);
+    }
+
+    #[test]
+    fn canonical_write_is_parse_fixpoint() {
+        let r = rec("3 1500 1 4 2 1:0.5 2:128");
+        let mut line = String::new();
+        r.write_line(&mut line);
+        assert_eq!(line, "3 1500 1 4 2 1:0.5 2:128");
+        assert_eq!(rec(&line), r);
+    }
+
+    #[test]
+    fn malformed_lines_are_structured_errors() {
+        let cases: &[(&str, &str)] = &[
+            ("5", "truncated"),
+            ("5 100", "truncated"),
+            ("5 100 2 1", "truncated"),
+            ("5 100 1 1 1", "truncated"),
+            ("x 100 1 1 1 2:4", "non-numeric coflow id"),
+            ("5 abc 1 1 1 2:4", "non-numeric arrival"),
+            ("5 100 1 1 1 2:huge", "non-numeric reducer size"),
+            ("5 100 1 1 1 24", "not `loc:size_mb`"),
+            ("5 100 1 1 1 2:4 junk", "trailing token"),
+            ("5 -1 1 1 1 2:4", "negative arrival"),
+            ("5 100 1 1 1 2:-4", "negative reducer size"),
+        ];
+        for (text, needle) in cases {
+            let err = FbRecord::default().parse_line(text, 9).unwrap_err();
+            match err {
+                WorkloadError::Parse { line, msg } => {
+                    assert_eq!(line, 9, "{text}");
+                    assert!(msg.contains(needle), "{text}: {msg}");
+                }
+                other => panic!("{text}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_reads_header_and_records() {
+        let text = "4 2\n# a comment\n0 0 1 1 1 2:10\n\n1 500 2 1 2 1 3:6\n";
+        let mut s = StreamingTrace::new(
+            BufReader::new(text.as_bytes()),
+            MachineMap::strict(4).unwrap(),
+        );
+        assert_eq!(
+            s.header().unwrap(),
+            Some(FbHeader {
+                num_machines: 4,
+                num_coflows: 2
+            })
+        );
+        let coflows: Result<Vec<_>, _> = s.collect();
+        let coflows = coflows.unwrap();
+        assert_eq!(coflows.len(), 2);
+        assert_eq!(coflows[0].num_flows(), 1);
+        assert_eq!(coflows[1].num_flows(), 2);
+        assert_eq!(coflows[1].arrival, 0.5);
+        // Flow ids are dense across records.
+        let ids: Vec<u64> = coflows
+            .iter()
+            .flat_map(|c| c.flows.iter().map(|f| f.id.0))
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn headerless_trace_streams() {
+        let text = "0 0 1 1 1 2:10\n1 100 1 2 1 1:4\n";
+        let s = StreamingTrace::new(
+            BufReader::new(text.as_bytes()),
+            MachineMap::strict(2).unwrap(),
+        );
+        let coflows: Result<Vec<_>, _> = s.collect();
+        assert_eq!(coflows.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_coflow_id_is_rejected() {
+        let text = "0 0 1 1 1 2:10\n0 100 1 2 1 1:4\n";
+        let s = StreamingTrace::new(
+            BufReader::new(text.as_bytes()),
+            MachineMap::strict(2).unwrap(),
+        );
+        let err = s.collect::<Result<Vec<_>, _>>().unwrap_err();
+        match err {
+            WorkloadError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("duplicate coflow id 0"), "{msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iterator_fuses_after_error() {
+        let text = "0 0 1 1 1 2:10\nbroken\n1 100 1 2 1 1:4\n";
+        let mut s = StreamingTrace::new(
+            BufReader::new(text.as_bytes()),
+            MachineMap::strict(2).unwrap(),
+        );
+        assert!(s.next().unwrap().is_ok());
+        assert!(s.next().unwrap().is_err());
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn strict_map_rejects_wide_trace_wrapping_folds_it() {
+        let err = MachineMap::strict(4).unwrap().port(9, 3).unwrap_err();
+        match err {
+            WorkloadError::InvalidConfig(msg) => {
+                assert!(msg.contains("slot 9") && msg.contains("4-port"), "{msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(MachineMap::wrapping(4).unwrap().port(9, 3).unwrap(), 0);
+        assert!(MachineMap::strict(1).is_err());
+    }
+
+    #[test]
+    fn generator_round_trips_through_the_parser() {
+        let gen = FbGen {
+            num_coflows: 50,
+            num_machines: 12,
+            ..FbGen::default()
+        };
+        let mut buf = Vec::new();
+        let n = gen.write_to(&mut buf).unwrap();
+        assert_eq!(n as usize, buf.len());
+        let mut s = StreamingTrace::new(
+            BufReader::new(buf.as_slice()),
+            MachineMap::strict(12).unwrap(),
+        );
+        assert_eq!(
+            s.header().unwrap(),
+            Some(FbHeader {
+                num_machines: 12,
+                num_coflows: 50
+            })
+        );
+        let coflows: Result<Vec<_>, _> = s.collect();
+        let coflows = coflows.unwrap();
+        assert_eq!(coflows.len(), 50);
+        assert!(coflows.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Determinism: a second pass is identical.
+        let mut buf2 = Vec::new();
+        gen.write_to(&mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+    }
+}

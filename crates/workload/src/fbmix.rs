@@ -63,98 +63,133 @@ impl FbMix {
 
     /// Generate the trace.
     pub fn generate(&self) -> Vec<Coflow> {
+        self.iter().collect()
+    }
+
+    /// Stream the trace coflow-by-coflow; the sequence is exactly what
+    /// [`FbMix::generate`] collects (same RNG draws, same global flow
+    /// re-identification).
+    pub fn iter(&self) -> FbMixIter {
         assert!(self.num_nodes >= 2, "need at least two nodes");
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let (sn, ln, sw, lw) = self.shares;
+        FbMixIter {
+            mix: self.clone(),
+            rng: StdRng::seed_from_u64(self.seed),
+            t: 0.0,
+            next_cid: 0,
+            next_flow_id: 0,
+        }
+    }
+}
+
+/// Streaming state of [`FbMix::iter`].
+#[derive(Debug, Clone)]
+pub struct FbMixIter {
+    mix: FbMix,
+    rng: StdRng,
+    t: f64,
+    next_cid: usize,
+    next_flow_id: u64,
+}
+
+impl Iterator for FbMixIter {
+    type Item = Coflow;
+
+    fn next(&mut self) -> Option<Coflow> {
+        let mix = &self.mix;
+        let rng = &mut self.rng;
+        if self.next_cid >= mix.num_coflows {
+            return None;
+        }
+        let cid = self.next_cid;
+        self.next_cid += 1;
+        let (sn, ln, sw, lw) = mix.shares;
         let total_share = sn + ln + sw + lw;
-        let mut coflows = Vec::with_capacity(self.num_coflows);
-        // Generate each bin's coflows through the shared generator, one bin
-        // at a time, then merge-sort by arrival with the Poisson gaps drawn
-        // here so the interleave is realistic.
-        let mut t = 0.0f64;
-        for cid in 0..self.num_coflows {
-            if cid > 0 {
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                t += -self.mean_gap * u.ln();
-            }
-            let pick = rng.gen_range(0.0..total_share);
-            let (width_dist, len_dist) = if pick < sn {
-                (
-                    SizeDist::Uniform {
-                        lo: 1.0,
-                        hi: self.narrow_width as f64 + 1.0,
-                    },
-                    SizeDist::BoundedPareto {
-                        lo: self.short_bytes * 1e-3,
-                        hi: self.short_bytes,
-                        shape: 0.5,
-                    },
-                )
-            } else if pick < sn + ln {
-                (
-                    SizeDist::Uniform {
-                        lo: 1.0,
-                        hi: self.narrow_width as f64 + 1.0,
-                    },
-                    SizeDist::BoundedPareto {
-                        lo: self.short_bytes,
-                        hi: self.long_bytes,
-                        shape: 0.6,
-                    },
-                )
-            } else if pick < sn + ln + sw {
-                (
-                    SizeDist::Uniform {
-                        lo: self.narrow_width as f64 + 1.0,
-                        hi: self.wide_width as f64 + 1.0,
-                    },
-                    SizeDist::BoundedPareto {
-                        lo: self.short_bytes * 1e-3,
-                        hi: self.short_bytes,
-                        shape: 0.5,
-                    },
-                )
-            } else {
-                (
-                    SizeDist::Uniform {
-                        lo: self.narrow_width as f64 + 1.0,
-                        hi: self.wide_width as f64 + 1.0,
-                    },
-                    SizeDist::BoundedPareto {
-                        lo: self.short_bytes,
-                        hi: self.long_bytes,
-                        shape: 0.6,
-                    },
-                )
-            };
-            // One-coflow generation through the shared machinery keeps flow
-            // ids locally dense; re-id below keeps them globally unique.
-            let sub = CoflowGen::new(GenConfig {
-                num_coflows: 1,
-                num_nodes: self.num_nodes,
-                interarrival: SizeDist::Constant(0.0),
-                width: width_dist,
-                // `flow_size` is the per-flow size here (length-bin bound).
-                flow_size: len_dist,
-                sizing: Sizing::PerFlow,
-                compressible_fraction: 1.0,
-                seed: rng.gen(),
-            })
-            .generate();
-            let mut c = sub.into_iter().next().expect("one coflow");
-            c.id = swallow_fabric::CoflowId(cid as u64);
-            c.arrival = t;
-            coflows.push(c);
+        // Draw each bin's coflow through the shared generator, one at a
+        // time, with the Poisson gaps drawn here so the interleave is
+        // realistic.
+        if cid > 0 {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            self.t += -mix.mean_gap * u.ln();
         }
-        // Re-id flows globally.
-        let mut next = 0u64;
-        for c in &mut coflows {
-            for f in &mut c.flows {
-                f.id = swallow_fabric::FlowId(next);
-                next += 1;
-            }
+        let pick = rng.gen_range(0.0..total_share);
+        let (width_dist, len_dist) = if pick < sn {
+            (
+                SizeDist::Uniform {
+                    lo: 1.0,
+                    hi: mix.narrow_width as f64 + 1.0,
+                },
+                SizeDist::BoundedPareto {
+                    lo: mix.short_bytes * 1e-3,
+                    hi: mix.short_bytes,
+                    shape: 0.5,
+                },
+            )
+        } else if pick < sn + ln {
+            (
+                SizeDist::Uniform {
+                    lo: 1.0,
+                    hi: mix.narrow_width as f64 + 1.0,
+                },
+                SizeDist::BoundedPareto {
+                    lo: mix.short_bytes,
+                    hi: mix.long_bytes,
+                    shape: 0.6,
+                },
+            )
+        } else if pick < sn + ln + sw {
+            (
+                SizeDist::Uniform {
+                    lo: mix.narrow_width as f64 + 1.0,
+                    hi: mix.wide_width as f64 + 1.0,
+                },
+                SizeDist::BoundedPareto {
+                    lo: mix.short_bytes * 1e-3,
+                    hi: mix.short_bytes,
+                    shape: 0.5,
+                },
+            )
+        } else {
+            (
+                SizeDist::Uniform {
+                    lo: mix.narrow_width as f64 + 1.0,
+                    hi: mix.wide_width as f64 + 1.0,
+                },
+                SizeDist::BoundedPareto {
+                    lo: mix.short_bytes,
+                    hi: mix.long_bytes,
+                    shape: 0.6,
+                },
+            )
+        };
+        // One-coflow generation through the shared machinery keeps flow
+        // ids locally dense; re-id below keeps them globally unique — the
+        // running counter assigns exactly the ids the batch re-id pass of
+        // `generate` used to.
+        let sub = CoflowGen::new(GenConfig {
+            num_coflows: 1,
+            num_nodes: mix.num_nodes,
+            interarrival: SizeDist::Constant(0.0),
+            width: width_dist,
+            // `flow_size` is the per-flow size here (length-bin bound).
+            flow_size: len_dist,
+            sizing: Sizing::PerFlow,
+            compressible_fraction: 1.0,
+            seed: rng.gen(),
+        })
+        .generate();
+        let mut c = sub.into_iter().next().expect("one coflow");
+        c.id = swallow_fabric::CoflowId(cid as u64);
+        c.arrival = self.t;
+        for f in &mut c.flows {
+            f.id = swallow_fabric::FlowId(self.next_flow_id);
+            self.next_flow_id += 1;
         }
-        coflows
+        Some(c)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.mix.num_coflows - self.next_cid;
+        (left, Some(left))
     }
 }
 

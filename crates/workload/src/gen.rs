@@ -1,6 +1,7 @@
 //! Synthetic coflow trace generation.
 
 use crate::dist::SizeDist;
+use crate::error::WorkloadError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -67,64 +68,120 @@ pub struct CoflowGen {
 
 impl CoflowGen {
     /// Build a generator.
+    ///
+    /// Panics on an unusable config; [`CoflowGen::try_new`] is the
+    /// non-panicking form for configs that come from outside the program
+    /// (imported scenarios, CLI flags).
     pub fn new(config: GenConfig) -> Self {
-        assert!(config.num_nodes >= 2, "placement needs at least two nodes");
-        assert!(
-            (0.0..=1.0).contains(&config.compressible_fraction),
-            "compressible fraction must be in [0,1]"
-        );
-        Self { config }
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build a generator, reporting an unusable config as a structured
+    /// error instead of panicking (`swallow-core` maps it onto
+    /// `SwallowError::InvalidConfig`).
+    pub fn try_new(config: GenConfig) -> Result<Self, WorkloadError> {
+        if config.num_nodes < 2 {
+            return Err(WorkloadError::InvalidConfig(format!(
+                "placement needs at least two nodes, got {}",
+                config.num_nodes
+            )));
+        }
+        if !(0.0..=1.0).contains(&config.compressible_fraction) {
+            return Err(WorkloadError::InvalidConfig(format!(
+                "compressible fraction must be in [0,1], got {}",
+                config.compressible_fraction
+            )));
+        }
+        Ok(Self { config })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &GenConfig {
+        &self.config
+    }
+
+    /// Stream the trace coflow-by-coflow without materializing it. The
+    /// sequence is exactly what [`CoflowGen::generate`] collects: both walk
+    /// the same RNG draws in the same order.
+    pub fn iter(&self) -> CoflowIter {
+        CoflowIter {
+            cfg: self.config.clone(),
+            rng: StdRng::seed_from_u64(self.config.seed),
+            t: 0.0,
+            next_flow_id: 0,
+            next_cid: 0,
+        }
     }
 
     /// Generate the trace. Flow ids are dense and unique; arrivals are the
     /// cumulative sums of the inter-arrival gaps.
     pub fn generate(&self) -> Vec<Coflow> {
-        let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut coflows = Vec::with_capacity(cfg.num_coflows);
-        let mut t = 0.0f64;
-        let mut next_flow_id = 0u64;
-        for cid in 0..cfg.num_coflows {
-            if cid > 0 {
-                t += cfg.interarrival.sample(&mut rng).max(0.0);
-            }
-            let width = (cfg.width.sample(&mut rng).round() as usize).max(1);
-            let coflow_share = match cfg.sizing {
-                Sizing::PerFlow => None,
-                Sizing::PerCoflow { .. } => {
-                    Some(cfg.flow_size.sample(&mut rng).max(1.0) / width as f64)
-                }
-            };
-            let mut builder = Coflow::builder(cid as u64).arrival(t);
-            for _ in 0..width {
-                let src = rng.gen_range(0..cfg.num_nodes) as u32;
-                let mut dst = rng.gen_range(0..cfg.num_nodes) as u32;
-                while dst == src {
-                    dst = rng.gen_range(0..cfg.num_nodes) as u32;
-                }
-                let size = match (cfg.sizing, coflow_share) {
-                    (Sizing::PerFlow, _) => cfg.flow_size.sample(&mut rng).max(1.0),
-                    (Sizing::PerCoflow { skew }, Some(share)) => {
-                        // Mean-preserving log-normal skew around the share.
-                        let factor = SizeDist::LogNormal {
-                            mu: -skew * skew / 2.0,
-                            sigma: skew,
-                        }
-                        .sample(&mut rng);
-                        (share * factor).max(1.0)
-                    }
-                    (Sizing::PerCoflow { .. }, None) => unreachable!("share computed above"),
-                };
-                let mut spec = FlowSpec::new(next_flow_id, src, dst, size);
-                if rng.gen::<f64>() >= cfg.compressible_fraction {
-                    spec = spec.incompressible();
-                }
-                next_flow_id += 1;
-                builder = builder.flow(spec);
-            }
-            coflows.push(builder.build());
+        self.iter().collect()
+    }
+}
+
+/// Streaming state of [`CoflowGen::iter`].
+#[derive(Debug, Clone)]
+pub struct CoflowIter {
+    cfg: GenConfig,
+    rng: StdRng,
+    t: f64,
+    next_flow_id: u64,
+    next_cid: usize,
+}
+
+impl Iterator for CoflowIter {
+    type Item = Coflow;
+
+    fn next(&mut self) -> Option<Coflow> {
+        let cfg = &self.cfg;
+        let rng = &mut self.rng;
+        if self.next_cid >= cfg.num_coflows {
+            return None;
         }
-        coflows
+        let cid = self.next_cid;
+        self.next_cid += 1;
+        if cid > 0 {
+            self.t += cfg.interarrival.sample(rng).max(0.0);
+        }
+        let width = (cfg.width.sample(rng).round() as usize).max(1);
+        let coflow_share = match cfg.sizing {
+            Sizing::PerFlow => None,
+            Sizing::PerCoflow { .. } => Some(cfg.flow_size.sample(rng).max(1.0) / width as f64),
+        };
+        let mut builder = Coflow::builder(cid as u64).arrival(self.t);
+        for _ in 0..width {
+            let src = rng.gen_range(0..cfg.num_nodes) as u32;
+            let mut dst = rng.gen_range(0..cfg.num_nodes) as u32;
+            while dst == src {
+                dst = rng.gen_range(0..cfg.num_nodes) as u32;
+            }
+            let size = match (cfg.sizing, coflow_share) {
+                (Sizing::PerFlow, _) => cfg.flow_size.sample(rng).max(1.0),
+                (Sizing::PerCoflow { skew }, Some(share)) => {
+                    // Mean-preserving log-normal skew around the share.
+                    let factor = SizeDist::LogNormal {
+                        mu: -skew * skew / 2.0,
+                        sigma: skew,
+                    }
+                    .sample(rng);
+                    (share * factor).max(1.0)
+                }
+                (Sizing::PerCoflow { .. }, None) => unreachable!("share computed above"),
+            };
+            let mut spec = FlowSpec::new(self.next_flow_id, src, dst, size);
+            if rng.gen::<f64>() >= cfg.compressible_fraction {
+                spec = spec.incompressible();
+            }
+            self.next_flow_id += 1;
+            builder = builder.flow(spec);
+        }
+        Some(builder.build())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.cfg.num_coflows - self.next_cid;
+        (left, Some(left))
     }
 }
 
@@ -346,5 +403,33 @@ mod tests {
             num_nodes: 1,
             ..GenConfig::default()
         });
+    }
+
+    #[test]
+    fn try_new_reports_structured_errors() {
+        use crate::error::WorkloadError;
+        let err = CoflowGen::try_new(GenConfig {
+            num_nodes: 1,
+            ..GenConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, WorkloadError::InvalidConfig(_)), "{err:?}");
+        let err = CoflowGen::try_new(GenConfig {
+            compressible_fraction: 1.5,
+            ..GenConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, WorkloadError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn iter_streams_the_same_trace_generate_collects() {
+        let gen = CoflowGen::new(GenConfig {
+            num_coflows: 40,
+            ..GenConfig::default()
+        });
+        let streamed: Vec<Coflow> = gen.iter().collect();
+        assert_eq!(streamed, gen.generate());
+        assert_eq!(gen.iter().size_hint(), (40, Some(40)));
     }
 }

@@ -119,8 +119,13 @@ impl Trace {
     }
 
     /// Parse from JSON.
+    #[deprecated(
+        since = "0.8.0",
+        note = "construct traces through `swallow_workload::source::TraceFile` \
+                (the `WorkloadSource` API) instead"
+    )]
     pub fn from_json(s: &str) -> Result<Trace, TraceError> {
-        serde_json::from_str(s).map_err(|e| TraceError::Json(e.to_string()))
+        parse_json(s)
     }
 
     /// Serialize to the flow-per-row CSV format (with header).
@@ -139,64 +144,81 @@ impl Trace {
 
     /// Parse the CSV format (header optional). `num_nodes` is inferred from
     /// the largest node index.
+    #[deprecated(
+        since = "0.8.0",
+        note = "construct traces through `swallow_workload::source::TraceFile` \
+                (the `WorkloadSource` API) instead"
+    )]
     pub fn from_csv(name: impl Into<String>, s: &str) -> Result<Trace, TraceError> {
-        use std::collections::BTreeMap;
-        let mut groups: BTreeMap<u64, (f64, Vec<FlowSpec>)> = BTreeMap::new();
-        let mut max_node = 0u32;
-        for (i, line) in s.lines().enumerate() {
-            let row = i + 1;
-            let line = line.trim();
-            if line.is_empty() || line.starts_with("coflow,") || line.starts_with('#') {
-                continue;
-            }
-            let parts: Vec<&str> = line.split(',').collect();
-            if parts.len() != 7 {
-                return Err(TraceError::BadRow(row));
-            }
-            let field = |idx: usize, name: &'static str| -> Result<f64, TraceError> {
-                parts[idx]
-                    .trim()
-                    .parse::<f64>()
-                    .map_err(|_| TraceError::BadField { row, field: name })
-            };
-            let coflow = field(0, "coflow")? as u64;
-            let arrival = field(1, "arrival")?;
-            let flow = field(2, "flow")? as u64;
-            let src = field(3, "src")? as u32;
-            let dst = field(4, "dst")? as u32;
-            let size = field(5, "size")?;
-            let compressible = match parts[6].trim() {
-                "true" | "1" => true,
-                "false" | "0" => false,
-                _ => {
-                    return Err(TraceError::BadField {
-                        row,
-                        field: "compressible",
-                    })
-                }
-            };
-            max_node = max_node.max(src).max(dst);
-            let mut spec = FlowSpec::new(flow, src, dst, size);
-            if !compressible {
-                spec = spec.incompressible();
-            }
-            groups
-                .entry(coflow)
-                .or_insert((arrival, Vec::new()))
-                .1
-                .push(spec);
-            groups.get_mut(&coflow).unwrap().0 = arrival;
-        }
-        let coflows: Vec<Coflow> = groups
-            .into_iter()
-            .map(|(id, (arrival, flows))| Coflow {
-                id: swallow_fabric::CoflowId(id),
-                arrival,
-                flows,
-            })
-            .collect();
-        Ok(Trace::new(name, (max_node + 1) as usize, coflows))
+        parse_csv(name, s)
     }
+}
+
+/// JSON parse shared by the deprecated `Trace::from_json` shim and
+/// [`crate::source::TraceFile`].
+pub(crate) fn parse_json(s: &str) -> Result<Trace, TraceError> {
+    serde_json::from_str(s).map_err(|e| TraceError::Json(e.to_string()))
+}
+
+/// CSV parse shared by the deprecated `Trace::from_csv` shim and
+/// [`crate::source::TraceFile`].
+pub(crate) fn parse_csv(name: impl Into<String>, s: &str) -> Result<Trace, TraceError> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<u64, (f64, Vec<FlowSpec>)> = BTreeMap::new();
+    let mut max_node = 0u32;
+    for (i, line) in s.lines().enumerate() {
+        let row = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("coflow,") || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 7 {
+            return Err(TraceError::BadRow(row));
+        }
+        let field = |idx: usize, name: &'static str| -> Result<f64, TraceError> {
+            parts[idx]
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| TraceError::BadField { row, field: name })
+        };
+        let coflow = field(0, "coflow")? as u64;
+        let arrival = field(1, "arrival")?;
+        let flow = field(2, "flow")? as u64;
+        let src = field(3, "src")? as u32;
+        let dst = field(4, "dst")? as u32;
+        let size = field(5, "size")?;
+        let compressible = match parts[6].trim() {
+            "true" | "1" => true,
+            "false" | "0" => false,
+            _ => {
+                return Err(TraceError::BadField {
+                    row,
+                    field: "compressible",
+                })
+            }
+        };
+        max_node = max_node.max(src).max(dst);
+        let mut spec = FlowSpec::new(flow, src, dst, size);
+        if !compressible {
+            spec = spec.incompressible();
+        }
+        groups
+            .entry(coflow)
+            .or_insert((arrival, Vec::new()))
+            .1
+            .push(spec);
+        groups.get_mut(&coflow).unwrap().0 = arrival;
+    }
+    let coflows: Vec<Coflow> = groups
+        .into_iter()
+        .map(|(id, (arrival, flows))| Coflow {
+            id: swallow_fabric::CoflowId(id),
+            arrival,
+            flows,
+        })
+        .collect();
+    Ok(Trace::new(name, (max_node + 1) as usize, coflows))
 }
 
 #[cfg(test)]
@@ -218,7 +240,7 @@ mod tests {
     fn json_roundtrip() {
         let t = small_trace();
         let s = t.to_json();
-        let back = Trace::from_json(&s).unwrap();
+        let back = parse_json(&s).unwrap();
         assert_eq!(t, back);
     }
 
@@ -226,7 +248,7 @@ mod tests {
     fn csv_roundtrip() {
         let t = small_trace();
         let s = t.to_csv();
-        let back = Trace::from_csv("test", &s).unwrap();
+        let back = parse_csv("test", &s).unwrap();
         assert_eq!(t.num_flows(), back.num_flows());
         assert!((t.total_bytes() - back.total_bytes()).abs() < 1.0);
         assert_eq!(t.num_nodes, back.num_nodes);
@@ -234,10 +256,10 @@ mod tests {
 
     #[test]
     fn csv_rejects_malformed_rows() {
-        assert_eq!(Trace::from_csv("x", "1,2,3\n"), Err(TraceError::BadRow(1)));
+        assert_eq!(parse_csv("x", "1,2,3\n"), Err(TraceError::BadRow(1)));
         let bad_bool = "0,0.0,0,1,2,100,maybe\n";
         assert!(matches!(
-            Trace::from_csv("x", bad_bool),
+            parse_csv("x", bad_bool),
             Err(TraceError::BadField {
                 field: "compressible",
                 ..
@@ -245,17 +267,14 @@ mod tests {
         ));
         let bad_size = "0,0.0,0,1,2,huge,true\n";
         assert!(matches!(
-            Trace::from_csv("x", bad_size),
+            parse_csv("x", bad_size),
             Err(TraceError::BadField { field: "size", .. })
         ));
     }
 
     #[test]
     fn bad_json_is_error_not_panic() {
-        assert!(matches!(
-            Trace::from_json("{not json"),
-            Err(TraceError::Json(_))
-        ));
+        assert!(matches!(parse_json("{not json"), Err(TraceError::Json(_))));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Trace round-trip and replay: generate a heavy-tailed trace, persist it to
-//! JSON and CSV, reload, and replay the CSV copy under every scheduling
-//! algorithm.
+//! JSON and CSV, reload both through the [`WorkloadSource`] API
+//! ([`TraceFile`]), and replay the CSV copy under every scheduling algorithm.
 //!
 //! ```text
 //! cargo run --release --example trace_replay
@@ -34,11 +34,16 @@ fn main() {
         units::human_bytes(trace.total_bytes())
     );
 
-    // Round-trip through both formats.
+    // Round-trip through both formats via `TraceFile` (`WorkloadSource`).
     let json = trace.to_json();
     let csv = trace.to_csv();
-    let from_json = Trace::from_json(&json).expect("json parses");
-    let from_csv = Trace::from_csv("replay-demo", &csv).expect("csv parses");
+    let dir = std::env::temp_dir();
+    let json_path = dir.join("swallow-replay-demo.json");
+    let csv_path = dir.join("swallow-replay-demo.csv");
+    std::fs::write(&json_path, &json).expect("write json");
+    std::fs::write(&csv_path, &csv).expect("write csv");
+    let from_json = TraceFile::open(&json_path).load().expect("json parses");
+    let from_csv = TraceFile::open(&csv_path).load().expect("csv parses");
     assert_eq!(from_json, trace);
     assert_eq!(from_csv.num_flows(), trace.num_flows());
     println!(

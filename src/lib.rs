@@ -87,5 +87,8 @@ pub mod prelude {
         ProfiledCompression, SrtfPolicy, WssPolicy,
     };
     pub use swallow_trace::{TraceEvent, TraceSummary, Tracer};
-    pub use swallow_workload::{CoflowGen, GenConfig, SizeDist, Sizing, Trace};
+    pub use swallow_workload::{
+        CoflowGen, FbGen, GenConfig, SizeDist, Sizing, Trace, TraceFile, TraceFormat,
+        WorkloadSource,
+    };
 }

@@ -107,9 +107,14 @@ fn fast_path_is_deterministic_across_runs() {
 fn trace_serialization_round_trips_through_both_formats() {
     let coflows = make_trace(13);
     let trace = Trace::new("det", 10, coflows);
-    let back = Trace::from_json(&trace.to_json()).unwrap();
+    let dir = std::env::temp_dir();
+    let json_path = dir.join("swallow-det-roundtrip.json");
+    let csv_path = dir.join("swallow-det-roundtrip.csv");
+    std::fs::write(&json_path, trace.to_json()).unwrap();
+    std::fs::write(&csv_path, trace.to_csv()).unwrap();
+    let back = TraceFile::open(&json_path).load().unwrap();
     assert_eq!(back, trace);
-    let csv = Trace::from_csv("det", &trace.to_csv()).unwrap();
+    let csv = TraceFile::open(&csv_path).load().unwrap();
     assert_eq!(csv.num_flows(), trace.num_flows());
     // Replays of the two copies agree.
     let a = simulate(&back.coflows, Algorithm::Fvdf);
