@@ -20,6 +20,12 @@
 //!          differential replay, analytic bounds, golden-figure compare;
 //!          writes ORACLE_report.json and exits non-zero on any failure;
 //!          on failure also dumps a FLIGHT_record.json post-mortem
+//!   sampling <experiment> [--seed N] — non-clairvoyant pilot-flow
+//!          sampling sweep (fig6a | small | replay): per-policy CCT gap
+//!          to the clairvoyant counterpart across pilot fractions, with
+//!          bit-exact cross-mode replay and a pilot-fraction-1.0
+//!          clairvoyant-reproduction gate; same seed ⇒ byte-identical
+//!          SAMPLING_report.json
 //!   dash  <experiment> [--seed N] [--stride K] — telemetry replay
 //!          (fig6a | small): strided sampler + phase profiler, writing
 //!          DASH_report.{json,html,prom,jsonl}; the .json view is
@@ -43,7 +49,7 @@
 use swallow_bench::cli::CommonArgs;
 use swallow_bench::experiments::{bench_engine, ext, fig1, fig2, fig4, fig6, fig7, tables};
 use swallow_bench::experiments::{
-    dash_cmd, faults_cmd, oracle_cmd, replay_cmd, trace_cmd, tracegen_cmd,
+    dash_cmd, faults_cmd, oracle_cmd, replay_cmd, sampling_cmd, trace_cmd, tracegen_cmd,
 };
 use swallow_bench::report;
 
@@ -63,6 +69,7 @@ fn usage() -> ! {
          \x20     trace <experiment> [--out <path>]\n\
          \x20     faults <experiment> [--seed N]\n\
          \x20     oracle <experiment> [--seed N] [--refresh-golden]\n\
+         \x20     sampling <experiment> [--seed N]\n\
          \x20     dash <experiment> [--seed N] [--stride K]\n\
          \x20     replay <trace> [--policy P] [--bg F] [--seed N] [--ports N]\n\
          \x20            [--modes skip,event,naive] [--wrap] [--out <path>]\n\
@@ -82,6 +89,10 @@ fn usage() -> ! {
          \x20oracle checks invariants, replay equivalence, analytic bounds\n\
          \x20and the committed golden figure, writing ORACLE_report.json\n\
          \x20(plus a FLIGHT_record.json post-mortem on failure);\n\
+         \x20sampling sweeps pilot fractions under the non-clairvoyant\n\
+         \x20size estimator (fig6a|small|replay), reports each sampled\n\
+         \x20policy's CCT gap to its clairvoyant counterpart and writes a\n\
+         \x20deterministic SAMPLING_report.json;\n\
          \x20dash replays with the telemetry sampler + phase profiler and\n\
          \x20writes DASH_report.{{json,html,prom,jsonl}} — the .json is\n\
          \x20deterministic, the .html is a self-contained SVG dashboard;\n\
@@ -183,6 +194,13 @@ fn main() {
                     p.get_or("--seed", 7u64),
                     p.has("--refresh-golden"),
                 );
+            }
+            "sampling" => {
+                let p = CommonArgs::new("sampling", "paper sampling <experiment> [--seed N]")
+                    .positional("experiment")
+                    .value_flag("--seed")
+                    .parse(&args, &mut i);
+                sampling_cmd::run(p.positional(0), p.get_or("--seed", 7u64));
             }
             "dash" => {
                 let p = CommonArgs::new("dash", "paper dash <experiment> [--seed N] [--stride K]")

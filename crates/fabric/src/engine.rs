@@ -922,6 +922,7 @@ impl Engine {
                             flow: spec.id.0,
                             coflow: c.id.0,
                         });
+                        policy.on_flow_complete(spec.id, c.id, spec.size, c.arrival);
                     } else {
                         // Streamed traces are validated lazily, so the
                         // duplicate-id check `Engine::new` runs eagerly
@@ -1235,6 +1236,7 @@ impl Engine {
                     flow: id.0,
                     coflow: p.coflow.0,
                 });
+                policy.on_flow_complete(id, p.coflow, p.spec.size, t);
                 let meta = self
                     .coflow_meta
                     .get_mut(&p.coflow)
@@ -1288,7 +1290,11 @@ impl Engine {
             // off.
             if tele_active {
                 if let Some(t) = telemetry.as_deref() {
-                    let s = self.telemetry_sample(now, idx, &alloc, speed, delta, reschedules);
+                    let mut s = self.telemetry_sample(now, idx, &alloc, speed, delta, reschedules);
+                    // Estimation gauges are owned by the policy (a sampling
+                    // wrapper publishes them during allocate); fold the
+                    // latest values into this boundary's sample.
+                    (s.est_tracked_coflows, s.est_mean_abs_rel_err) = t.estimation();
                     t.record_sample(s);
                 }
             }
@@ -1958,6 +1964,8 @@ impl Engine {
             bytes_on_wire,
             bytes_saved,
             reschedules: reschedules as u64,
+            est_tracked_coflows: 0,
+            est_mean_abs_rel_err: 0.0,
         }
     }
 }

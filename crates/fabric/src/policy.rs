@@ -33,6 +33,23 @@ pub trait Policy {
         let _ = (coflow, now);
     }
 
+    /// Notification that flow `flow` of `coflow` drained its last byte at
+    /// `now`; `size` is the flow's true original size. Non-clairvoyant
+    /// policies use this to replace an estimate with the revealed ground
+    /// truth. The engine fires the hook in ascending flow-id order within a
+    /// retire batch, and flow completions are events every engine mode
+    /// visits, so the call sequence is identical across modes. Default is a
+    /// no-op.
+    fn on_flow_complete(
+        &mut self,
+        flow: crate::ids::FlowId,
+        coflow: CoflowId,
+        size: f64,
+        now: f64,
+    ) {
+        let _ = (flow, coflow, size, now);
+    }
+
     /// Hand the policy the engine's tracer so it can emit scheduling events
     /// (chosen order, disposal estimates, water-fill rounds). Called once at
     /// the start of [`crate::Engine::run`]; the default discards it, so

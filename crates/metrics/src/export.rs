@@ -428,6 +428,8 @@ mod tests {
             bytes_on_wire: 1.5,
             bytes_saved: 0.3,
             reschedules: idx,
+            est_tracked_coflows: 0,
+            est_mean_abs_rel_err: 0.0,
         }
     }
 

@@ -95,6 +95,8 @@ mod tests {
             bytes_on_wire: 0.0,
             bytes_saved: 0.0,
             reschedules: 0,
+            est_tracked_coflows: 0,
+            est_mean_abs_rel_err: 0.0,
         }
     }
 

@@ -117,6 +117,15 @@ pub struct TelemetrySample {
     pub bytes_saved: f64,
     /// Cumulative policy invocations.
     pub reschedules: u64,
+    /// Coflows a sampling-based estimator is currently tracking (0 for
+    /// clairvoyant runs).
+    #[serde(default)]
+    pub est_tracked_coflows: u64,
+    /// Mean absolute relative error of the estimator's coflow-size
+    /// estimates, over tracked coflows (0 when nothing is tracked). Pure
+    /// function of the simulated run, like every other field.
+    #[serde(default)]
+    pub est_mean_abs_rel_err: f64,
 }
 
 #[derive(Debug)]
@@ -138,6 +147,11 @@ pub struct Telemetry {
     boundaries: AtomicU64,
     active: AtomicBool,
     phases: [AtomicLogHistogram; Phase::ALL.len()],
+    /// Estimation gauges, written by a sampling policy (single engine
+    /// thread) and read back when the engine assembles a sample.
+    est_tracked: AtomicU64,
+    /// `f64::to_bits` of the mean absolute relative estimation error.
+    est_err_bits: AtomicU64,
 }
 
 /// Default ring capacity: enough for a full fig6 trajectory at stride 1.
@@ -166,6 +180,8 @@ impl Telemetry {
             boundaries: AtomicU64::new(0),
             active: AtomicBool::new(false),
             phases: Default::default(),
+            est_tracked: AtomicU64::new(0),
+            est_err_bits: AtomicU64::new(0.0f64.to_bits()),
         }
     }
 
@@ -218,6 +234,27 @@ impl Telemetry {
             ring.samples[head] = sample;
             ring.head = (head + 1) % self.capacity;
         }
+    }
+
+    /// Publish the estimator gauges: how many coflows a sampling-based
+    /// policy is tracking and the mean absolute relative error of its size
+    /// estimates. Called by the policy during `allocate`; the engine folds
+    /// the latest values into the next [`TelemetrySample`]. Both values are
+    /// pure functions of the simulated run, so sample determinism is
+    /// preserved.
+    pub fn record_estimation(&self, tracked: u64, mean_abs_rel_err: f64) {
+        self.est_tracked.store(tracked, Ordering::Relaxed);
+        self.est_err_bits
+            .store(mean_abs_rel_err.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Latest estimator gauges as `(tracked_coflows, mean_abs_rel_err)`;
+    /// `(0, 0.0)` when no sampling policy ever reported.
+    pub fn estimation(&self) -> (u64, f64) {
+        (
+            self.est_tracked.load(Ordering::Relaxed),
+            f64::from_bits(self.est_err_bits.load(Ordering::Relaxed)),
+        )
     }
 
     /// Record one phase timing.
@@ -317,7 +354,19 @@ mod tests {
             bytes_on_wire: 2.0,
             bytes_saved: 0.5,
             reschedules: idx,
+            est_tracked_coflows: 0,
+            est_mean_abs_rel_err: 0.0,
         }
+    }
+
+    #[test]
+    fn estimation_gauges_round_trip() {
+        let t = Telemetry::default();
+        assert_eq!(t.estimation(), (0, 0.0));
+        t.record_estimation(3, 0.25);
+        assert_eq!(t.estimation(), (3, 0.25));
+        t.record_estimation(0, 0.0);
+        assert_eq!(t.estimation(), (0, 0.0));
     }
 
     #[test]

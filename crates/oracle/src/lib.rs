@@ -41,7 +41,7 @@ mod tests {
     use swallow_fabric::engine::Reschedule;
     use swallow_fabric::{
         CheckCtx, CheckedFlow, Coflow, CoflowId, Engine, EngineCheck, Fabric, FlowCommand, FlowId,
-        FlowSpec, NodeId, SimConfig,
+        FlowSpec, NodeId, Policy, SimConfig,
     };
     use swallow_faults::FaultPlan;
     use swallow_sched::Algorithm;
@@ -252,6 +252,92 @@ mod tests {
             None,
         );
         assert!(report.ok, "{:?}", report.checks);
+    }
+
+    #[test]
+    fn sampled_policies_replay_clean_and_respect_bounds() {
+        // The oracle's axes are estimation-agnostic: a non-clairvoyant
+        // policy scheduling from pilot-sampled size estimates must still
+        // satisfy every engine invariant, replay bit-identically across
+        // engine legs, and land above the analytic floors — the estimates
+        // may be wrong, physics may not be.
+        use swallow_sched::{SampledPolicy, SamplingConfig};
+        let fabric = Fabric::uniform(3, 100.0);
+        let base = SimConfig::default()
+            .with_slice(0.01)
+            .with_reschedule(Reschedule::EventsOnly);
+        let coflows = small_trace();
+        let outcome = differential_replay(
+            &fabric,
+            &coflows,
+            &base,
+            Some(CheckConfig::default()),
+            || {
+                Box::new(SampledPolicy::fvdf(SamplingConfig::with_pilot_fraction(
+                    0.5,
+                )))
+            },
+        );
+        assert!(outcome.result.all_complete());
+        assert!(
+            outcome.is_clean(),
+            "mismatches: {:?}, legs: {:?}",
+            outcome.mismatches,
+            outcome.legs
+        );
+        let report = check_lower_bounds(
+            &coflows,
+            &Fabric::uniform(3, 100.0),
+            &outcome.result,
+            1.0,
+            None,
+        );
+        assert!(report.ok, "{:?}", report.checks);
+    }
+
+    #[test]
+    fn zero_forged_estimator_drains_and_checker_stays_silent() {
+        // Deliberate corruption: an estimator that reports 0 bytes for
+        // every coflow. The starvation guard plus work-conserving backfill
+        // must still drain the system, and the invariant checker — which
+        // watches the engine's ground truth, not the policy's beliefs —
+        // must not produce a single false positive.
+        use swallow_sched::{EstimatorMode, SampledPolicy, SamplingConfig};
+        fn forged() -> SamplingConfig {
+            SamplingConfig {
+                mode: EstimatorMode::ZeroForged,
+                ..SamplingConfig::default()
+            }
+        }
+        let makers: [fn() -> SampledPolicy; 2] = [
+            || SampledPolicy::fvdf(forged()),
+            || SampledPolicy::sebf(forged()),
+        ];
+        for make in makers {
+            let mut policy = make();
+            let checker = Arc::new(InvariantChecker::new());
+            let res = Engine::new(
+                Fabric::uniform(3, 100.0),
+                small_trace(),
+                SimConfig::default()
+                    .with_slice(0.01)
+                    .with_reschedule(Reschedule::EventsOnly)
+                    .with_check(checker.clone()),
+            )
+            .run(&mut policy);
+            assert!(
+                res.all_complete(),
+                "{}: zero-forged estimates must not stall the fabric",
+                policy.name()
+            );
+            assert!(checker.boundaries() > 0, "the hook must actually run");
+            assert!(
+                checker.is_clean(),
+                "{}: estimation error caused invariant false-positives: {:?}",
+                policy.name(),
+                checker.violations()
+            );
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod flowlevel;
 pub mod fvdf;
 pub mod ordered;
 pub mod registry;
+pub mod sampling;
 pub mod util;
 
 pub use aalo::AaloPolicy;
@@ -39,3 +40,4 @@ pub use flowlevel::{PffPolicy, SrtfPolicy, WssPolicy};
 pub use fvdf::{FvdfConfig, FvdfPolicy, GateMode};
 pub use ordered::{CoflowOrder, OrderedPolicy, RateDiscipline};
 pub use registry::Algorithm;
+pub use sampling::{EstimatorMode, SampledPolicy, SamplingConfig, SizeEstimator};

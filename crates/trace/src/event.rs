@@ -88,6 +88,20 @@ pub enum TraceEvent {
     /// Progressive filling converged after `rounds` rounds over `demands`
     /// demands.
     WaterFillRounds { rounds: usize, demands: usize },
+    /// A sampling-based estimator admitted a coflow: `pilots` of its `flows`
+    /// member flows were designated pilot probes, and the remaining sizes
+    /// were extrapolated to `estimated_bytes` (`true_bytes` is the ground
+    /// truth, recorded for error analysis only — the policy never reads it).
+    CoflowEstimated {
+        coflow: u64,
+        pilots: usize,
+        flows: usize,
+        estimated_bytes: f64,
+        true_bytes: f64,
+    },
+    /// A flow completion revealed its true size to the estimator, refining
+    /// the owning coflow's total-size estimate to `estimated_bytes`.
+    EstimateRefined { coflow: u64, estimated_bytes: f64 },
 
     // ---- swallow-core master/worker ----
     /// A worker daemon completed one heartbeat round.
@@ -176,6 +190,8 @@ impl TraceEvent {
             TraceEvent::ScheduleOrder { .. } => "schedule_order",
             TraceEvent::VolumeDisposal { .. } => "volume_disposal",
             TraceEvent::WaterFillRounds { .. } => "water_fill_rounds",
+            TraceEvent::CoflowEstimated { .. } => "coflow_estimated",
+            TraceEvent::EstimateRefined { .. } => "estimate_refined",
             TraceEvent::Heartbeat { .. } => "heartbeat",
             TraceEvent::MessageSent { .. } => "message_sent",
             TraceEvent::MessageReceived { .. } => "message_received",
@@ -214,7 +230,11 @@ impl TraceEvent {
             | CompressionGranted { .. }
             | CompressionDenied { .. }
             | HorizonReached => "engine",
-            ScheduleOrder { .. } | VolumeDisposal { .. } | WaterFillRounds { .. } => "sched",
+            ScheduleOrder { .. }
+            | VolumeDisposal { .. }
+            | WaterFillRounds { .. }
+            | CoflowEstimated { .. }
+            | EstimateRefined { .. } => "sched",
             Heartbeat { .. }
             | MessageSent { .. }
             | MessageReceived { .. }

@@ -83,8 +83,8 @@ pub mod prelude {
         InvariantChecker,
     };
     pub use swallow_sched::{
-        Algorithm, CoflowOrder, FvdfConfig, FvdfPolicy, OrderedPolicy, PffPolicy,
-        ProfiledCompression, SrtfPolicy, WssPolicy,
+        Algorithm, CoflowOrder, EstimatorMode, FvdfConfig, FvdfPolicy, OrderedPolicy, PffPolicy,
+        ProfiledCompression, SampledPolicy, SamplingConfig, SizeEstimator, SrtfPolicy, WssPolicy,
     };
     pub use swallow_trace::{TraceEvent, TraceSummary, Tracer};
     pub use swallow_workload::{

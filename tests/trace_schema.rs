@@ -63,6 +63,17 @@ fn one_of_each() -> Vec<TraceEvent> {
             rounds: 1,
             demands: 1,
         },
+        CoflowEstimated {
+            coflow: 1,
+            pilots: 1,
+            flows: 4,
+            estimated_bytes: 400.0,
+            true_bytes: 350.0,
+        },
+        EstimateRefined {
+            coflow: 1,
+            estimated_bytes: 380.0,
+        },
         Heartbeat { worker: 0 },
         MessageSent {
             kind: "measure".to_string(),
