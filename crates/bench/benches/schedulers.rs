@@ -18,6 +18,7 @@ fn make_flows(num_coflows: usize, width: usize, nodes: usize) -> Vec<FlowView> {
         flow_size: SizeDist::Uniform { lo: 1e6, hi: 1e9 },
         sizing: Sizing::PerCoflow { skew: 0.3 },
         compressible_fraction: 1.0,
+        deadline: None,
         seed: 0xBE7,
     })
     .generate();

@@ -31,6 +31,7 @@ fn trace(bw: f64, seed: u64) -> Vec<swallow_fabric::Coflow> {
         flow_size: scaled_fig1(bw),
         sizing: Sizing::PerCoflow { skew: 0.3 },
         compressible_fraction: 1.0,
+        deadline: None,
         seed,
     })
     .generate()

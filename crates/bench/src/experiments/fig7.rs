@@ -127,6 +127,7 @@ pub fn fig7c() {
         flow_size: scaled_fig1(bw),
         sizing: Sizing::PerCoflow { skew: 0.3 },
         compressible_fraction: 1.0,
+        deadline: None,
         seed: 0x7C,
     })
     .generate();
@@ -202,6 +203,7 @@ mod tests {
             flow_size: scaled_fig1(bw),
             sizing: Sizing::PerCoflow { skew: 0.3 },
             compressible_fraction: 1.0,
+            deadline: None,
             seed: 9,
         })
         .generate();

@@ -13,6 +13,7 @@ pub mod fig7;
 pub mod oracle_cmd;
 pub mod replay_cmd;
 pub mod sampling_cmd;
+pub mod serve_cmd;
 pub mod tables;
 pub mod trace_cmd;
 pub mod tracegen_cmd;

@@ -349,8 +349,7 @@ pub fn run(opts: &ReplayOpts) {
         ok,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&opts.out, format!("{json}\n"))
-        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", opts.out)));
+    crate::report::write_report(&opts.out, format!("{json}\n"));
     crate::report!("  wrote {}", opts.out);
 
     if !ok {

@@ -258,7 +258,7 @@ pub fn run(experiment: &str, seed: u64) {
     };
     let out = "SAMPLING_report.json";
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(out, format!("{json}\n")).expect("write SAMPLING_report.json");
+    crate::report::write_report(out, format!("{json}\n"));
     crate::report!("  wrote {out}");
 
     if !ok {

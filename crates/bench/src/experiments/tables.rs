@@ -103,6 +103,7 @@ pub fn table5() {
         flow_size: crate::scenario::scaled_fig1(bw),
         sizing: Sizing::PerCoflow { skew: 0.3 },
         compressible_fraction: 1.0,
+        deadline: None,
         seed: 0x7AB5,
     })
     .generate();

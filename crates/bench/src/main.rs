@@ -37,6 +37,15 @@
 //!          results across engine modes; --bg reserves a port-capacity
 //!          fraction for background traffic; writes REPLAY_report.json
 //!          (deterministic bytes) and exits non-zero on any failure
+//!   serve [--policy P] [--seed N] [--coflows N] [--queue N] [--out <path>]
+//!          — stream a deadline-annotated trace through the long-running
+//!          CoflowService (admission control + background scheduler loop),
+//!          writing a deterministic SERVE_report.json
+//!   slam  [--policy P] [--seed N] [--coflows N] [--queue N] [--out <path>]
+//!          — sustained-load service benchmark: ~12k arrivals pushed as
+//!          fast as admission accepts them; prints wall-clock arrivals/sec
+//!          and p50/p99 admission latency, exits non-zero below 10k/s or
+//!          on any deadline miss surfacing at the pinned seed
 //!   tracegen [--out <path>] [--coflows N] [--machines N] [--gap-ms F]
 //!          [--max-mb N] [--seed N] — stream a synthetic Facebook-format
 //!          trace to disk (constant memory; same seed ⇒ identical bytes)
@@ -49,7 +58,7 @@
 use swallow_bench::cli::CommonArgs;
 use swallow_bench::experiments::{bench_engine, ext, fig1, fig2, fig4, fig6, fig7, tables};
 use swallow_bench::experiments::{
-    dash_cmd, faults_cmd, oracle_cmd, replay_cmd, sampling_cmd, trace_cmd, tracegen_cmd,
+    dash_cmd, faults_cmd, oracle_cmd, replay_cmd, sampling_cmd, serve_cmd, trace_cmd, tracegen_cmd,
 };
 use swallow_bench::report;
 
@@ -73,6 +82,10 @@ fn usage() -> ! {
          \x20     dash <experiment> [--seed N] [--stride K]\n\
          \x20     replay <trace> [--policy P] [--bg F] [--seed N] [--ports N]\n\
          \x20            [--modes skip,event,naive] [--wrap] [--out <path>]\n\
+         \x20     serve [--policy P] [--seed N] [--coflows N] [--queue N]\n\
+         \x20            [--out <path>]\n\
+         \x20     slam  [--policy P] [--seed N] [--coflows N] [--queue N]\n\
+         \x20            [--out <path>]\n\
          \x20     tracegen [--out <path>] [--coflows N] [--machines N]\n\
          \x20            [--gap-ms F] [--max-mb N] [--seed N]\n\
          (table6 prints with fig6e, table7 with fig7b;\n\
@@ -100,6 +113,10 @@ fn usage() -> ! {
          \x20policy panel (never materialized) with the invariant checker\n\
          \x20attached and demands bit-identical CCT tables across engine\n\
          \x20modes, writing a deterministic REPLAY_report.json;\n\
+         \x20serve/slam run the long-running service: streaming arrivals,\n\
+         \x20deadline admission control, background scheduler loop; slam is\n\
+         \x20the sustained-load benchmark (deterministic SERVE_report.json,\n\
+         \x20wall-clock throughput printed only);\n\
          \x20tracegen streams a synthetic Facebook-format trace to disk;\n\
          \x20--quiet suppresses narrative output, artifacts still written)"
     );
@@ -272,6 +289,39 @@ fn main() {
                     p.die(&format!("--bg must be in [0, 1), got {}", opts.bg));
                 }
                 replay_cmd::run(&opts);
+            }
+            "serve" | "slam" => {
+                let slam = cmd == "slam";
+                let p = CommonArgs::new(
+                    if slam { "slam" } else { "serve" },
+                    "paper serve|slam [--policy P] [--seed N] [--coflows N] \
+                     [--queue N] [--out <path>]",
+                )
+                .value_flag("--policy")
+                .value_flag("--seed")
+                .value_flag("--coflows")
+                .value_flag("--queue")
+                .value_flag("--out")
+                .parse(&args, &mut i);
+                let defaults = serve_cmd::ServeOpts::default();
+                let mut opts = serve_cmd::ServeOpts {
+                    policy: p.flag("--policy").map(str::to_string),
+                    seed: p.get_or("--seed", defaults.seed),
+                    queue: p.get_or("--queue", defaults.queue),
+                    out: p.flag("--out").unwrap_or(&defaults.out).to_string(),
+                    ..defaults
+                };
+                if let Some(n) = p.flag("--coflows") {
+                    opts.coflows = Some(
+                        n.parse()
+                            .unwrap_or_else(|_| p.die(&format!("--coflows: bad count {n:?}"))),
+                    );
+                }
+                if slam {
+                    serve_cmd::run_slam(&opts);
+                } else {
+                    serve_cmd::run_serve(&opts);
+                }
             }
             "tracegen" => {
                 let p = CommonArgs::new(

@@ -5,9 +5,31 @@
 //! narrative text while machine-readable artifacts (`BENCH_engine.json`,
 //! `TRACE_summary.json`, trace exports) are still written.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Write a machine-readable report artifact. Parent directories are created
+/// on demand (so `--out nested/dir/REPORT.json` works), and any I/O failure
+/// panics with the offending path in the message instead of a bare
+/// `expect`.
+pub fn write_report(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                panic!(
+                    "cannot create report directory {} (for {}): {e}",
+                    parent.display(),
+                    path.display()
+                )
+            });
+        }
+    }
+    std::fs::write(path, contents)
+        .unwrap_or_else(|e| panic!("cannot write report {}: {e}", path.display()));
+}
 
 /// Globally enable or disable narrative output (the `--quiet` flag).
 pub fn set_quiet(quiet: bool) {
@@ -47,6 +69,22 @@ macro_rules! warn {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn write_report_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!(
+            "swallow-write-report-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nested = dir.join("a/b/REPORT.json");
+        write_report(&nested, "{}\n");
+        assert_eq!(std::fs::read_to_string(&nested).unwrap(), "{}\n");
+        // Overwrite through the same path works too.
+        write_report(&nested, "{\"ok\":true}\n");
+        assert_eq!(std::fs::read_to_string(&nested).unwrap(), "{\"ok\":true}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn quiet_flag_round_trips() {

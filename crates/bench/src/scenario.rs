@@ -77,6 +77,42 @@ pub fn std_trace(scale: StdScale, bandwidth: f64, seed: u64) -> Vec<Coflow> {
         flow_size: scaled_fig1(bandwidth),
         sizing: Sizing::PerCoflow { skew: 0.3 },
         compressible_fraction: 1.0,
+        deadline: None,
+        seed,
+    };
+    CoflowGen::new(cfg).generate()
+}
+
+/// A deadline-annotated [`std_trace`]: identical ids, arrivals and flows
+/// (the deadline draw happens after all other draws), with each coflow's
+/// absolute deadline set to `arrival + isolation(bandwidth) × slack`, slack
+/// uniform in `[slack_lo, slack_hi)`. Slack below 1 produces coflows the
+/// admission controller must reject. `interarrival_mean` sets the offered
+/// load: the `std_trace` default of 2.0 super-saturates the fabric (good
+/// for stressing ordering policies), while larger means keep the active
+/// set small enough that admitted deadlines are actually met.
+pub fn deadline_trace(
+    num_coflows: usize,
+    num_nodes: usize,
+    bandwidth: f64,
+    seed: u64,
+    slack_lo: f64,
+    slack_hi: f64,
+    interarrival_mean: f64,
+) -> Vec<Coflow> {
+    let cfg = GenConfig {
+        num_coflows,
+        num_nodes,
+        interarrival: SizeDist::Exp {
+            mean: interarrival_mean,
+        },
+        width: SizeDist::Uniform { lo: 1.0, hi: 8.0 },
+        flow_size: scaled_fig1(bandwidth),
+        sizing: Sizing::PerCoflow { skew: 0.3 },
+        compressible_fraction: 1.0,
+        deadline: Some(swallow_workload::DeadlineSpec::uniform(
+            bandwidth, slack_lo, slack_hi,
+        )),
         seed,
     };
     CoflowGen::new(cfg).generate()
@@ -95,6 +131,7 @@ pub fn fig6_trace(bw: f64, num_coflows: usize, width: f64, seed: u64) -> Trace {
         flow_size: scaled_fig1(bw),
         sizing: Sizing::PerCoflow { skew: 0.3 },
         compressible_fraction: 1.0,
+        deadline: None,
         seed,
     })
     .generate();

@@ -21,12 +21,14 @@ fn same_seed_dash_reports_are_byte_identical() {
 
 #[test]
 fn different_seeds_change_the_report() {
+    // Under the real serde the two seeded runs must differ; the no-op stub
+    // serializer renders every snapshot identically, so the property only
+    // exists under a real toolchain.
+    if swallow_metrics::serde_is_stub() {
+        eprintln!("skipping seed-perturbation check: stub serde_json in this toolchain");
+        return;
+    }
     let a = report_bytes(7, 4);
     let b = report_bytes(8, 4);
-    // Under the real serde the two seeded runs must differ; the no-op stub
-    // serializer renders both as an empty object, so only assert when the
-    // serializer actually produced content.
-    if a.len() > 2 {
-        assert_ne!(a, b, "different seeds should perturb the telemetry");
-    }
+    assert_ne!(a, b, "different seeds should perturb the telemetry");
 }

@@ -41,18 +41,27 @@ pub enum SwallowError {
     },
     /// `SwallowContext::builder()` was given an unusable configuration.
     InvalidConfig(String),
+    /// The service-mode arrival queue is full: the scheduler loop is not
+    /// draining arrivals as fast as they are submitted. Back off and retry.
+    Overloaded {
+        /// Configured arrival-queue capacity that was exhausted.
+        capacity: usize,
+    },
 }
 
 impl SwallowError {
     /// Whether waiting and retrying the failed call can succeed.
     ///
     /// `Timeout` and `WorkerDown` describe transient states — the sender may
-    /// still push, a crashed worker may restart. Everything else is a
+    /// still push, a crashed worker may restart — and `Overloaded` clears as
+    /// soon as the service loop drains its queue. Everything else is a
     /// programming or configuration error that no amount of retrying fixes.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            SwallowError::Timeout { .. } | SwallowError::WorkerDown { .. }
+            SwallowError::Timeout { .. }
+                | SwallowError::WorkerDown { .. }
+                | SwallowError::Overloaded { .. }
         )
     }
 }
@@ -71,6 +80,9 @@ impl fmt::Display for SwallowError {
                 write!(f, "runtime channel {channel:?} is closed")
             }
             SwallowError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            SwallowError::Overloaded { capacity } => {
+                write!(f, "arrival queue full ({capacity} pending); retry later")
+            }
         }
     }
 }
@@ -103,6 +115,7 @@ mod tests {
             worker: WorkerId(2)
         }
         .is_retryable());
+        assert!(SwallowError::Overloaded { capacity: 64 }.is_retryable());
         assert!(!SwallowError::BlockMissing(BlockId(1)).is_retryable());
         assert!(!SwallowError::UnknownWorker(WorkerId(9)).is_retryable());
         assert!(!SwallowError::ChannelClosed {

@@ -45,6 +45,7 @@ pub mod config;
 pub mod error;
 pub mod master;
 pub mod messages;
+pub mod service;
 pub mod shuffle;
 pub mod store;
 pub mod worker;
@@ -53,4 +54,5 @@ pub use api::{PushReport, SwallowContext, SwallowContextBuilder};
 pub use config::SwallowConfig;
 pub use error::SwallowError;
 pub use messages::{BlockId, CoflowRef, FlowInfo, SchResult, WorkerId};
+pub use service::{CoflowService, CoflowServiceBuilder, ServiceReport};
 pub use shuffle::{run_shuffle, ShuffleJob, ShuffleReport};

@@ -90,6 +90,7 @@ impl Master {
         let coflow = swallow_fabric::Coflow {
             id: CoflowId(r.0),
             arrival: 0.0,
+            deadline: None,
             flows: Vec::new(),
         };
         self.policy.on_arrival(&coflow, 0.0);

@@ -12,6 +12,12 @@ pub struct Coflow {
     pub id: CoflowId,
     /// Arrival time in seconds since simulation start.
     pub arrival: f64,
+    /// Absolute completion deadline in seconds since simulation start, if
+    /// the coflow has one (DCoflow-style deadline workloads). `None` — the
+    /// common case, and the default when deserializing traces that predate
+    /// the field — means "complete whenever".
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline: Option<f64>,
     /// Member flows. A coflow completes when the last one finishes.
     pub flows: Vec<FlowSpec>,
 }
@@ -22,6 +28,7 @@ impl Coflow {
         CoflowBuilder {
             id: CoflowId(id),
             arrival: 0.0,
+            deadline: None,
             flows: Vec::new(),
         }
     }
@@ -104,6 +111,7 @@ fn accumulate(pairs: impl Iterator<Item = (NodeId, f64)>) -> Vec<(NodeId, f64)> 
 pub struct CoflowBuilder {
     id: CoflowId,
     arrival: f64,
+    deadline: Option<f64>,
     flows: Vec<FlowSpec>,
 }
 
@@ -112,6 +120,13 @@ impl CoflowBuilder {
     pub fn arrival(mut self, t: f64) -> Self {
         assert!(t >= 0.0, "arrival time must be non-negative");
         self.arrival = t;
+        self
+    }
+
+    /// Set an absolute completion deadline (seconds since simulation start).
+    pub fn deadline(mut self, t: f64) -> Self {
+        assert!(t >= 0.0, "deadline must be non-negative");
+        self.deadline = Some(t);
         self
     }
 
@@ -132,6 +147,7 @@ impl CoflowBuilder {
         Coflow {
             id: self.id,
             arrival: self.arrival,
+            deadline: self.deadline,
             flows: self.flows,
         }
     }
@@ -192,6 +208,13 @@ mod tests {
             .flow(FlowSpec::new(3, 0, 7, 1.0))
             .build();
         assert_eq!(c.width(), 3); // one sender, three receivers
+    }
+
+    #[test]
+    fn deadline_defaults_to_none_and_builds_through() {
+        assert_eq!(motivation_c1().deadline, None);
+        let c = Coflow::builder(5).arrival(1.0).deadline(3.5).build();
+        assert_eq!(c.deadline, Some(3.5));
     }
 
     #[test]

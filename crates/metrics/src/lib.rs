@@ -14,6 +14,7 @@ pub mod flight;
 pub mod hist;
 pub mod report;
 pub mod stats;
+pub mod stub;
 pub mod telemetry;
 
 pub use cdf::Cdf;
@@ -21,4 +22,5 @@ pub use flight::FlightRecord;
 pub use hist::{AtomicLogHistogram, LogHistogram, LOG2_BUCKETS};
 pub use report::{improvement, Table};
 pub use stats::{jain_index, mean, percentile, summarize, Summary};
+pub use stub::serde_is_stub;
 pub use telemetry::{Phase, Telemetry, TelemetrySample, TelemetrySnapshot};

@@ -153,7 +153,36 @@ mod tests {
     use super::*;
 
     fn golden() -> GoldenFigure {
-        GoldenFigure::from_json(
+        let direct = GoldenFigure {
+            experiment: "unit".to_string(),
+            seed: 7,
+            tolerance: 0.02,
+            policies: [
+                (
+                    "fvdf".to_string(),
+                    GoldenEntry {
+                        pinned: Some(1.0),
+                        band: None,
+                    },
+                ),
+                (
+                    "srtf".to_string(),
+                    GoldenEntry {
+                        pinned: None,
+                        band: Some([0.5, 8.0]),
+                    },
+                ),
+            ]
+            .into_iter()
+            .collect(),
+        };
+        // The offline stub serializer cannot parse into a struct; the
+        // compare() semantics below stay covered either way, and under a
+        // real toolchain the parsed form must agree with the direct one.
+        if serde_json::from_str::<u64>("3").is_err() {
+            return direct;
+        }
+        let parsed = GoldenFigure::from_json(
             r#"{
                 "experiment": "unit",
                 "seed": 7,
@@ -164,7 +193,9 @@ mod tests {
                 }
             }"#,
         )
-        .unwrap()
+        .unwrap();
+        assert_eq!(parsed, direct);
+        parsed
     }
 
     fn measured(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
@@ -211,6 +242,11 @@ mod tests {
     fn refresh_roundtrip_is_stable_and_self_consistent() {
         let m = measured(&[("fvdf", 1.0), ("srtf", 1.712345)]);
         let fresh = GoldenFigure::from_measurements("unit", 7, 0.02, &m);
+        assert!(fresh.compare(&m).ok, "a refreshed golden matches its source");
+        if serde_json::from_str::<u64>("3").is_err() {
+            eprintln!("skipping golden JSON round-trip: stub serde_json in this toolchain");
+            return;
+        }
         let text = fresh.to_json_pretty();
         let back = GoldenFigure::from_json(&text).unwrap();
         assert_eq!(back, fresh);

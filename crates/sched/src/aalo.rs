@@ -225,6 +225,7 @@ mod tests {
             },
             sizing: Sizing::PerCoflow { skew: 0.3 },
             compressible_fraction: 1.0,
+            deadline: None,
             seed: 5,
         })
         .generate();

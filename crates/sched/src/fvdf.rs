@@ -62,6 +62,13 @@ pub struct FvdfConfig {
     /// Compression-decision granularity (ignored when `compression` is
     /// false).
     pub gate: GateMode,
+    /// Deadline-aware ordering: coflows carrying an absolute deadline form
+    /// an urgent tier scheduled earliest-deadline-first ahead of every
+    /// deadline-less coflow; the deadline-less tier keeps the plain
+    /// Shortest-Γ_C-First order. On a trace with no deadlines the sort is
+    /// *identical* to plain FVDF (every coflow lands in the Γ tier with the
+    /// same key), so the variant is bit-exact with the clairvoyant policy.
+    pub deadline_aware: bool,
 }
 
 impl Default for FvdfConfig {
@@ -72,6 +79,7 @@ impl Default for FvdfConfig {
             compression: true,
             backfill: true,
             gate: GateMode::PerFlow,
+            deadline_aware: false,
         }
     }
 }
@@ -97,6 +105,9 @@ pub struct FvdfPolicy {
     /// Engine telemetry handle; when present the water-fill scan feeds the
     /// phase profiler (see [`swallow_metrics::telemetry::Phase::WaterFill`]).
     telemetry: Option<Arc<Telemetry>>,
+    /// Absolute deadlines learned in `on_arrival`; consulted only when
+    /// `config.deadline_aware` is set (the views carry no deadline).
+    deadlines: BTreeMap<CoflowId, f64>,
 }
 
 impl FvdfPolicy {
@@ -120,6 +131,7 @@ impl FvdfPolicy {
             residual: Residual::empty(),
             tracer: Tracer::disabled(),
             telemetry: None,
+            deadlines: BTreeMap::new(),
         }
     }
 
@@ -127,6 +139,16 @@ impl FvdfPolicy {
     pub fn without_compression() -> Self {
         Self::with_config(FvdfConfig {
             compression: false,
+            ..FvdfConfig::default()
+        })
+    }
+
+    /// Deadline-aware FVDF: deadline coflows first (EDF among themselves),
+    /// then the plain Shortest-Γ_C-First tail. Bit-exact with [`Self::new`]
+    /// on deadline-less traces.
+    pub fn deadline_aware() -> Self {
+        Self::with_config(FvdfConfig {
+            deadline_aware: true,
             ..FvdfConfig::default()
         })
     }
@@ -170,7 +192,9 @@ struct FlowPlan {
 
 impl Policy for FvdfPolicy {
     fn name(&self) -> &str {
-        if self.config.compression {
+        if self.config.deadline_aware {
+            "FVDF-D"
+        } else if self.config.compression {
             "FVDF"
         } else {
             "FVDF (no compression)"
@@ -180,10 +204,14 @@ impl Policy for FvdfPolicy {
     fn on_arrival(&mut self, coflow: &Coflow, _now: f64) {
         self.upgrade();
         self.priority.insert(coflow.id, 1.0);
+        if let Some(d) = coflow.deadline {
+            self.deadlines.insert(coflow.id, d);
+        }
     }
 
     fn on_completion(&mut self, coflow: CoflowId, _now: f64) {
         self.priority.remove(&coflow);
+        self.deadlines.remove(&coflow);
         self.upgrade();
     }
 
@@ -278,8 +306,22 @@ impl Policy for FvdfPolicy {
             plan_index.push((cid, adjusted, start, len));
         }
 
-        // Shortest-Γ_C-First (Pseudocode 2, line 9).
-        plan_index.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        // Shortest-Γ_C-First (Pseudocode 2, line 9). In deadline-aware mode
+        // deadline coflows form an urgent EDF tier ahead of the Γ tier; on a
+        // deadline-less trace both branches produce the same total order.
+        if self.config.deadline_aware {
+            let deadlines = &self.deadlines;
+            plan_index.sort_unstable_by(|a, b| {
+                match (deadlines.get(&a.0), deadlines.get(&b.0)) {
+                    (Some(da), Some(db)) => da.total_cmp(db).then(a.0.cmp(&b.0)),
+                    (Some(_), None) => std::cmp::Ordering::Less,
+                    (None, Some(_)) => std::cmp::Ordering::Greater,
+                    (None, None) => a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)),
+                }
+            });
+        } else {
+            plan_index.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        }
         self.tracer.emit(view.now, || TraceEvent::ScheduleOrder {
             policy: self.name().to_string(),
             order: plan_index.iter().map(|&(cid, ..)| cid.0).collect(),
@@ -619,6 +661,58 @@ mod tests {
             Arc::new(ConstCompression::disabled());
         let res = run_with(&mut p, simple_trace(), units::mbps(100.0), comp);
         assert!(res.all_complete());
+    }
+
+    #[test]
+    fn deadline_tier_preempts_shorter_gamma_coflow() {
+        // The big coflow carries a deadline; plain FVDF would serve the
+        // small one first (smaller Γ), FVDF-D must serve the deadline tier.
+        let coflows = vec![
+            Coflow::builder(0)
+                .deadline(11.0)
+                .flow(FlowSpec::new(0, 0, 1, 100.0))
+                .build(),
+            Coflow::builder(1)
+                .flow(FlowSpec::new(1, 0, 2, 10.0))
+                .build(),
+        ];
+        let comp: Arc<dyn swallow_fabric::view::CompressionSpec> =
+            Arc::new(ConstCompression::disabled());
+        let res = run_with(&mut FvdfPolicy::deadline_aware(), coflows, 10.0, comp);
+        assert!(res.all_complete());
+        let big = res.coflows.iter().find(|c| c.id == CoflowId(0)).unwrap();
+        assert!(
+            (big.cct().unwrap() - 10.0).abs() < 0.05,
+            "deadline coflow must run first: {:?}",
+            big.cct()
+        );
+    }
+
+    #[test]
+    fn deadline_aware_matches_plain_fvdf_without_deadlines() {
+        let comp: Arc<dyn swallow_fabric::view::CompressionSpec> =
+            Arc::new(ProfiledCompression::constant(Table2::Lz4));
+        let plain = run_with(
+            &mut FvdfPolicy::new(),
+            simple_trace(),
+            units::mbps(100.0),
+            comp.clone(),
+        );
+        let aware = run_with(
+            &mut FvdfPolicy::deadline_aware(),
+            simple_trace(),
+            units::mbps(100.0),
+            comp,
+        );
+        for (a, b) in plain.coflows.iter().zip(aware.coflows.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.cct().unwrap().to_bits(),
+                b.cct().unwrap().to_bits(),
+                "coflow {:?} diverged",
+                a.id
+            );
+        }
     }
 
     #[test]

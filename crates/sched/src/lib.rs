@@ -12,6 +12,8 @@
 //! | PFF / FAIR | per-flow max-min fairness | [`flowlevel`] |
 //! | WSS (Orchestra) | size-weighted fair sharing | [`flowlevel`] |
 //! | PFP / SRTF | shortest remaining flow first | [`flowlevel`] |
+//! | DCoflow (EDF) | earliest-deadline-first + admission control | [`ordered`], [`admission`] |
+//! | FVDF-D | deadline tier (EDF) ahead of the Γ_C tier | [`fvdf`] |
 //!
 //! All policies are *work-conserving*: after their primary allocation, the
 //! leftover port capacity is backfilled max-min fairly ([`util::backfill`]),
@@ -22,6 +24,7 @@
 //! into the fabric's [`swallow_fabric::view::CompressionSpec`].
 
 pub mod aalo;
+pub mod admission;
 pub mod bounds;
 pub mod chooser;
 pub mod compat;
@@ -33,6 +36,7 @@ pub mod sampling;
 pub mod util;
 
 pub use aalo::AaloPolicy;
+pub use admission::{AdmissionController, AdmissionVerdict};
 pub use bounds::{avg_cct_bound, avg_fct_bound, isolation_cct_bound, makespan_bound};
 pub use chooser::{select_codec, AdaptiveCompression};
 pub use compat::ProfiledCompression;

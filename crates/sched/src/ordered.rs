@@ -10,10 +10,15 @@
 //! * **FIFO** — earliest arrival;
 //! * **SCF** — smallest remaining total bytes;
 //! * **NCF** — narrowest (fewest distinct ports);
-//! * **LCF** — least coflow length (smallest largest-flow).
+//! * **LCF** — least coflow length (smallest largest-flow);
+//! * **EDF/DCoflow** — earliest absolute deadline first (DCoflow's ordering
+//!   rule; deadline-less coflows sort last, after every deadline coflow).
 
 use crate::util::{madd_rates, ordered_backfill_with, Residual};
-use swallow_fabric::{Allocation, CoflowId, FabricView, FlowCommand, FlowId, NodeId, Policy};
+use std::collections::BTreeMap;
+use swallow_fabric::{
+    Allocation, Coflow, CoflowId, FabricView, FlowCommand, FlowId, NodeId, Policy,
+};
 use swallow_trace::{TraceEvent, Tracer};
 
 /// How a scheduled coflow's flows receive bandwidth.
@@ -40,6 +45,9 @@ pub enum CoflowOrder {
     Ncf,
     /// Least-Coflow-length-First by largest remaining flow.
     Lcf,
+    /// Earliest-Deadline-First (the DCoflow ordering rule). Coflows without
+    /// a deadline sort after every deadline-bearing coflow, in id order.
+    Edf,
 }
 
 impl CoflowOrder {
@@ -51,6 +59,7 @@ impl CoflowOrder {
             CoflowOrder::Scf => "SCF",
             CoflowOrder::Ncf => "NCF",
             CoflowOrder::Lcf => "LCF",
+            CoflowOrder::Edf => "DCoflow",
         }
     }
 }
@@ -74,6 +83,9 @@ pub struct OrderedPolicy {
     node_i: Vec<f64>,
     residual: Residual,
     tracer: Tracer,
+    /// Absolute deadlines learned in `on_arrival` — the views the engine
+    /// hands `allocate` carry no deadline, so EDF keeps its own map.
+    deadlines: BTreeMap<CoflowId, f64>,
 }
 
 impl OrderedPolicy {
@@ -90,12 +102,21 @@ impl OrderedPolicy {
             node_i: Vec::new(),
             residual: Residual::empty(),
             tracer: Tracer::disabled(),
+            deadlines: BTreeMap::new(),
         }
     }
 
     /// SEBF as configured in Varys (MADD + ordered backfill).
     pub fn sebf() -> Self {
         Self::new(CoflowOrder::Sebf)
+    }
+
+    /// The DCoflow-style deadline baseline: earliest-deadline-first order
+    /// with MADD rates and work-conserving backfill. Pair it with
+    /// [`crate::admission::AdmissionController`] for the full
+    /// order-and-reject DCoflow pipeline.
+    pub fn dcoflow() -> Self {
+        Self::new(CoflowOrder::Edf)
     }
 
     /// FIFO baseline with head-of-line blocking: coflows run one at a time
@@ -171,6 +192,11 @@ impl OrderedPolicy {
                 .coflow_flows(coflow)
                 .map(|f| f.volume())
                 .fold(0.0, f64::max),
+            CoflowOrder::Edf => self
+                .deadlines
+                .get(&coflow)
+                .copied()
+                .unwrap_or(f64::INFINITY),
         }
     }
 }
@@ -182,6 +208,16 @@ impl Policy for OrderedPolicy {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn on_arrival(&mut self, coflow: &Coflow, _now: f64) {
+        if let Some(d) = coflow.deadline {
+            self.deadlines.insert(coflow.id, d);
+        }
+    }
+
+    fn on_completion(&mut self, coflow: CoflowId, _now: f64) {
+        self.deadlines.remove(&coflow);
     }
 
     fn allocate(&mut self, view: &FabricView<'_>) -> Allocation {
@@ -370,6 +406,49 @@ mod tests {
         let c1 = res.coflows.iter().find(|c| c.id == CoflowId(1)).unwrap();
         // Coflow 1: 60 bytes through egress 0 at 10 B/s = 6 s.
         assert!((c1.cct().unwrap() - 6.0).abs() < 0.1, "{:?}", c1.cct());
+    }
+
+    #[test]
+    fn edf_serves_earliest_deadline_first() {
+        // Big coflow has the tighter deadline; EDF must serve it first even
+        // though SEBF/SCF would pick the small one.
+        let coflows = vec![
+            Coflow::builder(0)
+                .arrival(0.0)
+                .deadline(10.5)
+                .flow(FlowSpec::new(0, 0, 1, 100.0))
+                .build(),
+            Coflow::builder(1)
+                .arrival(0.0)
+                .deadline(20.0)
+                .flow(FlowSpec::new(1, 0, 2, 10.0))
+                .build(),
+        ];
+        let res = run(&mut OrderedPolicy::dcoflow(), coflows);
+        assert!(res.all_complete());
+        let c0 = res.coflows.iter().find(|c| c.id == CoflowId(0)).unwrap();
+        assert!((c0.cct().unwrap() - 10.0).abs() < 0.05, "{:?}", c0.cct());
+    }
+
+    #[test]
+    fn edf_sorts_deadline_less_coflows_last() {
+        let coflows = vec![
+            Coflow::builder(0)
+                .arrival(0.0)
+                .flow(FlowSpec::new(0, 0, 1, 100.0))
+                .build(),
+            Coflow::builder(1)
+                .arrival(0.0)
+                .deadline(2.0)
+                .flow(FlowSpec::new(1, 0, 2, 10.0))
+                .build(),
+        ];
+        let res = run(&mut OrderedPolicy::dcoflow(), coflows);
+        assert!(res.all_complete());
+        let c1 = res.coflows.iter().find(|c| c.id == CoflowId(1)).unwrap();
+        // Deadline coflow runs first: 10 bytes at 10 B/s = 1 s, inside its
+        // 2 s deadline; the deadline-less one waits.
+        assert!((c1.cct().unwrap() - 1.0).abs() < 0.05, "{:?}", c1.cct());
     }
 
     #[test]

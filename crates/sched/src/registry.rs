@@ -12,6 +12,10 @@ pub enum Algorithm {
     Fvdf,
     /// FVDF with compression disabled (scheduler-only ablation).
     FvdfNoCompression,
+    /// Deadline-aware FVDF (urgent EDF tier ahead of the Γ tier).
+    FvdfDeadline,
+    /// DCoflow-style earliest-deadline-first ordering baseline.
+    Dcoflow,
     /// Varys SEBF.
     Sebf,
     /// FIFO by coflow arrival.
@@ -32,9 +36,11 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// Everything, in a stable order for reports.
-    pub const ALL: [Algorithm; 10] = [
+    pub const ALL: [Algorithm; 12] = [
         Algorithm::Fvdf,
         Algorithm::FvdfNoCompression,
+        Algorithm::FvdfDeadline,
+        Algorithm::Dcoflow,
         Algorithm::Sebf,
         Algorithm::Fifo,
         Algorithm::Srtf,
@@ -50,6 +56,8 @@ impl Algorithm {
         match self {
             Algorithm::Fvdf => "FVDF",
             Algorithm::FvdfNoCompression => "FVDF-nc",
+            Algorithm::FvdfDeadline => "FVDF-D",
+            Algorithm::Dcoflow => "DCoflow",
             Algorithm::Sebf => "SEBF",
             Algorithm::Fifo => "FIFO",
             Algorithm::Srtf => "SRTF",
@@ -66,6 +74,8 @@ impl Algorithm {
         match self {
             Algorithm::Fvdf => Box::new(FvdfPolicy::new()),
             Algorithm::FvdfNoCompression => Box::new(FvdfPolicy::without_compression()),
+            Algorithm::FvdfDeadline => Box::new(FvdfPolicy::deadline_aware()),
+            Algorithm::Dcoflow => Box::new(OrderedPolicy::dcoflow()),
             Algorithm::Sebf => Box::new(OrderedPolicy::sebf()),
             // Work-conserving FIFO (per-port arrival-order queues, as in a
             // shared Spark cluster). The strict head-of-line variant of the
@@ -86,6 +96,8 @@ impl Algorithm {
         match s.to_ascii_lowercase().as_str() {
             "fvdf" | "swallow" => Some(Algorithm::Fvdf),
             "fvdf-nc" | "fvdf_nc" => Some(Algorithm::FvdfNoCompression),
+            "fvdf-d" | "fvdf_d" | "fvdf-deadline" => Some(Algorithm::FvdfDeadline),
+            "dcoflow" | "edf" => Some(Algorithm::Dcoflow),
             "sebf" | "varys" => Some(Algorithm::Sebf),
             "fifo" => Some(Algorithm::Fifo),
             "srtf" | "pfp" => Some(Algorithm::Srtf),
@@ -109,6 +121,8 @@ mod tests {
         assert_eq!(Algorithm::parse("pfp"), Some(Algorithm::Srtf));
         assert_eq!(Algorithm::parse("Varys"), Some(Algorithm::Sebf));
         assert_eq!(Algorithm::parse("swallow"), Some(Algorithm::Fvdf));
+        assert_eq!(Algorithm::parse("EDF"), Some(Algorithm::Dcoflow));
+        assert_eq!(Algorithm::parse("fvdf-d"), Some(Algorithm::FvdfDeadline));
         assert_eq!(Algorithm::parse("unknown"), None);
     }
 

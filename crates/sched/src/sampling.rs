@@ -91,6 +91,20 @@ impl SamplingConfig {
             ..Self::default()
         }
     }
+
+    /// Starvation-guard patience: consecutive service-less allocations a
+    /// coflow tolerates before each aging step. Clamped to ≥ 1 at use.
+    pub fn with_patience(mut self, patience: u32) -> Self {
+        self.patience = patience;
+        self
+    }
+
+    /// Starvation-guard aging multiplier (must be ≥ 1; 1 disables aging).
+    pub fn with_logbase(mut self, logbase: f64) -> Self {
+        assert!(logbase >= 1.0, "logbase must be ≥ 1, got {logbase}");
+        self.logbase = logbase;
+        self
+    }
 }
 
 /// Per-coflow estimator state.
@@ -531,6 +545,48 @@ mod tests {
         assert_eq!(est.estimated_total(CoflowId(1)), Some(0.0));
         assert_eq!(est.abs_rel_err(CoflowId(1)), Some(1.0));
         assert_eq!(est.flow_belief(CoflowId(1), FlowId(100)), Some(0.0));
+    }
+
+    #[test]
+    fn starvation_guard_knobs_pin_the_defaults_bit_exactly() {
+        // The builder with today's documented defaults must be *the* default
+        // config, down to the last mantissa bit — so exposing the knobs can
+        // never drift existing runs.
+        let built = SamplingConfig::default().with_patience(2).with_logbase(1.2);
+        let default = SamplingConfig::default();
+        assert_eq!(built, default);
+        assert_eq!(default.patience, 2);
+        assert_eq!(default.logbase.to_bits(), 1.2f64.to_bits());
+        // And a scheduling run under the built config is bit-identical to
+        // one under `Default` — same estimates, same guard behaviour.
+        let mut a = SampledPolicy::fvdf(built);
+        let mut b = SampledPolicy::fvdf(SamplingConfig::default());
+        let trace = || {
+            vec![
+                coflow(1, &[100.0, 200.0, 300.0, 400.0]),
+                coflow(2, &[50.0, 60.0]),
+            ]
+        };
+        let run = |p: &mut SampledPolicy, coflows: Vec<Coflow>| {
+            swallow_fabric::Engine::new(
+                swallow_fabric::Fabric::uniform(2, 10.0),
+                coflows,
+                swallow_fabric::SimConfig::default().with_slice(0.01),
+            )
+            .run(p)
+        };
+        let ra = run(&mut a, trace());
+        let rb = run(&mut b, trace());
+        for (x, y) in ra.coflows.iter().zip(rb.coflows.iter()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.cct().unwrap().to_bits(), y.cct().unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "logbase")]
+    fn sub_one_logbase_is_rejected() {
+        SamplingConfig::default().with_logbase(0.9);
     }
 
     #[test]

@@ -92,6 +92,7 @@ fn main() {
         flow_size: fig1_size_dist_scaled(args.scale),
         sizing: Sizing::PerCoflow { skew: 0.3 },
         compressible_fraction: args.compressible,
+        deadline: None,
         seed: args.seed,
     })
     .generate();

@@ -53,6 +53,11 @@ pub struct FbRecord {
     pub mappers: Vec<u32>,
     /// Reducer machine slots (1-based) with their shuffle size in MB.
     pub reducers: Vec<(u32, f64)>,
+    /// Optional absolute deadline in milliseconds — Swallow's extension to
+    /// the classic format, written as a trailing `deadline:<ms>` token.
+    /// Plain records (no token) parse to `None`, so the reader stays a
+    /// superset of the public benchmark format.
+    pub deadline_ms: Option<f64>,
 }
 
 impl FbRecord {
@@ -109,10 +114,27 @@ impl FbRecord {
                 format!("negative arrival time {}", self.arrival_ms),
             ));
         }
+        self.deadline_ms = None;
+        if let Some(extra) = tok.next() {
+            let Some(ms) = extra.strip_prefix("deadline:") else {
+                return Err(WorkloadError::parse(
+                    line,
+                    format!("trailing token `{extra}` after {nr} reducer entries"),
+                ));
+            };
+            let ms = parse_float(ms, line, "deadline")?;
+            if ms < 0.0 {
+                return Err(WorkloadError::parse(
+                    line,
+                    format!("negative deadline {ms}"),
+                ));
+            }
+            self.deadline_ms = Some(ms);
+        }
         if let Some(extra) = tok.next() {
             return Err(WorkloadError::parse(
                 line,
-                format!("trailing token `{extra}` after {nr} reducer entries"),
+                format!("trailing token `{extra}` after the deadline"),
             ));
         }
         Ok(())
@@ -136,6 +158,9 @@ impl FbRecord {
         for &(slot, mb) in &self.reducers {
             let _ = write!(out, " {slot}:{mb}");
         }
+        if let Some(ms) = self.deadline_ms {
+            let _ = write!(out, " deadline:{ms}");
+        }
     }
 
     /// Expand into a [`Coflow`] over fabric ports: `num_mappers × num_reducers`
@@ -150,6 +175,9 @@ impl FbRecord {
         line: usize,
     ) -> Result<Coflow, WorkloadError> {
         let mut builder = Coflow::builder(self.id).arrival(self.arrival_ms * units::ms(1.0));
+        if let Some(ms) = self.deadline_ms {
+            builder = builder.deadline(ms * units::ms(1.0));
+        }
         let share = 1.0 / self.mappers.len().max(1) as f64;
         for &m in &self.mappers {
             let src = map.port(m, line)?;
@@ -513,6 +541,23 @@ mod tests {
     }
 
     #[test]
+    fn deadline_extension_round_trips() {
+        let r = rec("7 250 2 1 3 2 2:40 5:10 deadline:900");
+        assert_eq!(r.deadline_ms, Some(900.0));
+        let mut line = String::new();
+        r.write_line(&mut line);
+        assert_eq!(line, "7 250 2 1 3 2 2:40 5:10 deadline:900");
+        assert_eq!(rec(&line), r);
+        // Plain records stay deadline-free and byte-stable.
+        assert_eq!(rec("7 250 2 1 3 2 2:40 5:10").deadline_ms, None);
+        // The deadline converts to absolute seconds on the coflow.
+        let map = MachineMap::strict(6).unwrap();
+        let mut fid = 0u64;
+        let c = r.to_coflow(&map, &mut fid, 1).unwrap();
+        assert_eq!(c.deadline, Some(0.9));
+    }
+
+    #[test]
     fn malformed_lines_are_structured_errors() {
         let cases: &[(&str, &str)] = &[
             ("5", "truncated"),
@@ -526,6 +571,9 @@ mod tests {
             ("5 100 1 1 1 2:4 junk", "trailing token"),
             ("5 -1 1 1 1 2:4", "negative arrival"),
             ("5 100 1 1 1 2:-4", "negative reducer size"),
+            ("5 100 1 1 1 2:4 deadline:abc", "non-numeric deadline"),
+            ("5 100 1 1 1 2:4 deadline:-9", "negative deadline"),
+            ("5 100 1 1 1 2:4 deadline:9 junk", "trailing token"),
         ];
         for (text, needle) in cases {
             let err = FbRecord::default().parse_line(text, 9).unwrap_err();

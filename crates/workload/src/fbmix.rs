@@ -174,6 +174,7 @@ impl Iterator for FbMixIter {
             flow_size: len_dist,
             sizing: Sizing::PerFlow,
             compressible_fraction: 1.0,
+            deadline: None,
             seed: rng.gen(),
         })
         .generate();

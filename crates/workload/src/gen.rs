@@ -22,6 +22,34 @@ pub enum Sizing {
     },
 }
 
+/// How deadlines are attached to generated coflows (DCoflow-style deadline
+/// workloads): each coflow's deadline is its arrival plus its isolation
+/// completion time at `bandwidth`, stretched by a uniform slack factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineSpec {
+    /// Reference port bandwidth (bytes/s) for the isolation completion time
+    /// — normally the fabric bandwidth the trace will be replayed on.
+    pub bandwidth: f64,
+    /// Lower bound of the slack multiplier (≥ 1 keeps deadlines feasible
+    /// in isolation; DCoflow's evaluation draws slack from U(1, 4)).
+    pub slack_lo: f64,
+    /// Upper bound of the slack multiplier.
+    pub slack_hi: f64,
+}
+
+impl DeadlineSpec {
+    /// Uniform slack in `[lo, hi]` against `bandwidth`.
+    pub fn uniform(bandwidth: f64, lo: f64, hi: f64) -> Self {
+        assert!(bandwidth > 0.0, "deadline bandwidth must be positive");
+        assert!(0.0 < lo && lo <= hi, "slack range must be 0 < lo <= hi");
+        Self {
+            bandwidth,
+            slack_lo: lo,
+            slack_hi: hi,
+        }
+    }
+}
+
 /// Configuration of the coflow generator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GenConfig {
@@ -41,6 +69,11 @@ pub struct GenConfig {
     /// Fraction of flows marked compressible (Table I suggests most shuffle
     /// payloads are; encrypted/pre-compressed ones are not).
     pub compressible_fraction: f64,
+    /// Deadline attachment, or `None` (the default) for deadline-free
+    /// workloads. `None` draws nothing from the RNG, so adding this field
+    /// leaves every existing seed's trace bit-identical.
+    #[serde(default)]
+    pub deadline: Option<DeadlineSpec>,
     /// RNG seed; the generator is fully deterministic given the config.
     pub seed: u64,
 }
@@ -55,6 +88,7 @@ impl Default for GenConfig {
             flow_size: fig1_size_dist(),
             sizing: Sizing::PerFlow,
             compressible_fraction: 1.0,
+            deadline: None,
             seed: 0xC0F1,
         }
     }
@@ -92,6 +126,20 @@ impl CoflowGen {
                 config.compressible_fraction
             )));
         }
+        if let Some(d) = &config.deadline {
+            if !(d.bandwidth > 0.0) {
+                return Err(WorkloadError::InvalidConfig(format!(
+                    "deadline bandwidth must be positive, got {}",
+                    d.bandwidth
+                )));
+            }
+            if !(0.0 < d.slack_lo && d.slack_lo <= d.slack_hi) {
+                return Err(WorkloadError::InvalidConfig(format!(
+                    "deadline slack range must satisfy 0 < lo <= hi, got [{}, {}]",
+                    d.slack_lo, d.slack_hi
+                )));
+            }
+        }
         Ok(Self { config })
     }
 
@@ -107,6 +155,7 @@ impl CoflowGen {
         CoflowIter {
             cfg: self.config.clone(),
             rng: StdRng::seed_from_u64(self.config.seed),
+            deadline_rng: StdRng::seed_from_u64(self.config.seed ^ 0xDEAD_11E5),
             t: 0.0,
             next_flow_id: 0,
             next_cid: 0,
@@ -125,6 +174,9 @@ impl CoflowGen {
 pub struct CoflowIter {
     cfg: GenConfig,
     rng: StdRng,
+    /// Dedicated stream for deadline slack draws, so attaching a
+    /// [`DeadlineSpec`] never perturbs the arrival/size/placement samples.
+    deadline_rng: StdRng,
     t: f64,
     next_flow_id: u64,
     next_cid: usize,
@@ -176,7 +228,17 @@ impl Iterator for CoflowIter {
             self.next_flow_id += 1;
             builder = builder.flow(spec);
         }
-        Some(builder.build())
+        let mut coflow = builder.build();
+        // Slack comes from its own stream: the same seed yields the same
+        // ids/arrivals/flows whether or not a deadline spec is attached.
+        if let Some(spec) = cfg.deadline {
+            let slack = self.deadline_rng.gen::<f64>() * (spec.slack_hi - spec.slack_lo)
+                + spec.slack_lo;
+            let isolation =
+                coflow.bottleneck_time(|_| spec.bandwidth, |_| spec.bandwidth);
+            coflow.deadline = Some(self.t + isolation * slack);
+        }
+        Some(coflow)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -210,6 +272,7 @@ pub fn scale(n_coflows: usize, n_ports: usize) -> GenConfig {
         },
         sizing: Sizing::PerFlow,
         compressible_fraction: 0.9,
+        deadline: None,
         seed: 0x5CA1E,
     }
 }
@@ -420,6 +483,65 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, WorkloadError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn deadline_spec_attaches_feasible_deadlines_without_perturbing_the_trace() {
+        let base = GenConfig {
+            num_coflows: 30,
+            ..GenConfig::default()
+        };
+        let bw = 1e9;
+        let with = CoflowGen::new(GenConfig {
+            deadline: Some(DeadlineSpec::uniform(bw, 1.5, 3.0)),
+            ..base.clone()
+        })
+        .generate();
+        let without = CoflowGen::new(base).generate();
+        assert_eq!(with.len(), without.len());
+        for (a, b) in with.iter().zip(&without) {
+            // Same ids, arrivals and flows — the deadline draw must not
+            // shift any other sample.
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+            assert_eq!(a.flows, b.flows);
+            assert_eq!(b.deadline, None);
+            let d = a.deadline.expect("spec attaches a deadline");
+            let isolation = a.bottleneck_time(|_| bw, |_| bw);
+            let slack = (d - a.arrival) / isolation;
+            assert!(
+                (1.5..=3.0 + 1e-9).contains(&slack),
+                "slack {slack} outside the configured range"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_deadline_spec_is_invalid_config() {
+        for spec in [
+            DeadlineSpec {
+                bandwidth: 0.0,
+                slack_lo: 1.0,
+                slack_hi: 2.0,
+            },
+            DeadlineSpec {
+                bandwidth: 1e9,
+                slack_lo: 0.0,
+                slack_hi: 2.0,
+            },
+            DeadlineSpec {
+                bandwidth: 1e9,
+                slack_lo: 3.0,
+                slack_hi: 2.0,
+            },
+        ] {
+            let err = CoflowGen::try_new(GenConfig {
+                deadline: Some(spec),
+                ..GenConfig::default()
+            })
+            .unwrap_err();
+            assert!(matches!(err, WorkloadError::InvalidConfig(_)), "{err:?}");
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use dist::SizeDist;
 pub use error::WorkloadError;
 pub use fb::{FbGen, FbHeader, FbRecord, MachineMap, StreamingTrace};
 pub use fbmix::FbMix;
-pub use gen::{CoflowGen, GenConfig, Sizing};
+pub use gen::{CoflowGen, DeadlineSpec, GenConfig, Sizing};
 pub use hibench::{HibenchWorkload, WorkloadScale};
 pub use source::{CoflowStream, HibenchSource, TraceFile, TraceFormat, WorkloadSource};
 pub use trace::Trace;

@@ -27,6 +27,7 @@ fn main() {
         },
         sizing: Sizing::PerCoflow { skew: 0.3 },
         compressible_fraction: 1.0,
+        deadline: None,
         seed: 42,
     })
     .generate();

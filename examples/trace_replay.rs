@@ -22,6 +22,7 @@ fn main() {
         },
         sizing: Sizing::PerCoflow { skew: 0.3 },
         compressible_fraction: 0.9,
+        deadline: None,
         seed: 7,
     })
     .generate();

@@ -70,25 +70,29 @@ pub use swallow_workload as workload;
 /// The most common imports in one place.
 pub mod prelude {
     pub use swallow_compress::{CodecProfile, HibenchApp, SizeRatioModel, Table2};
-    pub use swallow_core::{SwallowConfig, SwallowContext, SwallowError, WorkerId};
+    pub use swallow_core::{
+        CoflowService, CoflowServiceBuilder, ServiceReport, SwallowConfig, SwallowContext,
+        SwallowError, WorkerId,
+    };
     pub use swallow_fabric::view::{CompressionSpec, ConstCompression};
     pub use swallow_fabric::{
         units, Coflow, CpuModel, CpuTrace, Engine, EngineMode, Fabric, FlowSpec, Policy, SimConfig,
         SimResult,
     };
     pub use swallow_faults::{FaultPlan, Injector};
-    pub use swallow_metrics::{improvement, Cdf, Table};
+    pub use swallow_metrics::{improvement, serde_is_stub, Cdf, Table};
     pub use swallow_oracle::{
         best_case_ratio, check_lower_bounds, differential_replay, CheckConfig, GoldenFigure,
         InvariantChecker,
     };
     pub use swallow_sched::{
-        Algorithm, CoflowOrder, EstimatorMode, FvdfConfig, FvdfPolicy, OrderedPolicy, PffPolicy,
-        ProfiledCompression, SampledPolicy, SamplingConfig, SizeEstimator, SrtfPolicy, WssPolicy,
+        AdmissionController, Algorithm, CoflowOrder, EstimatorMode, FvdfConfig, FvdfPolicy,
+        OrderedPolicy, PffPolicy, ProfiledCompression, SampledPolicy, SamplingConfig,
+        SizeEstimator, SrtfPolicy, WssPolicy,
     };
     pub use swallow_trace::{TraceEvent, TraceSummary, Tracer};
     pub use swallow_workload::{
-        CoflowGen, FbGen, GenConfig, SizeDist, Sizing, Trace, TraceFile, TraceFormat,
+        CoflowGen, DeadlineSpec, FbGen, GenConfig, SizeDist, Sizing, Trace, TraceFile, TraceFormat,
         WorkloadSource,
     };
 }

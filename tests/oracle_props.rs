@@ -7,7 +7,6 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use swallow_repro::fabric::engine::Reschedule;
-use swallow_repro::oracle::{differential_replay, CheckConfig, InvariantChecker};
 use swallow_repro::prelude::*;
 
 const NODES: usize = 6;

